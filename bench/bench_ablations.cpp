@@ -1,0 +1,156 @@
+// Ablation studies of the design choices DESIGN.md calls out:
+//   1. induction-variable closed-form rewriting on/off (Section 2.1's
+//      prerequisite for privatizing m and validating x's consumer
+//      alignment in Fig. 1),
+//   2. automatic array privatization (future-work extension) vs. the
+//      NEW directive on the APPSP work array,
+//   3. cost-model sensitivity: how the Table 1 selected-alignment
+//      result changes with message latency (the latency-bound vs
+//      bandwidth-bound regimes).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "frontend/parser.h"
+#include "privatize/scalar_expansion.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void ablateInductionRewrite() {
+    std::printf("--- ablation 1: induction rewriting (Fig. 1, P = 8) ---\n");
+    for (bool rewrite : {false, true}) {
+        Program p = programs::fig1(256);
+        CompilerOptions opts;
+        opts.gridExtents = {8};
+        opts.rewriteInduction = rewrite;
+        Compilation c = Compiler::compile(p, opts);
+        const CostBreakdown cb = c.predictCost();
+        std::printf("rewriteInduction=%d  total=%.6fs comm=%.6fs "
+                    "(m %s)\n",
+                    rewrite, cb.totalSec(), cb.commSec,
+                    rewrite ? "privatized via closed form"
+                            : "stays replicated/loop-carried");
+    }
+    std::printf("\n");
+}
+
+void ablateAutoPrivatization() {
+    std::printf(
+        "--- ablation 2: automatic array privatization (APPSP-like "
+        "kernel without NEW, 2x2 grid) ---\n");
+    const char* source = R"(
+program sweep
+  parameter (n = 32)
+  real rsd(5,n,n,n), c(n,n,5)
+!hpf$ distribute rsd(*,*,block,block)
+  do k = 2, n-1
+    do j = 2, n-1
+      do i = 2, n-1
+        c(i,j,1) = 0.25 * rsd(1,i,j,k)
+      end do
+    end do
+    do j = 3, n-1
+      do i = 2, n-1
+        rsd(1,i,j,k) = rsd(1,i,j,k) + c(i,j-1,1)
+      end do
+    end do
+  end do
+end
+)";
+    for (bool autoPriv : {false, true}) {
+        Program p = parseProgramOrDie(source);
+        CompilerOptions opts;
+        opts.gridExtents = {2, 2};
+        opts.mapping.autoArrayPrivatization = autoPriv;
+        Compilation c = Compiler::compile(p, opts);
+        const CostBreakdown cb = c.predictCost();
+        std::printf("autoArrayPrivatization=%d  total=%.4fs comm=%.4fs "
+                    "arrays privatized=%zu\n",
+                    autoPriv, cb.totalSec(), cb.commSec,
+                    c.mappingPass->decisions().arrays().size());
+    }
+    std::printf("\n");
+}
+
+void ablateLatency() {
+    std::printf("--- ablation 3: latency sensitivity (TOMCATV n=513, "
+                "P=16, selected alignment) ---\n");
+    for (double alphaUs : {5.0, 40.0, 320.0}) {
+        Program p = programs::tomcatv(513, 100);
+        CompilerOptions opts;
+        opts.gridExtents = {16};
+        opts.costModel.alphaSec = alphaUs * 1e-6;
+        Compilation c = Compiler::compile(p, opts);
+        const CostBreakdown cb = c.predictCost();
+        std::printf("alpha=%6.0fus  total=%.3fs (compute %.3fs, comm "
+                    "%.3fs)\n",
+                    alphaUs, cb.totalSec(), cb.computeSec, cb.commSec);
+    }
+    std::printf("\n");
+}
+
+void ablateScalarExpansion() {
+    std::printf("--- ablation 4: privatization vs scalar expansion "
+                "(Fig. 1, P = 8, n = 256) ---\n");
+    // Privatized original.
+    {
+        Program p = programs::fig1(256);
+        CompilerOptions opts;
+        opts.gridExtents = {8};
+        Compilation c = Compiler::compile(p, opts);
+        std::printf("privatization:     total=%.6fs (no extra storage)\n",
+                    c.predictCost().totalSec());
+    }
+    // Expanded program compiled with privatization off.
+    {
+        Program p = programs::fig1(256);
+        CompilerOptions opts;
+        opts.gridExtents = {8};
+        Compilation c = Compiler::compile(p, opts);
+        const int n = expandAlignedScalars(p, *c.ssa, *c.dataMapping,
+                                           c.mappingPass->decisions());
+        CompilerOptions noPriv;
+        noPriv.gridExtents = {8};
+        noPriv.mapping.privatization = false;
+        Compilation ce = Compiler::compile(p, noPriv);
+        std::printf("scalar expansion:  total=%.6fs (%d scalars -> O(n) "
+                    "arrays)\n",
+                    ce.predictCost().totalSec(), n);
+    }
+    // Neither.
+    {
+        Program p = programs::fig1(256);
+        CompilerOptions noPriv;
+        noPriv.gridExtents = {8};
+        noPriv.mapping.privatization = false;
+        Compilation c = Compiler::compile(p, noPriv);
+        std::printf("neither:           total=%.6fs (replication)\n\n",
+                    c.predictCost().totalSec());
+    }
+}
+
+void BM_AblationCompile(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig1(256);
+        CompilerOptions opts;
+        opts.gridExtents = {8};
+        opts.rewriteInduction = state.range(0) != 0;
+        benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
+    }
+}
+BENCHMARK(BM_AblationCompile)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ablateInductionRewrite();
+    ablateAutoPrivatization();
+    ablateLatency();
+    ablateScalarExpansion();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "programs/programs.h"
+
+namespace phpf::bench {
+
+/// Format a predicted execution time like the paper's tables (seconds).
+inline std::string fmtSec(double s) {
+    char buf[64];
+    if (s >= 86400.0)
+        std::snprintf(buf, sizeof buf, "> 86400 (1 day)");
+    else if (s >= 100.0)
+        std::snprintf(buf, sizeof buf, "%.0f", s);
+    else if (s >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.1f", s);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f", s);
+    return buf;
+}
+
+/// Compile `p` for the given grid/options and return the predicted
+/// execution profile.
+inline CostBreakdown predict(Program& p, std::vector<int> grid,
+                             MappingOptions mapping) {
+    CompilerOptions opts;
+    opts.gridExtents = std::move(grid);
+    opts.mapping = mapping;
+    Compilation c = Compiler::compile(p, opts);
+    return c.predictCost();
+}
+
+inline void printHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-6s", "#P");
+    for (const auto& c : columns) std::printf("  %-22s", c.c_str());
+    std::printf("\n");
+}
+
+inline void printRow(int procs, const std::vector<double>& secs) {
+    std::printf("%-6d", procs);
+    for (double s : secs) std::printf("  %-22s", fmtSec(s).c_str());
+    std::printf("\n");
+}
+
+}  // namespace phpf::bench

@@ -1,0 +1,84 @@
+// Regenerates the paper's Figure 1 walkthrough (Section 2.1): the four
+// privatized scalars take four different mappings —
+//   m : induction variable, closed-form rewritten, privatized without
+//       alignment
+//   x : aligned with the consumer reference D(m) (both B(i) and C(i)
+//       shifts hoisted out of the i loop)
+//   y : aligned with a producer reference (consumer A(i+1) would force
+//       inner-loop communication for A(i))
+//   z : privatized without alignment (E and F replicated)
+// and compares the message counts of the three compiler levels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_fig_common.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void show() {
+    std::printf("=== Figure 1: different alignments of privatized scalars "
+                "(P = 4, n = 64) ===\n\n");
+    {
+        Program p = programs::fig1(64);
+        showFigure(p, {4});
+    }
+    std::printf("--- ablation: message events per compiler level ---\n");
+    for (int variant : {0, 1, 2}) {
+        MappingOptions m;
+        if (variant == 0) m.privatization = false;
+        if (variant == 1)
+            m.alignPolicy = MappingOptions::AlignPolicy::ProducerOnly;
+        Program p = programs::fig1(64);
+        const CostBreakdown cb = predict(p, {4}, m);
+        std::printf("%-20s events=%-8lld comm=%.6fs\n",
+                    variant == 0   ? "replication"
+                    : variant == 1 ? "producer alignment"
+                                   : "selected alignment",
+                    static_cast<long long>(cb.messageEvents), cb.commSec);
+    }
+    std::printf("\n");
+}
+
+void BM_Fig1Compile(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig1(64);
+        CompilerOptions opts;
+        opts.gridExtents = {4};
+        benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
+    }
+}
+BENCHMARK(BM_Fig1Compile);
+
+void BM_Fig1Simulate(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig1(24);
+        CompilerOptions opts;
+        opts.gridExtents = {4};
+        Compilation c = Compiler::compile(p, opts);
+        auto sim = c.simulate([](Interpreter& o) {
+            for (std::int64_t i = 1; i <= 25; ++i) {
+                if (i <= 24) {
+                    o.setElement("B", {i}, 1.0 + static_cast<double>(i));
+                    o.setElement("C", {i}, 1.0);
+                    o.setElement("E", {i}, 2.0);
+                    o.setElement("F", {i}, 2.0);
+                }
+                o.setElement("A", {i}, 0.5);
+            }
+        });
+        benchmark::DoNotOptimize(sim->messageEvents());
+    }
+}
+BENCHMARK(BM_Fig1Simulate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    show();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

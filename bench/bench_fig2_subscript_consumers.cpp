@@ -1,0 +1,56 @@
+// Regenerates Figure 2 (Section 2.1): availability requirements for
+// subscripts. p is used as the subscript of H(i,p), a reference that
+// needs no communication under the owner-computes execution of
+// A(i) = H(i,p) + G(q,i) — so p's consumer is A(i) and p is privatized
+// and aligned. q indexes G(q,i), which *does* need communication, so q
+// must be available on every processor: it stays replicated.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_fig_common.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void show() {
+    std::printf("=== Figure 2: availability requirements for subscripts "
+                "(P = 4, n = 64) ===\n\n");
+    Program p = programs::fig2(64);
+    Compilation c = showFigure(p, {4});
+
+    // Print the two decisions explicitly.
+    for (const char* name : {"p", "q"}) {
+        const SymbolId sym = p.findSymbol(name);
+        p.forEachStmt([&](Stmt* s) {
+            if (s->kind != StmtKind::Assign ||
+                s->lhs->kind != ExprKind::VarRef || s->lhs->sym != sym)
+                return;
+            const ScalarMapDecision* dec =
+                c.mappingPass->decisions().forDef(c.ssa->defIdOfAssign(s));
+            std::printf("%s: %s\n", name,
+                        dec != nullptr ? dec->rationale.c_str() : "(none)");
+        });
+    }
+    std::printf("\n");
+}
+
+void BM_Fig2Compile(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig2(64);
+        CompilerOptions opts;
+        opts.gridExtents = {4};
+        benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
+    }
+}
+BENCHMARK(BM_Fig2Compile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    show();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates Figure 4 (Section 2.2): AlignLevel of array references.
+// With (block,block,*) distribution, A(i,j,k) has AlignLevel 2 (its
+// outermost valid alignment scope is the j loop) while B(s,j,k) has
+// AlignLevel 3: the subscript s is not an affine function of loop
+// indices and only becomes well-defined inside the k loop.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/affine.h"
+#include "bench_fig_common.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void show() {
+    std::printf("=== Figure 4: AlignLevel for array references ===\n\n");
+    Program p = programs::fig4(16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    std::printf("%s\n", printProgram(p).c_str());
+
+    AffineAnalyzer aff(p, c.ssa.get());
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind != StmtKind::Assign || s->lhs->kind != ExprKind::ArrayRef)
+            return;
+        std::printf("%s:\n", printExpr(p, s->lhs).c_str());
+        int alignLevel = 0;
+        for (int d = 0; d < static_cast<int>(s->lhs->args.size()); ++d) {
+            const int sal =
+                aff.subscriptAlignLevel(s->lhs->args[static_cast<size_t>(d)]);
+            std::printf("  dim %d subscript %-6s SubscriptAlignLevel = %d\n",
+                        d + 1,
+                        printExpr(p, s->lhs->args[static_cast<size_t>(d)]).c_str(),
+                        sal);
+            if (d < 2) alignLevel = std::max(alignLevel, sal);  // block dims
+        }
+        std::printf("  AlignLevel = %d\n\n", alignLevel);
+    });
+}
+
+void BM_Fig4AffineAnalysis(benchmark::State& state) {
+    Program p = programs::fig4(16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    AffineAnalyzer aff(p, c.ssa.get());
+    std::vector<Expr*> refs;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::ArrayRef)
+            refs.push_back(s->lhs);
+    });
+    for (auto _ : state) {
+        int sum = 0;
+        for (Expr* r : refs)
+            for (Expr* sub : r->args) sum += aff.subscriptAlignLevel(sub);
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_Fig4AffineAnalysis);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    show();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

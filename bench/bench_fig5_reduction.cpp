@@ -1,0 +1,60 @@
+// Regenerates Figure 5 (Section 2.3): a scalar computed in a sum
+// reduction over the j loop, with A distributed (block,block). The
+// compiler aligns s with the ith row of A in the first grid dimension
+// and replicates it across the second (the reduction dimension), so the
+// partial sums proceed without broadcasting rows of A; a single
+// combining step per i iteration merges the partials.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_fig_common.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void show() {
+    std::printf("=== Figure 5: scalar involved in a reduction "
+                "(2x2 grid, n = 64) ===\n\n");
+    {
+        Program p = programs::fig5(64);
+        showFigure(p, {2, 2});
+    }
+    std::printf("--- ablation: reduction alignment on/off ---\n");
+    for (bool align : {false, true}) {
+        MappingOptions m;
+        m.reductionAlignment = align;
+        Program p = programs::fig5(64);
+        const CostBreakdown cb = predict(p, {2, 2}, m);
+        std::printf("reductionAlignment=%d  comm=%.6fs events=%lld\n", align,
+                    cb.commSec, static_cast<long long>(cb.messageEvents));
+    }
+    std::printf("\n");
+}
+
+void BM_Fig5Simulate(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig5(12);
+        CompilerOptions opts;
+        opts.gridExtents = {2, 2};
+        Compilation c = Compiler::compile(p, opts);
+        auto sim = c.simulate([](Interpreter& o) {
+            for (std::int64_t i = 1; i <= 12; ++i)
+                for (std::int64_t j = 1; j <= 12; ++j)
+                    o.setElement("A", {i, j},
+                                 static_cast<double>(i * 100 + j));
+        });
+        benchmark::DoNotOptimize(sim->maxErrorVsOracle("B"));
+    }
+}
+BENCHMARK(BM_Fig5Simulate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    show();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

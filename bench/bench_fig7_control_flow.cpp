@@ -1,0 +1,62 @@
+// Regenerates Figure 7 (Section 4): privatized execution of control
+// flow statements. Both IFs (and the GOTO) transfer control only within
+// the i loop, so their execution is privatized: only the owner of A(i)
+// (which also owns B(i) and C(i)) participates, no communication is
+// needed for the predicates, and the loop parallelizes. With the
+// optimization off, every processor executes the IFs and B must be
+// broadcast.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_fig_common.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+void show() {
+    std::printf("=== Figure 7: privatized control flow (P = 4, n = 64) "
+                "===\n\n");
+    {
+        Program p = programs::fig7(64);
+        showFigure(p, {4});
+    }
+    std::printf("--- ablation: control-flow privatization off ---\n");
+    for (bool cf : {false, true}) {
+        MappingOptions m;
+        m.controlFlowPrivatization = cf;
+        Program p = programs::fig7(64);
+        const CostBreakdown cb = predict(p, {4}, m);
+        std::printf("cfPrivatization=%d  comm=%.6fs events=%lld\n", cf,
+                    cb.commSec, static_cast<long long>(cb.messageEvents));
+    }
+    std::printf("\n");
+}
+
+void BM_Fig7Simulate(benchmark::State& state) {
+    for (auto _ : state) {
+        Program p = programs::fig7(16);
+        CompilerOptions opts;
+        opts.gridExtents = {4};
+        Compilation c = Compiler::compile(p, opts);
+        auto sim = c.simulate([](Interpreter& o) {
+            for (std::int64_t i = 1; i <= 16; ++i) {
+                o.setElement("B", {i}, static_cast<double>((i % 3) - 1));
+                o.setElement("A", {i}, 6.0);
+                o.setElement("C", {i}, 2.0);
+            }
+        });
+        benchmark::DoNotOptimize(sim->maxErrorVsOracle("A"));
+    }
+}
+BENCHMARK(BM_Fig7Simulate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    show();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

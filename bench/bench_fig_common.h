@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ir/printer.h"
+
+namespace phpf::bench {
+
+/// Compile one figure program, print its mini-HPF source, the mapping
+/// decisions and the placed communication, and the predicted cost — the
+/// figure benches regenerate the paper's worked examples this way.
+inline Compilation showFigure(Program& p, std::vector<int> grid,
+                              MappingOptions mapping = {},
+                              bool printSource = true) {
+    CompilerOptions opts;
+    opts.gridExtents = std::move(grid);
+    opts.mapping = mapping;
+    Compilation c = Compiler::compile(p, opts);
+    if (printSource) std::printf("%s\n", printProgram(p).c_str());
+    std::printf("%s\n", c.report().c_str());
+    std::printf("%s\n", c.lowering->dump().c_str());
+    const CostBreakdown cb = c.predictCost();
+    std::printf("predicted: compute %.6fs, comm %.6fs, %lld message events\n\n",
+                cb.computeSec, cb.commSec,
+                static_cast<long long>(cb.messageEvents));
+    return c;
+}
+
+}  // namespace phpf::bench

@@ -1,0 +1,61 @@
+// Domain example: nested loop parallelism on a 2-D processor grid with
+// partial privatization (the paper's Section 3.2, Figure 6 / APPSP).
+// The work array c is privatizable with respect to the k loop but not
+// the j loop; on a 2-D grid the compiler partitions c's j dimension and
+// privatizes it along the k grid dimension — the only mapping that
+// exploits both levels of parallelism.
+//
+//   $ ./examples/nested_parallelism
+
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "ir/printer.h"
+#include "programs/programs.h"
+
+using namespace phpf;
+
+int main() {
+    constexpr std::int64_t n = 12;
+
+    // --- 1. The Figure 6 fragment on a 2x2 grid. --------------------
+    Program p = programs::fig6(n, n, n);
+    std::printf("--- source (Fig. 6) ---\n%s\n", printProgram(p).c_str());
+
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    std::printf("--- decisions with partial privatization ---\n%s\n",
+                c.report().c_str());
+
+    // --- 2. Simulate and validate semantics. ------------------------
+    auto seed = [](Interpreter& oracle) {
+        for (std::int64_t m = 1; m <= 5; ++m)
+            for (std::int64_t i = 1; i <= n; ++i)
+                for (std::int64_t j = 1; j <= n; ++j)
+                    for (std::int64_t k = 1; k <= n; ++k)
+                        oracle.setElement(
+                            "rsd", {m, i, j, k},
+                            0.001 * static_cast<double>(m * i + j * k));
+    };
+    auto sim = c.simulate(seed);
+    std::printf("partial privatization: %lld message events, max error on "
+                "rsd = %g\n",
+                static_cast<long long>(sim->messageEvents()),
+                sim->maxErrorVsOracle("rsd"));
+
+    // --- 3. Ablate: without partial privatization c is replicated. --
+    Program q = programs::fig6(n, n, n);
+    CompilerOptions o2;
+    o2.gridExtents = {2, 2};
+    o2.mapping.partialPrivatization = false;
+    Compilation c2 = Compiler::compile(q, o2);
+    auto sim2 = c2.simulate(seed);
+    std::printf("c replicated:          %lld message events, max error on "
+                "rsd = %g\n",
+                static_cast<long long>(sim2->messageEvents()),
+                sim2->maxErrorVsOracle("rsd"));
+    std::printf("predicted comm: partial %.6fs vs replicated %.6fs\n",
+                c.predictCost().commSec, c2.predictCost().commSec);
+    return 0;
+}

@@ -1,0 +1,120 @@
+// phpfc — command-line driver for the mini-HPF compiler.
+//
+//   phpfc FILE.hpf [--procs NxM] [--report] [--lower] [--cost]
+//         [--no-privatization] [--producer-only] [--no-reduction-align]
+//         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
+//
+// Parses the program, runs the privatization mapping pass, and prints
+// the requested stages. With no stage flags, prints everything.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/compiler.h"
+#include "frontend/parser.h"
+#include "ir/printer.h"
+#include "spmd/cost_report.h"
+#include "spmd/spmd_text.h"
+
+using namespace phpf;
+
+namespace {
+
+std::vector<int> parseGrid(const std::string& spec) {
+    std::vector<int> grid;
+    std::stringstream ss(spec);
+    std::string part;
+    while (std::getline(ss, part, 'x')) grid.push_back(std::stoi(part));
+    if (grid.empty()) grid.push_back(1);
+    return grid;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: phpfc FILE.hpf [--procs NxM] [--report] [--lower] "
+                 "[--cost] [--spmd]\n"
+                 "             [--no-privatization] [--producer-only]\n"
+                 "             [--no-reduction-align] [--no-array-priv]\n"
+                 "             [--no-partial-priv] [--no-cf-priv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string file;
+    std::vector<int> grid{4};
+    bool doReport = false, doLower = false, doCost = false, doSpmd = false;
+    MappingOptions mapping;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--procs" && i + 1 < argc) grid = parseGrid(argv[++i]);
+        else if (arg == "--report") doReport = true;
+        else if (arg == "--lower") doLower = true;
+        else if (arg == "--cost") doCost = true;
+        else if (arg == "--spmd") doSpmd = true;
+        else if (arg == "--no-privatization") mapping.privatization = false;
+        else if (arg == "--producer-only")
+            mapping.alignPolicy = MappingOptions::AlignPolicy::ProducerOnly;
+        else if (arg == "--no-reduction-align")
+            mapping.reductionAlignment = false;
+        else if (arg == "--no-array-priv") mapping.arrayPrivatization = false;
+        else if (arg == "--no-partial-priv")
+            mapping.partialPrivatization = false;
+        else if (arg == "--no-cf-priv")
+            mapping.controlFlowPrivatization = false;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            file = arg;
+        }
+    }
+    if (file.empty()) {
+        usage();
+        return 2;
+    }
+    if (!doReport && !doLower && !doCost && !doSpmd)
+        doReport = doLower = doCost = doSpmd = true;
+
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "phpfc: cannot open %s\n", file.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    DiagEngine diags;
+    Parser parser(buf.str(), diags);
+    Program p = parser.parse();
+    if (diags.hasErrors()) {
+        std::fprintf(stderr, "%s", diags.dump().c_str());
+        return 1;
+    }
+
+    CompilerOptions opts;
+    opts.gridExtents = grid;
+    opts.mapping = mapping;
+    Compilation c = Compiler::compile(p, opts);
+
+    std::printf("compiled '%s' for grid %s\n", p.name.c_str(),
+                ProcGrid(grid).str().c_str());
+    if (doReport) std::printf("\n%s", c.report().c_str());
+    if (doLower) std::printf("\n%s", c.lowering->dump().c_str());
+    if (doSpmd) std::printf("\n%s", emitSpmdText(*c.lowering).c_str());
+    if (doCost) {
+        const CostReport report =
+            buildCostReport(*c.lowering, opts.costModel);
+        std::printf("\npredicted execution on the SP2 model:\n%s",
+                    report.str(p).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a small data-parallel program through the IR
+// builder, compile it with the privatization mapping pass, inspect the
+// decisions, predict its cost on the SP2 model, and validate the SPMD
+// execution against sequential semantics.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+using namespace phpf;
+
+int main() {
+    // --- 1. Build a program: a 1-D relaxation with a privatizable
+    //        scalar `w` per iteration. -------------------------------
+    constexpr std::int64_t n = 32;
+    ProgramBuilder b("quickstart");
+    auto A = b.realArray("A", {n});
+    auto B = b.realArray("B", {n});
+    auto w = b.realVar("w");
+    auto i = b.integerVar("i");
+
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.alignIdentity(B, A);
+
+    b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+        // w is written and read in the same iteration: privatizable.
+        b.assign(b.idx(w), b.ref(B, {b.idx(i) - b.lit(std::int64_t{1})}) +
+                               b.ref(B, {b.idx(i) + b.lit(std::int64_t{1})}));
+        b.assign(b.ref(A, {b.idx(i)}), b.lit(0.5) * b.idx(w));
+    });
+    Program p = b.finish();
+
+    std::printf("--- source ---\n%s\n", printProgram(p).c_str());
+
+    // --- 2. Compile for a 4-processor machine. ----------------------
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+
+    std::printf("--- mapping decisions ---\n%s\n", c.report().c_str());
+    std::printf("--- SPMD lowering ---\n%s\n", c.lowering->dump().c_str());
+
+    // --- 3. Predict performance on the SP2 cost model. --------------
+    const CostBreakdown cost = c.predictCost();
+    std::printf("predicted: compute %.2f us + comm %.2f us, %lld messages\n\n",
+                cost.computeSec * 1e6, cost.commSec * 1e6,
+                static_cast<long long>(cost.messageEvents));
+
+    // --- 4. Simulate the SPMD execution and check semantics. --------
+    auto sim = c.simulate([](Interpreter& oracle) {
+        for (std::int64_t k = 1; k <= n; ++k)
+            oracle.setElement("B", {k}, static_cast<double>(k * k));
+    });
+    std::printf("simulated on %d procs: %lld element transfers, "
+                "max |SPMD - sequential| on A = %g\n",
+                sim->procCount(),
+                static_cast<long long>(sim->elementTransfers()),
+                sim->maxErrorVsOracle("A"));
+    return 0;
+}

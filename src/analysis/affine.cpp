@@ -1,0 +1,204 @@
+#include "analysis/affine.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+namespace {
+
+void addTerm(AffineForm& f, const Stmt* loop, std::int64_t coeff) {
+    if (coeff == 0) return;
+    for (size_t i = 0; i < f.terms.size(); ++i) {
+        if (f.terms[i].loop == loop) {
+            f.terms[i].coeff += coeff;
+            if (f.terms[i].coeff == 0)
+                f.terms.erase(f.terms.begin() + static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+    f.terms.push_back({loop, coeff});
+}
+
+AffineForm combine(const AffineForm& a, const AffineForm& b, std::int64_t sb) {
+    AffineForm out;
+    if (a.affine && b.affine) {
+        out.affine = true;
+        out.c0 = a.c0 + sb * b.c0;
+        out.terms = a.terms;
+        for (const auto& t : b.terms) addTerm(out, t.loop, sb * t.coeff);
+        for (const auto& t : out.terms)
+            out.varLevel = std::max(out.varLevel, t.loop->loopNestingLevel());
+    } else {
+        out.affine = false;
+        out.varLevel = std::max(a.varLevel, b.varLevel);
+    }
+    return out;
+}
+
+AffineForm nonAffine(int varLevel) {
+    AffineForm f;
+    f.affine = false;
+    f.varLevel = varLevel;
+    return f;
+}
+
+}  // namespace
+
+const Stmt* AffineAnalyzer::enclosingLoopWithIndex(const Stmt* context,
+                                                   SymbolId sym) const {
+    for (const Stmt* p = context; p != nullptr; p = p->parent)
+        if (p->kind == StmtKind::Do && p->loopVar == sym) return p;
+    return nullptr;
+}
+
+int AffineAnalyzer::scalarVarLevel(const Expr* use) const {
+    if (ssa_ == nullptr)
+        return use->parentStmt != nullptr ? use->parentStmt->level : 0;
+    int level = 0;
+    for (int d : ssa_->reachingDefs(use)) {
+        const SsaDef& def = ssa_->def(d);
+        if (def.stmt != nullptr) level = std::max(level, def.stmt->level);
+    }
+    return level;
+}
+
+AffineForm AffineAnalyzer::analyzeAt(const Expr* e, const Stmt* context) const {
+    switch (e->kind) {
+        case ExprKind::IntLit: {
+            AffineForm f;
+            f.affine = true;
+            f.c0 = e->ival;
+            return f;
+        }
+        case ExprKind::RealLit:
+            return nonAffine(0);
+        case ExprKind::VarRef: {
+            if (const Stmt* loop = enclosingLoopWithIndex(context, e->sym)) {
+                AffineForm f;
+                f.affine = true;
+                addTerm(f, loop, 1);
+                f.varLevel = loop->loopNestingLevel();
+                return f;
+            }
+            return nonAffine(scalarVarLevel(e));
+        }
+        case ExprKind::ArrayRef: {
+            // A subscripted subscript varies wherever its subscripts do.
+            int lvl = 0;
+            for (const Expr* a : e->args)
+                lvl = std::max(lvl, analyzeAt(a, context).varLevel);
+            return nonAffine(lvl);
+        }
+        case ExprKind::Unary: {
+            AffineForm a = analyzeAt(e->args[0], context);
+            if (e->uop == UnaryOp::Neg && a.affine) {
+                a.c0 = -a.c0;
+                for (auto& t : a.terms) t.coeff = -t.coeff;
+                return a;
+            }
+            return nonAffine(a.varLevel);
+        }
+        case ExprKind::Binary: {
+            const AffineForm a = analyzeAt(e->args[0], context);
+            const AffineForm b = analyzeAt(e->args[1], context);
+            switch (e->bop) {
+                case BinaryOp::Add:
+                    return combine(a, b, 1);
+                case BinaryOp::Sub:
+                    return combine(a, b, -1);
+                case BinaryOp::Mul:
+                    if (a.affine && a.terms.empty()) {
+                        AffineForm out = b;
+                        if (out.affine) {
+                            out.c0 *= a.c0;
+                            for (auto& t : out.terms) t.coeff *= a.c0;
+                        }
+                        return out;
+                    }
+                    if (b.affine && b.terms.empty()) {
+                        AffineForm out = a;
+                        if (out.affine) {
+                            out.c0 *= b.c0;
+                            for (auto& t : out.terms) t.coeff *= b.c0;
+                        }
+                        return out;
+                    }
+                    return nonAffine(std::max(a.varLevel, b.varLevel));
+                default:
+                    return nonAffine(std::max(a.varLevel, b.varLevel));
+            }
+        }
+        case ExprKind::Call: {
+            int lvl = 0;
+            for (const Expr* a : e->args)
+                lvl = std::max(lvl, analyzeAt(a, context).varLevel);
+            return nonAffine(lvl);
+        }
+    }
+    return nonAffine(0);
+}
+
+AffineForm AffineAnalyzer::analyze(const Expr* e) const {
+    PHPF_ASSERT(e->parentStmt != nullptr,
+                "affine analysis needs parentStmt links (call finalize)");
+    AffineForm f = analyzeAt(e, e->parentStmt);
+    if (f.affine) {
+        f.varLevel = 0;
+        for (const auto& t : f.terms)
+            f.varLevel = std::max(f.varLevel, t.loop->loopNestingLevel());
+    }
+    return f;
+}
+
+int AffineAnalyzer::subscriptAlignLevel(const Expr* sub) const {
+    const AffineForm f = analyze(sub);
+    return f.affine ? f.varLevel : f.varLevel + 1;
+}
+
+Expr* cloneExpr(Program& p, const Expr* e) {
+    Expr* c = p.newExpr(e->kind);
+    c->loc = e->loc;
+    c->ival = e->ival;
+    c->rval = e->rval;
+    c->sym = e->sym;
+    c->uop = e->uop;
+    c->bop = e->bop;
+    c->fn = e->fn;
+    c->args.reserve(e->args.size());
+    for (const Expr* a : e->args) c->args.push_back(cloneExpr(p, a));
+    return c;
+}
+
+Expr* foldConstants(Program& p, Expr* e) {
+    for (auto& a : e->args) a = foldConstants(p, a);
+    auto lit = [&](std::int64_t v) {
+        Expr* l = p.newExpr(ExprKind::IntLit);
+        l->ival = v;
+        return l;
+    };
+    if (e->kind == ExprKind::Binary && e->args[0]->kind == ExprKind::IntLit &&
+        e->args[1]->kind == ExprKind::IntLit) {
+        const std::int64_t a = e->args[0]->ival;
+        const std::int64_t b = e->args[1]->ival;
+        switch (e->bop) {
+            case BinaryOp::Add: return lit(a + b);
+            case BinaryOp::Sub: return lit(a - b);
+            case BinaryOp::Mul: return lit(a * b);
+            default: return e;
+        }
+    }
+    if (e->kind == ExprKind::Binary) {
+        // x + 0, x - 0, x * 1, 0 + x, 1 * x
+        if ((e->bop == BinaryOp::Add || e->bop == BinaryOp::Sub) &&
+            e->args[1]->isIntLit(0))
+            return e->args[0];
+        if (e->bop == BinaryOp::Add && e->args[0]->isIntLit(0)) return e->args[1];
+        if (e->bop == BinaryOp::Mul && e->args[1]->isIntLit(1)) return e->args[0];
+        if (e->bop == BinaryOp::Mul && e->args[0]->isIntLit(1)) return e->args[1];
+    }
+    return e;
+}
+
+}  // namespace phpf

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ssa.h"
+#include "ir/program.h"
+
+namespace phpf {
+
+/// `c0 + Σ coeff_k · index(loop_k)` over the loops enclosing the
+/// analyzed expression. When `affine` is false the expression involves
+/// non-index scalars (or nonlinearity) and only `varLevel` is
+/// meaningful.
+struct AffineForm {
+    bool affine = false;
+    std::int64_t c0 = 0;
+    struct Term {
+        const Stmt* loop = nullptr;  ///< the Do statement
+        std::int64_t coeff = 0;
+    };
+    std::vector<Term> terms;
+    /// Innermost loop nesting level in which the value varies (paper's
+    /// VarLevel). For affine forms this equals the max nesting level of
+    /// `terms`; for non-affine forms it is derived from reaching defs.
+    int varLevel = 0;
+
+    [[nodiscard]] std::int64_t coeffOf(const Stmt* loop) const {
+        for (const auto& t : terms)
+            if (t.loop == loop) return t.coeff;
+        return 0;
+    }
+    [[nodiscard]] bool isConstant() const { return affine && terms.empty(); }
+    /// Value does not change across iterations of `loop` (whose body is
+    /// at nesting level `loopLevel`).
+    [[nodiscard]] bool invariantIn(const Stmt* loop, int loopLevel) const {
+        if (affine) return coeffOf(loop) == 0;
+        return varLevel < loopLevel;
+    }
+};
+
+/// Classifies subscript expressions relative to the loop nest, and
+/// computes the paper's SubscriptAlignLevel (Fig. 4):
+///
+///   SubscriptAlignLevel(s) = VarLevel(s)      if s affine in loop indices
+///                            VarLevel(s) + 1  otherwise
+///
+/// i.e. the nesting level of the outermost loop throughout which the
+/// subscript's value is well-defined.
+class AffineAnalyzer {
+public:
+    /// `ssa` may be null; non-index scalars are then treated as varying
+    /// at their statement's level.
+    AffineAnalyzer(const Program& p, const SsaForm* ssa)
+        : prog_(p), ssa_(ssa) {}
+
+    /// Analyze `e`, interpreting VarRefs of enclosing-loop indices as
+    /// those loops' induction values. `e->parentStmt` must be set.
+    [[nodiscard]] AffineForm analyze(const Expr* e) const;
+
+    [[nodiscard]] int varLevel(const Expr* e) const { return analyze(e).varLevel; }
+    [[nodiscard]] int subscriptAlignLevel(const Expr* sub) const;
+
+private:
+    AffineForm analyzeAt(const Expr* e, const Stmt* context) const;
+    /// Enclosing Do of `context` whose loopVar is `sym`, or null.
+    [[nodiscard]] const Stmt* enclosingLoopWithIndex(const Stmt* context,
+                                                     SymbolId sym) const;
+    /// Level at which a non-index scalar use varies: max def level of
+    /// its reaching defs.
+    [[nodiscard]] int scalarVarLevel(const Expr* use) const;
+
+    const Program& prog_;
+    const SsaForm* ssa_;
+};
+
+/// Deep-copy an expression tree into `p`'s arena.
+Expr* cloneExpr(Program& p, const Expr* e);
+
+/// Fold integer-literal subtrees of `e` in place (returns possibly new
+/// root). Used after closed-form induction rewriting.
+Expr* foldConstants(Program& p, Expr* e);
+
+}  // namespace phpf

@@ -1,0 +1,154 @@
+#include "analysis/array_priv.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace phpf {
+
+namespace {
+
+/// Evaluate a literal-only expression (loop bounds in the candidate
+/// region must be constants for the coverage test).
+std::optional<std::int64_t> constEval(const Expr* e) {
+    switch (e->kind) {
+        case ExprKind::IntLit:
+            return e->ival;
+        case ExprKind::Binary: {
+            const auto a = constEval(e->args[0]);
+            const auto b = constEval(e->args[1]);
+            if (!a || !b) return std::nullopt;
+            switch (e->bop) {
+                case BinaryOp::Add: return *a + *b;
+                case BinaryOp::Sub: return *a - *b;
+                case BinaryOp::Mul: return *a * *b;
+                default: return std::nullopt;
+            }
+        }
+        case ExprKind::Unary:
+            if (e->uop == UnaryOp::Neg) {
+                const auto a = constEval(e->args[0]);
+                if (a) return -*a;
+            }
+            return std::nullopt;
+        default:
+            return std::nullopt;
+    }
+}
+
+/// Value range of an affine subscript with at most one loop term whose
+/// bounds are constant. Returns nullopt if unanalyzable.
+struct Range {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
+std::optional<Range> subscriptRange(const AffineForm& f) {
+    if (!f.affine) return std::nullopt;
+    if (f.terms.empty()) return Range{f.c0, f.c0};
+    if (f.terms.size() != 1) return std::nullopt;
+    const auto& t = f.terms[0];
+    if (t.coeff != 1) return std::nullopt;
+    const Stmt* loop = t.loop;
+    const auto lb = constEval(loop->lb);
+    const auto ub = constEval(loop->ub);
+    if (!lb || !ub) return std::nullopt;
+    if (loop->step != nullptr && !loop->step->isIntLit(1)) return std::nullopt;
+    return Range{*lb + f.c0, *ub + f.c0};
+}
+
+/// Pre-order position index of every statement, for "write precedes
+/// read in the iteration" ordering.
+std::unordered_map<const Stmt*, int> orderStmts(Program& p) {
+    std::unordered_map<const Stmt*, int> order;
+    int n = 0;
+    p.forEachStmt([&](Stmt* s) { order[s] = n++; });
+    return order;
+}
+
+}  // namespace
+
+std::vector<AutoPrivArray> findAutoPrivatizableArrays(Program& p,
+                                                      const SsaForm& ssa) {
+    std::vector<AutoPrivArray> out;
+    AffineAnalyzer aff(p, &ssa);
+    const auto order = orderStmts(p);
+
+    std::vector<Stmt*> loops;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Do) loops.push_back(s);
+    });
+
+    for (const Symbol& sym : p.symbols) {
+        if (!sym.isArray()) continue;
+        if (p.distributeOf(sym.id) != nullptr || p.alignOf(sym.id) != nullptr)
+            continue;  // mapped arrays are not privatization candidates
+
+        // Collect writes and reads.
+        struct Access {
+            Expr* ref;
+            Stmt* stmt;
+            bool conditional;
+        };
+        std::vector<Access> writes, reads;
+        p.forEachStmt([&](Stmt* s) {
+            const bool cond = [&] {
+                for (const Stmt* q = s->parent; q != nullptr; q = q->parent)
+                    if (q->kind == StmtKind::If) return true;
+                return false;
+            }();
+            Program::forEachExpr(s, [&](Expr* e) {
+                if (e->kind != ExprKind::ArrayRef || e->sym != sym.id) return;
+                if (s->kind == StmtKind::Assign && e == s->lhs)
+                    writes.push_back({e, s, cond});
+                else
+                    reads.push_back({e, s, cond});
+            });
+        });
+        if (writes.empty() || reads.empty()) continue;
+
+        // Candidate loops: enclosing every access, outermost first.
+        for (Stmt* loop : loops) {
+            bool allInside = true;
+            for (const auto& a : writes)
+                if (!Program::isInsideLoop(a.stmt, loop)) allInside = false;
+            for (const auto& a : reads)
+                if (!Program::isInsideLoop(a.stmt, loop)) allInside = false;
+            if (!allInside) continue;
+
+            // Conditional writes cannot guarantee coverage.
+            bool ok = std::none_of(writes.begin(), writes.end(),
+                                   [](const Access& a) { return a.conditional; });
+
+            // Every read must be covered by an earlier unconditional
+            // write in the same iteration of `loop`.
+            for (const auto& r : reads) {
+                if (!ok) break;
+                bool covered = false;
+                for (const auto& w : writes) {
+                    if (order.at(w.stmt) >= order.at(r.stmt)) continue;
+                    bool dimsCovered = true;
+                    for (size_t d = 0; d < r.ref->args.size(); ++d) {
+                        const auto wr = subscriptRange(
+                            aff.analyze(w.ref->args[d]));
+                        const auto rr = subscriptRange(
+                            aff.analyze(r.ref->args[d]));
+                        if (!wr || !rr || wr->lo > rr->lo || wr->hi < rr->hi)
+                            dimsCovered = false;
+                    }
+                    if (dimsCovered) {
+                        covered = true;
+                        break;
+                    }
+                }
+                if (!covered) ok = false;
+            }
+            if (ok) {
+                out.push_back({sym.id, loop});
+                break;  // outermost valid loop wins
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace phpf

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/affine.h"
+
+namespace phpf {
+
+/// Automatic array privatization — the paper's stated future work
+/// ("we plan to integrate our mapping techniques with automatic array
+/// privatization"). Detects arrays that are privatizable with respect
+/// to a loop without a NEW clause, using a conservative Tu/Padua-style
+/// test:
+///
+///   * every read of the array inside the loop is covered by a write
+///     earlier in the same iteration (per-dimension affine coverage of
+///     the read's value range by a write's value range), and
+///   * the array is not read outside the loop (no copy-out needed).
+///
+/// Subscripts must be affine with at most one loop term per dimension
+/// and constant loop bounds; anything else fails conservatively.
+struct AutoPrivArray {
+    SymbolId array = kNoSymbol;
+    Stmt* loop = nullptr;  ///< outermost loop the array is privatizable at
+};
+
+[[nodiscard]] std::vector<AutoPrivArray> findAutoPrivatizableArrays(
+    Program& p, const SsaForm& ssa);
+
+}  // namespace phpf

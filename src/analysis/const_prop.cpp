@@ -1,0 +1,96 @@
+#include "analysis/const_prop.h"
+
+namespace phpf {
+
+ConstProp::ConstProp(const SsaForm& ssa) : ssa_(ssa) {
+    values_.assign(ssa.defs().size(), {});
+    // Simple fixpoint: defs form few cycles (phis), iterate until stable.
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 64) {
+        changed = false;
+        for (const auto& d : ssa.defs()) {
+            const Lattice nv = evalDef(d.id);
+            Lattice& cur = values_[static_cast<size_t>(d.id)];
+            if (nv.state != cur.state || (nv.state == State::Const && nv.value != cur.value)) {
+                cur = nv;
+                changed = true;
+            }
+        }
+    }
+}
+
+ConstProp::Lattice ConstProp::evalDef(int defId) const {
+    const SsaDef& d = ssa_.def(defId);
+    switch (d.kind) {
+        case SsaDef::Kind::Entry:
+        case SsaDef::Kind::LoopInit:
+        case SsaDef::Kind::LoopIncr:
+            return {State::Bottom, 0};
+        case SsaDef::Kind::Assign: {
+            if (auto v = eval(d.stmt->rhs)) return {State::Const, *v};
+            return {State::Bottom, 0};
+        }
+        case SsaDef::Kind::Phi: {
+            Lattice meet;
+            for (int op : d.operands) {
+                if (op < 0) continue;
+                const Lattice& o = values_[static_cast<size_t>(op)];
+                if (o.state == State::Top) continue;
+                if (o.state == State::Bottom) return {State::Bottom, 0};
+                if (meet.state == State::Top) {
+                    meet = o;
+                } else if (meet.value != o.value) {
+                    return {State::Bottom, 0};
+                }
+            }
+            return meet;
+        }
+    }
+    return {State::Bottom, 0};
+}
+
+std::optional<std::int64_t> ConstProp::valueOfDef(int defId) const {
+    const Lattice& l = values_[static_cast<size_t>(defId)];
+    if (l.state == State::Const) return l.value;
+    return std::nullopt;
+}
+
+std::optional<std::int64_t> ConstProp::valueOfUse(const Expr* e) const {
+    const int d = ssa_.defIdOfUse(e);
+    if (d < 0) return std::nullopt;
+    return valueOfDef(d);
+}
+
+std::optional<std::int64_t> ConstProp::eval(const Expr* e) const {
+    switch (e->kind) {
+        case ExprKind::IntLit:
+            return e->ival;
+        case ExprKind::VarRef:
+            return valueOfUse(e);
+        case ExprKind::Unary: {
+            auto a = eval(e->args[0]);
+            if (!a) return std::nullopt;
+            if (e->uop == UnaryOp::Neg) return -*a;
+            return std::nullopt;
+        }
+        case ExprKind::Binary: {
+            auto a = eval(e->args[0]);
+            auto b = eval(e->args[1]);
+            if (!a || !b) return std::nullopt;
+            switch (e->bop) {
+                case BinaryOp::Add: return *a + *b;
+                case BinaryOp::Sub: return *a - *b;
+                case BinaryOp::Mul: return *a * *b;
+                case BinaryOp::Div:
+                    if (*b == 0) return std::nullopt;
+                    return *a / *b;
+                default: return std::nullopt;
+            }
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
+}  // namespace phpf

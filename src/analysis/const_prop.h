@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/ssa.h"
+
+namespace phpf {
+
+/// Sparse integer constant propagation over SSA. The lattice per def is
+/// Top (unvisited) / Const(v) / Bottom (varying). Loop indices and entry
+/// values are Bottom; phis meet their operands.
+class ConstProp {
+public:
+    explicit ConstProp(const SsaForm& ssa);
+
+    /// Constant value of definition `defId`, if proven.
+    [[nodiscard]] std::optional<std::int64_t> valueOfDef(int defId) const;
+    /// Constant value of scalar use `e`, if proven.
+    [[nodiscard]] std::optional<std::int64_t> valueOfUse(const Expr* e) const;
+    /// Fold an expression using proven def constants; nullopt if any
+    /// leaf is unknown or non-integer.
+    [[nodiscard]] std::optional<std::int64_t> eval(const Expr* e) const;
+
+private:
+    enum class State : std::uint8_t { Top, Const, Bottom };
+    struct Lattice {
+        State state = State::Top;
+        std::int64_t value = 0;
+    };
+    [[nodiscard]] Lattice evalDef(int defId) const;
+
+    const SsaForm& ssa_;
+    std::vector<Lattice> values_;
+};
+
+}  // namespace phpf

@@ -1,0 +1,196 @@
+#include "analysis/dependence.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace phpf {
+
+namespace {
+
+bool sameLoopCoeffs(const AffineForm& a, const AffineForm& b) {
+    if (!a.affine || !b.affine) return false;
+    for (const auto& t : a.terms)
+        if (b.coeffOf(t.loop) != t.coeff) return false;
+    for (const auto& t : b.terms)
+        if (a.coeffOf(t.loop) != t.coeff) return false;
+    return true;
+}
+
+}  // namespace
+
+bool DependenceTester::rangesDisjoint(const AffineForm& wf,
+                                      const AffineForm& rf) const {
+    // Symbolic DGEFA-style test: a single unit-coefficient loop whose
+    // whole range misses the other subscript's value.
+    auto oneSided = [&](const AffineForm& a, const AffineForm& b) {
+        if (!a.affine || !b.affine) return false;
+        if (a.terms.size() != 1 || a.terms[0].coeff != 1) return false;
+        const Stmt* loop = a.terms[0].loop;
+        if (b.coeffOf(loop) != 0) return false;
+        if (loop->step != nullptr && !loop->step->isIntLit(1)) return false;
+        const AffineForm lbF = aff_.analyze(loop->lb);
+        if (sameLoopCoeffs(lbF, b) && lbF.c0 + a.c0 - b.c0 > 0) return true;
+        const AffineForm ubF = aff_.analyze(loop->ub);
+        if (sameLoopCoeffs(ubF, b) && b.c0 - (ubF.c0 + a.c0) > 0) return true;
+        return false;
+    };
+    return oneSided(wf, rf) || oneSided(rf, wf);
+}
+
+DependenceTester::DimResult DependenceTester::testDim(const Expr* a,
+                                                      const Expr* b) const {
+    DimResult out;
+    const AffineForm fa = aff_.analyze(a);
+    const AffineForm fb = aff_.analyze(b);
+    if (!fa.affine || !fb.affine) return out;  // Unknown
+
+    // ZIV: both constant.
+    if (fa.terms.empty() && fb.terms.empty()) {
+        out.verdict = fa.c0 == fb.c0 ? DimVerdict::EqualAlways
+                                     : DimVerdict::Independent;
+        return out;
+    }
+
+    if (sameLoopCoeffs(fa, fb)) {
+        const std::int64_t diff = fb.c0 - fa.c0;
+        if (diff == 0) {
+            out.verdict = DimVerdict::EqualAlways;
+            return out;
+        }
+        // Strong SIV along a single shared loop: constant distance if
+        // the coefficient divides the difference.
+        if (fa.terms.size() == 1) {
+            const std::int64_t coeff = fa.terms[0].coeff;
+            if (coeff != 0 && diff % coeff == 0) {
+                out.verdict = DimVerdict::ConstDistance;
+                out.loop = fa.terms[0].loop;
+                out.dist = diff / coeff;
+                return out;
+            }
+        }
+        // Equal coefficients, nonzero constant diff over multiple loops:
+        // elements never coincide for identical iteration vectors, but
+        // across iterations they can. Fall through to range tests.
+    }
+
+    // GCD test for single-loop pairs with different coefficients:
+    // a1*t1 + c1 = a2*t2 + c2 has integer solutions only if
+    // gcd(a1, a2) divides c2 - c1.
+    if (fa.terms.size() == 1 && fb.terms.size() == 1) {
+        const std::int64_t g =
+            std::gcd(std::abs(fa.terms[0].coeff), std::abs(fb.terms[0].coeff));
+        if (g > 1 && (fb.c0 - fa.c0) % g != 0) {
+            out.verdict = DimVerdict::Independent;
+            return out;
+        }
+    }
+
+    if (rangesDisjoint(fa, fb)) {
+        out.verdict = DimVerdict::Independent;
+        return out;
+    }
+    return out;  // Unknown
+}
+
+std::optional<Dependence> DependenceTester::test(const Stmt* srcStmt,
+                                                 const Expr* srcRef,
+                                                 const Stmt* dstStmt,
+                                                 const Expr* dstRef) const {
+    if (srcRef->sym != dstRef->sym) return std::nullopt;
+
+    Dependence dep;
+    dep.srcStmt = srcStmt;
+    dep.srcRef = srcRef;
+    dep.dstStmt = dstStmt;
+    dep.dstRef = dstRef;
+
+    const auto common = [&] {
+        auto la = prog_.enclosingLoops(srcStmt);
+        auto lb = prog_.enclosingLoops(dstStmt);
+        std::vector<Stmt*> c;
+        for (size_t i = 0; i < la.size() && i < lb.size(); ++i) {
+            if (la[i] != lb[i]) break;
+            c.push_back(la[i]);
+        }
+        return c;
+    }();
+
+    // Per-dimension analysis.
+    bool allKnown = true;
+    std::vector<DimResult> dims;
+    for (size_t d = 0; d < srcRef->args.size(); ++d) {
+        const DimResult r = testDim(srcRef->args[d], dstRef->args[d]);
+        if (r.verdict == DimVerdict::Independent) return std::nullopt;
+        if (r.verdict == DimVerdict::Unknown) allKnown = false;
+        dims.push_back(r);
+    }
+
+    if (!allKnown) {
+        // Conservative: carried by the innermost common loop, or
+        // loop-independent if there is no common loop.
+        dep.distanceKnown = false;
+        dep.carrier = common.empty() ? nullptr : common.back();
+        dep.loopIndependent = common.empty();
+        return dep;
+    }
+
+    // Known distances: assemble a per-common-loop distance vector.
+    dep.distanceKnown = true;
+    dep.distance.assign(common.size(), 0);
+    for (const DimResult& r : dims) {
+        if (r.verdict != DimVerdict::ConstDistance) continue;
+        const auto it = std::find(common.begin(), common.end(), r.loop);
+        if (it == common.end()) {
+            // Distance along a non-common loop: treat as unknown carrier.
+            dep.distanceKnown = false;
+            dep.carrier = common.empty() ? nullptr : common.back();
+            dep.loopIndependent = false;
+            return dep;
+        }
+        dep.distance[static_cast<size_t>(it - common.begin())] = r.dist;
+    }
+    // Carrier: the outermost common loop with nonzero distance.
+    dep.carrier = nullptr;
+    for (size_t i = 0; i < common.size(); ++i) {
+        if (dep.distance[i] != 0) {
+            dep.carrier = common[i];
+            break;
+        }
+    }
+    dep.loopIndependent = dep.carrier == nullptr;
+    return dep;
+}
+
+std::vector<Dependence> DependenceTester::allArrayDependences() const {
+    struct Access {
+        Stmt* stmt;
+        Expr* ref;
+        bool isWrite;
+    };
+    std::vector<Access> accesses;
+    const_cast<Program&>(prog_).forEachStmt([&](Stmt* s) {
+        Program::forEachExpr(s, [&](Expr* e) {
+            if (e->kind != ExprKind::ArrayRef) return;
+            const bool isWrite = s->kind == StmtKind::Assign && e == s->lhs;
+            accesses.push_back({s, e, isWrite});
+        });
+    });
+    std::vector<Dependence> out;
+    for (const Access& a : accesses) {
+        for (const Access& b : accesses) {
+            if (!a.isWrite && !b.isWrite) continue;  // input deps ignored
+            if (a.ref == b.ref) continue;
+            if (a.ref->sym != b.ref->sym) continue;
+            // Orient source before destination by statement id (lexical).
+            if (a.stmt->id > b.stmt->id) continue;
+            auto dep = test(a.stmt, a.ref, b.stmt, b.ref);
+            if (!dep) continue;
+            dep->kind = a.isWrite ? (b.isWrite ? DepKind::Output : DepKind::Flow)
+                                  : DepKind::Anti;
+            out.push_back(*dep);
+        }
+    }
+    return out;
+}
+
+}  // namespace phpf

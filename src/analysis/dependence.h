@@ -1,0 +1,81 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/affine.h"
+
+namespace phpf {
+
+/// Classical data-dependence classification between two references to
+/// the same array.
+enum class DepKind : std::uint8_t {
+    Flow,    ///< write then read
+    Anti,    ///< read then write
+    Output,  ///< write then write
+};
+
+struct Dependence {
+    DepKind kind = DepKind::Flow;
+    const Stmt* srcStmt = nullptr;
+    const Expr* srcRef = nullptr;
+    const Stmt* dstStmt = nullptr;
+    const Expr* dstRef = nullptr;
+
+    /// True when the dependence holds within a single iteration of every
+    /// common loop (distance vector all zero).
+    bool loopIndependent = false;
+    /// Outermost common loop with a (possibly unknown) nonzero distance,
+    /// null when loop-independent.
+    const Stmt* carrier = nullptr;
+    /// Per-common-loop distances (outermost first) when fully known.
+    std::vector<std::int64_t> distance;
+    bool distanceKnown = false;
+};
+
+/// Subscript-based dependence testing: per-dimension ZIV/strong-SIV
+/// tests with a GCD fallback and symbolic range disjointness (handles
+/// DGEFA's triangular bounds). Conservative: "maybe" is reported as a
+/// dependence with unknown distance.
+///
+/// This is the substrate the communication-placement analysis stands
+/// on; the paper's framework assumes such a tester exists in the HPF
+/// compiler (message vectorization must respect flow dependences).
+class DependenceTester {
+public:
+    DependenceTester(const Program& p, const SsaForm* ssa)
+        : prog_(p), aff_(p, ssa) {}
+
+    /// Test src -> dst (same array). Returns nullopt when provably
+    /// independent.
+    [[nodiscard]] std::optional<Dependence> test(const Stmt* srcStmt,
+                                                 const Expr* srcRef,
+                                                 const Stmt* dstStmt,
+                                                 const Expr* dstRef) const;
+
+    /// All write-involving array dependences of the program
+    /// (flow/anti/output), conservative.
+    [[nodiscard]] std::vector<Dependence> allArrayDependences() const;
+
+private:
+    /// Per-dimension verdict.
+    enum class DimVerdict : std::uint8_t {
+        Independent,       ///< provably never the same element
+        EqualAlways,       ///< same element in the same iteration (dist 0)
+        ConstDistance,     ///< same loop, constant iteration distance
+        Unknown,           ///< may alias, distance unknown
+    };
+    struct DimResult {
+        DimVerdict verdict = DimVerdict::Unknown;
+        const Stmt* loop = nullptr;      ///< ConstDistance: the shared loop
+        std::int64_t dist = 0;
+    };
+    [[nodiscard]] DimResult testDim(const Expr* a, const Expr* b) const;
+    [[nodiscard]] bool rangesDisjoint(const AffineForm& wf,
+                                      const AffineForm& rf) const;
+
+    const Program& prog_;
+    AffineAnalyzer aff_;
+};
+
+}  // namespace phpf

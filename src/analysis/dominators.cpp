@@ -1,0 +1,84 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+namespace phpf {
+
+Dominators::Dominators(const Cfg& cfg) : entry_(cfg.entry()) {
+    const int n = cfg.blockCount();
+    idom_.assign(static_cast<size_t>(n), -1);
+    frontiers_.assign(static_cast<size_t>(n), {});
+    children_.assign(static_cast<size_t>(n), {});
+
+    const std::vector<int> rpo = cfg.reversePostOrder();
+    std::vector<int> rpoIndex(static_cast<size_t>(n), -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+
+    idom_[static_cast<size_t>(entry_)] = entry_;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex[static_cast<size_t>(a)] > rpoIndex[static_cast<size_t>(b)])
+                a = idom_[static_cast<size_t>(a)];
+            while (rpoIndex[static_cast<size_t>(b)] > rpoIndex[static_cast<size_t>(a)])
+                b = idom_[static_cast<size_t>(b)];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == entry_) continue;
+            int newIdom = -1;
+            for (int p : cfg.block(b).preds) {
+                if (rpoIndex[static_cast<size_t>(p)] < 0) continue;  // unreachable
+                if (idom_[static_cast<size_t>(p)] == -1) continue;
+                newIdom = newIdom == -1 ? p : intersect(p, newIdom);
+            }
+            if (newIdom != -1 && idom_[static_cast<size_t>(b)] != newIdom) {
+                idom_[static_cast<size_t>(b)] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    // Dominance frontiers (Cytron).
+    for (int b : rpo) {
+        const auto& preds = cfg.block(b).preds;
+        int reachablePreds = 0;
+        for (int p : preds)
+            if (idom_[static_cast<size_t>(p)] != -1 || p == entry_) ++reachablePreds;
+        if (reachablePreds < 2) continue;
+        for (int p : preds) {
+            if (idom_[static_cast<size_t>(p)] == -1 && p != entry_) continue;
+            int runner = p;
+            while (runner != idom_[static_cast<size_t>(b)]) {
+                auto& fr = frontiers_[static_cast<size_t>(runner)];
+                if (std::find(fr.begin(), fr.end(), b) == fr.end())
+                    fr.push_back(b);
+                runner = idom_[static_cast<size_t>(runner)];
+            }
+        }
+    }
+
+    for (int b : rpo) {
+        if (b == entry_) continue;
+        if (idom_[static_cast<size_t>(b)] != -1)
+            children_[static_cast<size_t>(idom_[static_cast<size_t>(b)])].push_back(b);
+    }
+    // Entry's self-idom is an implementation detail; expose -1.
+    idom_[static_cast<size_t>(entry_)] = -1;
+}
+
+bool Dominators::dominates(int a, int b) const {
+    while (b != -1) {
+        if (a == b) return true;
+        b = idom_[static_cast<size_t>(b)];
+    }
+    return false;
+}
+
+}  // namespace phpf

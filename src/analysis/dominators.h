@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace phpf {
+
+/// Dominator tree and dominance frontiers over a Cfg, via the
+/// Cooper–Harvey–Kennedy iterative algorithm. Unreachable blocks get
+/// idom -1 and are excluded from frontiers.
+class Dominators {
+public:
+    explicit Dominators(const Cfg& cfg);
+
+    /// Immediate dominator of block `b` (-1 for the entry / unreachable).
+    [[nodiscard]] int idom(int b) const { return idom_[static_cast<size_t>(b)]; }
+    [[nodiscard]] bool dominates(int a, int b) const;
+    [[nodiscard]] const std::vector<int>& frontier(int b) const {
+        return frontiers_[static_cast<size_t>(b)];
+    }
+    /// Children in the dominator tree.
+    [[nodiscard]] const std::vector<int>& children(int b) const {
+        return children_[static_cast<size_t>(b)];
+    }
+    [[nodiscard]] int entry() const { return entry_; }
+
+private:
+    int entry_;
+    std::vector<int> idom_;
+    std::vector<std::vector<int>> frontiers_;
+    std::vector<std::vector<int>> children_;
+};
+
+}  // namespace phpf

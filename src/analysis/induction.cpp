@@ -1,0 +1,168 @@
+#include "analysis/induction.h"
+
+#include "analysis/affine.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+namespace {
+
+/// Match `phiUse + c`, `c + phiUse`, or `phiUse - c` where phiUse is a
+/// VarRef bound to `phiId`. Returns the stride (negated for Sub) or
+/// nullopt.
+std::optional<std::int64_t> matchIncrement(const SsaForm& ssa,
+                                           const ConstProp& cp, const Expr* rhs,
+                                           int phiId, const Expr** phiUseOut) {
+    if (rhs->kind != ExprKind::Binary) return std::nullopt;
+    if (rhs->bop != BinaryOp::Add && rhs->bop != BinaryOp::Sub)
+        return std::nullopt;
+    const Expr* a = rhs->args[0];
+    const Expr* b = rhs->args[1];
+    auto boundToPhi = [&](const Expr* e) {
+        return e->kind == ExprKind::VarRef && ssa.defIdOfUse(e) == phiId;
+    };
+    if (boundToPhi(a)) {
+        if (auto c = cp.eval(b)) {
+            *phiUseOut = a;
+            return rhs->bop == BinaryOp::Add ? *c : -*c;
+        }
+    }
+    if (rhs->bop == BinaryOp::Add && boundToPhi(b)) {
+        if (auto c = cp.eval(a)) {
+            *phiUseOut = b;
+            return *c;
+        }
+    }
+    return std::nullopt;
+}
+
+struct Candidate {
+    InductionVar iv;
+    int phiId = -1;
+    int initDefId = -1;
+};
+
+std::vector<Candidate> findCandidates(const SsaForm& ssa, const ConstProp& cp) {
+    std::vector<Candidate> out;
+    Program& p = ssa.program();
+    std::vector<Stmt*> loops;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Do) loops.push_back(s);
+    });
+    const Cfg& cfg = ssa.cfg();
+    for (Stmt* loop : loops) {
+        const int header = cfg.headerOf(loop);
+        const int latch = cfg.latchOf(loop);
+        for (const auto& d : ssa.defs()) {
+            if (!d.isPhi() || d.block != header) continue;
+            if (d.sym == loop->loopVar) continue;
+            // Identify latch and preheader operands.
+            const auto& preds = cfg.block(header).preds;
+            int latchOp = -1, initOp = -1;
+            for (size_t i = 0; i < preds.size(); ++i) {
+                if (preds[i] == latch)
+                    latchOp = d.operands[i];
+                else
+                    initOp = d.operands[i];
+            }
+            if (latchOp < 0 || initOp < 0) continue;
+            const SsaDef& inc = ssa.def(latchOp);
+            if (inc.kind != SsaDef::Kind::Assign) continue;
+            // Update must run exactly once per iteration: directly in the
+            // loop body, not under a branch or inner loop.
+            if (inc.stmt->parent != loop) continue;
+            const Expr* phiUse = nullptr;
+            auto stride = matchIncrement(ssa, cp, inc.stmt->rhs, d.id, &phiUse);
+            if (!stride || *stride == 0) continue;
+            // The loop-carried value must feed only its own update, so the
+            // closed-form rewrite covers every reader.
+            if (d.uses.size() != 1 || d.uses[0] != phiUse) continue;
+            if (!d.phiUses.empty()) continue;
+            Candidate c;
+            c.iv = {inc.stmt, d.sym, loop, *stride};
+            c.phiId = d.id;
+            c.initDefId = initOp;
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<InductionVar> findInductionVars(const SsaForm& ssa,
+                                            const ConstProp& cp) {
+    std::vector<InductionVar> out;
+    for (const auto& c : findCandidates(ssa, cp)) out.push_back(c.iv);
+    return out;
+}
+
+int rewriteInductionVars(Program& p, const SsaForm& ssa, const ConstProp& cp) {
+    int rewrites = 0;
+    for (const auto& c : findCandidates(ssa, cp)) {
+        const auto init = cp.valueOfDef(c.initDefId);
+        if (!init) continue;  // need a known starting value for a closed form
+        const Stmt* loop = c.iv.loop;
+        if (loop->step != nullptr && !loop->step->isIntLit(1)) continue;
+
+        auto lit = [&](std::int64_t v) {
+            Expr* e = p.newExpr(ExprKind::IntLit);
+            e->ival = v;
+            return e;
+        };
+        auto var = [&](SymbolId s) {
+            Expr* e = p.newExpr(ExprKind::VarRef);
+            e->sym = s;
+            return e;
+        };
+        auto bin = [&](BinaryOp op, Expr* a, Expr* b) {
+            Expr* e = p.newExpr(ExprKind::Binary);
+            e->bop = op;
+            e->args = {a, b};
+            return e;
+        };
+
+        Expr* closed = nullptr;
+        if (c.iv.stride == 1 && loop->lb->kind == ExprKind::IntLit) {
+            // Pretty form: iv = i + K with K = init - lb + 1.
+            const std::int64_t k = *init - loop->lb->ival + 1;
+            if (k == 0)
+                closed = var(loop->loopVar);
+            else if (k > 0)
+                closed = bin(BinaryOp::Add, var(loop->loopVar), lit(k));
+            else
+                closed = bin(BinaryOp::Sub, var(loop->loopVar), lit(-k));
+        } else {
+            // init + stride * ((i - lb) + 1)
+            Expr* trips = bin(BinaryOp::Add,
+                              bin(BinaryOp::Sub, var(loop->loopVar),
+                                  cloneExpr(p, loop->lb)),
+                              lit(1));
+            closed = bin(BinaryOp::Add, lit(*init),
+                         bin(BinaryOp::Mul, lit(c.iv.stride), trips));
+        }
+        closed = foldConstants(p, closed);
+        // Replace uses that bind directly to this definition (i.e. read
+        // the value in the same iteration) with the closed form as well —
+        // subscripts like D(m) become D(i+1), which is what makes the
+        // consumer alignment of Fig. 1 valid (AlignLevel 1).
+        const SsaDef& incDef = ssa.def(ssa.defIdOfAssign(c.iv.assign));
+        for (Expr* use : incDef.uses) {
+            use->kind = closed->kind;
+            use->ival = closed->ival;
+            use->sym = closed->sym;
+            use->bop = closed->bop;
+            use->uop = closed->uop;
+            use->fn = closed->fn;
+            use->args.clear();
+            for (const Expr* a : closed->args)
+                use->args.push_back(cloneExpr(p, a));
+        }
+        c.iv.assign->rhs = closed;
+        ++rewrites;
+    }
+    if (rewrites > 0) p.finalize();
+    return rewrites;
+}
+
+}  // namespace phpf

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/const_prop.h"
+#include "analysis/ssa.h"
+
+namespace phpf {
+
+/// A recognized basic induction variable: a scalar updated exactly once
+/// per iteration of `loop` by `assign` (v = v ± stride), whose
+/// loop-carried value is consumed only by that update.
+struct InductionVar {
+    Stmt* assign = nullptr;
+    SymbolId sym = kNoSymbol;
+    const Stmt* loop = nullptr;
+    std::int64_t stride = 0;
+};
+
+/// Find induction variables over a built SSA form.
+[[nodiscard]] std::vector<InductionVar> findInductionVars(const SsaForm& ssa,
+                                                          const ConstProp& cp);
+
+/// Replace each induction update's rhs with its closed form in the loop
+/// index (the phpf transformation of Section 2.1: `m = m + 1` becomes
+/// `m = i + 1`), eliminating the loop-carried dependence so the scalar
+/// becomes privatizable without alignment. Returns the number of
+/// rewrites; the caller must re-run finalize/CFG/SSA afterwards.
+int rewriteInductionVars(Program& p, const SsaForm& ssa, const ConstProp& cp);
+
+}  // namespace phpf

@@ -1,0 +1,222 @@
+#include "analysis/reduction.h"
+
+#include "ir/printer.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+namespace {
+
+/// Innermost enclosing loop of a statement, or null.
+const Stmt* innermostLoop(const Program& p, const Stmt* s) {
+    auto loops = p.enclosingLoops(s);
+    return loops.empty() ? nullptr : loops.back();
+}
+
+/// Is `use` a VarRef bound to the header phi of `loop` for its symbol?
+int headerPhiIfBound(const SsaForm& ssa, const Expr* use, const Stmt* loop) {
+    const int d = ssa.defIdOfUse(use);
+    if (d < 0) return -1;
+    const SsaDef& def = ssa.def(d);
+    if (!def.isPhi()) return -1;
+    if (def.block != ssa.cfg().headerOf(loop)) return -1;
+    return d;
+}
+
+/// Non-phi defs reaching `defId`'s operand coming from `pred`.
+bool latchOperandResolvesTo(const SsaForm& ssa, int phiId, int latchBlock,
+                            int targetDef) {
+    const SsaDef& phi = ssa.def(phiId);
+    const auto& preds = ssa.cfg().block(phi.block).preds;
+    for (size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] != latchBlock) continue;
+        // Trace through intermediate phis.
+        std::vector<int> work{phi.operands[i]};
+        std::vector<char> seen(ssa.defs().size(), 0);
+        bool found = false;
+        while (!work.empty()) {
+            const int id = work.back();
+            work.pop_back();
+            if (id < 0 || seen[static_cast<size_t>(id)]) continue;
+            seen[static_cast<size_t>(id)] = 1;
+            const SsaDef& d = ssa.def(id);
+            if (d.isPhi()) {
+                for (int op : d.operands) work.push_back(op);
+            } else if (id == targetDef) {
+                found = true;
+            } else {
+                return false;  // another def feeds the cycle: not a pure
+                               // accumulator
+            }
+        }
+        return found;
+    }
+    return false;
+}
+
+int preheaderOperand(const SsaForm& ssa, int phiId, int latchBlock) {
+    const SsaDef& phi = ssa.def(phiId);
+    const auto& preds = ssa.cfg().block(phi.block).preds;
+    for (size_t i = 0; i < preds.size(); ++i)
+        if (preds[i] != latchBlock) return phi.operands[i];
+    return -1;
+}
+
+void matchPlainReduction(const SsaForm& ssa, Stmt* s,
+                         std::vector<ReductionInfo>& out) {
+    if (s->kind != StmtKind::Assign || s->lhs->kind != ExprKind::VarRef) return;
+    const Program& p = ssa.program();
+    const Stmt* loop = innermostLoop(p, s);
+    if (loop == nullptr) return;
+
+    // Find the accumulator use and operation.
+    const Expr* rhs = s->rhs;
+    const Expr* accUse = nullptr;
+    ReductionInfo::Op op = ReductionInfo::Op::Sum;
+    auto isAccRef = [&](const Expr* e) {
+        return e->kind == ExprKind::VarRef && e->sym == s->lhs->sym;
+    };
+    if (rhs->kind == ExprKind::Binary &&
+        (rhs->bop == BinaryOp::Add || rhs->bop == BinaryOp::Mul ||
+         rhs->bop == BinaryOp::Sub)) {
+        if (isAccRef(rhs->args[0]))
+            accUse = rhs->args[0];
+        else if (rhs->bop != BinaryOp::Sub && isAccRef(rhs->args[1]))
+            accUse = rhs->args[1];
+        op = rhs->bop == BinaryOp::Mul ? ReductionInfo::Op::Product
+                                       : ReductionInfo::Op::Sum;
+    } else if (rhs->kind == ExprKind::Call &&
+               (rhs->fn == Intrinsic::Max || rhs->fn == Intrinsic::Min) &&
+               rhs->args.size() == 2) {
+        if (isAccRef(rhs->args[0]))
+            accUse = rhs->args[0];
+        else if (isAccRef(rhs->args[1]))
+            accUse = rhs->args[1];
+        op = rhs->fn == Intrinsic::Max ? ReductionInfo::Op::Max
+                                       : ReductionInfo::Op::Min;
+    }
+    if (accUse == nullptr) return;
+    // No second self-reference allowed.
+    int selfRefs = 0;
+    Program::walkExpr(const_cast<Expr*>(rhs), [&](Expr* e) {
+        if (isAccRef(e)) ++selfRefs;
+    });
+    if (selfRefs != 1) return;
+
+    const int phiId = headerPhiIfBound(ssa, accUse, loop);
+    if (phiId < 0) return;
+    const SsaDef& phi = ssa.def(phiId);
+    // Inside the loop the carried value feeds only the update; uses
+    // after the loop read the final (combined) result and are fine —
+    // they bind to the same header phi.
+    for (const Expr* u : phi.uses) {
+        if (u == accUse) continue;
+        if (Program::isInsideLoop(u->parentStmt, loop)) return;
+    }
+    for (auto [phiUseId, opIdx] : phi.phiUses) {
+        (void)opIdx;
+        if (ssa.cfg().blockInsideLoop(ssa.def(phiUseId).block, loop)) return;
+    }
+    const int myDef = ssa.defIdOfAssign(s);
+    const int latch = ssa.cfg().latchOf(loop);
+    if (!latchOperandResolvesTo(ssa, phiId, latch, myDef)) return;
+
+    ReductionInfo info;
+    info.stmt = s;
+    info.scalar = s->lhs->sym;
+    info.op = op;
+    info.loops = {loop};
+
+    // Extend outward while outer loops carry the accumulator unchanged
+    // (no reinitialization between iterations of the outer loop).
+    int initId = preheaderOperand(ssa, phiId, latch);
+    const Stmt* cur = loop;
+    while (initId >= 0) {
+        const SsaDef& init = ssa.def(initId);
+        auto outerLoops = ssa.program().enclosingLoops(cur);
+        if (outerLoops.size() < 2) break;
+        const Stmt* outer = outerLoops[outerLoops.size() - 2];
+        if (!init.isPhi() || init.block != ssa.cfg().headerOf(outer)) break;
+        if (!init.uses.empty()) break;
+        const int outerLatch = ssa.cfg().latchOf(outer);
+        if (!latchOperandResolvesTo(ssa, init.id, outerLatch, myDef)) break;
+        info.loops.insert(info.loops.begin(), outer);
+        initId = preheaderOperand(ssa, init.id, outerLatch);
+        cur = outer;
+    }
+    out.push_back(std::move(info));
+}
+
+void matchMaxLoc(const SsaForm& ssa, Stmt* ifStmt,
+                 std::vector<ReductionInfo>& out) {
+    if (ifStmt->kind != StmtKind::If || !ifStmt->elseBody.empty()) return;
+    if (ifStmt->thenBody.size() != 2) return;
+    const Program& p = ssa.program();
+    const Stmt* loop = innermostLoop(p, ifStmt);
+    if (loop == nullptr) return;
+    const Expr* cond = ifStmt->cond;
+    if (cond->kind != ExprKind::Binary || !isComparison(cond->bop)) return;
+
+    // One side is the running extreme (scalar), the other the candidate.
+    for (int side = 0; side < 2; ++side) {
+        const Expr* sref = cond->args[static_cast<size_t>(side)];
+        const Expr* cand = cond->args[static_cast<size_t>(1 - side)];
+        if (sref->kind != ExprKind::VarRef) continue;
+        if (headerPhiIfBound(ssa, sref, loop) < 0) continue;
+        // Direction: candidate beats current -> Max if candidate is on the
+        // greater side.
+        bool isMax = false;
+        if ((cond->bop == BinaryOp::Gt || cond->bop == BinaryOp::Ge))
+            isMax = side == 1;  // cand > s
+        else if ((cond->bop == BinaryOp::Lt || cond->bop == BinaryOp::Le))
+            isMax = side == 0;  // s < cand
+        else
+            continue;
+
+        Stmt* valAssign = nullptr;
+        Stmt* locAssign = nullptr;
+        for (Stmt* t : ifStmt->thenBody) {
+            if (t->kind != StmtKind::Assign ||
+                t->lhs->kind != ExprKind::VarRef)
+                return;
+            if (t->lhs->sym == sref->sym)
+                valAssign = t;
+            else
+                locAssign = t;
+        }
+        if (valAssign == nullptr || locAssign == nullptr) continue;
+        // The new extreme must be the compared candidate value.
+        if (printExpr(p, valAssign->rhs) != printExpr(p, cand)) continue;
+
+        ReductionInfo info;
+        info.stmt = valAssign;
+        info.scalar = sref->sym;
+        info.op = isMax ? ReductionInfo::Op::MaxLoc : ReductionInfo::Op::MinLoc;
+        info.loops = {loop};
+        info.locStmt = locAssign;
+        info.locScalar = locAssign->lhs->sym;
+        info.guard = ifStmt;
+        out.push_back(std::move(info));
+        return;
+    }
+}
+
+}  // namespace
+
+std::vector<ReductionInfo> findReductions(const SsaForm& ssa) {
+    std::vector<ReductionInfo> out;
+    ssa.program().forEachStmt([&](Stmt* s) {
+        matchPlainReduction(ssa, s, out);
+        matchMaxLoc(ssa, s, out);
+    });
+    return out;
+}
+
+const ReductionInfo* reductionOfStmt(const std::vector<ReductionInfo>& reds,
+                                     const Stmt* s) {
+    for (const auto& r : reds)
+        if (r.stmt == s || r.locStmt == s || r.guard == s) return &r;
+    return nullptr;
+}
+
+}  // namespace phpf

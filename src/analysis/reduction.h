@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/ssa.h"
+
+namespace phpf {
+
+/// A recognized reduction over one or more loops (paper Section 2.3).
+struct ReductionInfo {
+    enum class Op : std::uint8_t { Sum, Product, Max, Min, MaxLoc, MinLoc };
+
+    Stmt* stmt = nullptr;     ///< the accumulating assignment
+    SymbolId scalar = kNoSymbol;
+    Op op = Op::Sum;
+    /// Loops the reduction spans, outermost first. The partial result is
+    /// combined across the grid dims these loops' data traverse.
+    std::vector<const Stmt*> loops;
+
+    // MaxLoc / MinLoc only:
+    Stmt* locStmt = nullptr;       ///< l = i
+    SymbolId locScalar = kNoSymbol;
+    Stmt* guard = nullptr;         ///< the IF statement
+};
+
+/// Recognize sum/product/max/min reductions of the form `s = s op e`
+/// (value use bound to the loop-header phi, phi consumed only by the
+/// update), extended outward while outer loops carry the accumulator
+/// without reinitialization. Also recognizes the guarded MAXLOC /
+/// MINLOC idiom:
+///
+///     if (f(...) > s) then
+///       s = f(...)
+///       l = i
+///     end if
+[[nodiscard]] std::vector<ReductionInfo> findReductions(const SsaForm& ssa);
+
+/// The reduction (if any) whose accumulating statement is `s`.
+[[nodiscard]] const ReductionInfo* reductionOfStmt(
+    const std::vector<ReductionInfo>& reds, const Stmt* s);
+
+}  // namespace phpf

@@ -1,0 +1,165 @@
+#include "comm/classify.h"
+
+#include <algorithm>
+#include <climits>
+#include <optional>
+#include <sstream>
+
+#include "analysis/dependence.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+const char* commPatternName(CommPattern p) {
+    switch (p) {
+        case CommPattern::None: return "none";
+        case CommPattern::Shift: return "shift";
+        case CommPattern::Broadcast: return "broadcast";
+        case CommPattern::AllGather: return "allgather";
+        case CommPattern::Gather: return "gather";
+        case CommPattern::PointToPoint: return "p2p";
+        case CommPattern::General: return "general";
+    }
+    return "?";
+}
+
+std::string CommRequirement::str() const {
+    std::ostringstream os;
+    os << (needed ? "comm" : "local") << " [" << commPatternName(overall) << "]";
+    return os.str();
+}
+
+namespace {
+
+/// Do two affine subscripts differ by a constant (same loop
+/// coefficients)? Returns the constant difference a - b.
+std::optional<std::int64_t> constantDiff(const AffineForm& a,
+                                         const AffineForm& b) {
+    if (!a.affine || !b.affine) return std::nullopt;
+    for (const auto& t : a.terms)
+        if (b.coeffOf(t.loop) != t.coeff) return std::nullopt;
+    for (const auto& t : b.terms)
+        if (a.coeffOf(t.loop) != t.coeff) return std::nullopt;
+    return a.c0 - b.c0;
+}
+
+bool sameDist(const DimDist& a, const DimDist& b) {
+    return a.kind() == b.kind() && a.procs() == b.procs() &&
+           a.blockSize() == b.blockSize() && a.lb() == b.lb();
+}
+
+DimComm classifyDim(const RefDim& exec, const RefDim& src) {
+    using K = RefDim::Kind;
+    if (src.kind == K::Replicated) return {CommPattern::None, 0};
+
+    if (src.kind == K::Fixed) {
+        switch (exec.kind) {
+            case K::Fixed:
+                return exec.fixedCoord == src.fixedCoord
+                           ? DimComm{CommPattern::None, 0}
+                           : DimComm{CommPattern::PointToPoint, 0};
+            case K::Replicated:
+            case K::Partitioned:
+                return {CommPattern::Broadcast, 0};
+        }
+    }
+
+    // src partitioned
+    switch (exec.kind) {
+        case K::Replicated:
+            return {CommPattern::AllGather, 0};
+        case K::Fixed:
+            return {CommPattern::Gather, 0};
+        case K::Partitioned: {
+            if (!sameDist(exec.dist, src.dist))
+                return {CommPattern::General, 0};
+            const auto diff = constantDiff(src.subscript, exec.subscript);
+            if (!diff) return {CommPattern::General, 0};
+            const std::int64_t total = *diff + src.offset - exec.offset;
+            if (total == 0) return {CommPattern::None, 0};
+            return {CommPattern::Shift, total};
+        }
+    }
+    return {CommPattern::General, 0};
+}
+
+int severity(CommPattern p) { return static_cast<int>(p); }
+
+}  // namespace
+
+CommRequirement classifyComm(const RefDesc& executor, const RefDesc& source) {
+    PHPF_ASSERT(executor.dims.size() == source.dims.size(),
+                "grid rank mismatch in classifyComm");
+    CommRequirement out;
+    out.dims.resize(executor.dims.size());
+    for (size_t g = 0; g < executor.dims.size(); ++g) {
+        out.dims[g] = classifyDim(executor.dims[g], source.dims[g]);
+        if (out.dims[g].pattern != CommPattern::None) {
+            out.needed = true;
+            if (severity(out.dims[g].pattern) > severity(out.overall))
+                out.overall = out.dims[g].pattern;
+        }
+    }
+    return out;
+}
+
+int commPlacementLevel(const Program& p, const SsaForm* ssa, const Expr* ref) {
+    const Stmt* s = ref->parentStmt;
+    PHPF_ASSERT(s != nullptr, "placement needs parentStmt links");
+    int level = 0;
+    if (ref->kind == ExprKind::VarRef) {
+        if (ssa != nullptr) {
+            for (int d : ssa->reachingDefs(ref)) {
+                const SsaDef& def = ssa->def(d);
+                if (def.stmt == nullptr) continue;
+                if (const Stmt* cl = p.innermostCommonLoop(def.stmt, s))
+                    level = std::max(level, cl->loopNestingLevel());
+            }
+        }
+        return level;
+    }
+    // Array: non-index scalars in the subscripts pin the message to the
+    // loops that compute them (an irregular G(q,i) access cannot be
+    // hoisted past q's definition).
+    if (ssa != nullptr) {
+        for (const Expr* sub : ref->args) {
+            Program::walkExpr(const_cast<Expr*>(sub), [&](Expr* e) {
+                if (e->kind != ExprKind::VarRef) return;
+                for (int d : ssa->reachingDefs(e)) {
+                    const SsaDef& def = ssa->def(d);
+                    if (def.kind != SsaDef::Kind::Assign) continue;
+                    if (const Stmt* cl = p.innermostCommonLoop(def.stmt, s))
+                        level = std::max(level, cl->loopNestingLevel());
+                }
+            });
+        }
+    }
+    // A flow dependence from any store to this read constrains the
+    // message to stay inside the dependence's carrier loop: the data is
+    // only ready once per carrier iteration. Independent stores (DGEFA's
+    // trailing-submatrix columns vs. the pivot column) don't constrain;
+    // constant-distance recurrences (ADI's du(i,j-1)) hoist out of the
+    // loops deeper than the carrier.
+    const DependenceTester tester(p, ssa);
+    p.forEachStmt([&](const Stmt* t) {
+        if (t->kind != StmtKind::Assign) return;
+        if (t->lhs->kind != ExprKind::ArrayRef || t->lhs->sym != ref->sym)
+            return;
+        const auto dep = tester.test(t, t->lhs, s, ref);
+        if (!dep) return;
+        if (dep->carrier != nullptr) {
+            level = std::max(level, dep->carrier->loopNestingLevel());
+        } else if (const Stmt* cl = p.innermostCommonLoop(t, s)) {
+            level = std::max(level, cl->loopNestingLevel());
+        }
+    });
+    return level;
+}
+
+bool isInnerLoopComm(const Program& p, const SsaForm* ssa, const Expr* ref) {
+    const Stmt* s = ref->parentStmt;
+    if (s == nullptr || s->level == 0) return false;
+    return commPlacementLevel(p, ssa, ref) >= s->level;
+}
+
+}  // namespace phpf

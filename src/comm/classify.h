@@ -1,0 +1,58 @@
+#pragma once
+
+#include "comm/ref_desc.h"
+
+namespace phpf {
+
+/// Communication pattern along one grid dimension, or the combined
+/// severity of a whole message.
+enum class CommPattern : std::uint8_t {
+    None,          ///< data already where the executor runs
+    Shift,         ///< constant-offset neighbour exchange (vectorizable)
+    Broadcast,     ///< one coordinate to all along the dimension
+    AllGather,     ///< all partitions to all coordinates
+    Gather,        ///< all partitions to one coordinate
+    PointToPoint,  ///< one fixed coordinate to another
+    General,       ///< irregular — unanalyzable subscript or dist mismatch
+};
+
+[[nodiscard]] const char* commPatternName(CommPattern p);
+
+struct DimComm {
+    CommPattern pattern = CommPattern::None;
+    std::int64_t shift = 0;  ///< Shift only
+};
+
+/// Result of comparing the executor descriptor against the data
+/// descriptor of a consumed reference.
+struct CommRequirement {
+    bool needed = false;
+    CommPattern overall = CommPattern::None;  ///< most severe dimension
+    std::vector<DimComm> dims;                ///< per grid dimension
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Classify the communication needed to bring data described by
+/// `source` to the processors described by `executor`, per grid
+/// dimension (Section 2.1's analysis of alignment alternatives).
+[[nodiscard]] CommRequirement classifyComm(const RefDesc& executor,
+                                           const RefDesc& source);
+
+/// Message-vectorization placement (paper Section 1: "optimizations like
+/// message vectorization"): the communication for `ref` can be hoisted
+/// to just inside the loop at this nesting level (0 = fully hoisted
+/// outside all loops). The constraint is dataflow: a message must follow
+/// every definition of the communicated data that reaches it, so the
+/// placement is the innermost loop that still contains such a
+/// definition together with the use.
+[[nodiscard]] int commPlacementLevel(const Program& p, const SsaForm* ssa,
+                                     const Expr* ref);
+
+/// True when the communication for `ref` would execute inside the
+/// innermost loop containing its statement — the "inner loop
+/// communication" the mapping algorithm avoids (Fig. 3).
+[[nodiscard]] bool isInnerLoopComm(const Program& p, const SsaForm* ssa,
+                                   const Expr* ref);
+
+}  // namespace phpf

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace phpf {
+
+/// Linear (latency + bandwidth) communication cost model calibrated to
+/// an IBM SP2 thin node with the MPL/MPI user-space library, the
+/// machine of the paper's evaluation:
+///   - message latency ~ 40 µs
+///   - point-to-point bandwidth ~ 35 MB/s
+///   - ~ 266 MFLOPS peak, of which stencil codes sustain a fraction
+/// Collectives use log2(P) stages. Absolute times are not expected to
+/// match the 1997 hardware exactly; the model preserves the *ratios*
+/// the paper's tables exhibit (latency-bound inner-loop messages vs.
+/// vectorized bulk transfers).
+struct CostModel {
+    double alphaSec = 40e-6;            ///< per-message latency (s)
+    double betaSecPerByte = 1.0 / 35e6; ///< inverse bandwidth (s/B)
+    double flopSec = 1.0 / 50e6;        ///< sustained per-flop time (s)
+    int elemBytes = 8;                  ///< REAL is double precision
+    /// Global message combining across loop nests — the optimization the
+    /// paper observes phpf lacks ("there is considerable scope for
+    /// improving the performance of that version by global message
+    /// combining across loop nests"). When on, messages of the same
+    /// pattern placed at the same point share one latency term.
+    bool combineMessages = false;
+
+    [[nodiscard]] double message(double bytes) const {
+        return alphaSec + bytes * betaSecPerByte;
+    }
+    /// Neighbour shift exchange: one message each way per processor pair,
+    /// modelled as a single message of the boundary volume.
+    [[nodiscard]] double shift(double bytes) const { return message(bytes); }
+    /// Broadcast of `bytes` along a dimension of `procs` coordinates.
+    [[nodiscard]] double broadcast(int procs, double bytes) const {
+        if (procs <= 1) return 0.0;
+        return std::ceil(std::log2(static_cast<double>(procs))) * message(bytes);
+    }
+    /// All partitions to every coordinate (total volume `totalBytes`).
+    [[nodiscard]] double allGather(int procs, double totalBytes) const {
+        if (procs <= 1) return 0.0;
+        return std::ceil(std::log2(static_cast<double>(procs))) * alphaSec +
+               totalBytes * betaSecPerByte;
+    }
+    /// All partitions to a single coordinate.
+    [[nodiscard]] double gather(int procs, double totalBytes) const {
+        return allGather(procs, totalBytes);
+    }
+    [[nodiscard]] double pointToPoint(double bytes) const {
+        return message(bytes);
+    }
+    /// Combining reduction of `bytes` across `procs` coordinates.
+    [[nodiscard]] double reduce(int procs, double bytes) const {
+        return broadcast(procs, bytes);
+    }
+    [[nodiscard]] double compute(double flops) const { return flops * flopSec; }
+};
+
+}  // namespace phpf

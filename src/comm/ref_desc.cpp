@@ -1,0 +1,73 @@
+#include "comm/ref_desc.h"
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+RefDesc RefDescriber::describeWithMap(const Expr* ref,
+                                      const ArrayMap& map) const {
+    const int rank = gridRank();
+    RefDesc out = RefDesc::replicated(rank);
+    for (int g = 0; g < rank; ++g) {
+        RefDim& dim = out.dims[static_cast<size_t>(g)];
+        if (map.fixedCoord[static_cast<size_t>(g)] >= 0) {
+            dim.kind = RefDim::Kind::Fixed;
+            dim.fixedCoord = map.fixedCoord[static_cast<size_t>(g)];
+        }
+        // replicatedGrid dims stay Replicated.
+    }
+    for (size_t d = 0; d < map.dims.size(); ++d) {
+        const ArrayDimMap& m = map.dims[d];
+        if (!m.partitioned()) continue;
+        RefDim& dim = out.dims[static_cast<size_t>(m.gridDim)];
+        dim.kind = RefDim::Kind::Partitioned;
+        dim.dist = m.dist;
+        dim.offset = m.alignOffset;
+        dim.subscript = aff_.analyze(ref->args[d]);
+        dim.subscriptExpr = ref->args[d];
+    }
+    return out;
+}
+
+RefDesc RefDescriber::describeAt(const Expr* ref, int depth) const {
+    const int rank = gridRank();
+    if (depth > 8) return RefDesc::replicated(rank);  // alignment cycle guard
+
+    if (ref->kind == ExprKind::VarRef) {
+        const ScalarMapDecision* dec =
+            (decisions_ != nullptr && ssa_ != nullptr)
+                ? decisions_->forUse(*ssa_, ref)
+                : nullptr;
+        if (dec == nullptr || dec->kind == ScalarMapKind::Replicated ||
+            dec->kind == ScalarMapKind::PrivatizedNoAlign ||
+            dec->alignRef == nullptr)
+            return RefDesc::replicated(rank);
+        RefDesc out = describeAt(dec->alignRef, depth + 1);
+        for (int g : dec->reductionGridDims) {
+            RefDim& dim = out.dims[static_cast<size_t>(g)];
+            dim = RefDim{};  // replicated across the reduction dimension
+        }
+        return out;
+    }
+
+    PHPF_ASSERT(ref->kind == ExprKind::ArrayRef, "describe() needs a reference");
+    // Privatized array in scope? Use its in-loop mapping.
+    if (decisions_ != nullptr && ref->parentStmt != nullptr) {
+        if (const ArrayPrivDecision* ad =
+                decisions_->forArrayAt(ref->sym, ref->parentStmt)) {
+            switch (ad->kind) {
+                case ArrayPrivDecision::Kind::Replicated:
+                    return RefDesc::replicated(rank);
+                case ArrayPrivDecision::Kind::Full:
+                    // Private copy wherever the loop executes: reads are
+                    // local, so the descriptor is replicated.
+                    return RefDesc::replicated(rank);
+                case ArrayPrivDecision::Kind::Partial:
+                    return describeWithMap(ref, ad->mapInLoop);
+            }
+        }
+    }
+    return describeWithMap(ref, dm_.mapOf(ref->sym));
+}
+
+}  // namespace phpf

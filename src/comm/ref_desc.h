@@ -1,0 +1,91 @@
+#pragma once
+
+#include "analysis/affine.h"
+#include "mapping/decisions.h"
+
+namespace phpf {
+
+/// Effective ownership of one reference along one grid dimension.
+struct RefDim {
+    enum class Kind : std::uint8_t {
+        Replicated,   ///< available on / executed by every coordinate
+        Fixed,        ///< a single pinned coordinate
+        Partitioned,  ///< coordinate = dist.ownerOf(subscript + offset)
+    };
+    Kind kind = Kind::Replicated;
+    int fixedCoord = -1;
+    DimDist dist;
+    AffineForm subscript;        ///< Partitioned: global index expression
+    /// The actual subscript Expr (for runtime evaluation of owners when
+    /// the affine form alone is not enough, e.g. pivot rows A(l,k)).
+    const Expr* subscriptExpr = nullptr;
+    std::int64_t offset = 0;     ///< alignment offset added before ownerOf
+
+    [[nodiscard]] bool partitioned() const { return kind == Kind::Partitioned; }
+};
+
+/// Ownership descriptor of a reference (data location) or of a
+/// statement's executor set, per grid dimension. This is what the
+/// paper's "realistic communication cost model" compares: the owner of
+/// the consumed data against the owner of the computation.
+struct RefDesc {
+    std::vector<RefDim> dims;  ///< per grid dimension
+    bool analyzable = true;
+
+    [[nodiscard]] bool fullyReplicated() const {
+        for (const auto& d : dims)
+            if (d.kind != RefDim::Kind::Replicated) return false;
+        return true;
+    }
+    [[nodiscard]] bool anyPartitioned() const {
+        for (const auto& d : dims)
+            if (d.kind == RefDim::Kind::Partitioned) return true;
+        return false;
+    }
+    [[nodiscard]] bool anyConstrained() const {
+        for (const auto& d : dims)
+            if (d.kind != RefDim::Kind::Replicated) return true;
+        return false;
+    }
+
+    static RefDesc replicated(int gridRank) {
+        RefDesc r;
+        r.dims.resize(static_cast<size_t>(gridRank));
+        return r;
+    }
+};
+
+/// Computes RefDescs, consulting the mapping decisions made so far:
+/// undecided / replicated scalars are replicated; aligned scalars take
+/// their target's descriptor (with reduction dims forced replicated);
+/// privatized-without-alignment values are viewed as replicated for
+/// communication analysis (Section 2.1); privatized arrays use their
+/// in-loop mapping.
+class RefDescriber {
+public:
+    RefDescriber(const Program& p, const DataMapping& dm, const SsaForm* ssa,
+                 const MappingDecisions* decisions, const AffineAnalyzer& aff)
+        : prog_(p), dm_(dm), ssa_(ssa), decisions_(decisions), aff_(aff) {}
+
+    [[nodiscard]] RefDesc describe(const Expr* ref) const {
+        return describeAt(ref, 0);
+    }
+    /// Descriptor from a raw ArrayMap plus a concrete reference
+    /// (used for partial-privatization in-loop maps).
+    [[nodiscard]] RefDesc describeWithMap(const Expr* ref,
+                                          const ArrayMap& map) const;
+
+    [[nodiscard]] const DataMapping& dataMapping() const { return dm_; }
+    [[nodiscard]] int gridRank() const { return dm_.grid().rank(); }
+
+private:
+    [[nodiscard]] RefDesc describeAt(const Expr* ref, int depth) const;
+
+    const Program& prog_;
+    const DataMapping& dm_;
+    const SsaForm* ssa_;
+    const MappingDecisions* decisions_;
+    const AffineAnalyzer& aff_;
+};
+
+}  // namespace phpf

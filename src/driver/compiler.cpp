@@ -1,0 +1,38 @@
+#include "driver/compiler.h"
+
+namespace phpf {
+
+Compilation Compiler::compile(Program& p, CompilerOptions opts) {
+    Compilation c;
+    c.program = &p;
+    c.options = opts;
+
+    p.finalize();
+    c.cfg = std::make_unique<Cfg>(p);
+    c.dom = std::make_unique<Dominators>(*c.cfg);
+    c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
+    c.constProp = std::make_unique<ConstProp>(*c.ssa);
+
+    if (opts.rewriteInduction) {
+        c.inductionRewrites = rewriteInductionVars(p, *c.ssa, *c.constProp);
+        if (c.inductionRewrites > 0) {
+            // The tree changed: rebuild the dataflow world.
+            c.cfg = std::make_unique<Cfg>(p);
+            c.dom = std::make_unique<Dominators>(*c.cfg);
+            c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
+            c.constProp = std::make_unique<ConstProp>(*c.ssa);
+        }
+    }
+
+    c.dataMapping = std::make_unique<DataMapping>(p, ProcGrid(opts.gridExtents));
+    c.mappingPass = std::make_unique<MappingPass>(p, *c.ssa, *c.dataMapping,
+                                                  opts.mapping);
+    c.mappingPass->run();
+    c.lowering = std::make_unique<SpmdLowering>(
+        p, *c.ssa, *c.dataMapping, c.mappingPass->decisions(),
+        c.mappingPass->reductions());
+    c.lowering->run();
+    return c;
+}
+
+}  // namespace phpf

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/const_prop.h"
+#include "analysis/induction.h"
+#include "privatize/mapping_pass.h"
+#include "runtime/spmd_sim.h"
+#include "spmd/cost_eval.h"
+
+namespace phpf {
+
+/// End-to-end compilation options: the processor grid the program is
+/// compiled for, the privatization/mapping variant, and the machine
+/// cost model.
+struct CompilerOptions {
+    std::vector<int> gridExtents{1};
+    MappingOptions mapping;
+    CostModel costModel;
+    /// Closed-form rewriting of induction variables (Section 2.1). The
+    /// phpf compiler always does this; exposed for ablation.
+    bool rewriteInduction = true;
+};
+
+/// Everything one compilation produced. Owns the analysis objects so
+/// callers can inspect any stage; the Program itself is owned by the
+/// caller and may have been transformed (induction rewriting).
+class Compilation {
+public:
+    Program* program = nullptr;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<SsaForm> ssa;
+    std::unique_ptr<ConstProp> constProp;
+    std::unique_ptr<DataMapping> dataMapping;
+    std::unique_ptr<MappingPass> mappingPass;
+    std::unique_ptr<SpmdLowering> lowering;
+    CompilerOptions options;
+    int inductionRewrites = 0;
+
+    /// Analytic performance prediction on the modelled machine.
+    [[nodiscard]] CostBreakdown predictCost() const {
+        CostEvaluator eval(*lowering, options.costModel);
+        return eval.evaluate();
+    }
+    /// Functional SPMD simulation (small problem sizes): returns the
+    /// simulator after a full run; seed inputs via its oracle first by
+    /// using the overload taking a seeding callback.
+    [[nodiscard]] std::unique_ptr<SpmdSimulator> simulate(
+        const std::function<void(Interpreter&)>& seed = nullptr) const {
+        auto sim = std::make_unique<SpmdSimulator>(*lowering);
+        if (seed) seed(sim->oracle());
+        sim->run();
+        return sim;
+    }
+    [[nodiscard]] std::string report() const { return mappingPass->report(); }
+};
+
+/// The phpf-style compiler driver: program analysis (CFG, SSA, constant
+/// propagation, induction variable recognition and closed-form
+/// rewriting), mapping resolution, the privatization mapping pass of
+/// this paper, and SPMD lowering with placed communication.
+class Compiler {
+public:
+    [[nodiscard]] static Compilation compile(Program& p, CompilerOptions opts);
+};
+
+}  // namespace phpf

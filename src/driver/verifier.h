@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+
+namespace phpf {
+
+/// Structural verification of a finished compilation: checks the
+/// invariants the paper's framework promises. Returns human-readable
+/// violation messages (empty = clean). Used by the test suite as a
+/// cross-cutting property check and available to users for debugging
+/// custom pipelines.
+///
+/// Checked invariants:
+///  1. Every statement has a lowered executor; OwnerOf guards carry a
+///     constrained descriptor.
+///  2. Aligned scalar decisions reference an array target and satisfy
+///     AlignLevel(target) <= privatization loop level (Fig. 4).
+///  3. Mapping consistency (Section 2.2): all reaching definitions of
+///     every scalar use carry the same mapping kind and target.
+///  4. Partial privatization maps are well-formed: partitioned dims name
+///     valid grid dims, privatized dims are marked replicated.
+///  5. Communication ops are placed no deeper than their statement and
+///     reference expressions of that statement.
+[[nodiscard]] std::vector<std::string> verifyCompilation(const Compilation& c);
+
+}  // namespace phpf

@@ -1,0 +1,229 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace phpf {
+
+Lexer::Lexer(std::string source, DiagEngine& diags)
+    : src_(std::move(source)), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::lexNumber(std::vector<Token>& out) {
+    Token t;
+    t.loc = here();
+    std::string num;
+    bool isReal = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    // A '.' starts a fraction only if not a dot-operator like "1.and.".
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        isReal = true;
+        num += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    } else if (peek() == '.' &&
+               !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+        isReal = true;
+        num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E' || peek() == 'd' || peek() == 'D') {
+        const char next = peek(1);
+        if (std::isdigit(static_cast<unsigned char>(next)) || next == '+' ||
+            next == '-') {
+            isReal = true;
+            advance();
+            num += 'e';
+            if (peek() == '+' || peek() == '-') num += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                num += advance();
+        }
+    }
+    if (isReal) {
+        t.kind = TokKind::RealLit;
+        t.rval = std::strtod(num.c_str(), nullptr);
+    } else {
+        t.kind = TokKind::IntLit;
+        t.ival = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    t.text = num;
+    out.push_back(std::move(t));
+}
+
+void Lexer::lexIdent(std::vector<Token>& out) {
+    Token t;
+    t.loc = here();
+    t.kind = TokKind::Ident;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        t.text += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(advance())));
+    out.push_back(std::move(t));
+}
+
+void Lexer::lexDotOperator(std::vector<Token>& out) {
+    const SourceLoc loc = here();
+    advance();  // '.'
+    std::string word;
+    while (std::isalpha(static_cast<unsigned char>(peek())))
+        word += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(advance())));
+    if (peek() == '.') advance();
+    Token t;
+    t.loc = loc;
+    if (word == "and") t.kind = TokKind::AndOp;
+    else if (word == "or") t.kind = TokKind::OrOp;
+    else if (word == "not") t.kind = TokKind::NotOp;
+    else if (word == "lt") t.kind = TokKind::Lt;
+    else if (word == "le") t.kind = TokKind::Le;
+    else if (word == "gt") t.kind = TokKind::Gt;
+    else if (word == "ge") t.kind = TokKind::Ge;
+    else if (word == "eq") t.kind = TokKind::EqEq;
+    else if (word == "ne") t.kind = TokKind::NeOp;
+    else {
+        diags_.error(loc, "unknown operator .");
+        return;
+    }
+    out.push_back(std::move(t));
+}
+
+std::vector<Token> Lexer::run() {
+    std::vector<Token> out;
+    auto push = [&](TokKind k) {
+        Token t;
+        t.kind = k;
+        t.loc = here();
+        out.push_back(std::move(t));
+    };
+    while (!atEnd()) {
+        const char c = peek();
+        if (c == '\n') {
+            // Collapse consecutive newlines.
+            if (!out.empty() && out.back().kind != TokKind::Newline)
+                push(TokKind::Newline);
+            advance();
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            advance();
+            continue;
+        }
+        if (c == '!') {
+            // "!hpf$" directive sentinel; anything else is a comment.
+            if ((peek(1) == 'h' || peek(1) == 'H') &&
+                (peek(2) == 'p' || peek(2) == 'P') &&
+                (peek(3) == 'f' || peek(3) == 'F') && peek(4) == '$') {
+                push(TokKind::HpfDirective);
+                for (int i = 0; i < 5; ++i) advance();
+                continue;
+            }
+            while (!atEnd() && peek() != '\n') advance();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            lexNumber(out);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            lexIdent(out);
+            continue;
+        }
+        if (c == '.') {
+            if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+                lexNumber(out);
+            } else {
+                lexDotOperator(out);
+            }
+            continue;
+        }
+        const SourceLoc loc = here();
+        advance();
+        Token t;
+        t.loc = loc;
+        switch (c) {
+            case '(': t.kind = TokKind::LParen; break;
+            case ')': t.kind = TokKind::RParen; break;
+            case ',': t.kind = TokKind::Comma; break;
+            case ':':
+                if (peek() == ':') {
+                    advance();
+                    t.kind = TokKind::ColonColon;
+                } else {
+                    t.kind = TokKind::Colon;
+                }
+                break;
+            case '+': t.kind = TokKind::Plus; break;
+            case '-': t.kind = TokKind::Minus; break;
+            case '*':
+                if (peek() == '*') {
+                    advance();
+                    t.kind = TokKind::StarStar;
+                } else {
+                    t.kind = TokKind::Star;
+                }
+                break;
+            case '/':
+                if (peek() == '=') {
+                    advance();
+                    t.kind = TokKind::NeOp;
+                } else {
+                    t.kind = TokKind::Slash;
+                }
+                break;
+            case '=':
+                if (peek() == '=') {
+                    advance();
+                    t.kind = TokKind::EqEq;
+                } else {
+                    t.kind = TokKind::Assign;
+                }
+                break;
+            case '<':
+                if (peek() == '=') {
+                    advance();
+                    t.kind = TokKind::Le;
+                } else {
+                    t.kind = TokKind::Lt;
+                }
+                break;
+            case '>':
+                if (peek() == '=') {
+                    advance();
+                    t.kind = TokKind::Ge;
+                } else {
+                    t.kind = TokKind::Gt;
+                }
+                break;
+            default:
+                diags_.error(loc, std::string("unexpected character '") + c +
+                                      "'");
+                continue;
+        }
+        out.push_back(std::move(t));
+    }
+    if (!out.empty() && out.back().kind != TokKind::Newline) {
+        Token nl;
+        nl.kind = TokKind::Newline;
+        nl.loc = here();
+        out.push_back(std::move(nl));
+    }
+    Token eof;
+    eof.kind = TokKind::EndOfFile;
+    eof.loc = here();
+    out.push_back(std::move(eof));
+    return out;
+}
+
+}  // namespace phpf

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+enum class TokKind : std::uint8_t {
+    Ident,
+    IntLit,
+    RealLit,
+    // punctuation / operators
+    LParen, RParen, Comma, Colon, ColonColon,
+    Assign,      // =
+    Plus, Minus, Star, StarStar, Slash,
+    Lt, Le, Gt, Ge, EqEq, NeOp,  // == and /=
+    AndOp, OrOp, NotOp,          // .and. .or. .not.
+    HpfDirective,                // the "!hpf$" sentinel
+    Newline,
+    EndOfFile,
+};
+
+struct Token {
+    TokKind kind = TokKind::EndOfFile;
+    std::string text;        ///< identifier (lower-cased) or literal text
+    std::int64_t ival = 0;
+    double rval = 0.0;
+    SourceLoc loc;
+};
+
+/// Tokenizer for the mini-HPF dialect: free-form, case-insensitive,
+/// newline-terminated statements, `!` comments, with `!hpf$` lines
+/// surfaced as directive tokens rather than skipped.
+class Lexer {
+public:
+    Lexer(std::string source, DiagEngine& diags);
+
+    /// Tokenize the whole input (always ends with EndOfFile).
+    [[nodiscard]] std::vector<Token> run();
+
+private:
+    [[nodiscard]] char peek(int ahead = 0) const;
+    char advance();
+    [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+    void lexNumber(std::vector<Token>& out);
+    void lexIdent(std::vector<Token>& out);
+    void lexDotOperator(std::vector<Token>& out);
+    [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+    std::string src_;
+    DiagEngine& diags_;
+    size_t pos_ = 0;
+    std::int32_t line_ = 1;
+    std::int32_t col_ = 1;
+};
+
+}  // namespace phpf

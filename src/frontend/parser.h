@@ -1,0 +1,96 @@
+#pragma once
+
+#include "frontend/lexer.h"
+#include "ir/program.h"
+
+namespace phpf {
+
+/// Recursive-descent parser for the mini-HPF dialect:
+///
+///     program demo
+///       parameter (n = 64)
+///       real A(n), B(n)
+///     !hpf$ distribute A(block)
+///     !hpf$ align B(i) with A(i)
+///     !hpf$ independent, new(w)
+///       do i = 2, n-1
+///         w = B(i-1) + B(i+1)
+///         A(i) = 0.5 * w
+///       end do
+///     end
+///
+/// Supported: REAL/INTEGER declarations with bounds, PARAMETER
+/// constants, implicit Fortran typing (i-n integer), DO / block IF /
+/// logical one-line IF / GOTO / CONTINUE with labels, the intrinsic
+/// functions of the IR, and the HPF directives PROCESSORS, DISTRIBUTE
+/// (both `distribute A(block)` and `distribute (block) :: A, B`),
+/// ALIGN (both `align B(i) with A(i)` and `align (i) with A(i) :: B,C`)
+/// and INDEPENDENT [, NEW(...)].
+class Parser {
+public:
+    Parser(std::string source, DiagEngine& diags);
+
+    /// Parse the whole source. On error the diagnostics engine holds the
+    /// messages and the returned program may be incomplete.
+    [[nodiscard]] Program parse();
+
+private:
+    // --- token stream ---
+    [[nodiscard]] const Token& peek(int ahead = 0) const;
+    const Token& advance();
+    [[nodiscard]] bool check(TokKind k) const { return peek().kind == k; }
+    bool accept(TokKind k);
+    const Token* expect(TokKind k, const std::string& what);
+    [[nodiscard]] bool checkIdent(const std::string& word) const;
+    bool acceptIdent(const std::string& word);
+    void expectNewline();
+    void skipToNewline();
+
+    // --- symbols ---
+    SymbolId declare(const std::string& name, ScalarType type,
+                     std::vector<ArrayDim> dims, SourceLoc loc);
+    SymbolId lookupOrImplicit(const std::string& name, SourceLoc loc);
+
+    // --- grammar ---
+    void parseDeclaration(ScalarType type);
+    void parseParameter();
+    void parseDirective();
+    void parseDistribute();
+    void parseAlign();
+    std::vector<DistSpec> parseDistSpecs();
+    void parseStatements(const std::string& endKeyword);
+    void parseStatement();
+    void parseDo(int label);
+    void parseIf(int label);
+    Expr* parseExpr();
+    Expr* parseOr();
+    Expr* parseAnd();
+    Expr* parseNot();
+    Expr* parseComparison();
+    Expr* parseAddSub();
+    Expr* parseMulDiv();
+    Expr* parseUnary();
+    Expr* parsePower();
+    Expr* parsePrimary();
+    Expr* parseRef(const std::string& name, SourceLoc loc);
+
+    Expr* intLit(std::int64_t v);
+    void append(Stmt* s);
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    DiagEngine& diags_;
+    Program prog_;
+    std::vector<std::vector<Stmt*>*> blockStack_;
+    std::unordered_map<std::string, std::int64_t> parameters_;
+    // INDEPENDENT directive waiting for its DO.
+    bool pendingIndependent_ = false;
+    std::vector<SymbolId> pendingNewVars_;
+};
+
+/// Convenience wrapper: parse `source`, raising InternalError on parse
+/// failure (tests and examples use this; the compiler driver uses the
+/// class to report diagnostics gracefully).
+[[nodiscard]] Program parseProgramOrDie(const std::string& source);
+
+}  // namespace phpf

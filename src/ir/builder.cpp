@@ -1,0 +1,215 @@
+#include "ir/builder.h"
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+namespace {
+Ex makeBin(BinaryOp op, Ex a, Ex c) {
+    PHPF_ASSERT(a.b != nullptr && a.b == c.b, "mixed-builder expression");
+    return a.b->binary(op, a, c);
+}
+}  // namespace
+
+Ex operator+(Ex a, Ex c) { return makeBin(BinaryOp::Add, a, c); }
+Ex operator-(Ex a, Ex c) { return makeBin(BinaryOp::Sub, a, c); }
+Ex operator*(Ex a, Ex c) { return makeBin(BinaryOp::Mul, a, c); }
+Ex operator/(Ex a, Ex c) { return makeBin(BinaryOp::Div, a, c); }
+Ex operator-(Ex a) { return a.b->unary(UnaryOp::Neg, a); }
+Ex operator<(Ex a, Ex c) { return makeBin(BinaryOp::Lt, a, c); }
+Ex operator<=(Ex a, Ex c) { return makeBin(BinaryOp::Le, a, c); }
+Ex operator>(Ex a, Ex c) { return makeBin(BinaryOp::Gt, a, c); }
+Ex operator>=(Ex a, Ex c) { return makeBin(BinaryOp::Ge, a, c); }
+Ex eq(Ex a, Ex c) { return makeBin(BinaryOp::Eq, a, c); }
+Ex ne(Ex a, Ex c) { return makeBin(BinaryOp::Ne, a, c); }
+
+ProgramBuilder::ProgramBuilder(std::string programName)
+    : program_(std::make_unique<Program>()) {
+    program_->name = std::move(programName);
+    blockStack_.push_back(&program_->top);
+}
+
+SymbolId ProgramBuilder::realVar(const std::string& name) {
+    return program_->addSymbol(name, ScalarType::Real);
+}
+
+SymbolId ProgramBuilder::integerVar(const std::string& name) {
+    return program_->addSymbol(name, ScalarType::Int);
+}
+
+SymbolId ProgramBuilder::realArray(const std::string& name,
+                                   std::vector<std::int64_t> extents) {
+    std::vector<ArrayDim> dims;
+    dims.reserve(extents.size());
+    for (auto e : extents) dims.push_back(ArrayDim{1, e});
+    return program_->addSymbol(name, ScalarType::Real, std::move(dims));
+}
+
+SymbolId ProgramBuilder::integerArray(const std::string& name,
+                                      std::vector<std::int64_t> extents) {
+    std::vector<ArrayDim> dims;
+    dims.reserve(extents.size());
+    for (auto e : extents) dims.push_back(ArrayDim{1, e});
+    return program_->addSymbol(name, ScalarType::Int, std::move(dims));
+}
+
+SymbolId ProgramBuilder::array(const std::string& name, ScalarType type,
+                               std::vector<ArrayDim> dims) {
+    return program_->addSymbol(name, type, std::move(dims));
+}
+
+void ProgramBuilder::distribute(SymbolId arr, std::vector<DistSpec> specs) {
+    PHPF_ASSERT(program_->sym(arr).rank() == static_cast<int>(specs.size()),
+                "DISTRIBUTE spec count must match array rank for " +
+                    program_->sym(arr).name);
+    program_->distributes.push_back({arr, std::move(specs)});
+}
+
+void ProgramBuilder::align(SymbolId source, SymbolId target,
+                           std::vector<AlignDim> dims) {
+    PHPF_ASSERT(program_->sym(target).rank() == static_cast<int>(dims.size()),
+                "ALIGN dim count must match target rank");
+    program_->aligns.push_back({source, target, std::move(dims)});
+}
+
+void ProgramBuilder::alignIdentity(SymbolId source, SymbolId target) {
+    const int rank = program_->sym(target).rank();
+    PHPF_ASSERT(program_->sym(source).rank() == rank,
+                "alignIdentity requires equal ranks");
+    std::vector<AlignDim> dims(static_cast<size_t>(rank));
+    for (int d = 0; d < rank; ++d) {
+        dims[static_cast<size_t>(d)] = {AlignDim::Kind::SourceDim, d, 0, 0};
+    }
+    align(source, target, std::move(dims));
+}
+
+Ex ProgramBuilder::lit(std::int64_t v) {
+    Expr* e = program_->newExpr(ExprKind::IntLit);
+    e->ival = v;
+    return {this, e};
+}
+
+Ex ProgramBuilder::lit(double v) {
+    Expr* e = program_->newExpr(ExprKind::RealLit);
+    e->rval = v;
+    return {this, e};
+}
+
+Ex ProgramBuilder::idx(SymbolId s) {
+    PHPF_ASSERT(!program_->sym(s).isArray(), "idx() is for scalars");
+    Expr* e = program_->newExpr(ExprKind::VarRef);
+    e->sym = s;
+    return {this, e};
+}
+
+Ex ProgramBuilder::ref(SymbolId arr, std::vector<Ex> subscripts) {
+    const Symbol& s = program_->sym(arr);
+    PHPF_ASSERT(s.rank() == static_cast<int>(subscripts.size()),
+                "subscript count mismatch for " + s.name);
+    Expr* e = program_->newExpr(ExprKind::ArrayRef);
+    e->sym = arr;
+    e->args.reserve(subscripts.size());
+    for (Ex& sub : subscripts) e->args.push_back(sub.e);
+    return {this, e};
+}
+
+Ex ProgramBuilder::call(Intrinsic fn, std::vector<Ex> args) {
+    Expr* e = program_->newExpr(ExprKind::Call);
+    e->fn = fn;
+    for (Ex& a : args) e->args.push_back(a.e);
+    return {this, e};
+}
+
+Ex ProgramBuilder::binary(BinaryOp op, Ex a, Ex c) {
+    Expr* e = program_->newExpr(ExprKind::Binary);
+    e->bop = op;
+    e->args = {a.e, c.e};
+    return {this, e};
+}
+
+Ex ProgramBuilder::unary(UnaryOp op, Ex a) {
+    Expr* e = program_->newExpr(ExprKind::Unary);
+    e->uop = op;
+    e->args = {a.e};
+    return {this, e};
+}
+
+void ProgramBuilder::append(Stmt* s) { blockStack_.back()->push_back(s); }
+
+Stmt* ProgramBuilder::assign(Ex lhs, Ex rhs, int label) {
+    PHPF_ASSERT(lhs.e != nullptr && lhs.e->isRef(),
+                "assignment target must be a variable or array reference");
+    Stmt* s = program_->newStmt(StmtKind::Assign);
+    s->lhs = lhs.e;
+    s->rhs = rhs.e;
+    s->label = label;
+    append(s);
+    return s;
+}
+
+Stmt* ProgramBuilder::doLoop(SymbolId loopVar, Ex lb, Ex ub,
+                             const std::function<void()>& body) {
+    return doLoop(loopVar, lb, ub, Ex{}, body);
+}
+
+Stmt* ProgramBuilder::doLoop(SymbolId loopVar, Ex lb, Ex ub, Ex step,
+                             const std::function<void()>& body) {
+    Stmt* s = program_->newStmt(StmtKind::Do);
+    s->loopVar = loopVar;
+    s->lb = lb.e;
+    s->ub = ub.e;
+    s->step = step.e;  // null for implicit step 1
+    append(s);
+    blockStack_.push_back(&s->body);
+    body();
+    blockStack_.pop_back();
+    return s;
+}
+
+Stmt* ProgramBuilder::independentDo(SymbolId loopVar, Ex lb, Ex ub,
+                                    std::vector<SymbolId> newVars,
+                                    const std::function<void()>& body) {
+    Stmt* s = doLoop(loopVar, lb, ub, body);
+    s->independent = true;
+    s->newVars = std::move(newVars);
+    return s;
+}
+
+Stmt* ProgramBuilder::ifStmt(Ex cond, const std::function<void()>& thenBody,
+                             const std::function<void()>& elseBody) {
+    Stmt* s = program_->newStmt(StmtKind::If);
+    s->cond = cond.e;
+    append(s);
+    blockStack_.push_back(&s->thenBody);
+    thenBody();
+    blockStack_.pop_back();
+    if (elseBody) {
+        blockStack_.push_back(&s->elseBody);
+        elseBody();
+        blockStack_.pop_back();
+    }
+    return s;
+}
+
+Stmt* ProgramBuilder::gotoStmt(int targetLabel) {
+    Stmt* s = program_->newStmt(StmtKind::Goto);
+    s->gotoTarget = targetLabel;
+    append(s);
+    return s;
+}
+
+Stmt* ProgramBuilder::continueStmt(int label) {
+    Stmt* s = program_->newStmt(StmtKind::Continue);
+    s->label = label;
+    append(s);
+    return s;
+}
+
+Program ProgramBuilder::finish() {
+    program_->finalize();
+    Program out = std::move(*program_);
+    program_.reset();
+    return out;
+}
+
+}  // namespace phpf

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace phpf {
+
+class ProgramBuilder;
+
+/// Lightweight expression handle so benchmark kernels and tests can be
+/// written with natural arithmetic syntax:
+///
+///     Ex x = b.ref(A, {b.idx(i)});
+///     b.assign(b.ref(B, {b.idx(i)}), x * 2.0 + b.ref(C, {b.idx(i)}));
+struct Ex {
+    ProgramBuilder* b = nullptr;
+    Expr* e = nullptr;
+};
+
+Ex operator+(Ex a, Ex c);
+Ex operator-(Ex a, Ex c);
+Ex operator*(Ex a, Ex c);
+Ex operator/(Ex a, Ex c);
+Ex operator-(Ex a);
+// Comparisons build Bool-typed expressions for IF predicates.
+Ex operator<(Ex a, Ex c);
+Ex operator<=(Ex a, Ex c);
+Ex operator>(Ex a, Ex c);
+Ex operator>=(Ex a, Ex c);
+Ex eq(Ex a, Ex c);
+Ex ne(Ex a, Ex c);
+
+/// Fluent construction of Program trees. Usage pattern:
+///
+///     ProgramBuilder b("tomcatv");
+///     auto n = 513;
+///     auto A = b.realArray("A", {n, n});
+///     b.distribute(A, {DistSpec{DistKind::Serial}, DistSpec{DistKind::Block}});
+///     auto i = b.integerVar("i");
+///     b.doLoop(i, b.lit(1), b.lit(n), [&] { ... });
+///     Program p = b.finish();
+///
+/// Statements created inside a doLoop/ifStmt body callback are appended
+/// to that body; the builder maintains an explicit block stack.
+class ProgramBuilder {
+public:
+    explicit ProgramBuilder(std::string programName);
+
+    // --- declarations ---
+    SymbolId realVar(const std::string& name);
+    SymbolId integerVar(const std::string& name);
+    SymbolId realArray(const std::string& name, std::vector<std::int64_t> extents);
+    SymbolId integerArray(const std::string& name, std::vector<std::int64_t> extents);
+    /// Array with explicit lower bounds.
+    SymbolId array(const std::string& name, ScalarType type,
+                   std::vector<ArrayDim> dims);
+
+    // --- directives ---
+    void processors(int rank) { program_->gridRank = rank; }
+    void distribute(SymbolId arr, std::vector<DistSpec> specs);
+    /// ALIGN source(...) WITH target(dims...): see AlignDim.
+    void align(SymbolId source, SymbolId target, std::vector<AlignDim> dims);
+    /// Common shorthand: ALIGN s(i,...) WITH t(i,...) (identity, same rank).
+    void alignIdentity(SymbolId source, SymbolId target);
+
+    // --- expressions ---
+    Ex lit(std::int64_t v);
+    Ex lit(double v);
+    Ex rlit(double v) { return lit(v); }
+    /// Scalar variable read (also used for loop indices in subscripts).
+    Ex idx(SymbolId s);
+    Ex ref(SymbolId s) { return idx(s); }
+    /// Array element reference.
+    Ex ref(SymbolId arr, std::vector<Ex> subscripts);
+    Ex call(Intrinsic fn, std::vector<Ex> args);
+    Ex binary(BinaryOp op, Ex a, Ex c);
+    Ex unary(UnaryOp op, Ex a);
+
+    // --- statements ---
+    Stmt* assign(Ex lhs, Ex rhs, int label = -1);
+    Stmt* doLoop(SymbolId loopVar, Ex lb, Ex ub,
+                 const std::function<void()>& body);
+    Stmt* doLoop(SymbolId loopVar, Ex lb, Ex ub, Ex step,
+                 const std::function<void()>& body);
+    /// INDEPENDENT [, NEW(newVars)] DO loop.
+    Stmt* independentDo(SymbolId loopVar, Ex lb, Ex ub,
+                        std::vector<SymbolId> newVars,
+                        const std::function<void()>& body);
+    Stmt* ifStmt(Ex cond, const std::function<void()>& thenBody,
+                 const std::function<void()>& elseBody = nullptr);
+    Stmt* gotoStmt(int targetLabel);
+    Stmt* continueStmt(int label);
+
+    /// Finish construction: finalizes structural links and releases the
+    /// program. The builder must not be used afterwards.
+    Program finish();
+
+    [[nodiscard]] Program& program() { return *program_; }
+
+private:
+    void append(Stmt* s);
+
+    std::unique_ptr<Program> program_;
+    std::vector<std::vector<Stmt*>*> blockStack_;
+};
+
+}  // namespace phpf

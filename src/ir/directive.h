@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/symbol.h"
+
+namespace phpf {
+
+/// How one array dimension is spread over one processor-grid dimension.
+enum class DistKind : std::uint8_t {
+    Block,        ///< contiguous blocks of ceil(N/P)
+    Cyclic,       ///< round-robin single elements
+    BlockCyclic,  ///< round-robin blocks of `blockSize`
+    Serial,       ///< '*': not distributed (whole dimension on each owner)
+};
+
+struct DistSpec {
+    DistKind kind = DistKind::Serial;
+    int blockSize = 0;  ///< BlockCyclic only
+
+    friend bool operator==(const DistSpec&, const DistSpec&) = default;
+};
+
+/// !HPF$ DISTRIBUTE A(spec, spec, ...) — non-Serial specs are assigned
+/// to processor-grid dimensions left to right.
+struct DistributeDirective {
+    SymbolId array = kNoSymbol;
+    std::vector<DistSpec> specs;  ///< one per array dimension
+};
+
+/// One dimension of an ALIGN target, describing what appears in that
+/// dimension of the target reference.
+struct AlignDim {
+    enum class Kind : std::uint8_t {
+        SourceDim,  ///< align-dummy of source dim `sourceDim`, plus `offset`
+        Replicate,  ///< '*': source is replicated across this target dim
+        Const,      ///< a fixed position `constPos` in the target dim
+    };
+    Kind kind = Kind::Replicate;
+    int sourceDim = -1;
+    std::int64_t offset = 0;
+    std::int64_t constPos = 0;
+};
+
+/// !HPF$ ALIGN source(i,j,...) WITH target(expr, expr, ...).
+/// A scalar source has zero dims; every target dim is then Replicate or
+/// Const.
+struct AlignDirective {
+    SymbolId source = kNoSymbol;
+    SymbolId target = kNoSymbol;
+    std::vector<AlignDim> dims;  ///< one per *target* dimension
+};
+
+}  // namespace phpf

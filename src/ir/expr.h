@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "support/source_location.h"
+
+namespace phpf {
+
+struct Stmt;
+
+enum class ExprKind : std::uint8_t {
+    IntLit,    ///< integer literal (ival)
+    RealLit,   ///< real literal (rval)
+    VarRef,    ///< scalar variable reference (sym)
+    ArrayRef,  ///< array element reference (sym, args = subscripts)
+    Unary,     ///< uop applied to args[0]
+    Binary,    ///< args[0] bop args[1]
+    Call,      ///< intrinsic fn applied to args
+};
+
+enum class UnaryOp : std::uint8_t { Neg, Not };
+
+enum class BinaryOp : std::uint8_t {
+    Add, Sub, Mul, Div, Pow,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+enum class Intrinsic : std::uint8_t { Abs, Max, Min, Sqrt, Mod, Sign, Exp };
+
+[[nodiscard]] inline bool isComparison(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Lt: case BinaryOp::Le: case BinaryOp::Gt:
+        case BinaryOp::Ge: case BinaryOp::Eq: case BinaryOp::Ne:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// Expression tree node. Every node has a program-unique `id`, which the
+/// analyses use to attach side tables (SSA versions, mapping decisions,
+/// communication requirements) without mutating the IR. Each VarRef /
+/// ArrayRef occurrence is a distinct node, so a "reference" in the
+/// paper's sense is exactly an Expr with isRef().
+///
+/// Nodes are arena-allocated by Program and non-owning pointers form the
+/// tree; never allocate an Expr directly.
+struct Expr {
+    int id = -1;
+    ExprKind kind = ExprKind::IntLit;
+    SourceLoc loc;
+
+    std::int64_t ival = 0;   ///< IntLit payload
+    double rval = 0.0;       ///< RealLit payload
+    SymbolId sym = kNoSymbol;  ///< VarRef / ArrayRef target
+
+    UnaryOp uop = UnaryOp::Neg;
+    BinaryOp bop = BinaryOp::Add;
+    Intrinsic fn = Intrinsic::Abs;
+
+    /// Operands (Unary/Binary/Call) or subscripts (ArrayRef).
+    std::vector<Expr*> args;
+
+    /// The statement whose tree contains this node; set by Program::finalize.
+    Stmt* parentStmt = nullptr;
+
+    [[nodiscard]] bool isRef() const {
+        return kind == ExprKind::VarRef || kind == ExprKind::ArrayRef;
+    }
+    [[nodiscard]] bool isIntLit(std::int64_t v) const {
+        return kind == ExprKind::IntLit && ival == v;
+    }
+};
+
+}  // namespace phpf

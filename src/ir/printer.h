@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace phpf {
+
+/// Render an expression as mini-HPF source text.
+[[nodiscard]] std::string printExpr(const Program& p, const Expr* e);
+
+/// Render one statement (and its nested bodies) with `indent` leading
+/// spaces.
+[[nodiscard]] std::string printStmt(const Program& p, const Stmt* s, int indent = 0);
+
+/// Render the whole program as mini-HPF source, including declarations
+/// and directives. The output parses back through frontend/Parser to an
+/// equivalent program (round-trip tested).
+[[nodiscard]] std::string printProgram(const Program& p);
+
+}  // namespace phpf

@@ -1,0 +1,193 @@
+#include "ir/program.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+namespace {
+bool iequals(const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+}  // namespace
+
+SymbolId Program::addSymbol(std::string name, ScalarType type,
+                            std::vector<ArrayDim> dims) {
+    PHPF_ASSERT(findSymbol(name) == kNoSymbol, "duplicate symbol " + name);
+    Symbol s;
+    s.id = static_cast<SymbolId>(symbols.size());
+    s.name = std::move(name);
+    s.type = type;
+    s.dims = std::move(dims);
+    symbols.push_back(std::move(s));
+    return symbols.back().id;
+}
+
+const Symbol& Program::sym(SymbolId id) const {
+    PHPF_ASSERT(id >= 0 && id < static_cast<SymbolId>(symbols.size()),
+                "bad symbol id");
+    return symbols[static_cast<size_t>(id)];
+}
+
+Symbol& Program::sym(SymbolId id) {
+    PHPF_ASSERT(id >= 0 && id < static_cast<SymbolId>(symbols.size()),
+                "bad symbol id");
+    return symbols[static_cast<size_t>(id)];
+}
+
+SymbolId Program::findSymbol(const std::string& name) const {
+    for (const auto& s : symbols)
+        if (iequals(s.name, name)) return s.id;
+    return kNoSymbol;
+}
+
+Expr* Program::newExpr(ExprKind kind) {
+    exprs_.emplace_back();
+    Expr* e = &exprs_.back();
+    e->id = static_cast<int>(exprs_.size()) - 1;
+    e->kind = kind;
+    return e;
+}
+
+Stmt* Program::newStmt(StmtKind kind) {
+    stmts_.emplace_back();
+    Stmt* s = &stmts_.back();
+    s->id = static_cast<int>(stmts_.size()) - 1;
+    s->kind = kind;
+    return s;
+}
+
+void Program::finalizeBlock(std::vector<Stmt*>& block, Stmt* parent, int level) {
+    for (Stmt* s : block) {
+        s->parent = parent;
+        s->level = level;
+        if (s->label >= 0) labels_[s->label] = s;
+        forEachExpr(s, [s](Expr* e) { e->parentStmt = s; });
+        switch (s->kind) {
+            case StmtKind::If:
+                finalizeBlock(s->thenBody, s, level);
+                finalizeBlock(s->elseBody, s, level);
+                break;
+            case StmtKind::Do:
+                finalizeBlock(s->body, s, level + 1);
+                break;
+            default:
+                break;
+        }
+    }
+}
+
+void Program::finalize() {
+    labels_.clear();
+    finalizeBlock(top, nullptr, 0);
+    // Validate goto targets now that all labels are registered.
+    forEachStmt([this](Stmt* s) {
+        if (s->kind == StmtKind::Goto) {
+            PHPF_ASSERT(labels_.count(s->gotoTarget) > 0,
+                        "goto to unknown label " + std::to_string(s->gotoTarget) +
+                            " in program " + name);
+        }
+    });
+}
+
+void Program::forEachStmt(const std::function<void(Stmt*)>& fn) {
+    std::function<void(std::vector<Stmt*>&)> walk = [&](std::vector<Stmt*>& blk) {
+        for (Stmt* s : blk) {
+            fn(s);
+            if (s->kind == StmtKind::If) {
+                walk(s->thenBody);
+                walk(s->elseBody);
+            } else if (s->kind == StmtKind::Do) {
+                walk(s->body);
+            }
+        }
+    };
+    walk(top);
+}
+
+void Program::forEachStmt(const std::function<void(const Stmt*)>& fn) const {
+    const_cast<Program*>(this)->forEachStmt(
+        std::function<void(Stmt*)>([&fn](Stmt* s) { fn(s); }));
+}
+
+void Program::walkExpr(Expr* e, const std::function<void(Expr*)>& fn) {
+    if (e == nullptr) return;
+    fn(e);
+    for (Expr* a : e->args) walkExpr(a, fn);
+}
+
+void Program::forEachExpr(const Stmt* s, const std::function<void(Expr*)>& fn) {
+    switch (s->kind) {
+        case StmtKind::Assign:
+            walkExpr(s->lhs, fn);
+            walkExpr(s->rhs, fn);
+            break;
+        case StmtKind::If:
+            walkExpr(s->cond, fn);
+            break;
+        case StmtKind::Do:
+            walkExpr(s->lb, fn);
+            walkExpr(s->ub, fn);
+            walkExpr(s->step, fn);
+            break;
+        default:
+            break;
+    }
+}
+
+Stmt* Program::findLabel(int label) const {
+    auto it = labels_.find(label);
+    return it == labels_.end() ? nullptr : it->second;
+}
+
+std::vector<Stmt*> Program::enclosingLoops(const Stmt* s) const {
+    std::vector<Stmt*> loops;
+    for (Stmt* p = s->parent; p != nullptr; p = p->parent)
+        if (p->kind == StmtKind::Do) loops.push_back(p);
+    std::reverse(loops.begin(), loops.end());
+    return loops;
+}
+
+Stmt* Program::enclosingLoopAtLevel(const Stmt* s, int level) const {
+    auto loops = enclosingLoops(s);
+    if (level < 1 || level > static_cast<int>(loops.size())) return nullptr;
+    return loops[static_cast<size_t>(level - 1)];
+}
+
+Stmt* Program::innermostCommonLoop(const Stmt* a, const Stmt* b) const {
+    auto la = enclosingLoops(a);
+    auto lb = enclosingLoops(b);
+    Stmt* common = nullptr;
+    for (size_t i = 0; i < la.size() && i < lb.size(); ++i) {
+        if (la[i] != lb[i]) break;
+        common = la[i];
+    }
+    return common;
+}
+
+bool Program::isInsideLoop(const Stmt* s, const Stmt* loop) {
+    for (const Stmt* p = s->parent; p != nullptr; p = p->parent)
+        if (p == loop) return true;
+    return false;
+}
+
+const DistributeDirective* Program::distributeOf(SymbolId array) const {
+    for (const auto& d : distributes)
+        if (d.array == array) return &d;
+    return nullptr;
+}
+
+const AlignDirective* Program::alignOf(SymbolId symId) const {
+    for (const auto& a : aligns)
+        if (a.source == symId) return &a;
+    return nullptr;
+}
+
+}  // namespace phpf

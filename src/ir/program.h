@@ -1,0 +1,98 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/directive.h"
+#include "ir/stmt.h"
+
+namespace phpf {
+
+/// A whole mini-HPF program unit: symbol table, statement tree, HPF
+/// mapping directives, and the arenas that own every Expr/Stmt node.
+///
+/// Programs are built either by the front end (frontend/parser.h) or by
+/// the builder API (ir/builder.h); both call finalize() which fills in
+/// structural links and validates labels. Analyses never mutate the
+/// tree; transformation passes that do must call finalize() again.
+class Program {
+public:
+    Program() = default;
+    Program(Program&&) = default;
+    Program& operator=(Program&&) = default;
+    Program(const Program&) = delete;
+    Program& operator=(const Program&) = delete;
+
+    std::string name = "unnamed";
+    std::vector<Symbol> symbols;
+    std::vector<Stmt*> top;
+
+    std::vector<DistributeDirective> distributes;
+    std::vector<AlignDirective> aligns;
+    /// Rank of the logical processor grid (!HPF$ PROCESSORS P(:,...,:)).
+    /// Actual extents are chosen at compile time by the driver.
+    int gridRank = 1;
+
+    // --- symbols ---
+    SymbolId addSymbol(std::string name, ScalarType type,
+                       std::vector<ArrayDim> dims = {});
+    [[nodiscard]] const Symbol& sym(SymbolId id) const;
+    [[nodiscard]] Symbol& sym(SymbolId id);
+    /// Case-insensitive lookup; returns kNoSymbol if absent.
+    [[nodiscard]] SymbolId findSymbol(const std::string& name) const;
+
+    // --- node construction (arena-owned) ---
+    Expr* newExpr(ExprKind kind);
+    Stmt* newStmt(StmtKind kind);
+    [[nodiscard]] int exprCount() const { return static_cast<int>(exprs_.size()); }
+    [[nodiscard]] int stmtCount() const { return static_cast<int>(stmts_.size()); }
+    [[nodiscard]] Expr* exprById(int id) { return &exprs_[static_cast<size_t>(id)]; }
+    [[nodiscard]] Stmt* stmtById(int id) { return &stmts_[static_cast<size_t>(id)]; }
+    [[nodiscard]] const Stmt* stmtById(int id) const { return &stmts_[static_cast<size_t>(id)]; }
+
+    /// Fill parent/level links on the reachable statement tree, register
+    /// labels, and set Expr::parentStmt. Throws InternalError on a goto
+    /// to an unknown label.
+    void finalize();
+
+    // --- traversal ---
+    /// Pre-order walk over every statement in the tree (including loop
+    /// and branch bodies).
+    void forEachStmt(const std::function<void(Stmt*)>& fn);
+    void forEachStmt(const std::function<void(const Stmt*)>& fn) const;
+    /// Walk every Expr hanging off one statement (lhs, rhs, cond, bounds),
+    /// pre-order.
+    static void forEachExpr(const Stmt* s, const std::function<void(Expr*)>& fn);
+    /// Walk a single expression tree pre-order.
+    static void walkExpr(Expr* e, const std::function<void(Expr*)>& fn);
+
+    /// Statement carrying numeric label `label`, or null.
+    [[nodiscard]] Stmt* findLabel(int label) const;
+
+    /// Enclosing Do loops of `s`, outermost first.
+    [[nodiscard]] std::vector<Stmt*> enclosingLoops(const Stmt* s) const;
+    /// The loop whose body-nesting level is `level` (1-based) on the path
+    /// to `s`; null if s has fewer enclosing loops.
+    [[nodiscard]] Stmt* enclosingLoopAtLevel(const Stmt* s, int level) const;
+    /// Innermost loop containing both statements, or null.
+    [[nodiscard]] Stmt* innermostCommonLoop(const Stmt* a, const Stmt* b) const;
+    /// True if `s` is lexically inside loop L's body.
+    [[nodiscard]] static bool isInsideLoop(const Stmt* s, const Stmt* loop);
+
+    /// DISTRIBUTE directive for `array`, or null.
+    [[nodiscard]] const DistributeDirective* distributeOf(SymbolId array) const;
+    /// ALIGN directive whose source is `sym`, or null.
+    [[nodiscard]] const AlignDirective* alignOf(SymbolId sym) const;
+
+private:
+    void finalizeBlock(std::vector<Stmt*>& block, Stmt* parent, int level);
+
+    std::deque<Expr> exprs_;  // deque: stable addresses
+    std::deque<Stmt> stmts_;
+    std::unordered_map<int, Stmt*> labels_;
+};
+
+}  // namespace phpf

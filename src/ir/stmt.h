@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace phpf {
+
+enum class StmtKind : std::uint8_t {
+    Assign,    ///< lhs = rhs
+    If,        ///< if (cond) then thenBody [else elseBody] end if
+    Do,        ///< do loopVar = lb, ub [, step] ... end do
+    Goto,      ///< go to <label>
+    Continue,  ///< labelled no-op (Fortran CONTINUE)
+};
+
+/// Statement tree node, arena-allocated by Program. Structural links
+/// (`parent`, `level`) are filled in by Program::finalize and must be
+/// refreshed after any tree surgery.
+struct Stmt {
+    int id = -1;
+    StmtKind kind = StmtKind::Assign;
+    SourceLoc loc;
+
+    /// Numeric statement label (Fortran), -1 if unlabelled.
+    int label = -1;
+
+    // --- Assign ---
+    Expr* lhs = nullptr;
+    Expr* rhs = nullptr;
+
+    // --- If ---
+    Expr* cond = nullptr;
+    std::vector<Stmt*> thenBody;
+    std::vector<Stmt*> elseBody;
+
+    // --- Do ---
+    SymbolId loopVar = kNoSymbol;
+    Expr* lb = nullptr;
+    Expr* ub = nullptr;
+    Expr* step = nullptr;  ///< null means step 1
+    std::vector<Stmt*> body;
+    bool independent = false;           ///< INDEPENDENT directive attached
+    std::vector<SymbolId> newVars;      ///< NEW(...) clause of INDEPENDENT
+
+    // --- Goto ---
+    int gotoTarget = -1;
+
+    // --- structure (set by Program::finalize) ---
+    Stmt* parent = nullptr;  ///< enclosing If/Do, null at top level
+    int level = 0;           ///< number of enclosing Do loops
+
+    [[nodiscard]] bool isLoop() const { return kind == StmtKind::Do; }
+
+    /// Nesting level of this loop in the paper's 1-based convention:
+    /// the outermost loop is level 1. Only meaningful for Do statements.
+    [[nodiscard]] int loopNestingLevel() const { return level + 1; }
+};
+
+}  // namespace phpf

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace phpf {
+
+/// Index of a symbol in Program::symbols. -1 means "no symbol".
+using SymbolId = int;
+inline constexpr SymbolId kNoSymbol = -1;
+
+/// A declared variable: scalar if `dims` is empty, array otherwise.
+struct Symbol {
+    SymbolId id = kNoSymbol;
+    std::string name;
+    ScalarType type = ScalarType::Real;
+    std::vector<ArrayDim> dims;
+
+    [[nodiscard]] bool isArray() const { return !dims.empty(); }
+    [[nodiscard]] int rank() const { return static_cast<int>(dims.size()); }
+    [[nodiscard]] std::int64_t elementCount() const {
+        std::int64_t n = 1;
+        for (const auto& d : dims) n *= d.extent();
+        return n;
+    }
+};
+
+}  // namespace phpf

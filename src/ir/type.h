@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phpf {
+
+/// Element type of a scalar or array. The mini-HPF dialect has Fortran's
+/// default-kind INTEGER and REAL (we model REAL as double precision) plus
+/// LOGICAL values produced by comparisons.
+enum class ScalarType : std::uint8_t { Int, Real, Bool };
+
+[[nodiscard]] inline const char* scalarTypeName(ScalarType t) {
+    switch (t) {
+        case ScalarType::Int: return "integer";
+        case ScalarType::Real: return "real";
+        case ScalarType::Bool: return "logical";
+    }
+    return "?";
+}
+
+/// One declared dimension of an array, `lb:ub` inclusive (Fortran style;
+/// `A(n)` means `A(1:n)`).
+struct ArrayDim {
+    std::int64_t lb = 1;
+    std::int64_t ub = 1;
+
+    [[nodiscard]] std::int64_t extent() const { return ub - lb + 1; }
+    friend bool operator==(const ArrayDim&, const ArrayDim&) = default;
+};
+
+}  // namespace phpf

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/ssa.h"
+#include "mapping/data_mapping.h"
+
+namespace phpf {
+
+/// How a privatized (or not) scalar definition is mapped (Section 2.1's
+/// three alternatives).
+enum class ScalarMapKind : std::uint8_t {
+    Replicated,         ///< default: every processor computes it
+    Aligned,            ///< owned by the owner of `alignRef`
+    PrivatizedNoAlign,  ///< private per executing processor, no owner
+};
+
+struct ScalarMapDecision {
+    ScalarMapKind kind = ScalarMapKind::Replicated;
+    /// Alignment target reference (consumer or producer); meaningful for
+    /// Aligned.
+    const Expr* alignRef = nullptr;
+    bool viaConsumer = false;  ///< target was a consumer reference
+    int alignLevel = 0;        ///< AlignLevel(alignRef), Fig. 4
+    /// Loop with respect to which the definition is privatized (Aligned
+    /// and PrivatizedNoAlign).
+    const Stmt* privLoop = nullptr;
+
+    // Reduction results (Section 2.3):
+    bool isReductionResult = false;
+    /// Grid dims the reduction spans — the scalar is replicated across
+    /// these and aligned with `alignRef` in the rest.
+    std::vector<int> reductionGridDims;
+
+    std::string rationale;  ///< one line for the compilation report
+};
+
+/// Mapping chosen for a privatizable array within its INDEPENDENT loop
+/// (Section 3).
+struct ArrayPrivDecision {
+    SymbolId array = kNoSymbol;
+    const Stmt* loop = nullptr;  ///< the NEW(...) loop
+
+    enum class Kind : std::uint8_t {
+        Replicated,  ///< privatization disabled/failed: every proc computes
+        Full,        ///< privatized in every grid dimension
+        Partial,     ///< partitioned in some grid dims, privatized in others
+    };
+    Kind kind = Kind::Replicated;
+
+    const Expr* alignRef = nullptr;  ///< target used to derive the mapping
+    /// Per grid dim: 1 if the array is privatized across that dim.
+    std::vector<char> privatizedGrid;
+    /// Effective mapping of the array inside `loop` (partitioned dims
+    /// set; privatized dims appear as replicated since each executor
+    /// holds a private copy).
+    ArrayMap mapInLoop;
+
+    std::string rationale;
+};
+
+/// All mapping decisions of one compilation. Acts as the oracle the
+/// communication analysis consults; scalars without an entry are
+/// replicated (the paper's default).
+class MappingDecisions {
+public:
+    void setScalar(int defId, ScalarMapDecision d) {
+        scalar_[defId] = std::move(d);
+    }
+    [[nodiscard]] const ScalarMapDecision* forDef(int defId) const {
+        auto it = scalar_.find(defId);
+        return it == scalar_.end() ? nullptr : &it->second;
+    }
+    /// Decision governing scalar use `e`: recorded with its first
+    /// reaching definition (the algorithm guarantees all reaching defs
+    /// agree).
+    [[nodiscard]] const ScalarMapDecision* forUse(const SsaForm& ssa,
+                                                  const Expr* e) const {
+        const auto rds = ssa.reachingDefs(e);
+        if (rds.empty()) return nullptr;
+        return forDef(rds.front());
+    }
+
+    void addArray(ArrayPrivDecision d) { arrays_.push_back(std::move(d)); }
+    /// Decision for `array` in effect at statement `context` (i.e. the
+    /// privatizing loop encloses the statement).
+    [[nodiscard]] const ArrayPrivDecision* forArrayAt(SymbolId array,
+                                                      const Stmt* context) const {
+        for (const auto& d : arrays_) {
+            if (d.array != array) continue;
+            for (const Stmt* l = context; l != nullptr; l = l->parent)
+                if (l == d.loop) return &d;
+        }
+        return nullptr;
+    }
+    [[nodiscard]] const std::vector<ArrayPrivDecision>& arrays() const {
+        return arrays_;
+    }
+    [[nodiscard]] const std::unordered_map<int, ScalarMapDecision>& scalars()
+        const {
+        return scalar_;
+    }
+
+    void setControlPrivatized(const Stmt* s, bool v) { cf_[s] = v; }
+    /// Privatized execution of control flow statement `s` (Section 4).
+    [[nodiscard]] bool controlPrivatized(const Stmt* s) const {
+        auto it = cf_.find(s);
+        return it != cf_.end() && it->second;
+    }
+
+private:
+    std::unordered_map<int, ScalarMapDecision> scalar_;
+    std::vector<ArrayPrivDecision> arrays_;
+    std::unordered_map<const Stmt*, bool> cf_;
+};
+
+}  // namespace phpf

@@ -1,0 +1,104 @@
+#include "mapping/dist.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+DimDist::DimDist(DistKind kind, std::int64_t lb, std::int64_t ub, int procs,
+                 int blockSize)
+    : kind_(kind), lb_(lb), ub_(ub), procs_(procs) {
+    PHPF_ASSERT(ub >= lb, "empty distribution range");
+    PHPF_ASSERT(procs >= 1, "need at least one processor");
+    switch (kind) {
+        case DistKind::Block:
+            block_ = (extent() + procs - 1) / procs;
+            break;
+        case DistKind::Cyclic:
+            block_ = 1;
+            break;
+        case DistKind::BlockCyclic:
+            PHPF_ASSERT(blockSize >= 1, "CYCLIC(k) needs k >= 1");
+            block_ = blockSize;
+            break;
+        case DistKind::Serial:
+            block_ = extent();
+            break;
+    }
+}
+
+int DimDist::ownerOf(std::int64_t idx) const {
+    // Alignment offsets can push derived positions slightly past the
+    // template bounds (HPF clamps the mapping at the template edge).
+    idx = std::clamp(idx, lb_, ub_);
+    const std::int64_t off = idx - lb_;
+    switch (kind_) {
+        case DistKind::Block:
+            return static_cast<int>(off / block_);
+        case DistKind::Cyclic:
+            return static_cast<int>(off % procs_);
+        case DistKind::BlockCyclic:
+            return static_cast<int>((off / block_) % procs_);
+        case DistKind::Serial:
+            return 0;
+    }
+    return 0;
+}
+
+std::int64_t DimDist::localCount(int p) const {
+    return localCountInRange(p, lb_, ub_);
+}
+
+std::int64_t DimDist::localCountInRange(int p, std::int64_t first,
+                                        std::int64_t last) const {
+    first = std::max(first, lb_);
+    last = std::min(last, ub_);
+    if (first > last) return 0;
+    const std::int64_t n = last - first + 1;
+    switch (kind_) {
+        case DistKind::Serial:
+            return n;
+        case DistKind::Block: {
+            // Owned global range of p is [lb + p*b, lb + (p+1)*b - 1].
+            const std::int64_t ownedFirst = lb_ + static_cast<std::int64_t>(p) * block_;
+            const std::int64_t ownedLast = std::min(ub_, ownedFirst + block_ - 1);
+            const std::int64_t lo = std::max(first, ownedFirst);
+            const std::int64_t hi = std::min(last, ownedLast);
+            return hi >= lo ? hi - lo + 1 : 0;
+        }
+        case DistKind::Cyclic: {
+            // Indices congruent to p modulo procs within [first, last].
+            const std::int64_t offFirst = first - lb_;
+            std::int64_t firstOwned = offFirst + ((p - offFirst) % procs_ + procs_) % procs_;
+            if (firstOwned > last - lb_) return 0;
+            return (last - lb_ - firstOwned) / procs_ + 1;
+        }
+        case DistKind::BlockCyclic: {
+            // Walk whole blocks; ranges here are small in practice
+            // (benchmarks use BLOCK/CYCLIC), so O(blocks) is fine.
+            std::int64_t count = 0;
+            for (std::int64_t blockStart = lb_; blockStart <= ub_;
+                 blockStart += block_) {
+                const int owner =
+                    static_cast<int>(((blockStart - lb_) / block_) % procs_);
+                if (owner != p) continue;
+                const std::int64_t blockEnd =
+                    std::min(ub_, blockStart + block_ - 1);
+                const std::int64_t lo = std::max(first, blockStart);
+                const std::int64_t hi = std::min(last, blockEnd);
+                if (hi >= lo) count += hi - lo + 1;
+            }
+            return count;
+        }
+    }
+    return 0;
+}
+
+std::int64_t DimDist::maxLocalCount() const {
+    std::int64_t mx = 0;
+    for (int p = 0; p < procs_; ++p) mx = std::max(mx, localCount(p));
+    return mx;
+}
+
+}  // namespace phpf

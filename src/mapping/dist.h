@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ir/directive.h"
+
+namespace phpf {
+
+/// Distribution of one global index range [lb, ub] over `procs`
+/// processors along one grid dimension. Encapsulates all the HPF
+/// owner-arithmetic for BLOCK, CYCLIC and CYCLIC(k).
+class DimDist {
+public:
+    DimDist() = default;
+    DimDist(DistKind kind, std::int64_t lb, std::int64_t ub, int procs,
+            int blockSize = 0);
+
+    [[nodiscard]] DistKind kind() const { return kind_; }
+    [[nodiscard]] int procs() const { return procs_; }
+    [[nodiscard]] std::int64_t lb() const { return lb_; }
+    [[nodiscard]] std::int64_t ub() const { return ub_; }
+    [[nodiscard]] std::int64_t extent() const { return ub_ - lb_ + 1; }
+    /// Effective block size: ceil(N/P) for BLOCK, 1 for CYCLIC, k for
+    /// CYCLIC(k); the whole extent for Serial.
+    [[nodiscard]] std::int64_t blockSize() const { return block_; }
+
+    /// Which processor (coordinate in this grid dim) owns global index
+    /// `idx`. Serial distributions return 0 (conceptually every
+    /// processor in this dim holds the dimension; callers treat Serial
+    /// dims as non-partitioning).
+    [[nodiscard]] int ownerOf(std::int64_t idx) const;
+
+    /// Number of indices of [lb, ub] owned by processor `p`.
+    [[nodiscard]] std::int64_t localCount(int p) const;
+    /// Max over processors of localCount — the load-balance bound used
+    /// by the analytic cost model.
+    [[nodiscard]] std::int64_t maxLocalCount() const;
+    /// Number of indices in [first, last] owned by processor `p`.
+    [[nodiscard]] std::int64_t localCountInRange(int p, std::int64_t first,
+                                                 std::int64_t last) const;
+
+private:
+    DistKind kind_ = DistKind::Serial;
+    std::int64_t lb_ = 1;
+    std::int64_t ub_ = 1;
+    int procs_ = 1;
+    std::int64_t block_ = 1;
+};
+
+}  // namespace phpf

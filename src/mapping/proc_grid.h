@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+/// A logical multi-dimensional processor grid (HPF PROCESSORS array).
+/// Coordinates are row-major linearized for the simulator.
+class ProcGrid {
+public:
+    ProcGrid() : extents_{1} {}
+    explicit ProcGrid(std::vector<int> extents) : extents_(std::move(extents)) {
+        PHPF_ASSERT(!extents_.empty(), "grid must have rank >= 1");
+        for (int e : extents_) PHPF_ASSERT(e >= 1, "grid extents must be >= 1");
+    }
+
+    [[nodiscard]] int rank() const { return static_cast<int>(extents_.size()); }
+    [[nodiscard]] int extent(int dim) const {
+        return extents_[static_cast<size_t>(dim)];
+    }
+    [[nodiscard]] const std::vector<int>& extents() const { return extents_; }
+    [[nodiscard]] int totalProcs() const {
+        int n = 1;
+        for (int e : extents_) n *= e;
+        return n;
+    }
+
+    [[nodiscard]] int linearize(const std::vector<int>& coords) const {
+        PHPF_ASSERT(coords.size() == extents_.size(), "coord rank mismatch");
+        int lin = 0;
+        for (size_t d = 0; d < extents_.size(); ++d) {
+            PHPF_ASSERT(coords[d] >= 0 && coords[d] < extents_[d],
+                        "grid coordinate out of range");
+            lin = lin * extents_[d] + coords[d];
+        }
+        return lin;
+    }
+
+    [[nodiscard]] std::vector<int> coordsOf(int linear) const {
+        std::vector<int> c(extents_.size());
+        for (size_t d = extents_.size(); d-- > 0;) {
+            c[d] = linear % extents_[d];
+            linear /= extents_[d];
+        }
+        return c;
+    }
+
+    [[nodiscard]] std::string str() const {
+        std::string s = "(";
+        for (size_t d = 0; d < extents_.size(); ++d) {
+            if (d > 0) s += "x";
+            s += std::to_string(extents_[d]);
+        }
+        return s + ")";
+    }
+
+private:
+    std::vector<int> extents_;
+};
+
+}  // namespace phpf

@@ -1,0 +1,671 @@
+#include "privatize/mapping_pass.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/array_priv.h"
+#include "analysis/privatizable.h"
+#include "comm/classify.h"
+#include "ir/printer.h"
+#include "privatize/use_site.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+MappingPass::MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
+                         MappingOptions opts)
+    : prog_(p), ssa_(ssa), dm_(dm), opts_(opts), aff_(p, &ssa) {
+    visited_.assign(ssa.defs().size(), 0);
+    inProgress_.assign(ssa.defs().size(), 0);
+}
+
+void MappingPass::run() {
+    reductions_ = findReductions(ssa_);
+    // Arrays first: scalar consumer analysis consults array decisions.
+    decideArrays();
+    decideControlFlow();
+    for (const auto& d : ssa_.defs())
+        if (d.kind == SsaDef::Kind::Assign) determineMapping(d.id);
+    resolveNoAlignList();
+}
+
+// ---------------------------------------------------------------------------
+// Scalars (Fig. 3)
+// ---------------------------------------------------------------------------
+
+void MappingPass::determineMapping(int defId) {
+    if (visited_[static_cast<size_t>(defId)] ||
+        inProgress_[static_cast<size_t>(defId)])
+        return;
+    const SsaDef& def = ssa_.def(defId);
+    if (def.kind != SsaDef::Kind::Assign) return;
+    inProgress_[static_cast<size_t>(defId)] = 1;
+    Stmt* s = def.stmt;
+
+    ScalarMapDecision dec;  // default: replicated
+    dec.rationale = "replicated (default)";
+
+    auto finish = [&]() {
+        inProgress_[static_cast<size_t>(defId)] = 0;
+        visited_[static_cast<size_t>(defId)] = 1;
+        if (decisions_.forDef(defId) == nullptr) decisions_.setScalar(defId, dec);
+    };
+
+    if (!opts_.privatization) {
+        finish();
+        return;
+    }
+
+    // Reduction results take the Section 2.3 path.
+    if (const ReductionInfo* red = reductionOfStmt(reductions_, s)) {
+        if (red->stmt == s || red->locStmt == s) {
+            inProgress_[static_cast<size_t>(defId)] = 0;
+            handleReduction(*red);
+            visited_[static_cast<size_t>(defId)] = 1;
+            return;
+        }
+    }
+
+    const Stmt* privLoop = outermostPrivatizationLoop(ssa_, defId);
+    if (privLoop == nullptr) {
+        dec.rationale = "replicated (not privatizable in any loop)";
+        finish();
+        return;
+    }
+
+    const bool rhsRepl = rhsReplicated(s);
+    const bool noAlignCandidate = rhsRepl && ssa_.isUniqueDef(defId);
+
+    const Expr* alignRef = nullptr;
+    bool viaConsumer = false;
+    if (opts_.alignPolicy == MappingOptions::AlignPolicy::Selected) {
+        const ConsumerSelection consumer = selectConsumerRef(defId);
+        if (consumer.dummyReplicated) {
+            // A reached use must be available on every processor (loop
+            // bound / guard / broadcast subscript): the value stays
+            // replicated — privatization without alignment would only
+            // cover the executing union.
+            dec.rationale = "replicated (use needed on all processors)";
+            finish();
+            return;
+        }
+        alignRef = consumer.ref;
+        viaConsumer = alignRef != nullptr;
+        if (!rhsRepl &&
+            (alignRef == nullptr || alignmentCausesInnerComm(s, alignRef))) {
+            if (const Expr* prod = selectProducerRef(s)) {
+                alignRef = prod;
+                viaConsumer = false;
+            }
+        }
+    } else {  // ProducerOnly
+        alignRef = selectProducerRef(s);
+        viaConsumer = false;
+    }
+
+    // The recursive consumer/producer analysis may have decided this
+    // definition already (e.g. as part of a reduction group). Keep the
+    // group's decision — Section 2.2 requires consistency.
+    if (decisions_.forDef(defId) != nullptr) {
+        inProgress_[static_cast<size_t>(defId)] = 0;
+        visited_[static_cast<size_t>(defId)] = 1;
+        return;
+    }
+
+    if (alignRef != nullptr) {
+        const int al = alignLevelOf(alignRef);
+        // The alignment is well-defined only inside the loop at nesting
+        // level AlignLevel (Fig. 4). Privatize with respect to the
+        // outermost enclosing loop at that level or deeper for which the
+        // definition is privatizable.
+        const Stmt* chosen = nullptr;
+        for (const Stmt* l : prog_.enclosingLoops(s)) {
+            if (l->loopNestingLevel() < al) continue;
+            if (isPrivatizableAt(ssa_, defId, l)) {
+                chosen = l;
+                break;
+            }
+        }
+        if (chosen != nullptr) {
+            dec.kind = ScalarMapKind::Aligned;
+            dec.alignRef = alignRef;
+            dec.viaConsumer = viaConsumer;
+            dec.alignLevel = al;
+            dec.privLoop = chosen;
+            dec.rationale =
+                std::string("aligned with ") +
+                (viaConsumer ? "consumer " : "producer ") +
+                printExpr(prog_, alignRef);
+            inProgress_[static_cast<size_t>(defId)] = 0;
+            visited_[static_cast<size_t>(defId)] = 1;
+            recordForGroup(defId, dec);
+            if (noAlignCandidate) noAlignList_.push_back(defId);
+            return;
+        }
+        dec.rationale = "replicated (alignment invalid at privatization level)";
+    } else if (!noAlignCandidate) {
+        dec.rationale = "replicated (no alignment target)";
+    }
+    if (noAlignCandidate) noAlignList_.push_back(defId);
+    finish();
+}
+
+void MappingPass::recordForGroup(int defId, const ScalarMapDecision& d) {
+    // The compiler imposes: all reaching definitions of every reached use
+    // get an identical mapping (Section 2.2).
+    decisions_.setScalar(defId, d);
+    const UseClosure closure = ssa_.reachedUses(defId);
+    for (const Expr* u : closure.uses) {
+        for (int rd : ssa_.reachingDefs(u)) {
+            if (rd == defId) continue;
+            decisions_.setScalar(rd, d);
+            visited_[static_cast<size_t>(rd)] = 1;
+        }
+    }
+}
+
+bool MappingPass::rhsReplicated(const Stmt* s) const {
+    if (s->rhs == nullptr) return true;
+    const RefDescriber rd = describer();
+    bool allRepl = true;
+    Program::walkExpr(const_cast<Expr*>(s->rhs), [&](Expr* e) {
+        if (!allRepl || !e->isRef()) return;
+        if (!rd.describe(e).fullyReplicated()) allRepl = false;
+    });
+    return allRepl;
+}
+
+MappingPass::ConsumerSelection MappingPass::selectConsumerRef(int defId) {
+    const SsaDef& def = ssa_.def(defId);
+    const UseClosure closure = ssa_.reachedUses(defId);
+    const RefDescriber rd = describer();
+
+    const Expr* best = nullptr;
+    int bestScore = 0;
+    for (const Expr* u : closure.uses) {
+        const Stmt* su = u->parentStmt;
+        const auto site = locateUse(su, u);
+        if (!site) continue;
+        switch (site->where) {
+            case UseSite::Where::LoopBound:
+                return {nullptr, true};
+            case UseSite::Where::Cond:
+                // Predicate data must reach the union of executors of
+                // the dependent statements; treated as replicated here
+                // (the control-flow rules of Section 4 narrow the set
+                // when the statement's execution is privatized).
+                return {nullptr, true};
+            case UseSite::Where::LhsSubscript:
+                // Needed to evaluate the computation-partitioning guard
+                // on every processor.
+                return {nullptr, true};
+            case UseSite::Where::RhsSubscript: {
+                // If the enclosing reference needs no communication, only
+                // the executing processor needs the subscript: consumer is
+                // the lhs. Otherwise the subscript must be broadcast.
+                const Expr* lhsRef =
+                    su->kind == StmtKind::Assign ? su->lhs : nullptr;
+                if (lhsRef == nullptr) return {nullptr, true};
+                const CommRequirement req = classifyComm(
+                    rd.describe(lhsRef), rd.describe(site->enclosingRef));
+                if (req.needed) return {nullptr, true};
+                const int score = scoreCandidate(lhsRef, def.stmt);
+                if (score > bestScore) {
+                    bestScore = score;
+                    best = lhsRef;
+                }
+                break;
+            }
+            case UseSite::Where::RhsValue: {
+                if (su->kind != StmtKind::Assign) break;
+                const Expr* lhsRef = su->lhs;
+                const Expr* candidate = nullptr;
+                if (lhsRef->kind == ExprKind::VarRef) {
+                    // A privatizable consumer may itself need mapping
+                    // first (the recursive case of Section 2.2).
+                    const int ld = ssa_.defIdOfAssign(su);
+                    if (ld >= 0) const_cast<MappingPass*>(this)->determineMapping(ld);
+                    const ScalarMapDecision* ldec =
+                        ld >= 0 ? decisions_.forDef(ld) : nullptr;
+                    if (ldec != nullptr && ldec->kind == ScalarMapKind::Aligned)
+                        candidate = ldec->alignRef;
+                } else {
+                    if (rd.describe(lhsRef).anyConstrained()) candidate = lhsRef;
+                }
+                if (candidate != nullptr &&
+                    candidate->kind == ExprKind::ArrayRef) {
+                    const int score = scoreCandidate(candidate, def.stmt);
+                    if (score > bestScore) {
+                        bestScore = score;
+                        best = candidate;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    return {best, false};
+}
+
+const Expr* MappingPass::selectProducerRef(const Stmt* s) {
+    if (s->rhs == nullptr) return nullptr;
+    const Expr* best = nullptr;
+    int bestScore = 0;
+    // A producer is a partitioned array *or scalar* reference on the
+    // statement (Section 2.2); a privatized scalar producer stands for
+    // its own alignment target.
+    Program::walkExpr(const_cast<Expr*>(s->rhs), [&](Expr* e) {
+        if (!e->isRef()) return;
+        const Expr* candidate = nullptr;
+        if (e->kind == ExprKind::ArrayRef) {
+            if (describer().describe(e).anyConstrained()) candidate = e;
+        } else {
+            for (int rd : ssa_.reachingDefs(e)) determineMapping(rd);
+            const ScalarMapDecision* dec = decisions_.forUse(ssa_, e);
+            if (dec != nullptr && dec->kind == ScalarMapKind::Aligned)
+                candidate = dec->alignRef;
+        }
+        if (candidate == nullptr) return;
+        const int score = scoreCandidate(candidate, s);
+        if (score > bestScore) {
+            bestScore = score;
+            best = candidate;
+        }
+    });
+    return best;
+}
+
+int MappingPass::scoreCandidate(const Expr* ref, const Stmt* defStmt) const {
+    if (ref->kind != ExprKind::ArrayRef) return 0;
+    const RefDesc desc = describer().describe(ref);
+    if (!desc.anyConstrained()) return 0;
+    int score = 1;
+    // Prefer a reference that traverses a distributed dimension in the
+    // innermost common loop (Section 2.2: A(i) over A(1)), so the scalar
+    // moves across processors with the iteration.
+    const Stmt* common = prog_.innermostCommonLoop(defStmt, ref->parentStmt);
+    if (common != nullptr) {
+        for (const auto& dim : desc.dims) {
+            if (!dim.partitioned()) continue;
+            if (dim.subscript.affine && dim.subscript.coeffOf(common) != 0)
+                score = 2;
+        }
+    }
+    return score;
+}
+
+bool MappingPass::alignmentCausesInnerComm(const Stmt* s,
+                                           const Expr* target) const {
+    if (s->rhs == nullptr || s->level == 0) return false;
+    const RefDescriber rd = describer();
+    const RefDesc execDesc = rd.describe(target);
+    bool inner = false;
+    Program::walkExpr(const_cast<Expr*>(s->rhs), [&](Expr* e) {
+        if (inner || !e->isRef()) return;
+        const CommRequirement req = classifyComm(execDesc, rd.describe(e));
+        if (req.needed && isInnerLoopComm(prog_, &ssa_, e)) inner = true;
+    });
+    return inner;
+}
+
+int MappingPass::alignLevelOf(const Expr* ref,
+                              const std::set<int>& skipGrid) const {
+    if (ref->kind != ExprKind::ArrayRef) return 0;
+    const RefDesc desc = describer().describe(ref);
+    int level = 0;
+    // AlignLevel = max SubscriptAlignLevel over partitioned dims of the
+    // reference (Fig. 4); partial privatization skips the partitioned
+    // (non-privatized) grid dims (Section 3.2).
+    for (size_t g = 0; g < desc.dims.size(); ++g) {
+        const RefDim& dim = desc.dims[g];
+        if (!dim.partitioned()) continue;
+        if (skipGrid.count(static_cast<int>(g)) > 0) continue;
+        const int sal = dim.subscript.affine ? dim.subscript.varLevel
+                                             : dim.subscript.varLevel + 1;
+        level = std::max(level, sal);
+    }
+    return level;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (Section 2.3)
+// ---------------------------------------------------------------------------
+
+void MappingPass::handleReduction(const ReductionInfo& red) {
+    const int valDef = ssa_.defIdOfAssign(red.stmt);
+    const int locDef =
+        red.locStmt != nullptr ? ssa_.defIdOfAssign(red.locStmt) : -1;
+
+    auto markVisited = [&](const ScalarMapDecision& d) {
+        // Propagate to the whole reaching-def group (Section 2.2's
+        // consistency restriction): e.g. the l = k initialization before
+        // a MAXLOC must carry the same mapping as the reduction result.
+        if (valDef >= 0) {
+            visited_[static_cast<size_t>(valDef)] = 1;
+            recordForGroup(valDef, d);
+        }
+        if (locDef >= 0) {
+            visited_[static_cast<size_t>(locDef)] = 1;
+            recordForGroup(locDef, d);
+        }
+    };
+
+    ScalarMapDecision dec;
+    dec.isReductionResult = true;
+    dec.rationale = "replicated (reduction, alignment disabled)";
+    if (!opts_.reductionAlignment) {
+        markVisited(dec);
+        return;
+    }
+
+    // The result must be privatizable w.r.t. the loop immediately
+    // surrounding the reduction loop nest.
+    const Stmt* outermostRed = red.loops.front();
+    const auto enclosing = prog_.enclosingLoops(outermostRed);
+    const Stmt* surrounding = enclosing.empty() ? nullptr : enclosing.back();
+    if (surrounding != nullptr && valDef >= 0 &&
+        !isPrivatizableAt(ssa_, valDef, surrounding)) {
+        dec.rationale = "replicated (reduction result live outside loop)";
+        markVisited(dec);
+        return;
+    }
+
+    // Alignment target: the partitioned reference whose ownership
+    // partitions the local reduction.
+    const Expr* searchRoot =
+        red.guard != nullptr ? red.guard->cond : red.stmt->rhs;
+    const RefDescriber rd = describer();
+    const Expr* target = nullptr;
+    int bestScore = 0;
+    Program::walkExpr(const_cast<Expr*>(searchRoot), [&](Expr* e) {
+        if (e->kind != ExprKind::ArrayRef) return;
+        if (!rd.describe(e).anyConstrained()) return;
+        const int score = scoreCandidate(e, red.stmt);
+        if (score > bestScore) {
+            bestScore = score;
+            target = e;
+        }
+    });
+    if (target == nullptr) {
+        dec.rationale = "replicated (reduction over replicated data)";
+        markVisited(dec);
+        return;
+    }
+
+    // Grid dims the reduction spans: dims whose subscript varies with a
+    // reduction loop. The scalar is replicated across those and aligned
+    // with the target in the rest.
+    const RefDesc tdesc = rd.describe(target);
+    std::set<int> redDims;
+    for (size_t g = 0; g < tdesc.dims.size(); ++g) {
+        const RefDim& dim = tdesc.dims[g];
+        if (!dim.partitioned()) continue;
+        for (const Stmt* l : red.loops) {
+            const bool varies = dim.subscript.affine
+                                    ? dim.subscript.coeffOf(l) != 0
+                                    : dim.subscript.varLevel >=
+                                          l->loopNestingLevel();
+            if (varies) redDims.insert(static_cast<int>(g));
+        }
+    }
+
+    const int al = alignLevelOf(target, redDims);
+    const int validLevel = surrounding != nullptr
+                               ? surrounding->loopNestingLevel()
+                               : 0;
+    if (surrounding != nullptr && al > validLevel) {
+        dec.rationale = "replicated (reduction alignment invalid)";
+        markVisited(dec);
+        return;
+    }
+
+    dec.kind = ScalarMapKind::Aligned;
+    dec.alignRef = target;
+    dec.viaConsumer = false;
+    dec.alignLevel = al;
+    dec.privLoop = surrounding;
+    dec.reductionGridDims.assign(redDims.begin(), redDims.end());
+    dec.rationale = "reduction result aligned with " + printExpr(prog_, target);
+    markVisited(dec);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred privatization without alignment
+// ---------------------------------------------------------------------------
+
+void MappingPass::resolveNoAlignList() {
+    // Re-examine: if every rhs datum is still replicated now that all
+    // mapping decisions are in, privatize without alignment (Fig. 3's
+    // NoAlignExam deferral).
+    for (int defId : noAlignList_) {
+        const SsaDef& def = ssa_.def(defId);
+        if (!rhsReplicated(def.stmt)) continue;
+        const Stmt* privLoop = outermostPrivatizationLoop(ssa_, defId);
+        ScalarMapDecision dec;
+        dec.kind = ScalarMapKind::PrivatizedNoAlign;
+        dec.privLoop = privLoop;
+        dec.rationale = "privatized without alignment (rhs replicated)";
+        recordForGroup(defId, dec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrays (Section 3)
+// ---------------------------------------------------------------------------
+
+void MappingPass::decideArrays() {
+    prog_.forEachStmt([&](Stmt* s) {
+        if (s->kind != StmtKind::Do || !s->independent) return;
+        for (SymbolId v : s->newVars)
+            if (prog_.sym(v).isArray()) decideOneArray(v, s);
+    });
+    if (!opts_.autoArrayPrivatization) return;
+    // Future-work extension: arrays proven privatizable without a NEW
+    // clause go through the same mapping procedure.
+    for (const AutoPrivArray& ap : findAutoPrivatizableArrays(prog_, ssa_)) {
+        if (decisions_.forArrayAt(ap.array, ap.loop->body.empty()
+                                                ? static_cast<const Stmt*>(ap.loop)
+                                                : ap.loop->body.front()) != nullptr)
+            continue;  // a NEW clause already covered it
+        decideOneArray(ap.array, ap.loop);
+    }
+}
+
+void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
+    ArrayPrivDecision dec;
+    dec.array = array;
+    dec.loop = loop;
+    const int rank = dm_.grid().rank();
+    dec.privatizedGrid.assign(static_cast<size_t>(rank), 0);
+    dec.rationale = "replicated (array privatization disabled)";
+
+    if (!opts_.privatization || !opts_.arrayPrivatization) {
+        decisions_.addArray(std::move(dec));
+        return;
+    }
+
+    // Collect reads of the array inside the loop; their statements' lhs
+    // references are the consumer candidates.
+    const RefDescriber rd = describer();
+    const Expr* target = nullptr;
+    const Expr* sourceUse = nullptr;
+    int bestScore = 0;
+    prog_.forEachStmt([&](Stmt* s) {
+        if (s->kind != StmtKind::Assign || !Program::isInsideLoop(s, loop))
+            return;
+        Program::walkExpr(s->rhs, [&](Expr* e) {
+            if (e->kind != ExprKind::ArrayRef || e->sym != array) return;
+            const Expr* lhsRef = s->lhs;
+            if (lhsRef->kind != ExprKind::ArrayRef) return;
+            if (!rd.describe(lhsRef).anyConstrained()) return;
+            const int score = scoreCandidate(lhsRef, s);
+            if (score > bestScore) {
+                bestScore = score;
+                target = lhsRef;
+                sourceUse = e;
+            }
+        });
+    });
+
+    const int privLevel = loop->loopNestingLevel();
+    if (target == nullptr) {
+        // No partitioned consumer: private copies everywhere are enough.
+        dec.kind = ArrayPrivDecision::Kind::Full;
+        std::fill(dec.privatizedGrid.begin(), dec.privatizedGrid.end(), 1);
+        dec.rationale = "fully privatized (no partitioned consumer)";
+        decisions_.addArray(std::move(dec));
+        return;
+    }
+
+    dec.alignRef = target;
+    // Full privatization: valid when the target's alignment is
+    // well-defined throughout the privatizing loop in all grid dims.
+    if (alignLevelOf(target) <= privLevel) {
+        dec.kind = ArrayPrivDecision::Kind::Full;
+        std::fill(dec.privatizedGrid.begin(), dec.privatizedGrid.end(), 1);
+        dec.rationale =
+            "fully privatized, aligned with " + printExpr(prog_, target);
+        decisions_.addArray(std::move(dec));
+        return;
+    }
+
+    if (!opts_.partialPrivatization) {
+        dec.rationale = "replicated (full privatization invalid; partial "
+                        "privatization disabled)";
+        decisions_.addArray(std::move(dec));
+        return;
+    }
+
+    // Partial privatization (Section 3.2): partition the array dims that
+    // correspond (through a shared loop index) to partitioned dims of the
+    // target; privatize across the remaining grid dims.
+    const Symbol& asym = prog_.sym(array);
+    const Symbol& tsym = prog_.sym(target->sym);
+    const RefDesc tdesc = rd.describe(target);
+    (void)tsym;
+
+    ArrayMap inLoop;
+    inLoop.symbol = array;
+    inLoop.hasMapping = true;
+    inLoop.dims.resize(static_cast<size_t>(asym.rank()));
+    inLoop.replicatedGrid.assign(static_cast<size_t>(rank), 0);
+    inLoop.fixedCoord.assign(static_cast<size_t>(rank), -1);
+
+    std::set<int> privatizedDims;
+    for (int g = 0; g < rank; ++g) {
+        const RefDim& tdim = tdesc.dims[static_cast<size_t>(g)];
+        if (!tdim.partitioned()) continue;
+        // Match: a source-use subscript affine in the same single loop as
+        // the target subscript in this grid dim.
+        bool matched = false;
+        if (tdim.subscript.affine && tdim.subscript.terms.size() == 1) {
+            const Stmt* tLoop = tdim.subscript.terms[0].loop;
+            for (int sd = 0; sd < asym.rank(); ++sd) {
+                const AffineForm sf =
+                    aff_.analyze(sourceUse->args[static_cast<size_t>(sd)]);
+                if (!sf.affine || sf.terms.size() != 1) continue;
+                if (sf.terms[0].loop != tLoop) continue;
+                if (sf.terms[0].coeff != tdim.subscript.terms[0].coeff)
+                    continue;
+                ArrayDimMap& m = inLoop.dims[static_cast<size_t>(sd)];
+                m.gridDim = g;
+                m.dist = tdim.dist;
+                // Source element x sits where the target index
+                // (x - c_src + c_tgt) sits.
+                m.alignOffset =
+                    tdim.subscript.c0 - sf.c0 + tdim.offset;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            privatizedDims.insert(g);
+            inLoop.replicatedGrid[static_cast<size_t>(g)] = 1;
+            dec.privatizedGrid[static_cast<size_t>(g)] = 1;
+        }
+    }
+
+    // Validity: AlignLevel restricted to the privatized grid dims.
+    std::set<int> skip;
+    for (int g = 0; g < rank; ++g)
+        if (privatizedDims.count(g) == 0) skip.insert(g);
+    if (alignLevelOf(target, skip) > privLevel) {
+        dec.kind = ArrayPrivDecision::Kind::Replicated;
+        dec.rationale = "replicated (partial privatization invalid)";
+        decisions_.addArray(std::move(dec));
+        return;
+    }
+
+    dec.kind = ArrayPrivDecision::Kind::Partial;
+    dec.mapInLoop = std::move(inLoop);
+    std::ostringstream os;
+    os << "partially privatized: partitioned in grid dims {";
+    bool first = true;
+    for (int g = 0; g < rank; ++g) {
+        if (dec.privatizedGrid[static_cast<size_t>(g)]) continue;
+        os << (first ? "" : ",") << g;
+        first = false;
+    }
+    os << "}, privatized in {";
+    first = true;
+    for (int g : privatizedDims) {
+        os << (first ? "" : ",") << g;
+        first = false;
+    }
+    os << "}, aligned with " << printExpr(prog_, target);
+    dec.rationale = os.str();
+    decisions_.addArray(std::move(dec));
+}
+
+// ---------------------------------------------------------------------------
+// Control flow (Section 4)
+// ---------------------------------------------------------------------------
+
+void MappingPass::decideControlFlow() {
+    prog_.forEachStmt([&](Stmt* s) {
+        if (s->kind != StmtKind::If && s->kind != StmtKind::Goto) return;
+        const auto loops = prog_.enclosingLoops(s);
+        if (loops.empty() || !opts_.controlFlowPrivatization ||
+            !opts_.privatization) {
+            decisions_.setControlPrivatized(s, false);
+            return;
+        }
+        const Stmt* innermost = loops.back();
+        bool privatized = true;
+        if (s->kind == StmtKind::Goto) {
+            const Stmt* tgt = prog_.findLabel(s->gotoTarget);
+            privatized = tgt != nullptr && Program::isInsideLoop(tgt, innermost);
+        }
+        decisions_.setControlPrivatized(s, privatized);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+std::string MappingPass::report() const {
+    std::ostringstream os;
+    os << "mapping decisions for program '" << prog_.name << "':\n";
+    for (const auto& d : ssa_.defs()) {
+        if (d.kind != SsaDef::Kind::Assign) continue;
+        const ScalarMapDecision* dec = decisions_.forDef(d.id);
+        if (dec == nullptr) continue;
+        os << "  " << prog_.sym(d.sym).name << "#" << d.version << " @ s"
+           << d.stmt->id << ": " << dec->rationale << "\n";
+    }
+    for (const auto& a : decisions_.arrays())
+        os << "  array " << prog_.sym(a.array).name << " @ do "
+           << prog_.sym(a.loop->loopVar).name << ": " << a.rationale << "\n";
+    prog_.forEachStmt([&](const Stmt* s) {
+        if (s->kind != StmtKind::If && s->kind != StmtKind::Goto) return;
+        if (prog_.enclosingLoops(s).empty()) return;
+        os << "  control s" << s->id << ": "
+           << (decisions_.controlPrivatized(s) ? "privatized execution"
+                                               : "executed by all processors")
+           << "\n";
+    });
+    return os.str();
+}
+
+}  // namespace phpf

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "analysis/reduction.h"
+#include "comm/ref_desc.h"
+#include "mapping/decisions.h"
+
+namespace phpf {
+
+/// Compiler options selecting between the paper's evaluated variants.
+struct MappingOptions {
+    /// Master switch (Table 1 "Replication" column when false).
+    bool privatization = true;
+
+    enum class AlignPolicy : std::uint8_t {
+        Selected,      ///< full Fig. 3 algorithm (Table 1 "Selected Alignment")
+        ProducerOnly,  ///< always align with a partitioned producer
+                       ///< (Table 1 "Producer Alignment")
+    };
+    AlignPolicy alignPolicy = AlignPolicy::Selected;
+
+    /// Section 2.3 special mapping of reduction results (Table 2).
+    bool reductionAlignment = true;
+    /// Section 3.1 array privatization from NEW clauses (Table 3).
+    bool arrayPrivatization = true;
+    /// Section 3.2 partial privatization (Table 3).
+    bool partialPrivatization = true;
+    /// Automatic array privatization without NEW clauses — the paper's
+    /// future-work extension (analysis/array_priv.h). Off by default to
+    /// match phpf, which relied on directives.
+    bool autoArrayPrivatization = false;
+    /// Section 4 privatized execution of control flow statements.
+    bool controlFlowPrivatization = true;
+};
+
+/// The paper's core contribution: decides the mapping of every
+/// privatizable scalar definition (Fig. 3's DetermineMapping), of
+/// privatizable arrays including partial privatization, of reduction
+/// results, and of control flow statements. Runs as a first pass of
+/// communication analysis, exactly as in phpf (Section 2.2).
+class MappingPass {
+public:
+    MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
+                MappingOptions opts = {});
+
+    void run();
+
+    [[nodiscard]] const MappingDecisions& decisions() const { return decisions_; }
+    [[nodiscard]] const std::vector<ReductionInfo>& reductions() const {
+        return reductions_;
+    }
+    [[nodiscard]] const MappingOptions& options() const { return opts_; }
+    /// Human-readable summary of every decision (used by examples and
+    /// the driver's -report mode).
+    [[nodiscard]] std::string report() const;
+
+private:
+    struct ConsumerSelection {
+        const Expr* ref = nullptr;
+        bool dummyReplicated = false;  ///< value must be available everywhere
+    };
+
+    void determineMapping(int defId);
+    void handleReduction(const ReductionInfo& red);
+    [[nodiscard]] ConsumerSelection selectConsumerRef(int defId);
+    [[nodiscard]] const Expr* selectProducerRef(const Stmt* s);
+    [[nodiscard]] bool rhsReplicated(const Stmt* s) const;
+    [[nodiscard]] bool alignmentCausesInnerComm(const Stmt* s,
+                                                const Expr* target) const;
+    /// AlignLevel(ref) (Fig. 4): max SubscriptAlignLevel over the
+    /// partitioned dims of `ref`, skipping grid dims in `skipGrid`.
+    [[nodiscard]] int alignLevelOf(const Expr* ref,
+                                   const std::set<int>& skipGrid = {}) const;
+    [[nodiscard]] int scoreCandidate(const Expr* ref, const Stmt* defStmt) const;
+    void recordForGroup(int defId, const ScalarMapDecision& d);
+    void decideArrays();
+    void decideOneArray(SymbolId array, Stmt* loop);
+    void decideControlFlow();
+    void resolveNoAlignList();
+    [[nodiscard]] RefDescriber describer() const {
+        return RefDescriber(prog_, dm_, &ssa_, &decisions_, aff_);
+    }
+
+    Program& prog_;
+    const SsaForm& ssa_;
+    const DataMapping& dm_;
+    MappingOptions opts_;
+    AffineAnalyzer aff_;
+    std::vector<ReductionInfo> reductions_;
+    MappingDecisions decisions_;
+    std::vector<char> visited_;
+    std::vector<char> inProgress_;
+    std::vector<int> noAlignList_;
+};
+
+}  // namespace phpf

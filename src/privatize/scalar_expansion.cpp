@@ -1,0 +1,92 @@
+#include "privatize/scalar_expansion.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/affine.h"
+
+namespace phpf {
+
+namespace {
+
+/// Convert a VarRef node in place into `array(subscript)` .
+void toArrayRef(Program& p, Expr* node, SymbolId array, const Expr* subscript) {
+    node->kind = ExprKind::ArrayRef;
+    node->sym = array;
+    node->args = {cloneExpr(p, subscript)};
+}
+
+}  // namespace
+
+int expandAlignedScalars(Program& p, const SsaForm& ssa, const DataMapping& dm,
+                         const MappingDecisions& decisions) {
+    // Group decisions by scalar symbol: expansion is per-symbol.
+    std::map<SymbolId, const ScalarMapDecision*> candidates;
+    for (const auto& [defId, dec] : decisions.scalars()) {
+        if (dec.kind != ScalarMapKind::Aligned || dec.isReductionResult)
+            continue;
+        if (dec.alignRef == nullptr ||
+            dec.alignRef->kind != ExprKind::ArrayRef || dec.privLoop == nullptr)
+            continue;
+        const SsaDef& def = ssa.def(defId);
+        candidates.emplace(def.sym, &dec);
+    }
+
+    int expanded = 0;
+    for (const auto& [sym, dec] : candidates) {
+        const Expr* target = dec->alignRef;
+        const ArrayMap& tmap = dm.mapOf(target->sym);
+
+        // The expansion dimension: the target's first partitioned dim
+        // with a single-loop affine subscript.
+        int dimIdx = -1;
+        for (int d = 0; d < static_cast<int>(tmap.dims.size()); ++d) {
+            if (!tmap.dims[static_cast<size_t>(d)].partitioned()) continue;
+            dimIdx = d;
+            break;
+        }
+        if (dimIdx < 0) continue;
+        const Expr* subscript = target->args[static_cast<size_t>(dimIdx)];
+
+        // Every def and use of the scalar must live inside the
+        // privatizing loop (so one expansion site covers them all).
+        bool allInside = true;
+        std::vector<Expr*> sites;   // VarRef occurrences (defs' lhs + uses)
+        p.forEachStmt([&](Stmt* s) {
+            Program::forEachExpr(s, [&](Expr* e) {
+                if (e->kind != ExprKind::VarRef || e->sym != sym) return;
+                if (!Program::isInsideLoop(s, dec->privLoop)) allInside = false;
+                sites.push_back(e);
+            });
+        });
+        if (!allInside || sites.empty()) continue;
+
+        // Declare x_ex with the target dimension's bounds and align it
+        // with that dimension of the target array.
+        const Symbol& scalar = p.sym(sym);
+        const Symbol& tsym = p.sym(target->sym);
+        std::string newName = scalar.name + "_ex";
+        if (p.findSymbol(newName) != kNoSymbol) continue;  // already expanded
+        const SymbolId arr = p.addSymbol(
+            newName, scalar.type, {tsym.dims[static_cast<size_t>(dimIdx)]});
+
+        AlignDirective ad;
+        ad.source = arr;
+        ad.target = target->sym;
+        ad.dims.resize(tsym.dims.size());
+        for (size_t d = 0; d < tsym.dims.size(); ++d) {
+            if (static_cast<int>(d) == dimIdx)
+                ad.dims[d] = {AlignDim::Kind::SourceDim, 0, 0, 0};
+            else
+                ad.dims[d] = {AlignDim::Kind::Replicate, -1, 0, 0};
+        }
+        p.aligns.push_back(std::move(ad));
+
+        for (Expr* site : sites) toArrayRef(p, site, arr, subscript);
+        ++expanded;
+    }
+    if (expanded > 0) p.finalize();
+    return expanded;
+}
+
+}  // namespace phpf

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "mapping/decisions.h"
+
+namespace phpf {
+
+/// Scalar expansion (Padua & Wolfe, the paper's reference [16]) — the
+/// classical alternative to privatization. Each aligned privatizable
+/// scalar is expanded into an array indexed by the alignment target's
+/// distributed subscript and ALIGNed with the target array, so the
+/// values live exactly where privatization would have placed them — at
+/// the price of O(extent) storage per scalar.
+///
+/// Provided for the comparison ablation (bench_ablations): compiling
+/// the expanded program with privatization disabled should match the
+/// parallelism of the privatized original.
+///
+/// Only scalars whose every definition and use lies inside the
+/// privatizing loop and whose target has a single-loop affine
+/// partitioned subscript are expanded; the rest are left alone.
+/// Returns the number of scalars expanded. The program is mutated and
+/// re-finalized; the caller must recompile it.
+int expandAlignedScalars(Program& p, const SsaForm& ssa,
+                         const DataMapping& dm,
+                         const MappingDecisions& decisions);
+
+}  // namespace phpf

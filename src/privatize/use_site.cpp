@@ -1,0 +1,54 @@
+#include "privatize/use_site.h"
+
+namespace phpf {
+
+namespace {
+
+/// Depth-first search for `target` under `root`, remembering the
+/// innermost ArrayRef whose subscript subtree we are in.
+bool findUnder(const Expr* root, const Expr* target, const Expr* arrayAncestor,
+               const Expr** foundAncestor) {
+    if (root == target) {
+        *foundAncestor = arrayAncestor;
+        return true;
+    }
+    const Expr* nextAncestor =
+        root->kind == ExprKind::ArrayRef ? root : arrayAncestor;
+    for (const Expr* a : root->args)
+        if (findUnder(a, target, nextAncestor, foundAncestor)) return true;
+    return false;
+}
+
+}  // namespace
+
+std::optional<UseSite> locateUse(const Stmt* s, const Expr* use) {
+    const Expr* ancestor = nullptr;
+    switch (s->kind) {
+        case StmtKind::Assign:
+            if (s->rhs != nullptr && findUnder(s->rhs, use, nullptr, &ancestor)) {
+                if (ancestor == nullptr)
+                    return UseSite{UseSite::Where::RhsValue, nullptr};
+                return UseSite{UseSite::Where::RhsSubscript, ancestor};
+            }
+            if (s->lhs != nullptr && s->lhs->kind == ExprKind::ArrayRef) {
+                for (const Expr* sub : s->lhs->args)
+                    if (findUnder(sub, use, s->lhs, &ancestor))
+                        return UseSite{UseSite::Where::LhsSubscript, s->lhs};
+            }
+            return std::nullopt;
+        case StmtKind::If:
+            if (s->cond != nullptr && findUnder(s->cond, use, nullptr, &ancestor))
+                return UseSite{UseSite::Where::Cond, ancestor};
+            return std::nullopt;
+        case StmtKind::Do:
+            for (const Expr* bound : {s->lb, s->ub, s->step}) {
+                if (bound != nullptr && findUnder(bound, use, nullptr, &ancestor))
+                    return UseSite{UseSite::Where::LoopBound, nullptr};
+            }
+            return std::nullopt;
+        default:
+            return std::nullopt;
+    }
+}
+
+}  // namespace phpf

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+
+#include "ir/program.h"
+
+namespace phpf {
+
+/// Where a scalar use occurs within its statement — the distinctions
+/// the consumer-reference rules of Section 2.1 / Fig. 2 draw.
+struct UseSite {
+    enum class Where : std::uint8_t {
+        RhsValue,      ///< contributes to the computed value
+        RhsSubscript,  ///< inside a subscript of an rhs array reference
+        LhsSubscript,  ///< inside a subscript of the stored-to reference
+        Cond,          ///< in an IF predicate
+        LoopBound,     ///< in a DO bound or step
+    };
+    Where where = Where::RhsValue;
+    /// For RhsSubscript/LhsSubscript: the array reference whose subscript
+    /// contains the use.
+    const Expr* enclosingRef = nullptr;
+};
+
+/// Locate `use` within its parent statement. Returns nullopt only if the
+/// use is not actually part of the statement's expression trees (an
+/// internal error in practice).
+[[nodiscard]] std::optional<UseSite> locateUse(const Stmt* s, const Expr* use);
+
+}  // namespace phpf

@@ -1,0 +1,59 @@
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf::programs {
+
+// ADI-style alternating-direction sweeps (a classic HPF line-solve
+// pattern, complementary to the paper's benchmarks): the x sweep
+// recurrence runs along the serial dimension (local), the y sweep
+// recurrence crosses the distributed dimension — its boundary value
+// du(i,j-1) must be communicated once per j block boundary and, unlike
+// the stencil codes, cannot be hoisted out of the j loop (du is written
+// in the same loop). The update uses a privatizable scalar.
+Program adi(std::int64_t n, std::int64_t niter) {
+    ProgramBuilder b("adi");
+    auto U = b.realArray("u", {n, n});
+    auto DU = b.realArray("du", {n, n});
+    auto tmp = b.realVar("tmp");
+    auto it = b.integerVar("iter");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+
+    b.distribute(U, {{DistKind::Serial, 0}, {DistKind::Block, 0}});
+    b.alignIdentity(DU, U);
+
+    auto one = [&] { return b.lit(std::int64_t{1}); };
+    auto at = [&](SymbolId a, Ex ii, Ex jj) { return b.ref(a, {ii, jj}); };
+
+    b.doLoop(it, b.lit(std::int64_t{1}), b.lit(niter), [&] {
+        // x-direction: recurrence along the serial dimension — local.
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(at(DU, b.idx(i), b.idx(j)),
+                         b.lit(0.5) * at(DU, b.idx(i) - one(), b.idx(j)) +
+                             at(U, b.idx(i), b.idx(j)));
+            });
+        });
+        // y-direction: recurrence along the distributed dimension — the
+        // boundary column crosses processors every block.
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(at(DU, b.idx(i), b.idx(j)),
+                         b.lit(0.5) * at(DU, b.idx(i), b.idx(j) - one()) +
+                             at(U, b.idx(i), b.idx(j)));
+            });
+        });
+        // Relaxation update with a privatizable scalar.
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(b.idx(tmp),
+                         b.lit(0.2) * at(DU, b.idx(i), b.idx(j)));
+                b.assign(at(U, b.idx(i), b.idx(j)),
+                         at(U, b.idx(i), b.idx(j)) - b.idx(tmp));
+            });
+        });
+    });
+    return b.finish();
+}
+
+}  // namespace phpf::programs

@@ -1,0 +1,122 @@
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf::programs {
+
+// APPSP-style pseudo-application (NAS benchmarks): per-iteration flux
+// computation into a work array c that is privatizable with respect to
+// the k loop (INDEPENDENT, NEW(c)) but not the j loop, a j-direction
+// sweep consuming c, and a z-direction sweep.
+//
+// oneD = true  : (*,*,*,block) distribution; the z sweep runs through an
+//                explicitly transposed copy (the paper's 1-D version
+//                redistributes in sweepz).
+// oneD = false : fixed (*,*,block,block) distribution on a 2-D grid; the
+//                z sweep is a k-direction stencil with neighbour shifts.
+Program appsp(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+              std::int64_t niter, bool oneD) {
+    ProgramBuilder b(oneD ? "appsp_1d" : "appsp_2d");
+    auto rsd = b.realArray("rsd", {5, nx, ny, nz});
+    auto c = b.realArray("c", {nx, ny, 5});
+    auto it = b.integerVar("iter");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    auto k = b.integerVar("k");
+
+    SymbolId rsdt = kNoSymbol;
+    if (oneD) {
+        b.processors(1);
+        b.distribute(rsd, {{DistKind::Serial, 0},
+                           {DistKind::Serial, 0},
+                           {DistKind::Serial, 0},
+                           {DistKind::Block, 0}});
+        rsdt = b.realArray("rsdt", {nx, ny, nz});
+        b.distribute(rsdt, {{DistKind::Serial, 0},
+                            {DistKind::Block, 0},
+                            {DistKind::Serial, 0}});
+    } else {
+        b.processors(2);
+        b.distribute(rsd, {{DistKind::Serial, 0},
+                           {DistKind::Serial, 0},
+                           {DistKind::Block, 0},
+                           {DistKind::Block, 0}});
+    }
+
+    auto I1 = [&] { return b.lit(std::int64_t{1}); };
+    auto I2 = [&] { return b.lit(std::int64_t{2}); };
+    auto R = [&](std::int64_t m, Ex ii, Ex jj, Ex kk) {
+        return b.ref(rsd, {b.lit(m), ii, jj, kk});
+    };
+
+    b.doLoop(it, b.lit(std::int64_t{1}), b.lit(niter), [&] {
+        // --- j-direction sweep with the privatizable work array c ---
+        b.independentDo(k, I2(), b.lit(nz - 1), {c}, [&] {
+            b.doLoop(j, I2(), b.lit(ny - 1), [&] {
+                b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                    b.assign(b.ref(c, {b.idx(i), b.idx(j), I1()}),
+                             b.lit(0.25) * (R(1, b.idx(i), b.idx(j), b.idx(k)) +
+                                            R(2, b.idx(i), b.idx(j), b.idx(k))));
+                    b.assign(b.ref(c, {b.idx(i), b.idx(j), I2()}),
+                             b.lit(0.25) * (R(2, b.idx(i), b.idx(j), b.idx(k)) -
+                                            R(1, b.idx(i), b.idx(j), b.idx(k))));
+                });
+            });
+            b.doLoop(j, b.lit(std::int64_t{3}), b.lit(ny - 1), [&] {
+                b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                    b.assign(R(1, b.idx(i), b.idx(j), b.idx(k)),
+                             R(1, b.idx(i), b.idx(j), b.idx(k)) +
+                                 b.ref(c, {b.idx(i), b.idx(j) - I1(), I1()}) -
+                                 b.ref(c, {b.idx(i), b.idx(j), I2()}));
+                });
+            });
+        });
+
+        // --- z-direction sweep ---
+        if (oneD) {
+            // Redistribute (transpose) so the k direction is local, sweep,
+            // and redistribute back — the paper's sweepz strategy.
+            b.doLoop(k, I2(), b.lit(nz - 1), [&] {
+                b.doLoop(j, I2(), b.lit(ny - 1), [&] {
+                    b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                        b.assign(b.ref(rsdt, {b.idx(i), b.idx(j), b.idx(k)}),
+                                 R(2, b.idx(i), b.idx(j), b.idx(k)));
+                    });
+                });
+            });
+            b.doLoop(k, b.lit(std::int64_t{3}), b.lit(nz - 1), [&] {
+                b.doLoop(j, I2(), b.lit(ny - 1), [&] {
+                    b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                        b.assign(
+                            b.ref(rsdt, {b.idx(i), b.idx(j), b.idx(k)}),
+                            b.ref(rsdt, {b.idx(i), b.idx(j), b.idx(k)}) +
+                                b.lit(0.5) *
+                                    b.ref(rsdt, {b.idx(i), b.idx(j),
+                                                 b.idx(k) - I1()}));
+                    });
+                });
+            });
+            b.doLoop(k, b.lit(std::int64_t{3}), b.lit(nz - 1), [&] {
+                b.doLoop(j, I2(), b.lit(ny - 1), [&] {
+                    b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                        b.assign(R(2, b.idx(i), b.idx(j), b.idx(k)),
+                                 b.ref(rsdt, {b.idx(i), b.idx(j), b.idx(k)}));
+                    });
+                });
+            });
+        } else {
+            b.doLoop(k, b.lit(std::int64_t{3}), b.lit(nz - 1), [&] {
+                b.doLoop(j, I2(), b.lit(ny - 1), [&] {
+                    b.doLoop(i, I2(), b.lit(nx - 1), [&] {
+                        b.assign(R(2, b.idx(i), b.idx(j), b.idx(k)),
+                                 R(2, b.idx(i), b.idx(j), b.idx(k)) +
+                                     b.lit(0.5) * R(1, b.idx(i), b.idx(j),
+                                                    b.idx(k) - I1()));
+                    });
+                });
+            });
+        }
+    });
+    return b.finish();
+}
+
+}  // namespace phpf::programs

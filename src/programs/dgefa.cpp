@@ -1,0 +1,62 @@
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf::programs {
+
+// LINPACK DGEFA: LU factorization with partial pivoting. The matrix is
+// partitioned column-wise in a cyclic manner, (*,cyclic), exactly as in
+// the paper's Table 2 experiment. The MAXLOC pivot search over column k
+// is the guarded reduction the paper's Section 2.3 optimization maps to
+// the single processor owning that column.
+Program dgefa(std::int64_t n) {
+    ProgramBuilder b("dgefa");
+    auto A = b.realArray("A", {n, n});
+    auto t = b.realVar("t");
+    auto l = b.integerVar("l");
+    auto tmp = b.realVar("tmp");
+    auto k = b.integerVar("k");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+
+    b.distribute(A, {{DistKind::Serial, 0}, {DistKind::Cyclic, 0}});
+
+    auto at = [&](Ex ii, Ex jj) { return b.ref(A, {ii, jj}); };
+    auto one = [&] { return b.lit(std::int64_t{1}); };
+
+    b.doLoop(k, b.lit(std::int64_t{1}), b.lit(n - 1), [&] {
+        // MAXLOC over column k (partial pivoting).
+        b.assign(b.idx(t), b.lit(0.0));
+        b.assign(b.idx(l), b.idx(k));
+        b.doLoop(i, b.idx(k), b.lit(n), [&] {
+            b.ifStmt(b.call(Intrinsic::Abs, {at(b.idx(i), b.idx(k))}) >
+                         b.idx(t),
+                     [&] {
+                         b.assign(b.idx(t), b.call(Intrinsic::Abs,
+                                                   {at(b.idx(i), b.idx(k))}));
+                         b.assign(b.idx(l), b.idx(i));
+                     });
+        });
+        // Swap rows l and k across all remaining columns.
+        b.doLoop(j, b.idx(k), b.lit(n), [&] {
+            b.assign(b.idx(tmp), at(b.idx(l), b.idx(j)));
+            b.assign(at(b.idx(l), b.idx(j)), at(b.idx(k), b.idx(j)));
+            b.assign(at(b.idx(k), b.idx(j)), b.idx(tmp));
+        });
+        // Scale the pivot column.
+        b.doLoop(i, b.idx(k) + one(), b.lit(n), [&] {
+            b.assign(at(b.idx(i), b.idx(k)),
+                     at(b.idx(i), b.idx(k)) / at(b.idx(k), b.idx(k)));
+        });
+        // Rank-1 update of the trailing submatrix.
+        b.doLoop(j, b.idx(k) + one(), b.lit(n), [&] {
+            b.doLoop(i, b.idx(k) + one(), b.lit(n), [&] {
+                b.assign(at(b.idx(i), b.idx(j)),
+                         at(b.idx(i), b.idx(j)) -
+                             at(b.idx(i), b.idx(k)) * at(b.idx(k), b.idx(j)));
+            });
+        });
+    });
+    return b.finish();
+}
+
+}  // namespace phpf::programs

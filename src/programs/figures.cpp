@@ -1,0 +1,195 @@
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf::programs {
+
+Program fig1(std::int64_t n) {
+    ProgramBuilder b("fig1");
+    auto A = b.realArray("A", {n + 1});
+    auto B = b.realArray("B", {n});
+    auto C = b.realArray("C", {n});
+    auto D = b.realArray("D", {n + 1});
+    auto E = b.realArray("E", {n});
+    auto F = b.realArray("F", {n});
+    auto m = b.integerVar("m");
+    auto x = b.realVar("x");
+    auto y = b.realVar("y");
+    auto z = b.realVar("z");
+    auto i = b.integerVar("i");
+
+    b.distribute(A, {{DistKind::Block, 0}});
+    // Align (i) with A(i) :: B, C, D
+    for (SymbolId s : {B, C, D})
+        b.align(s, A, {{AlignDim::Kind::SourceDim, 0, 0, 0}});
+    // Align (i) with A(*) :: E, F
+    for (SymbolId s : {E, F})
+        b.align(s, A, {{AlignDim::Kind::Replicate, -1, 0, 0}});
+
+    b.assign(b.idx(m), b.lit(std::int64_t{2}));
+    b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+        b.assign(b.idx(m), b.idx(m) + b.lit(std::int64_t{1}));      // S1
+        b.assign(b.idx(x), b.ref(B, {b.idx(i)}) + b.ref(C, {b.idx(i)}));  // S2
+        b.assign(b.idx(y), b.ref(A, {b.idx(i)}) + b.ref(B, {b.idx(i)}));  // S3
+        b.assign(b.idx(z), b.ref(E, {b.idx(i)}) + b.ref(F, {b.idx(i)}));  // S4
+        b.assign(b.ref(A, {b.idx(i) + b.lit(std::int64_t{1})}),
+                 b.idx(y) / b.idx(z));                               // S5
+        b.assign(b.ref(D, {b.idx(m)}), b.idx(x) / b.idx(z));         // S6
+    });
+    return b.finish();
+}
+
+Program fig2(std::int64_t n) {
+    ProgramBuilder b("fig2");
+    auto H = b.realArray("H", {n, n});
+    auto G = b.realArray("G", {n, n});
+    auto A = b.realArray("A", {n});
+    auto B = b.integerArray("B", {n});
+    auto C = b.integerArray("C", {n});
+    auto p = b.integerVar("p");
+    auto q = b.integerVar("q");
+    auto i = b.integerVar("i");
+
+    b.distribute(H, {{DistKind::Block, 0}, {DistKind::Serial, 0}});
+    b.alignIdentity(G, H);
+    // Align A(i) with H(i,*)
+    b.align(A, H,
+            {{AlignDim::Kind::SourceDim, 0, 0, 0},
+             {AlignDim::Kind::Replicate, -1, 0, 0}});
+
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(n), [&] {
+        b.assign(b.idx(p), b.ref(B, {b.idx(i)}));  // not needed on all procs
+        b.assign(b.idx(q), b.ref(C, {b.idx(i)}));  // needed on all procs
+        b.assign(b.ref(A, {b.idx(i)}),
+                 b.ref(H, {b.idx(i), b.idx(p)}) +
+                     b.ref(G, {b.idx(q), b.idx(i)}));
+    });
+    return b.finish();
+}
+
+Program fig4(std::int64_t n) {
+    ProgramBuilder b("fig4");
+    auto A = b.realArray("A", {n, n, n});
+    auto B = b.realArray("B", {2 * n, n, n});
+    auto s = b.integerVar("s");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    auto k = b.integerVar("k");
+
+    const std::vector<DistSpec> spec{{DistKind::Block, 0},
+                                     {DistKind::Block, 0},
+                                     {DistKind::Serial, 0}};
+    b.distribute(A, spec);
+    b.distribute(B, spec);
+    b.processors(2);
+
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(n), [&] {
+        b.doLoop(j, b.lit(std::int64_t{1}), b.lit(n), [&] {
+            b.assign(b.idx(s), b.idx(i) + b.idx(j));
+            b.doLoop(k, b.lit(std::int64_t{1}), b.lit(n), [&] {
+                b.assign(b.ref(A, {b.idx(i), b.idx(j), b.idx(k)}),
+                         b.lit(1.0));  // AlignLevel(A(i,j,k)) = 2
+                b.assign(b.ref(B, {b.idx(s), b.idx(j), b.idx(k)}),
+                         b.lit(2.0));  // AlignLevel(B(s,j,k)) = 3
+            });
+        });
+    });
+    return b.finish();
+}
+
+Program fig5(std::int64_t n) {
+    ProgramBuilder b("fig5");
+    auto A = b.realArray("A", {n, n});
+    auto B = b.realArray("B", {n});
+    auto s = b.realVar("s");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+
+    b.processors(2);
+    b.distribute(A, {{DistKind::Block, 0}, {DistKind::Block, 0}});
+    // Align B(i) with A(i,*)
+    b.align(B, A,
+            {{AlignDim::Kind::SourceDim, 0, 0, 0},
+             {AlignDim::Kind::Replicate, -1, 0, 0}});
+
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(n), [&] {
+        b.assign(b.idx(s), b.lit(0.0));
+        b.doLoop(j, b.lit(std::int64_t{1}), b.lit(n), [&] {
+            b.assign(b.idx(s), b.idx(s) + b.ref(A, {b.idx(i), b.idx(j)}));
+        });
+        b.assign(b.ref(B, {b.idx(i)}), b.idx(s));
+    });
+    return b.finish();
+}
+
+Program fig6(std::int64_t nx, std::int64_t ny, std::int64_t nz) {
+    ProgramBuilder b("fig6");
+    auto rsd = b.realArray("rsd", {5, nx, ny, nz});
+    auto c = b.realArray("c", {nx, ny, 5});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    auto k = b.integerVar("k");
+
+    b.processors(2);
+    b.distribute(rsd, {{DistKind::Serial, 0},
+                       {DistKind::Serial, 0},
+                       {DistKind::Block, 0},
+                       {DistKind::Block, 0}});
+
+    b.independentDo(k, b.lit(std::int64_t{2}), b.lit(nz - 1), {c}, [&] {
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(ny - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(nx - 1), [&] {
+                b.assign(
+                    b.ref(c, {b.idx(i), b.idx(j), b.lit(std::int64_t{1})}),
+                    b.lit(0.25) *
+                        (b.ref(rsd, {b.lit(std::int64_t{1}), b.idx(i),
+                                     b.idx(j), b.idx(k)}) +
+                         b.ref(rsd, {b.lit(std::int64_t{2}), b.idx(i),
+                                     b.idx(j), b.idx(k)})));
+            });
+        });
+        b.doLoop(j, b.lit(std::int64_t{3}), b.lit(ny - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(nx - 1), [&] {
+                b.assign(
+                    b.ref(rsd, {b.lit(std::int64_t{1}), b.idx(i), b.idx(j),
+                                b.idx(k)}),
+                    b.ref(rsd, {b.lit(std::int64_t{1}), b.idx(i), b.idx(j),
+                                b.idx(k)}) +
+                        b.ref(c, {b.idx(i), b.idx(j) - b.lit(std::int64_t{1}),
+                                  b.lit(std::int64_t{1})}));
+            });
+        });
+    });
+    return b.finish();
+}
+
+Program fig7(std::int64_t n) {
+    ProgramBuilder b("fig7");
+    auto A = b.realArray("A", {n});
+    auto B = b.realArray("B", {n});
+    auto C = b.realArray("C", {n});
+    auto i = b.integerVar("i");
+
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.alignIdentity(B, A);
+    b.alignIdentity(C, A);
+
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(n), [&] {
+        b.ifStmt(
+            ne(b.ref(B, {b.idx(i)}), b.lit(0.0)),
+            [&] {
+                b.assign(b.ref(A, {b.idx(i)}),
+                         b.ref(A, {b.idx(i)}) / b.ref(B, {b.idx(i)}));
+                b.ifStmt(b.ref(B, {b.idx(i)}) < b.lit(0.0),
+                         [&] { b.gotoStmt(100); });
+            },
+            [&] {
+                b.assign(b.ref(A, {b.idx(i)}), b.ref(C, {b.idx(i)}));
+                b.assign(b.ref(C, {b.idx(i)}),
+                         b.ref(C, {b.idx(i)}) * b.ref(C, {b.idx(i)}));
+            });
+        b.continueStmt(100);
+    });
+    return b.finish();
+}
+
+}  // namespace phpf::programs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "ir/program.h"
+
+namespace phpf::programs {
+
+/// The exact example programs of the paper's figures, built through the
+/// IR builder. Each function documents the compiler behaviour the paper
+/// derives from the code.
+
+/// Fig. 1 — different alignments of privatized scalars: induction
+/// variable m (no alignment), x (consumer alignment), y (producer
+/// alignment), z (privatization without alignment).
+[[nodiscard]] Program fig1(std::int64_t n);
+
+/// Fig. 2 — availability requirements for subscripts: p's consumer is
+/// A(i) (subscript of a no-comm reference); q must be replicated.
+[[nodiscard]] Program fig2(std::int64_t n);
+
+/// Fig. 4 — AlignLevel: A(i,j,k) has AlignLevel 2, B(s,j,k) has 3.
+[[nodiscard]] Program fig4(std::int64_t n);
+
+/// Fig. 5 — scalar s in a sum reduction over the j loop; aligned with
+/// row i of A, replicated across the second grid dimension.
+[[nodiscard]] Program fig5(std::int64_t n);
+
+/// Fig. 6 — APPSP fragment needing partial privatization of c.
+[[nodiscard]] Program fig6(std::int64_t nx, std::int64_t ny, std::int64_t nz);
+
+/// Fig. 7 — privatized execution of control flow statements.
+[[nodiscard]] Program fig7(std::int64_t n);
+
+/// TOMCATV relaxation kernel (SPEC92FP mesh generator), (*,block)
+/// distribution; privatizable scalars xx, yx, xy, yy, a, b, c per inner
+/// iteration. Table 1.
+[[nodiscard]] Program tomcatv(std::int64_t n, std::int64_t niter);
+
+/// DGEFA (LINPACK) Gaussian elimination with partial pivoting on a
+/// (*,cyclic) matrix; MAXLOC reduction scalars t and l. Table 2.
+[[nodiscard]] Program dgefa(std::int64_t n);
+
+/// APPSP-style pseudo-application: 3-D sweeps with an INDEPENDENT,
+/// NEW(c) work array. `oneD` selects the 1-D (k-block with a modelled
+/// transpose for the z sweep) vs. the 2-D ((j,k) block) distribution.
+/// Table 3.
+[[nodiscard]] Program appsp(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                            std::int64_t niter, bool oneD);
+
+/// ADI-style alternating-direction sweeps: a line-solve recurrence
+/// along the serial dimension (local) and along the distributed
+/// dimension (per-block-boundary pipeline communication), plus a
+/// privatizable update scalar. Complementary stress test for the
+/// placement analysis.
+[[nodiscard]] Program adi(std::int64_t n, std::int64_t niter);
+
+}  // namespace phpf::programs

@@ -1,0 +1,91 @@
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf::programs {
+
+// TOMCATV's main computational loop nest (SPEC92FP mesh generation with
+// Thompson's solver), reduced to the structure that drives the paper's
+// Table 1: per-point privatizable scalars (xx, yx, xy, yy, a, bb, cc)
+// computed from 5-point stencils of x and y, feeding residual arrays rx
+// and ry, followed by the relaxation update. Arrays are distributed
+// (*,block) as in the paper.
+Program tomcatv(std::int64_t n, std::int64_t niter) {
+    ProgramBuilder b("tomcatv");
+    auto X = b.realArray("x", {n, n});
+    auto Y = b.realArray("y", {n, n});
+    auto RX = b.realArray("rx", {n, n});
+    auto RY = b.realArray("ry", {n, n});
+    auto xx = b.realVar("xx");
+    auto yx = b.realVar("yx");
+    auto xy = b.realVar("xy");
+    auto yy = b.realVar("yy");
+    auto a = b.realVar("a");
+    auto bb = b.realVar("bb");
+    auto cc = b.realVar("cc");
+    auto it = b.integerVar("iter");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+
+    const std::vector<DistSpec> colBlock{{DistKind::Serial, 0},
+                                         {DistKind::Block, 0}};
+    b.distribute(X, colBlock);
+    b.alignIdentity(Y, X);
+    b.alignIdentity(RX, X);
+    b.alignIdentity(RY, X);
+
+    auto one = [&] { return b.lit(std::int64_t{1}); };
+    auto at = [&](SymbolId arr, Ex ii, Ex jj) { return b.ref(arr, {ii, jj}); };
+
+    b.doLoop(it, b.lit(std::int64_t{1}), b.lit(niter), [&] {
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(b.idx(xx), at(X, b.idx(i) + one(), b.idx(j)) -
+                                        at(X, b.idx(i) - one(), b.idx(j)));
+                b.assign(b.idx(yx), at(Y, b.idx(i) + one(), b.idx(j)) -
+                                        at(Y, b.idx(i) - one(), b.idx(j)));
+                b.assign(b.idx(xy), at(X, b.idx(i), b.idx(j) + one()) -
+                                        at(X, b.idx(i), b.idx(j) - one()));
+                b.assign(b.idx(yy), at(Y, b.idx(i), b.idx(j) + one()) -
+                                        at(Y, b.idx(i), b.idx(j) - one()));
+                b.assign(b.idx(a), b.lit(0.25) * (b.idx(xy) * b.idx(xy) +
+                                                  b.idx(yy) * b.idx(yy)));
+                b.assign(b.idx(bb), b.lit(0.25) * (b.idx(xx) * b.idx(xx) +
+                                                   b.idx(yx) * b.idx(yx)));
+                b.assign(b.idx(cc), b.lit(0.125) * (b.idx(xx) * b.idx(xy) +
+                                                    b.idx(yx) * b.idx(yy)));
+                b.assign(
+                    at(RX, b.idx(i), b.idx(j)),
+                    b.idx(a) * (at(X, b.idx(i) - one(), b.idx(j)) -
+                                b.lit(2.0) * at(X, b.idx(i), b.idx(j)) +
+                                at(X, b.idx(i) + one(), b.idx(j))) +
+                        b.idx(bb) * (at(X, b.idx(i), b.idx(j) - one()) -
+                                     b.lit(2.0) * at(X, b.idx(i), b.idx(j)) +
+                                     at(X, b.idx(i), b.idx(j) + one())) -
+                        b.idx(cc));
+                b.assign(
+                    at(RY, b.idx(i), b.idx(j)),
+                    b.idx(a) * (at(Y, b.idx(i) - one(), b.idx(j)) -
+                                b.lit(2.0) * at(Y, b.idx(i), b.idx(j)) +
+                                at(Y, b.idx(i) + one(), b.idx(j))) +
+                        b.idx(bb) * (at(Y, b.idx(i), b.idx(j) - one()) -
+                                     b.lit(2.0) * at(Y, b.idx(i), b.idx(j)) +
+                                     at(Y, b.idx(i), b.idx(j) + one())) -
+                        b.idx(cc));
+            });
+        });
+        // Relaxation update.
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(at(X, b.idx(i), b.idx(j)),
+                         at(X, b.idx(i), b.idx(j)) +
+                             b.lit(0.3) * at(RX, b.idx(i), b.idx(j)));
+                b.assign(at(Y, b.idx(i), b.idx(j)),
+                         at(Y, b.idx(i), b.idx(j)) +
+                             b.lit(0.3) * at(RY, b.idx(i), b.idx(j)));
+            });
+        });
+    });
+    return b.finish();
+}
+
+}  // namespace phpf::programs

@@ -1,0 +1,409 @@
+#include "runtime/spmd_sim.h"
+
+#include <cmath>
+
+#include "ir/printer.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+SpmdSimulator::SpmdSimulator(const SpmdLowering& low)
+    : low_(low), prog_(low.program()), oracle_(prog_),
+      procCount_(low.dataMapping().grid().totalProcs()) {
+    procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
+    for (const CommOp& op : low_.commOps())
+        if (!op.isReductionCombine) opByRef_[op.ref] = &op;
+}
+
+namespace {
+std::vector<int> expandGridSet(const GridSet& gs, const ProcGrid& grid) {
+    std::vector<int> procs;
+    std::vector<int> coords(static_cast<size_t>(grid.rank()), 0);
+    std::function<void(int)> rec = [&](int d) {
+        if (d == grid.rank()) {
+            procs.push_back(grid.linearize(coords));
+            return;
+        }
+        const int c = gs.coord[static_cast<size_t>(d)];
+        if (c >= 0) {
+            coords[static_cast<size_t>(d)] = c;
+            rec(d + 1);
+        } else {
+            for (int i = 0; i < grid.extent(d); ++i) {
+                coords[static_cast<size_t>(d)] = i;
+                rec(d + 1);
+            }
+        }
+    };
+    rec(0);
+    return procs;
+}
+}  // namespace
+
+static GridSet evalDesc(const RefDesc& desc, const Interpreter& oracle,
+                        const ProcGrid& grid) {
+    GridSet out;
+    out.coord.assign(static_cast<size_t>(grid.rank()), -1);
+    for (int g = 0; g < grid.rank(); ++g) {
+        const RefDim& dim = desc.dims[static_cast<size_t>(g)];
+        switch (dim.kind) {
+            case RefDim::Kind::Replicated:
+                break;
+            case RefDim::Kind::Fixed:
+                out.coord[static_cast<size_t>(g)] = dim.fixedCoord;
+                break;
+            case RefDim::Kind::Partitioned: {
+                PHPF_ASSERT(dim.subscriptExpr != nullptr,
+                            "partitioned dim without subscript expr");
+                const std::int64_t v = oracle.evalIndex(dim.subscriptExpr);
+                out.coord[static_cast<size_t>(g)] =
+                    dim.dist.ownerOf(v + dim.offset);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<int> SpmdSimulator::executorsOf(const Stmt* s) {
+    const StmtExec& ex = low_.execOf(s);
+    const ProcGrid& grid = low_.dataMapping().grid();
+    const auto allProcs = [&] {
+        return expandGridSet(
+            GridSet{std::vector<int>(static_cast<size_t>(grid.rank()), -1)},
+            grid);
+    };
+    switch (ex.guard) {
+        case StmtExec::Guard::All:
+            return allProcs();
+        case StmtExec::Guard::OwnerOf:
+            return expandGridSet(evalDesc(ex.execDesc, oracle_, grid), grid);
+        case StmtExec::Guard::Union: {
+            // Section 2.1 / 4: executed by the union of all processors
+            // executing any other statement inside the loop for this
+            // iteration. Only statements in the same iteration context
+            // (enclosing loops a subset of ours) contribute — their
+            // owner descriptors are evaluable right now.
+            const auto loops = prog_.enclosingLoops(s);
+            if (loops.empty()) return allProcs();
+            const Stmt* innermost = loops.back();
+            std::set<int> u;
+            prog_.forEachStmt([&](const Stmt* t) {
+                if (t == s || t->kind != StmtKind::Assign) return;
+                if (!Program::isInsideLoop(t, innermost)) return;
+                const auto tLoops = prog_.enclosingLoops(t);
+                if (tLoops.size() != loops.size()) return;
+                const StmtExec& tex = low_.execOf(t);
+                if (tex.guard != StmtExec::Guard::OwnerOf) return;
+                for (int q :
+                     expandGridSet(evalDesc(tex.execDesc, oracle_, grid), grid))
+                    u.insert(q);
+            });
+            if (u.empty()) return allProcs();
+            return {u.begin(), u.end()};
+        }
+    }
+    return allProcs();
+}
+
+const CommOp* SpmdSimulator::coveringOp(const Expr* ref) const {
+    auto it = opByRef_.find(ref);
+    return it == opByRef_.end() ? nullptr : it->second;
+}
+
+void SpmdSimulator::recordEvent(const CommOp* op) {
+    std::vector<std::int64_t> context;
+    for (const Stmt* l : prog_.enclosingLoops(op->atStmt)) {
+        if (l->loopNestingLevel() > op->placementLevel) break;
+        context.push_back(
+            static_cast<std::int64_t>(oracle_.store().get(l->loopVar)));
+    }
+    if (events_.insert({op->id, std::move(context)}).second)
+        ++eventsPerOp_[op->id];
+}
+
+double SpmdSimulator::fetch(int proc, const Expr* ref) {
+    const std::int64_t flat =
+        ref->kind == ExprKind::ArrayRef ? oracle_.flatIndexOf(ref) : 0;
+    Store& st = procStore_[static_cast<size_t>(proc)];
+    if (st.valid(ref->sym, flat)) return st.get(ref->sym, flat);
+
+    const CommOp* op = coveringOp(ref);
+    PHPF_ASSERT(op != nullptr,
+                "processor " + std::to_string(proc) +
+                    " reads unavailable data with no communication op: " +
+                    printExpr(prog_, ref) + " (program " + prog_.name + ")");
+    // Locate a processor holding the value: the descriptor's owner set,
+    // falling back to a scan (stale-free by construction: writes
+    // invalidate every non-executing copy).
+    const ProcGrid& grid = low_.dataMapping().grid();
+    const GridSet ownerSet = evalDesc(op->srcDesc, oracle_, grid);
+    double v = 0.0;
+    bool found = false;
+    for (int p : expandGridSet(ownerSet, grid)) {
+        if (procStore_[static_cast<size_t>(p)].valid(ref->sym, flat)) {
+            v = procStore_[static_cast<size_t>(p)].get(ref->sym, flat);
+            found = true;
+            break;
+        }
+    }
+    PHPF_ASSERT(found, "no owner holds a valid copy of " +
+                           printExpr(prog_, ref) + " in program " + prog_.name);
+    st.set(ref->sym, flat, v);
+    ++transfers_;
+    recordEvent(op);
+    return v;
+}
+
+double SpmdSimulator::evalOn(int proc, const Expr* e) {
+    switch (e->kind) {
+        case ExprKind::IntLit:
+            return static_cast<double>(e->ival);
+        case ExprKind::RealLit:
+            return e->rval;
+        case ExprKind::VarRef:
+        case ExprKind::ArrayRef:
+            return fetch(proc, e);
+        case ExprKind::Unary: {
+            const double a = evalOn(proc, e->args[0]);
+            return e->uop == UnaryOp::Neg ? -a : (a != 0.0 ? 0.0 : 1.0);
+        }
+        case ExprKind::Binary: {
+            const double a = evalOn(proc, e->args[0]);
+            const double b = evalOn(proc, e->args[1]);
+            switch (e->bop) {
+                case BinaryOp::Add: return a + b;
+                case BinaryOp::Sub: return a - b;
+                case BinaryOp::Mul: return a * b;
+                case BinaryOp::Div: return a / b;
+                case BinaryOp::Pow: return std::pow(a, b);
+                case BinaryOp::Lt: return a < b ? 1.0 : 0.0;
+                case BinaryOp::Le: return a <= b ? 1.0 : 0.0;
+                case BinaryOp::Gt: return a > b ? 1.0 : 0.0;
+                case BinaryOp::Ge: return a >= b ? 1.0 : 0.0;
+                case BinaryOp::Eq: return a == b ? 1.0 : 0.0;
+                case BinaryOp::Ne: return a != b ? 1.0 : 0.0;
+                case BinaryOp::And:
+                    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+                case BinaryOp::Or:
+                    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+            }
+            return 0.0;
+        }
+        case ExprKind::Call: {
+            switch (e->fn) {
+                case Intrinsic::Abs: return std::abs(evalOn(proc, e->args[0]));
+                case Intrinsic::Max:
+                    return std::max(evalOn(proc, e->args[0]),
+                                    evalOn(proc, e->args[1]));
+                case Intrinsic::Min:
+                    return std::min(evalOn(proc, e->args[0]),
+                                    evalOn(proc, e->args[1]));
+                case Intrinsic::Sqrt:
+                    return std::sqrt(evalOn(proc, e->args[0]));
+                case Intrinsic::Mod:
+                    return std::fmod(evalOn(proc, e->args[0]),
+                                     evalOn(proc, e->args[1]));
+                case Intrinsic::Sign: {
+                    const double a = evalOn(proc, e->args[0]);
+                    const double b = evalOn(proc, e->args[1]);
+                    return b >= 0.0 ? std::abs(a) : -std::abs(a);
+                }
+                case Intrinsic::Exp:
+                    return std::exp(evalOn(proc, e->args[0]));
+            }
+            return 0.0;
+        }
+    }
+    return 0.0;
+}
+
+void SpmdSimulator::execStmt(const Stmt* s) {
+    switch (s->kind) {
+        case StmtKind::Assign: {
+            const std::vector<int> execs = executorsOf(s);
+            procStmts_ += static_cast<std::int64_t>(execs.size());
+            const std::int64_t flat = s->lhs->kind == ExprKind::ArrayRef
+                                          ? oracle_.flatIndexOf(s->lhs)
+                                          : 0;
+            // Evaluate on every executor against the pre-statement state.
+            std::vector<double> values(execs.size());
+            for (size_t i = 0; i < execs.size(); ++i)
+                values[i] = evalOn(execs[i], s->rhs);
+
+            const bool isReductionAcc = [&] {
+                for (const auto& r : low_.reductions())
+                    if (r.stmt == s || r.locStmt == s) return true;
+                return false;
+            }();
+            if (!isReductionAcc) {
+                // Non-executors' copies become stale.
+                for (int p = 0; p < procCount_; ++p)
+                    procStore_[static_cast<size_t>(p)].invalidate(s->lhs->sym,
+                                                                  flat);
+            }
+            for (size_t i = 0; i < execs.size(); ++i)
+                procStore_[static_cast<size_t>(execs[i])].set(s->lhs->sym, flat,
+                                                              values[i]);
+            oracle_.execStmt(s);
+            break;
+        }
+        case StmtKind::If: {
+            const std::vector<int> execs = executorsOf(s);
+            procStmts_ += static_cast<std::int64_t>(execs.size());
+            for (int q : execs) (void)evalOn(q, s->cond);  // predicate comm
+            const bool taken = oracle_.eval(s->cond) != 0.0;
+            if (taken)
+                execBlock(s->thenBody);
+            else
+                execBlock(s->elseBody);
+            break;
+        }
+        case StmtKind::Do: {
+            const auto lb = oracle_.evalIndex(s->lb);
+            const auto ub = oracle_.evalIndex(s->ub);
+            const auto step =
+                s->step != nullptr ? oracle_.evalIndex(s->step) : std::int64_t{1};
+            for (std::int64_t iv = lb; step > 0 ? iv <= ub : iv >= ub;
+                 iv += step) {
+                oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
+                for (int p = 0; p < procCount_; ++p)
+                    procStore_[static_cast<size_t>(p)].set(
+                        s->loopVar, 0, static_cast<double>(iv));
+                try {
+                    execBlock(s->body);
+                } catch (GotoSignal& g) {
+                    bool handled = false;
+                    for (size_t i = 0; i < s->body.size(); ++i) {
+                        if (s->body[i]->label == g.label) {
+                            std::vector<Stmt*> rest(
+                                s->body.begin() + static_cast<std::ptrdiff_t>(i),
+                                s->body.end());
+                            execBlock(rest);
+                            handled = true;
+                            break;
+                        }
+                    }
+                    if (!handled) throw;
+                }
+            }
+            // Apply global combining for reductions whose nest just ended.
+            for (const CommOp& op : low_.commOps()) {
+                if (!op.isReductionCombine) continue;
+                const ReductionInfo* red = nullptr;
+                for (const auto& r : low_.reductions())
+                    if (r.stmt == op.atStmt) red = &r;
+                if (red == nullptr || red->loops.front() != s) continue;
+                const double v = oracle_.eval(op.ref);
+                for (int p = 0; p < procCount_; ++p)
+                    procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
+                if (red->locScalar != kNoSymbol) {
+                    const double lv = oracle_.store().get(red->locScalar);
+                    for (int p = 0; p < procCount_; ++p)
+                        procStore_[static_cast<size_t>(p)].set(red->locScalar,
+                                                               0, lv);
+                }
+                recordEvent(&op);
+                ++transfers_;
+            }
+            break;
+        }
+        case StmtKind::Goto:
+            throw GotoSignal{s->gotoTarget};
+        case StmtKind::Continue:
+            break;
+    }
+}
+
+void SpmdSimulator::execBlock(const std::vector<Stmt*>& block) {
+    for (size_t i = 0; i < block.size(); ++i) {
+        try {
+            execStmt(block[i]);
+        } catch (GotoSignal& g) {
+            bool handled = false;
+            for (size_t j = i + 1; j < block.size(); ++j) {
+                if (block[j]->label == g.label) {
+                    i = j - 1;
+                    handled = true;
+                    break;
+                }
+            }
+            if (!handled) throw;
+        }
+    }
+}
+
+void SpmdSimulator::run() {
+    // Distribute initial (oracle-seeded) data: owners hold their
+    // elements, replicated data is everywhere.
+    const RefDescriber rd(prog_, low_.dataMapping(), &low_.ssa(),
+                          &low_.decisions(), AffineAnalyzer(prog_, nullptr));
+    (void)rd;
+    const ProcGrid& grid = low_.dataMapping().grid();
+    for (const Symbol& sym : prog_.symbols) {
+        const ArrayMap& map = low_.dataMapping().mapOf(sym.id);
+        if (!sym.isArray()) {
+            for (int p = 0; p < procCount_; ++p)
+                procStore_[static_cast<size_t>(p)].set(
+                    sym.id, 0, oracle_.store().get(sym.id));
+            continue;
+        }
+        // Enumerate elements and place them on their owners.
+        std::vector<std::int64_t> idx(static_cast<size_t>(sym.rank()));
+        std::function<void(int)> rec = [&](int d) {
+            if (d == sym.rank()) {
+                const std::int64_t flat =
+                    procStore_[0].flatten(prog_, sym.id, idx);
+                const GridSet owners = map.ownerOf(idx, grid);
+                for (int p : expandGridSet(owners, grid))
+                    procStore_[static_cast<size_t>(p)].set(
+                        sym.id, flat, oracle_.store().get(sym.id, flat));
+                return;
+            }
+            const ArrayDim& dim = sym.dims[static_cast<size_t>(d)];
+            for (std::int64_t v = dim.lb; v <= dim.ub; ++v) {
+                idx[static_cast<size_t>(d)] = v;
+                rec(d + 1);
+            }
+        };
+        rec(0);
+    }
+    execBlock(prog_.top);
+}
+
+std::int64_t SpmdSimulator::eventsOfOp(int opId) const {
+    auto it = eventsPerOp_.find(opId);
+    return it == eventsPerOp_.end() ? 0 : it->second;
+}
+
+double SpmdSimulator::valueOn(int proc, const std::string& name,
+                              std::int64_t flat) const {
+    const SymbolId s = prog_.findSymbol(name);
+    PHPF_ASSERT(s != kNoSymbol, "unknown symbol " + name);
+    return procStore_[static_cast<size_t>(proc)].get(s, flat);
+}
+
+bool SpmdSimulator::validOn(int proc, const std::string& name,
+                            std::int64_t flat) const {
+    const SymbolId s = prog_.findSymbol(name);
+    PHPF_ASSERT(s != kNoSymbol, "unknown symbol " + name);
+    return procStore_[static_cast<size_t>(proc)].valid(s, flat);
+}
+
+double SpmdSimulator::maxErrorVsOracle(const std::string& name) const {
+    const SymbolId s = prog_.findSymbol(name);
+    PHPF_ASSERT(s != kNoSymbol, "unknown symbol " + name);
+    double maxErr = 0.0;
+    for (std::int64_t flat = 0; flat < procStore_[0].sizeOf(s); ++flat) {
+        const double ref = oracle_.store().get(s, flat);
+        for (int p = 0; p < procCount_; ++p) {
+            if (!procStore_[static_cast<size_t>(p)].valid(s, flat)) continue;
+            maxErr = std::max(
+                maxErr,
+                std::abs(procStore_[static_cast<size_t>(p)].get(s, flat) - ref));
+        }
+    }
+    return maxErr;
+}
+
+}  // namespace phpf

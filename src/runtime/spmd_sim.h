@@ -1,0 +1,101 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "runtime/interp.h"
+#include "spmd/lowering.h"
+
+namespace phpf {
+
+/// Functional simulator of the SPMD execution of a lowered program on a
+/// distributed-memory machine (our stand-in for the paper's 16-node
+/// SP2).
+///
+/// Every simulated processor has its own Store; distributed arrays are
+/// valid only where owned (or received), privatized variables live as
+/// genuinely private per-processor copies. Statements execute in global
+/// lockstep under their computation-partitioning guards; a read of data
+/// the processor does not hold triggers the matching communication op,
+/// transfers the value from its owner, and accounts the message. A read
+/// with no covering comm op aborts — an insufficient communication plan
+/// is a hard error, which is exactly the property the tests exercise.
+///
+/// Message accounting groups element transfers by (comm op, iteration
+/// vector at the op's placement level): one group is one vectorized
+/// message event, directly comparable with the analytic cost model's
+/// event counts.
+class SpmdSimulator {
+public:
+    SpmdSimulator(const SpmdLowering& low);
+
+    void run();
+
+    [[nodiscard]] int procCount() const { return procCount_; }
+    /// Vectorized message events (see class comment).
+    [[nodiscard]] std::int64_t messageEvents() const {
+        return static_cast<std::int64_t>(events_.size());
+    }
+    /// Raw element transfers (element granularity).
+    [[nodiscard]] std::int64_t elementTransfers() const { return transfers_; }
+    [[nodiscard]] double bytesMoved() const {
+        return static_cast<double>(transfers_) * 8.0;
+    }
+    /// Message events attributed to one comm op.
+    [[nodiscard]] std::int64_t eventsOfOp(int opId) const;
+
+    /// The oracle (sequential reference) interpreter; seed inputs here
+    /// before run(). Inputs are mirrored to every processor's store as
+    /// initially-valid data (original HPF arrays start replicated until
+    /// first distributed write; this models "already distributed" input
+    /// without charging initial distribution).
+    [[nodiscard]] Interpreter& oracle() { return oracle_; }
+
+    /// Value of `name` on processor `proc` (flat element index).
+    [[nodiscard]] double valueOn(int proc, const std::string& name,
+                                 std::int64_t flat = 0) const;
+    [[nodiscard]] bool validOn(int proc, const std::string& name,
+                               std::int64_t flat = 0) const;
+
+    /// Assemble the global array from owner processors and compare with
+    /// the oracle; returns the max absolute difference.
+    [[nodiscard]] double maxErrorVsOracle(const std::string& name) const;
+
+    [[nodiscard]] std::int64_t statementsExecutedAllProcs() const {
+        return procStmts_;
+    }
+
+private:
+    struct GotoSignal {
+        int label;
+    };
+
+    void execBlock(const std::vector<Stmt*>& block);
+    void execStmt(const Stmt* s);
+    /// Set of linear proc ids executing statement `s` now.
+    [[nodiscard]] std::vector<int> executorsOf(const Stmt* s);
+    /// Evaluate `e` on processor `proc`, triggering communication for
+    /// any data the processor does not hold.
+    double evalOn(int proc, const Expr* e);
+    /// Ensure `proc` holds the value of reference `ref`; fetch from the
+    /// owner through the covering comm op otherwise.
+    double fetch(int proc, const Expr* ref);
+    [[nodiscard]] const CommOp* coveringOp(const Expr* ref) const;
+    void recordEvent(const CommOp* op);
+    void writeRef(const std::vector<int>& procs, const Expr* lhs, double v,
+                  double oracleV);
+
+    const SpmdLowering& low_;
+    const Program& prog_;
+    Interpreter oracle_;
+    int procCount_;
+    std::vector<Store> procStore_;
+    std::int64_t transfers_ = 0;
+    std::int64_t procStmts_ = 0;
+    std::set<std::pair<int, std::vector<std::int64_t>>> events_;
+    std::map<int, std::int64_t> eventsPerOp_;
+    std::map<const Expr*, const CommOp*> opByRef_;
+};
+
+}  // namespace phpf

@@ -1,0 +1,42 @@
+#include "runtime/store.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+Store::Store(const Program& p) {
+    offset_.resize(p.symbols.size());
+    size_.resize(p.symbols.size());
+    std::int64_t total = 0;
+    for (const auto& s : p.symbols) {
+        offset_[static_cast<size_t>(s.id)] = total;
+        size_[static_cast<size_t>(s.id)] = s.elementCount();
+        total += s.elementCount();
+    }
+    data_.assign(static_cast<size_t>(total), 0.0);
+    valid_.assign(static_cast<size_t>(total), 0);
+}
+
+void Store::setAllValid() { std::fill(valid_.begin(), valid_.end(), 1); }
+
+std::int64_t Store::flatten(const Program& p, SymbolId s,
+                            const std::vector<std::int64_t>& idx) const {
+    const Symbol& sym = p.sym(s);
+    PHPF_ASSERT(static_cast<int>(idx.size()) == sym.rank(),
+                "subscript rank mismatch for " + sym.name);
+    std::int64_t flat = 0;
+    std::int64_t stride = 1;
+    for (int d = 0; d < sym.rank(); ++d) {
+        const ArrayDim& dim = sym.dims[static_cast<size_t>(d)];
+        PHPF_ASSERT(idx[static_cast<size_t>(d)] >= dim.lb &&
+                        idx[static_cast<size_t>(d)] <= dim.ub,
+                    "subscript out of bounds for " + sym.name);
+        flat += (idx[static_cast<size_t>(d)] - dim.lb) * stride;
+        stride *= dim.extent();
+    }
+    return flat;
+}
+
+}  // namespace phpf

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace phpf {
+
+/// Flat value storage for every symbol of a program. All values are
+/// held as doubles (integers are exactly representable far beyond any
+/// subscript range we use); arrays are laid out column-major like
+/// Fortran. The validity bitmap is used by the SPMD simulator to detect
+/// reads of data a processor was never sent — an insufficient
+/// communication plan trips an assertion instead of silently computing
+/// garbage.
+class Store {
+public:
+    explicit Store(const Program& p);
+
+    [[nodiscard]] double get(SymbolId s, std::int64_t flat = 0) const {
+        return data_[static_cast<size_t>(offset_[static_cast<size_t>(s)] + flat)];
+    }
+    void set(SymbolId s, std::int64_t flat, double v) {
+        const std::int64_t at = offset_[static_cast<size_t>(s)] + flat;
+        data_[static_cast<size_t>(at)] = v;
+        valid_[static_cast<size_t>(at)] = 1;
+    }
+    void setScalar(SymbolId s, double v) { set(s, 0, v); }
+
+    [[nodiscard]] bool valid(SymbolId s, std::int64_t flat = 0) const {
+        return valid_[static_cast<size_t>(offset_[static_cast<size_t>(s)] +
+                                          flat)] != 0;
+    }
+    void invalidate(SymbolId s, std::int64_t flat = 0) {
+        valid_[static_cast<size_t>(offset_[static_cast<size_t>(s)] + flat)] = 0;
+    }
+    /// Mark everything valid (sequential interpretation has no notion of
+    /// data placement).
+    void setAllValid();
+
+    /// Column-major flat index of `idx` (1-based per declared bounds).
+    [[nodiscard]] std::int64_t flatten(const Program& p, SymbolId s,
+                                       const std::vector<std::int64_t>& idx) const;
+
+    [[nodiscard]] std::int64_t sizeOf(SymbolId s) const {
+        return size_[static_cast<size_t>(s)];
+    }
+
+private:
+    std::vector<std::int64_t> offset_;
+    std::vector<std::int64_t> size_;
+    std::vector<double> data_;
+    std::vector<char> valid_;
+};
+
+}  // namespace phpf

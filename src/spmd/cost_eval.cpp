@@ -1,0 +1,449 @@
+#include "spmd/cost_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+CostEvaluator::CostEvaluator(const SpmdLowering& low, const CostModel& cm)
+    : low_(low), cm_(cm), prog_(low.program()), aff_(prog_, &low.ssa()) {
+    for (const CommOp& op : low_.commOps()) {
+        if (op.placementLevel == 0) {
+            topOps_.push_back(&op);
+            continue;
+        }
+        const Stmt* loop =
+            prog_.enclosingLoopAtLevel(op.atStmt, op.placementLevel);
+        PHPF_ASSERT(loop != nullptr, "comm op placed deeper than its nest");
+        opsByLoop_[loop].push_back(&op);
+    }
+}
+
+CostBreakdown CostEvaluator::evaluate() { return evaluateDetailed().totals; }
+
+DetailedCost CostEvaluator::evaluateDetailed() {
+    DetailedCost out;
+    Env env;
+    chargeOpsAt(topOps_, env, out);
+    auto& top = const_cast<Program&>(prog_).top;
+    evalBlock(top, env, out);
+    return out;
+}
+
+void CostEvaluator::evalBlock(const std::vector<Stmt*>& block, Env& env,
+                              DetailedCost& out) {
+    for (const Stmt* s : block) {
+        switch (s->kind) {
+            case StmtKind::Assign:
+                evalStmtCompute(s, out);
+                break;
+            case StmtKind::If:
+                evalStmtCompute(s, out);
+                evalBlock(s->thenBody, env, out);
+                evalBlock(s->elseBody, env, out);
+                break;
+            case StmtKind::Do:
+                evalLoop(s, env, out);
+                break;
+            case StmtKind::Goto:
+            case StmtKind::Continue:
+                break;
+        }
+    }
+}
+
+bool CostEvaluator::bodyDependsOnVar(const Stmt* loop) const {
+    auto it = bodyDepCache_.find(loop);
+    if (it != bodyDepCache_.end()) return it->second != 0;
+    bool depends = false;
+    std::function<void(const std::vector<Stmt*>&)> walk =
+        [&](const std::vector<Stmt*>& blk) {
+            for (const Stmt* s : blk) {
+                if (s->kind == StmtKind::Do) {
+                    for (const Expr* b : {s->lb, s->ub, s->step}) {
+                        if (b == nullptr) continue;
+                        Program::walkExpr(const_cast<Expr*>(b), [&](Expr* e) {
+                            if (e->kind == ExprKind::VarRef &&
+                                e->sym == loop->loopVar)
+                                depends = true;
+                        });
+                    }
+                    walk(s->body);
+                } else if (s->kind == StmtKind::If) {
+                    walk(s->thenBody);
+                    walk(s->elseBody);
+                }
+            }
+        };
+    walk(loop->body);
+    bodyDepCache_[loop] = depends ? 1 : 0;
+    return depends;
+}
+
+void CostEvaluator::evalLoop(const Stmt* loop, Env& env, DetailedCost& out) {
+    const std::int64_t lb = evalInt(loop->lb, env);
+    const std::int64_t ub = evalInt(loop->ub, env);
+    const std::int64_t step =
+        loop->step != nullptr ? evalInt(loop->step, env) : 1;
+    PHPF_ASSERT(step != 0, "zero loop step");
+    const std::int64_t trips =
+        step > 0 ? (ub >= lb ? (ub - lb) / step + 1 : 0)
+                 : (lb >= ub ? (lb - ub) / (-step) + 1 : 0);
+    if (trips <= 0) return;
+
+    auto perIteration = [&](std::int64_t iv, DetailedCost& acc) {
+        env[loop->loopVar] = iv;
+        auto it = opsByLoop_.find(loop);
+        if (it != opsByLoop_.end()) chargeOpsAt(it->second, env, acc);
+        evalBlock(loop->body, env, acc);
+        env.erase(loop->loopVar);
+    };
+
+    if (!bodyDependsOnVar(loop)) {
+        DetailedCost one;
+        perIteration(lb, one);
+        const double t = static_cast<double>(trips);
+        out.totals.computeSec += one.totals.computeSec * t;
+        out.totals.commSec += one.totals.commSec * t;
+        out.totals.messageEvents += one.totals.messageEvents * trips;
+        out.totals.commBytes += one.totals.commBytes * t;
+        for (const auto& [st, v] : one.stmtCompute) out.stmtCompute[st] += v * t;
+        for (const auto& [id, v] : one.opComm) out.opComm[id] += v * t;
+        for (const auto& [id, n] : one.opEvents) out.opEvents[id] += n * trips;
+        return;
+    }
+    for (std::int64_t iv = lb; step > 0 ? iv <= ub : iv >= ub; iv += step)
+        perIteration(iv, out);
+}
+
+double CostEvaluator::flopsOf(const Expr* e) const {
+    if (e == nullptr) return 0.0;
+    double flops = 0.0;
+    Program::walkExpr(const_cast<Expr*>(e), [&](Expr* n) {
+        if (n->kind == ExprKind::Binary || n->kind == ExprKind::Unary)
+            flops += 1.0;
+        else if (n->kind == ExprKind::Call)
+            flops += n->fn == Intrinsic::Sqrt || n->fn == Intrinsic::Exp ? 8.0
+                                                                         : 1.0;
+    });
+    return flops;
+}
+
+std::int64_t CostEvaluator::divisorFor(const RefDesc& desc,
+                                       const Stmt* l) const {
+    std::int64_t div = 1;
+    for (const auto& dim : desc.dims) {
+        if (!dim.partitioned()) continue;
+        if (dim.subscript.affine && dim.subscript.coeffOf(l) != 0)
+            div *= dim.dist.procs();
+    }
+    return std::max<std::int64_t>(div, 1);
+}
+
+double CostEvaluator::perProcDivisor(const Stmt* s) const {
+    auto it = divisorCache_.find(s);
+    if (it != divisorCache_.end()) return it->second;
+    const RefDesc& desc = low_.execOf(s).execDesc;
+    double div = 1.0;
+    for (const Stmt* l : prog_.enclosingLoops(s))
+        div *= static_cast<double>(divisorFor(desc, l));
+    divisorCache_[s] = div;
+    return div;
+}
+
+void CostEvaluator::evalStmtCompute(const Stmt* s, DetailedCost& out) {
+    const double flops =
+        s->kind == StmtKind::Assign
+            ? flopsOf(s->rhs) + 1.0  // +1 for the store/copy
+            : flopsOf(s->cond) + 1.0;
+    const double sec = cm_.compute(flops) / perProcDivisor(s);
+    out.totals.computeSec += sec;
+    out.stmtCompute[s] += sec;
+}
+
+void CostEvaluator::chargeCommOp(const CommOp& op, const Env& env,
+                                 DetailedCost& out) {
+    if (op.isReductionCombine) {
+        chargeOpsAt({&op}, env, out);
+        return;
+    }
+    const OpCharge c = computeOpCharge(op, env);
+    if (!c.valid) return;
+    out.totals.commSec += c.cost;
+    out.totals.commBytes += c.bytes;
+    out.totals.messageEvents += 1;
+    out.opComm[op.id] += c.cost;
+    out.opEvents[op.id] += 1;
+}
+
+void CostEvaluator::chargeOpsAt(const std::vector<const CommOp*>& ops,
+                                const Env& env, DetailedCost& out) {
+    // Reduction combines are always individual.
+    std::vector<std::pair<const CommOp*, OpCharge>> charges;
+    for (const CommOp* op : ops) {
+        if (op->isReductionCombine) {
+            int procs = 1;
+            for (int g : op->combineGridDims)
+                procs *= low_.dataMapping().grid().extent(g);
+            if (procs > 1) {
+                const double sec = cm_.reduce(procs, cm_.elemBytes);
+                out.totals.commSec += sec;
+                out.totals.messageEvents += 1;
+                out.totals.commBytes += cm_.elemBytes;
+                out.opComm[op->id] += sec;
+                out.opEvents[op->id] += 1;
+            }
+            continue;
+        }
+        const OpCharge c = computeOpCharge(*op, env);
+        if (c.valid) charges.emplace_back(op, c);
+    }
+    if (!cm_.combineMessages) {
+        for (const auto& [op, c] : charges) {
+            out.totals.commSec += c.cost;
+            out.totals.commBytes += c.bytes;
+            out.totals.messageEvents += 1;
+            out.opComm[op->id] += c.cost;
+            out.opEvents[op->id] += 1;
+        }
+        return;
+    }
+    // Combine: messages of the same pattern/extent placed here share one
+    // latency term; payloads concatenate.
+    std::map<int, std::vector<std::pair<const CommOp*, OpCharge>>> groups;
+    for (const auto& pc : charges) groups[pc.second.key].push_back(pc);
+    for (const auto& [key, group] : groups) {
+        (void)key;
+        double maxLat = 0.0;
+        for (const auto& [op, c] : group) maxLat = std::max(maxLat, c.latency);
+        double groupCost = maxLat;
+        for (const auto& [op, c] : group) groupCost += c.cost - c.latency;
+        out.totals.commSec += groupCost;
+        out.totals.messageEvents += 1;
+        for (const auto& [op, c] : group) {
+            out.totals.commBytes += c.bytes;
+            out.opComm[op->id] +=
+                (c.cost - c.latency) +
+                maxLat / static_cast<double>(group.size());
+            out.opEvents[op->id] += 1;
+        }
+    }
+}
+
+CostEvaluator::OpCharge CostEvaluator::computeOpCharge(const CommOp& op,
+                                                       const Env& env) const {
+    OpCharge charge;
+    if (op.isReductionCombine) {
+        return charge;  // handled by chargeOpsAt
+    }
+
+    // Vectorized message: aggregate over the loops between the placement
+    // level and the consuming statement — but only loops that actually
+    // index the communicated reference; other loops reuse the same data
+    // and vectorization deduplicates it.
+    const auto loops = prog_.enclosingLoops(op.atStmt);
+    double total = 1.0;     // distinct elements moved
+    double srcLocal = 1.0;  // per-source-processor share of them
+    for (const Stmt* l : loops) {
+        if (l->loopNestingLevel() <= op.placementLevel) continue;
+        bool indexes = false;
+        if (op.ref->kind == ExprKind::ArrayRef) {
+            for (const auto& dim : op.srcDesc.dims) {
+                if (!dim.partitioned()) continue;
+                if (dim.subscript.affine ? dim.subscript.coeffOf(l) != 0
+                                         : dim.subscript.varLevel >=
+                                               l->loopNestingLevel())
+                    indexes = true;
+            }
+            // Serial (unpartitioned) dims also enlarge the section.
+            for (const Expr* sub : op.ref->args) {
+                const AffineForm f = aff_.analyze(sub);
+                if (f.affine ? f.coeffOf(l) != 0
+                             : f.varLevel >= l->loopNestingLevel())
+                    indexes = true;
+            }
+        }
+        if (!indexes) continue;
+        Env inner = env;
+        const std::int64_t t = tripsOf(l, inner);
+        total *= static_cast<double>(t);
+        double local = static_cast<double>(t) /
+                       static_cast<double>(divisorFor(op.srcDesc, l));
+        // Shifted dims: only the boundary strip moves.
+        for (size_t g = 0; g < op.req.dims.size(); ++g) {
+            if (op.req.dims[g].pattern != CommPattern::Shift) continue;
+            const RefDim& sd = op.srcDesc.dims[g];
+            if (sd.partitioned() && sd.subscript.affine &&
+                sd.subscript.coeffOf(l) != 0) {
+                local = static_cast<double>(
+                    std::min<std::int64_t>(std::abs(op.req.dims[g].shift),
+                                           std::max<std::int64_t>(t, 1)));
+            }
+        }
+        srcLocal *= std::max(local, 1.0);
+    }
+
+    const double elemBytes = static_cast<double>(cm_.elemBytes);
+    int patternProcs = 1;
+    for (size_t g = 0; g < op.req.dims.size(); ++g)
+        if (op.req.dims[g].pattern != CommPattern::None)
+            patternProcs *= low_.dataMapping().grid().extent(static_cast<int>(g));
+    if (patternProcs <= 1) return charge;  // single processor along affected dims
+
+    double cost = 0.0;
+    double bytes = 0.0;
+    double latency = 0.0;
+    switch (op.req.overall) {
+        case CommPattern::None:
+            return charge;
+        case CommPattern::Shift: {
+            bytes = srcLocal * elemBytes;
+            cost = cm_.shift(bytes);
+            latency = cm_.alphaSec;
+            // A shift placed at instance level (the shifted dimension's
+            // loop is at or outside the placement) only actually crosses
+            // a processor boundary for |shift|/blockSize of the events;
+            // interior instances find the neighbour element locally.
+            double fraction = 1.0;
+            for (size_t g = 0; g < op.req.dims.size(); ++g) {
+                if (op.req.dims[g].pattern != CommPattern::Shift) continue;
+                const RefDim& sd = op.srcDesc.dims[g];
+                if (!sd.partitioned() || !sd.subscript.affine) continue;
+                bool traversedInside = false;
+                for (const Stmt* l : loops) {
+                    if (l->loopNestingLevel() <= op.placementLevel) continue;
+                    if (sd.subscript.coeffOf(l) != 0) traversedInside = true;
+                }
+                if (!traversedInside && sd.dist.blockSize() > 0) {
+                    fraction = std::min(
+                        fraction,
+                        static_cast<double>(std::abs(op.req.dims[g].shift)) /
+                            static_cast<double>(sd.dist.blockSize()));
+                }
+            }
+            cost *= std::min(fraction, 1.0);
+            latency *= std::min(fraction, 1.0);
+            bytes *= std::min(fraction, 1.0);
+            break;
+        }
+        case CommPattern::Broadcast:
+            bytes = srcLocal * elemBytes;
+            cost = cm_.broadcast(patternProcs, bytes);
+            latency = cm_.broadcast(patternProcs, 0.0);
+            break;
+        case CommPattern::AllGather:
+            bytes = total * elemBytes;
+            cost = cm_.allGather(patternProcs, bytes);
+            latency = cm_.allGather(patternProcs, 0.0);
+            break;
+        case CommPattern::Gather:
+            bytes = total * elemBytes;
+            cost = cm_.gather(patternProcs, bytes);
+            latency = cm_.gather(patternProcs, 0.0);
+            break;
+        case CommPattern::PointToPoint:
+            bytes = srcLocal * elemBytes;
+            cost = cm_.pointToPoint(bytes);
+            latency = cm_.alphaSec;
+            break;
+        case CommPattern::General: {
+            // If the source's partitioned subscripts are invariant across
+            // the traversal loops, the data lives on one processor per
+            // event: this is a one-to-many broadcast (DGEFA's pivot
+            // column / pivot index), not an all-to-all.
+            bool srcSingle = true;
+            for (const auto& dim : op.srcDesc.dims) {
+                if (!dim.partitioned()) continue;
+                if (!dim.subscript.affine) {
+                    srcSingle = false;
+                    continue;
+                }
+                for (const Stmt* l : loops) {
+                    if (l->loopNestingLevel() <= op.placementLevel) continue;
+                    if (dim.subscript.coeffOf(l) != 0) srcSingle = false;
+                }
+            }
+            bytes = total * elemBytes;
+            if (srcSingle) {
+                cost = cm_.broadcast(patternProcs, bytes);
+                latency = cm_.broadcast(patternProcs, 0.0);
+            } else {
+                // Irregular redistribution (e.g. transpose): every
+                // processor exchanges its share with every other — α per
+                // partner plus its slice of the volume.
+                cost = static_cast<double>(patternProcs - 1) * cm_.alphaSec +
+                       bytes / static_cast<double>(patternProcs) *
+                           cm_.betaSecPerByte;
+                latency = static_cast<double>(patternProcs - 1) * cm_.alphaSec;
+            }
+            break;
+        }
+    }
+    charge.valid = true;
+    charge.cost = cost;
+    charge.latency = latency;
+    charge.bytes = bytes;
+    charge.key = static_cast<int>(op.req.overall) * 1024 + patternProcs;
+    return charge;
+}
+
+std::int64_t CostEvaluator::tripsOf(const Stmt* loop, const Env& env) const {
+    Env padded = env;
+    // A traversal loop's bound may reference a sibling traversal loop's
+    // index (rare); approximate with that loop's own lower bound.
+    std::function<std::int64_t(const Expr*)> ev = [&](const Expr* e)
+        -> std::int64_t { return evalInt(e, padded); };
+    const std::int64_t lb = ev(loop->lb);
+    const std::int64_t ub = ev(loop->ub);
+    const std::int64_t step = loop->step != nullptr ? ev(loop->step) : 1;
+    if (step > 0) return ub >= lb ? (ub - lb) / step + 1 : 0;
+    return lb >= ub ? (lb - ub) / (-step) + 1 : 0;
+}
+
+std::int64_t CostEvaluator::evalInt(const Expr* e, const Env& env) const {
+    switch (e->kind) {
+        case ExprKind::IntLit:
+            return e->ival;
+        case ExprKind::RealLit:
+            return static_cast<std::int64_t>(e->rval);
+        case ExprKind::VarRef: {
+            auto it = env.find(e->sym);
+            if (it != env.end()) return it->second;
+            // Unbound scalar in a bound expression: fall back to the
+            // midpoint assumption of 1 (documented approximation).
+            return 1;
+        }
+        case ExprKind::Unary:
+            return e->uop == UnaryOp::Neg ? -evalInt(e->args[0], env)
+                                          : !evalInt(e->args[0], env);
+        case ExprKind::Binary: {
+            const std::int64_t a = evalInt(e->args[0], env);
+            const std::int64_t b = evalInt(e->args[1], env);
+            switch (e->bop) {
+                case BinaryOp::Add: return a + b;
+                case BinaryOp::Sub: return a - b;
+                case BinaryOp::Mul: return a * b;
+                case BinaryOp::Div: return b != 0 ? a / b : 0;
+                default: return 0;
+            }
+        }
+        case ExprKind::Call: {
+            if (e->fn == Intrinsic::Max)
+                return std::max(evalInt(e->args[0], env),
+                                evalInt(e->args[1], env));
+            if (e->fn == Intrinsic::Min)
+                return std::min(evalInt(e->args[0], env),
+                                evalInt(e->args[1], env));
+            if (e->fn == Intrinsic::Abs)
+                return std::abs(evalInt(e->args[0], env));
+            return 0;
+        }
+        default:
+            return 0;
+    }
+}
+
+}  // namespace phpf

@@ -1,0 +1,77 @@
+#include "spmd/cost_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.h"
+
+namespace phpf {
+
+CostReport buildCostReport(const SpmdLowering& low, const CostModel& cm) {
+    CostEvaluator eval(low, cm);
+    const DetailedCost detail = eval.evaluateDetailed();
+
+    CostReport report;
+    report.total = detail.totals;
+    const Program& p = low.program();
+
+    for (const auto& [stmt, sec] : detail.stmtCompute) {
+        CostItem item;
+        item.stmt = stmt;
+        item.seconds = sec;
+        item.isComm = false;
+        if (stmt->kind == StmtKind::Assign)
+            item.what = printExpr(p, stmt->lhs) + " = " +
+                        printExpr(p, stmt->rhs);
+        else
+            item.what = "if (" + printExpr(p, stmt->cond) + ")";
+        report.items.push_back(std::move(item));
+    }
+    for (const CommOp& op : low.commOps()) {
+        auto it = detail.opComm.find(op.id);
+        if (it == detail.opComm.end()) continue;
+        CostItem item;
+        item.stmt = op.atStmt;
+        item.seconds = it->second;
+        item.isComm = true;
+        auto ev = detail.opEvents.find(op.id);
+        item.events = ev != detail.opEvents.end() ? ev->second : 0;
+        if (op.isReductionCombine)
+            item.what = "combine " + printExpr(p, op.ref);
+        else
+            item.what = std::string(commPatternName(op.req.overall)) + " " +
+                        printExpr(p, op.ref) + " @level " +
+                        std::to_string(op.placementLevel);
+        report.items.push_back(std::move(item));
+    }
+    std::sort(report.items.begin(), report.items.end(),
+              [](const CostItem& a, const CostItem& b) {
+                  return a.seconds > b.seconds;
+              });
+    return report;
+}
+
+std::string CostReport::str(const Program& p, int topN) const {
+    (void)p;
+    std::ostringstream os;
+    os << "cost attribution (top " << topN << "):\n";
+    int n = 0;
+    for (const CostItem& item : items) {
+        if (n++ >= topN) break;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%12.6f s  %s", item.seconds,
+                      item.isComm ? "comm " : "calc ");
+        os << buf << item.what;
+        if (item.isComm) os << "  (" << item.events << " events)";
+        os << "\n";
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "total: %.6f s (compute %.6f, comm %.6f, %lld messages)\n",
+                  total.totalSec(), total.computeSec, total.commSec,
+                  static_cast<long long>(total.messageEvents));
+    os << buf;
+    return os.str();
+}
+
+}  // namespace phpf

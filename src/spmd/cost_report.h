@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spmd/cost_eval.h"
+
+namespace phpf {
+
+/// Itemized cost attribution: which statements and which communication
+/// operations the predicted time goes to. Used by `phpfc --cost` and the
+/// examples to explain *why* a mapping variant wins.
+struct CostItem {
+    const Stmt* stmt = nullptr;
+    std::string what;        ///< rendered statement / comm description
+    double seconds = 0.0;
+    bool isComm = false;
+    std::int64_t events = 0;
+};
+
+struct CostReport {
+    std::vector<CostItem> items;  ///< sorted by cost, descending
+    CostBreakdown total;
+
+    [[nodiscard]] std::string str(const Program& p, int topN = 10) const;
+};
+
+/// Evaluate the lowered program and attribute cost per statement and
+/// per communication op.
+[[nodiscard]] CostReport buildCostReport(const SpmdLowering& low,
+                                         const CostModel& cm);
+
+}  // namespace phpf

@@ -1,0 +1,101 @@
+#include "spmd/local_bounds.h"
+
+#include <algorithm>
+
+namespace phpf {
+
+ShrinkInfo analyzeShrink(const SpmdLowering& low, const Stmt* loop) {
+    ShrinkInfo info;
+    if (loop->kind != StmtKind::Do) return info;
+
+    bool first = true;
+    bool ok = true;
+    std::function<void(const std::vector<Stmt*>&)> walk =
+        [&](const std::vector<Stmt*>& body) {
+            for (const Stmt* s : body) {
+                if (!ok) return;
+                switch (s->kind) {
+                    case StmtKind::Assign: {
+                        const StmtExec& ex = low.execOf(s);
+                        if (ex.guard == StmtExec::Guard::All) {
+                            ok = false;
+                            return;
+                        }
+                        // Find the dim partitioned by this loop's index.
+                        bool found = false;
+                        for (size_t g = 0; g < ex.execDesc.dims.size(); ++g) {
+                            const RefDim& dim = ex.execDesc.dims[g];
+                            if (!dim.partitioned()) continue;
+                            if (!dim.subscript.affine) continue;
+                            const std::int64_t coeff =
+                                dim.subscript.coeffOf(loop);
+                            if (coeff == 0) continue;
+                            if (coeff != 1 ||
+                                dim.dist.kind() != DistKind::Block) {
+                                ok = false;
+                                return;
+                            }
+                            // Offset must be constant w.r.t. this loop:
+                            // subscript = i + c with no other terms? Other
+                            // terms vary with other loops; conservative:
+                            // require a single term.
+                            if (dim.subscript.terms.size() != 1) {
+                                ok = false;
+                                return;
+                            }
+                            const std::int64_t off =
+                                dim.subscript.c0 + dim.offset;
+                            if (first) {
+                                info.gridDim = static_cast<int>(g);
+                                info.dist = dim.dist;
+                                info.subscriptOffset = off;
+                                first = false;
+                            } else if (info.gridDim != static_cast<int>(g) ||
+                                       info.subscriptOffset != off) {
+                                ok = false;
+                                return;
+                            }
+                            found = true;
+                        }
+                        if (!found) {
+                            ok = false;
+                            return;
+                        }
+                        break;
+                    }
+                    case StmtKind::If:
+                        walk(s->thenBody);
+                        walk(s->elseBody);
+                        break;
+                    case StmtKind::Do:
+                        walk(s->body);
+                        break;
+                    case StmtKind::Goto:
+                    case StmtKind::Continue:
+                        break;
+                }
+            }
+        };
+    walk(loop->body);
+    info.shrinkable = ok && !first;
+    if (!info.shrinkable) info.gridDim = -1;
+    return info;
+}
+
+LocalRange localRange(const ShrinkInfo& info, int coord, std::int64_t lb,
+                      std::int64_t ub) {
+    if (!info.shrinkable) return {lb, ub};
+    // Owned positions of `coord`: block [tlb + coord*b, tlb + (coord+1)*b - 1]
+    // in the distribution's index space; loop index i maps to position
+    // i + subscriptOffset.
+    const std::int64_t b = info.dist.blockSize();
+    const std::int64_t ownedFirst =
+        info.dist.lb() + static_cast<std::int64_t>(coord) * b;
+    const std::int64_t ownedLast = std::min(info.dist.ub(), ownedFirst + b - 1);
+    LocalRange r;
+    r.lb = std::max(lb, ownedFirst - info.subscriptOffset);
+    r.ub = std::min(ub, ownedLast - info.subscriptOffset);
+    return r;
+}
+
+}  // namespace phpf

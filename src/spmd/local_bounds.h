@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+
+#include "spmd/lowering.h"
+
+namespace phpf {
+
+/// Loop-bound shrinking (Section 4: "the loop bounds can be shrunk in
+/// the final SPMD code"). For a loop whose body statements are all
+/// owner-computes partitioned by the loop index along one grid
+/// dimension with a BLOCK distribution, each processor only iterates
+/// over its own block. This computes the per-processor iteration range.
+struct LocalRange {
+    std::int64_t lb = 1;
+    std::int64_t ub = 0;  ///< empty when ub < lb
+
+    [[nodiscard]] std::int64_t trips() const { return ub >= lb ? ub - lb + 1 : 0; }
+};
+
+/// Analysis result for one loop: which grid dim its iterations are
+/// partitioned over (if any), and the underlying distribution.
+struct ShrinkInfo {
+    bool shrinkable = false;
+    int gridDim = -1;
+    DimDist dist;
+    std::int64_t subscriptOffset = 0;  ///< index -> distributed position
+};
+
+/// Determine whether loop `loop`'s iterations can be shrunk: every
+/// Assign in its body (including nested non-loop statements) must have
+/// an OwnerOf/Union executor whose descriptor partitions by this loop's
+/// index along a single consistent grid dim with a BLOCK distribution
+/// and constant offset. Conservative: anything else is unshrinkable
+/// (the loop runs with full bounds plus guards).
+[[nodiscard]] ShrinkInfo analyzeShrink(const SpmdLowering& low,
+                                       const Stmt* loop);
+
+/// Local iteration range of processor coordinate `coord` (along the
+/// shrink grid dim) for global bounds [lb, ub].
+[[nodiscard]] LocalRange localRange(const ShrinkInfo& info, int coord,
+                                    std::int64_t lb, std::int64_t ub);
+
+}  // namespace phpf

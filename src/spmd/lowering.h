@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/reduction.h"
+#include "comm/classify.h"
+#include "mapping/decisions.h"
+
+namespace phpf {
+
+/// Computation-partitioning guard of one statement in the SPMD program.
+struct StmtExec {
+    enum class Guard : std::uint8_t {
+        All,         ///< executed by every processor (replicated lhs /
+                     ///< unprivatized control flow)
+        OwnerOf,     ///< owner-computes: owner of `guardRef` executes
+        Union,       ///< privatized without alignment: union of the
+                     ///< iteration's other executors (Section 2.1 / 4)
+    };
+    Guard guard = Guard::All;
+    const Expr* guardRef = nullptr;
+    /// Ownership descriptor of the executor set (for Union: borrowed
+    /// from a partitioned statement of the same loop body).
+    RefDesc execDesc;
+};
+
+/// One communication operation of the lowered program.
+struct CommOp {
+    int id = -1;
+    const Expr* ref = nullptr;   ///< data moved
+    const Stmt* atStmt = nullptr;  ///< consuming statement
+    CommRequirement req;
+    /// Loop nesting level the (vectorized) message executes at: the op
+    /// runs once per iteration of the level-`placementLevel` loop
+    /// enclosing `atStmt` (0 = once, fully hoisted).
+    int placementLevel = 0;
+    RefDesc execDesc;  ///< destination processors
+    RefDesc srcDesc;   ///< data location
+
+    bool isReductionCombine = false;
+    std::vector<int> combineGridDims;
+};
+
+/// Lowers a mapped program to SPMD form: a guard per statement plus a
+/// list of placed communication operations. This is the phpf back end
+/// step the paper's cost discussion assumes (guards, loop-bound
+/// shrinking, message vectorization); the analytic cost evaluator and
+/// the functional simulator both consume it.
+class SpmdLowering {
+public:
+    SpmdLowering(Program& p, const SsaForm& ssa, const DataMapping& dm,
+                 const MappingDecisions& decisions,
+                 const std::vector<ReductionInfo>& reductions);
+
+    void run();
+
+    [[nodiscard]] const StmtExec& execOf(const Stmt* s) const;
+    [[nodiscard]] const std::vector<CommOp>& commOps() const { return ops_; }
+    /// Comm ops consumed by statement `s`.
+    [[nodiscard]] std::vector<const CommOp*> opsAt(const Stmt* s) const;
+    [[nodiscard]] const DataMapping& dataMapping() const { return dm_; }
+    [[nodiscard]] const MappingDecisions& decisions() const { return decisions_; }
+    [[nodiscard]] const std::vector<ReductionInfo>& reductions() const {
+        return reductions_;
+    }
+    [[nodiscard]] const SsaForm& ssa() const { return ssa_; }
+    [[nodiscard]] Program& program() const { return prog_; }
+
+    [[nodiscard]] std::string dump() const;
+
+private:
+    void lowerStmt(Stmt* s);
+    void addCommFor(Stmt* s, Expr* ref, const RefDesc& execDesc);
+    [[nodiscard]] RefDescriber describer() const {
+        return RefDescriber(prog_, dm_, &ssa_, &decisions_, aff_);
+    }
+    /// Executor descriptor for Union-guarded statements: borrowed from
+    /// the first owner-computes statement in the same loop body.
+    [[nodiscard]] RefDesc unionDescFor(const Stmt* s) const;
+    /// Owner-computes executor descriptor of an assignment (guards of
+    /// privatized arrays / aligned scalars included).
+    [[nodiscard]] RefDesc ownerDescOfAssign(const Stmt* s) const;
+
+    Program& prog_;
+    const SsaForm& ssa_;
+    const DataMapping& dm_;
+    const MappingDecisions& decisions_;
+    const std::vector<ReductionInfo>& reductions_;
+    AffineAnalyzer aff_;
+    std::unordered_map<const Stmt*, StmtExec> exec_;
+    std::vector<CommOp> ops_;
+};
+
+}  // namespace phpf

@@ -1,0 +1,146 @@
+#include "spmd/spmd_text.h"
+
+#include <sstream>
+
+#include "ir/printer.h"
+#include "spmd/local_bounds.h"
+
+namespace phpf {
+
+namespace {
+
+class Emitter {
+public:
+    explicit Emitter(const SpmdLowering& low)
+        : low_(low), prog_(low.program()) {
+        for (const CommOp& op : low.commOps()) {
+            if (op.placementLevel == 0) {
+                topOps_.push_back(&op);
+            } else {
+                const Stmt* loop =
+                    prog_.enclosingLoopAtLevel(op.atStmt, op.placementLevel);
+                if (loop != nullptr) opsByLoop_[loop].push_back(&op);
+            }
+        }
+    }
+
+    std::string run() {
+        os_ << "! SPMD form of '" << prog_.name << "' on grid "
+            << low_.dataMapping().grid().str() << "\n";
+        for (const CommOp* op : topOps_) emitOp(op, 0);
+        emitBlock(prog_.top, 0);
+        return os_.str();
+    }
+
+private:
+    void emitOp(const CommOp* op, int indent) {
+        pad(indent);
+        if (op->isReductionCombine) {
+            os_ << "! comm: combine reduction " << printExpr(prog_, op->ref)
+                << " across grid dims {";
+            for (size_t i = 0; i < op->combineGridDims.size(); ++i)
+                os_ << (i ? "," : "") << op->combineGridDims[i];
+            os_ << "}\n";
+            return;
+        }
+        os_ << "! comm: " << commPatternName(op->req.overall) << " "
+            << printExpr(prog_, op->ref) << " (vectorized at level "
+            << op->placementLevel << ")\n";
+    }
+
+    void guardComment(const Stmt* s) {
+        const StmtExec& ex = low_.execOf(s);
+        switch (ex.guard) {
+            case StmtExec::Guard::All:
+                os_ << "   ! on every processor";
+                break;
+            case StmtExec::Guard::OwnerOf:
+                os_ << "   ! if I own "
+                    << (ex.guardRef != nullptr ? printExpr(prog_, ex.guardRef)
+                                               : std::string("<target>"));
+                break;
+            case StmtExec::Guard::Union:
+                os_ << "   ! with the iteration's executors";
+                break;
+        }
+    }
+
+    void emitBlock(const std::vector<Stmt*>& block, int indent) {
+        for (const Stmt* s : block) emitStmt(s, indent);
+    }
+
+    void emitStmt(const Stmt* s, int indent) {
+        switch (s->kind) {
+            case StmtKind::Assign:
+                pad(indent);
+                os_ << printExpr(prog_, s->lhs) << " = "
+                    << printExpr(prog_, s->rhs);
+                guardComment(s);
+                os_ << "\n";
+                break;
+            case StmtKind::If:
+                pad(indent);
+                os_ << "if (" << printExpr(prog_, s->cond) << ") then";
+                guardComment(s);
+                os_ << "\n";
+                emitBlock(s->thenBody, indent + 2);
+                if (!s->elseBody.empty()) {
+                    pad(indent);
+                    os_ << "else\n";
+                    emitBlock(s->elseBody, indent + 2);
+                }
+                pad(indent);
+                os_ << "end if\n";
+                break;
+            case StmtKind::Do: {
+                const ShrinkInfo shrink = analyzeShrink(low_, s);
+                pad(indent);
+                os_ << "do " << prog_.sym(s->loopVar).name << " = ";
+                if (shrink.shrinkable) {
+                    os_ << "mylo(" << printExpr(prog_, s->lb) << "), myhi("
+                        << printExpr(prog_, s->ub) << ")"
+                        << "   ! bounds shrunk to my block on grid dim "
+                        << shrink.gridDim;
+                } else {
+                    os_ << printExpr(prog_, s->lb) << ", "
+                        << printExpr(prog_, s->ub);
+                    if (s->step != nullptr)
+                        os_ << ", " << printExpr(prog_, s->step);
+                }
+                os_ << "\n";
+                auto it = opsByLoop_.find(s);
+                if (it != opsByLoop_.end())
+                    for (const CommOp* op : it->second) emitOp(op, indent + 2);
+                emitBlock(s->body, indent + 2);
+                pad(indent);
+                os_ << "end do\n";
+                break;
+            }
+            case StmtKind::Goto:
+                pad(indent);
+                os_ << "go to " << s->gotoTarget;
+                guardComment(s);
+                os_ << "\n";
+                break;
+            case StmtKind::Continue:
+                pad(indent);
+                if (s->label >= 0) os_ << s->label << " ";
+                os_ << "continue\n";
+                break;
+        }
+    }
+
+    void pad(int indent) { os_ << std::string(static_cast<size_t>(indent), ' '); }
+
+    const SpmdLowering& low_;
+    const Program& prog_;
+    std::ostringstream os_;
+    std::vector<const CommOp*> topOps_;
+    std::unordered_map<const Stmt*, std::vector<const CommOp*>> opsByLoop_;
+};
+
+}  // namespace
+
+std::string emitSpmdText(const SpmdLowering& low) { return Emitter(low).run(); }
+
+}  // namespace phpf

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "spmd/lowering.h"
+
+namespace phpf {
+
+/// Emit the lowered program as annotated SPMD pseudo-code: every
+/// statement carries its computation-partitioning guard, shrinkable
+/// loops show their per-processor local bounds, and the placed
+/// (vectorized) communication operations appear at their hoisting
+/// points. This is the human-readable form of what phpf's code
+/// generator would emit as Fortran+MPL.
+[[nodiscard]] std::string emitSpmdText(const SpmdLowering& low);
+
+}  // namespace phpf

@@ -1,0 +1,50 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace phpf {
+
+namespace {
+const char* severityName(DiagSeverity s) {
+    switch (s) {
+        case DiagSeverity::Note: return "note";
+        case DiagSeverity::Warning: return "warning";
+        case DiagSeverity::Error: return "error";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string Diagnostic::str() const {
+    std::ostringstream os;
+    os << loc.str() << ": " << severityName(severity) << ": " << message;
+    return os.str();
+}
+
+void DiagEngine::error(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
+    ++errorCount_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+}
+
+std::string DiagEngine::dump() const {
+    std::ostringstream os;
+    for (const auto& d : diags_) os << d.str() << "\n";
+    return os.str();
+}
+
+void DiagEngine::clear() {
+    diags_.clear();
+    errorCount_ = 0;
+}
+
+void internalError(const std::string& msg) { throw InternalError(msg); }
+
+}  // namespace phpf

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace phpf {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One diagnostic message produced by the front end or an analysis pass.
+struct Diagnostic {
+    DiagSeverity severity = DiagSeverity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics for a compilation. Passes report through this
+/// engine instead of throwing, so a driver can surface every problem in
+/// a program at once; `hasErrors()` gates the next pipeline stage.
+class DiagEngine {
+public:
+    void error(SourceLoc loc, std::string msg);
+    void warning(SourceLoc loc, std::string msg);
+    void note(SourceLoc loc, std::string msg);
+
+    [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+    [[nodiscard]] int errorCount() const { return errorCount_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+    [[nodiscard]] std::string dump() const;
+    void clear();
+
+private:
+    std::vector<Diagnostic> diags_;
+    int errorCount_ = 0;
+};
+
+/// Thrown only for internal invariant violations (compiler bugs), never
+/// for malformed user programs.
+class InternalError : public std::exception {
+public:
+    explicit InternalError(std::string msg) : msg_(std::move(msg)) {}
+    [[nodiscard]] const char* what() const noexcept override { return msg_.c_str(); }
+
+private:
+    std::string msg_;
+};
+
+[[noreturn]] void internalError(const std::string& msg);
+
+#define PHPF_ASSERT(cond, msg)                                            \
+    do {                                                                  \
+        if (!(cond)) ::phpf::internalError(std::string("assertion failed: ") + \
+                                           #cond + " — " + (msg));        \
+    } while (false)
+
+}  // namespace phpf

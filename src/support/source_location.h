@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phpf {
+
+/// A position in a mini-HPF source file. Line/column are 1-based; a
+/// default-constructed location (line 0) means "no source position"
+/// (e.g. IR built programmatically through the builder API).
+struct SourceLoc {
+    std::int32_t line = 0;
+    std::int32_t column = 0;
+
+    [[nodiscard]] bool valid() const { return line > 0; }
+    [[nodiscard]] std::string str() const {
+        return valid() ? std::to_string(line) + ":" + std::to_string(column)
+                       : std::string("<builder>");
+    }
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace phpf

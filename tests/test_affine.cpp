@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "analysis/affine.h"
+#include "analysis/dominators.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+
+namespace phpf {
+namespace {
+
+// Shared fixture: a 3-deep nest with scalars defined at various levels.
+struct AffWorld {
+    Program p;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<SsaForm> ssa;
+    std::unique_ptr<AffineAnalyzer> aff;
+    Stmt* probe = nullptr;  // innermost statement whose rhs we analyze
+
+    AffWorld() : p(make()) {
+        p.finalize();
+        cfg = std::make_unique<Cfg>(p);
+        dom = std::make_unique<Dominators>(*cfg);
+        ssa = std::make_unique<SsaForm>(p, *cfg, *dom);
+        aff = std::make_unique<AffineAnalyzer>(p, ssa.get());
+        p.forEachStmt([&](Stmt* s) {
+            if (s->kind == StmtKind::Assign && s->level == 3) probe = s;
+        });
+    }
+
+    static Program make() {
+        ProgramBuilder b("aff");
+        auto A = b.realArray("A", {64});
+        auto s2 = b.integerVar("s2");
+        auto i = b.integerVar("i");
+        auto j = b.integerVar("j");
+        auto k = b.integerVar("k");
+        b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+            b.doLoop(j, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+                b.assign(b.idx(s2), b.idx(i) * b.idx(j));  // nonlinear
+                b.doLoop(k, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}),
+                         [&] {
+                             // probe: A(...) = expr over i,j,k,s2
+                             b.assign(b.ref(A, {b.idx(k)}),
+                                      b.idx(i) + b.idx(j) + b.idx(k) +
+                                          b.idx(s2));
+                         });
+            });
+        });
+        return b.finish();
+    }
+
+};
+
+Expr* build(Program& p, Stmt* context, const std::function<Expr*(Program&)>& f) {
+    Expr* e = f(p);
+    // attach context so analyze() sees the loops
+    Program::walkExpr(e, [&](Expr* n) { n->parentStmt = context; });
+    return e;
+}
+
+TEST(Affine, ConstantsAndIndices) {
+    AffWorld w;
+    auto mk = [&](const std::function<Expr*(Program&)>& f) {
+        return build(w.p, w.probe, f);
+    };
+    const SymbolId i = w.p.findSymbol("i");
+    const SymbolId k = w.p.findSymbol("k");
+
+    // Literal
+    AffineForm f1 = w.aff->analyze(mk([](Program& p) {
+        Expr* e = p.newExpr(ExprKind::IntLit);
+        e->ival = 7;
+        return e;
+    }));
+    EXPECT_TRUE(f1.affine);
+    EXPECT_TRUE(f1.isConstant());
+    EXPECT_EQ(f1.c0, 7);
+    EXPECT_EQ(f1.varLevel, 0);
+
+    // 2*i - k + 3
+    AffineForm f2 = w.aff->analyze(mk([&](Program& p) {
+        auto var = [&](SymbolId s) {
+            Expr* e = p.newExpr(ExprKind::VarRef);
+            e->sym = s;
+            return e;
+        };
+        auto lit = [&](std::int64_t v) {
+            Expr* e = p.newExpr(ExprKind::IntLit);
+            e->ival = v;
+            return e;
+        };
+        auto bin = [&](BinaryOp op, Expr* a, Expr* b2) {
+            Expr* e = p.newExpr(ExprKind::Binary);
+            e->bop = op;
+            e->args = {a, b2};
+            return e;
+        };
+        return bin(BinaryOp::Add,
+                   bin(BinaryOp::Sub, bin(BinaryOp::Mul, lit(2), var(i)),
+                       var(k)),
+                   lit(3));
+    }));
+    EXPECT_TRUE(f2.affine);
+    EXPECT_EQ(f2.c0, 3);
+    EXPECT_EQ(f2.varLevel, 3);  // k is the innermost index used
+    ASSERT_EQ(f2.terms.size(), 2u);
+    std::int64_t ci = 0, ck = 0;
+    for (const auto& t : f2.terms) {
+        if (t.loop->loopVar == i) ci = t.coeff;
+        if (t.loop->loopVar == k) ck = t.coeff;
+    }
+    EXPECT_EQ(ci, 2);
+    EXPECT_EQ(ck, -1);
+}
+
+TEST(Affine, CancellationDropsTerm) {
+    AffWorld w;
+    const SymbolId i = w.p.findSymbol("i");
+    Expr* e = build(w.p, w.probe, [&](Program& p) {
+        auto var = [&] {
+            Expr* v = p.newExpr(ExprKind::VarRef);
+            v->sym = i;
+            return v;
+        };
+        Expr* sub = p.newExpr(ExprKind::Binary);
+        sub->bop = BinaryOp::Sub;
+        sub->args = {var(), var()};
+        return sub;
+    });
+    const AffineForm f = w.aff->analyze(e);
+    EXPECT_TRUE(f.affine);
+    EXPECT_TRUE(f.isConstant());
+    EXPECT_EQ(f.c0, 0);
+}
+
+TEST(Affine, NonIndexScalarUsesDefLevel) {
+    AffWorld w;
+    // s2 is defined at level 2 (inside j loop): VarLevel 2, SAL 3.
+    Expr* s2use = nullptr;
+    Program::walkExpr(w.probe->rhs, [&](Expr* e) {
+        if (e->kind == ExprKind::VarRef && e->sym == w.p.findSymbol("s2"))
+            s2use = e;
+    });
+    ASSERT_NE(s2use, nullptr);
+    const AffineForm f = w.aff->analyze(s2use);
+    EXPECT_FALSE(f.affine);
+    EXPECT_EQ(f.varLevel, 2);
+    EXPECT_EQ(w.aff->subscriptAlignLevel(s2use), 3);
+}
+
+TEST(Affine, NonlinearProductIsNotAffine) {
+    AffWorld w;
+    const SymbolId i = w.p.findSymbol("i");
+    const SymbolId j = w.p.findSymbol("j");
+    Expr* e = build(w.p, w.probe, [&](Program& p) {
+        auto var = [&](SymbolId s) {
+            Expr* v = p.newExpr(ExprKind::VarRef);
+            v->sym = s;
+            return v;
+        };
+        Expr* mul = p.newExpr(ExprKind::Binary);
+        mul->bop = BinaryOp::Mul;
+        mul->args = {var(i), var(j)};
+        return mul;
+    });
+    const AffineForm f = w.aff->analyze(e);
+    EXPECT_FALSE(f.affine);
+    EXPECT_EQ(f.varLevel, 2);  // i at 1, j at 2
+}
+
+TEST(Affine, InvarianceInLoop) {
+    AffWorld w;
+    const SymbolId i = w.p.findSymbol("i");
+    Stmt* iLoop = w.p.top[0];
+    Stmt* jLoop = nullptr;
+    for (Stmt* s : iLoop->body)
+        if (s->kind == StmtKind::Do) jLoop = s;
+    ASSERT_NE(jLoop, nullptr);
+    Expr* e = build(w.p, w.probe, [&](Program& p) {
+        Expr* v = p.newExpr(ExprKind::VarRef);
+        v->sym = i;
+        return v;
+    });
+    const AffineForm f = w.aff->analyze(e);
+    EXPECT_TRUE(f.invariantIn(jLoop, 2));
+    EXPECT_FALSE(f.invariantIn(iLoop, 1));
+}
+
+TEST(Affine, FoldConstantsCollapsesLiterals) {
+    Program p;
+    auto lit = [&](std::int64_t v) {
+        Expr* e = p.newExpr(ExprKind::IntLit);
+        e->ival = v;
+        return e;
+    };
+    auto bin = [&](BinaryOp op, Expr* a, Expr* b) {
+        Expr* e = p.newExpr(ExprKind::Binary);
+        e->bop = op;
+        e->args = {a, b};
+        return e;
+    };
+    Expr* e = bin(BinaryOp::Mul, bin(BinaryOp::Add, lit(2), lit(3)), lit(4));
+    Expr* folded = foldConstants(p, e);
+    ASSERT_EQ(folded->kind, ExprKind::IntLit);
+    EXPECT_EQ(folded->ival, 20);
+
+    // x + 0 and x * 1 identities
+    SymbolId x = p.addSymbol("x", ScalarType::Int);
+    auto var = [&] {
+        Expr* v = p.newExpr(ExprKind::VarRef);
+        v->sym = x;
+        return v;
+    };
+    Expr* e2 = foldConstants(p, bin(BinaryOp::Add, var(), lit(0)));
+    EXPECT_EQ(e2->kind, ExprKind::VarRef);
+    Expr* e3 = foldConstants(p, bin(BinaryOp::Mul, lit(1), var()));
+    EXPECT_EQ(e3->kind, ExprKind::VarRef);
+}
+
+TEST(Affine, CloneExprIsDeepAndEquivalent) {
+    Program p;
+    SymbolId a = p.addSymbol("a", ScalarType::Real, {{1, 8}});
+    SymbolId i = p.addSymbol("i", ScalarType::Int);
+    Expr* idx = p.newExpr(ExprKind::VarRef);
+    idx->sym = i;
+    Expr* ref = p.newExpr(ExprKind::ArrayRef);
+    ref->sym = a;
+    ref->args = {idx};
+    Expr* clone = cloneExpr(p, ref);
+    EXPECT_NE(clone, ref);
+    EXPECT_NE(clone->args[0], ref->args[0]);
+    EXPECT_EQ(printExpr(p, clone), printExpr(p, ref));
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "analysis/array_priv.h"
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+// Fig. 6's structure without any INDEPENDENT/NEW directive: the
+// automatic analysis must discover that c is privatizable w.r.t. the
+// k loop.
+Program fig6NoDirective(std::int64_t n) {
+    ProgramBuilder b("fig6auto");
+    auto rsd = b.realArray("rsd", {5, n, n, n});
+    auto c = b.realArray("c", {n, n, 5});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    auto k = b.integerVar("k");
+    b.processors(2);
+    b.distribute(rsd, {{DistKind::Serial, 0},
+                       {DistKind::Serial, 0},
+                       {DistKind::Block, 0},
+                       {DistKind::Block, 0}});
+    b.doLoop(k, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+        b.doLoop(j, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(b.ref(c, {b.idx(i), b.idx(j), b.lit(std::int64_t{1})}),
+                         b.ref(rsd, {b.lit(std::int64_t{1}), b.idx(i),
+                                     b.idx(j), b.idx(k)}) *
+                             b.lit(0.25));
+            });
+        });
+        b.doLoop(j, b.lit(std::int64_t{3}), b.lit(n - 1), [&] {
+            b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+                b.assign(b.ref(rsd, {b.lit(std::int64_t{1}), b.idx(i),
+                                     b.idx(j), b.idx(k)}),
+                         b.ref(c, {b.idx(i), b.idx(j) - b.lit(std::int64_t{1}),
+                                   b.lit(std::int64_t{1})}));
+            });
+        });
+    });
+    return b.finish();
+}
+
+TEST(AutoPriv, DetectsFig6WorkArray) {
+    Program p = fig6NoDirective(12);
+    p.finalize();
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    SsaForm ssa(p, cfg, dom);
+    const auto found = findAutoPrivatizableArrays(p, ssa);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(p.sym(found[0].array).name, "c");
+    EXPECT_EQ(p.sym(found[0].loop->loopVar).name, "k");
+}
+
+TEST(AutoPriv, MappingPassUsesDetection) {
+    Program p = fig6NoDirective(12);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    opts.mapping.autoArrayPrivatization = true;
+    Compilation c = Compiler::compile(p, opts);
+    const auto& arrays = c.mappingPass->decisions().arrays();
+    ASSERT_EQ(arrays.size(), 1u);
+    EXPECT_EQ(arrays[0].kind, ArrayPrivDecision::Kind::Partial)
+        << arrays[0].rationale;
+}
+
+TEST(AutoPriv, OffByDefault) {
+    Program p = fig6NoDirective(12);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    EXPECT_TRUE(c.mappingPass->decisions().arrays().empty());
+}
+
+TEST(AutoPriv, SemanticsPreservedUnderAutoPrivatization) {
+    Program p = fig6NoDirective(10);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    opts.mapping.autoArrayPrivatization = true;
+    Compilation c = Compiler::compile(p, opts);
+    auto sim = c.simulate([](Interpreter& o) {
+        for (std::int64_t m = 1; m <= 5; ++m)
+            for (std::int64_t i = 1; i <= 10; ++i)
+                for (std::int64_t j = 1; j <= 10; ++j)
+                    for (std::int64_t k = 1; k <= 10; ++k)
+                        o.setElement("rsd", {m, i, j, k},
+                                     0.01 * static_cast<double>(m * i) +
+                                         0.001 * static_cast<double>(j - k));
+    });
+    EXPECT_EQ(sim->maxErrorVsOracle("rsd"), 0.0);
+}
+
+TEST(AutoPriv, ReadBeforeWriteIsNotPrivatizable) {
+    ProgramBuilder b("rbw");
+    auto A = b.realArray("A", {16});
+    auto w = b.realArray("w", {16});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(j, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+        // Read of w precedes the write: loop-carried flow, not private.
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(A, {b.idx(i)}), b.ref(w, {b.idx(i)}));
+        });
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(w, {b.idx(i)}), b.ref(A, {b.idx(i)}));
+        });
+    });
+    Program p = b.finish();
+    p.finalize();
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    SsaForm ssa(p, cfg, dom);
+    EXPECT_TRUE(findAutoPrivatizableArrays(p, ssa).empty());
+}
+
+TEST(AutoPriv, PartialWriteCoverageIsNotPrivatizable) {
+    ProgramBuilder b("partialw");
+    auto A = b.realArray("A", {16});
+    auto w = b.realArray("w", {16});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(j, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+        // Writes w(4..8) but reads w(2..15): uncovered reads.
+        b.doLoop(i, b.lit(std::int64_t{4}), b.lit(std::int64_t{8}), [&] {
+            b.assign(b.ref(w, {b.idx(i)}), b.lit(1.0));
+        });
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(A, {b.idx(i)}), b.ref(w, {b.idx(i)}));
+        });
+    });
+    Program p = b.finish();
+    p.finalize();
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    SsaForm ssa(p, cfg, dom);
+    EXPECT_TRUE(findAutoPrivatizableArrays(p, ssa).empty());
+}
+
+TEST(AutoPriv, ConditionalWriteIsNotPrivatizable) {
+    ProgramBuilder b("condw");
+    auto A = b.realArray("A", {16});
+    auto w = b.realArray("w", {16});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(j, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.ifStmt(b.ref(A, {b.idx(i)}) > b.lit(0.0), [&] {
+                b.assign(b.ref(w, {b.idx(i)}), b.lit(1.0));
+            });
+        });
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(A, {b.idx(i)}), b.ref(w, {b.idx(i)}));
+        });
+    });
+    Program p = b.finish();
+    p.finalize();
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    SsaForm ssa(p, cfg, dom);
+    EXPECT_TRUE(findAutoPrivatizableArrays(p, ssa).empty());
+}
+
+TEST(AutoPriv, ReadAfterLoopBlocksPrivatization) {
+    ProgramBuilder b("liveout");
+    auto A = b.realArray("A", {16});
+    auto w = b.realArray("w", {16});
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(j, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(w, {b.idx(i)}), b.lit(1.0));
+        });
+        b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+            b.assign(b.ref(A, {b.idx(i)}), b.ref(w, {b.idx(i)}));
+        });
+    });
+    b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{15}), [&] {
+        b.assign(b.ref(A, {b.idx(i)}), b.ref(w, {b.idx(i)}));  // live out
+    });
+    Program p = b.finish();
+    p.finalize();
+    Cfg cfg(p);
+    Dominators dom(cfg);
+    SsaForm ssa(p, cfg, dom);
+    // The j loop no longer encloses every access, so w is only
+    // privatizable... nowhere (the only loop containing all accesses
+    // would be a nonexistent outer loop).
+    EXPECT_TRUE(findAutoPrivatizableArrays(p, ssa).empty());
+}
+
+}  // namespace
+}  // namespace phpf

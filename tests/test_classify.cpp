@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "comm/classify.h"
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+// A fixture compiling a configurable 1-D stencil program and exposing
+// describe/classify on its references.
+struct StencilWorld {
+    Program p;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<SsaForm> ssa;
+    std::unique_ptr<DataMapping> dm;
+    std::unique_ptr<AffineAnalyzer> aff;
+    std::unique_ptr<RefDescriber> rd;
+
+    explicit StencilWorld(Program prog, std::vector<int> grid)
+        : p(std::move(prog)) {
+        p.finalize();
+        cfg = std::make_unique<Cfg>(p);
+        dom = std::make_unique<Dominators>(*cfg);
+        ssa = std::make_unique<SsaForm>(p, *cfg, *dom);
+        dm = std::make_unique<DataMapping>(p, ProcGrid(std::move(grid)));
+        aff = std::make_unique<AffineAnalyzer>(p, ssa.get());
+        rd = std::make_unique<RefDescriber>(p, *dm, ssa.get(), nullptr, *aff);
+    }
+
+    Stmt* assignTo(const std::string& array, int occurrence = 0) {
+        const SymbolId sym = p.findSymbol(array);
+        Stmt* found = nullptr;
+        int seen = 0;
+        p.forEachStmt([&](Stmt* s) {
+            if (s->kind == StmtKind::Assign && s->lhs->sym == sym &&
+                seen++ == occurrence && found == nullptr)
+                found = s;
+        });
+        return found;
+    }
+    Expr* rhsRef(Stmt* s, const std::string& array, int occurrence = 0) {
+        const SymbolId sym = p.findSymbol(array);
+        Expr* found = nullptr;
+        int seen = 0;
+        Program::walkExpr(s->rhs, [&](Expr* e) {
+            if (e->isRef() && e->sym == sym && seen++ == occurrence &&
+                found == nullptr)
+                found = e;
+        });
+        return found;
+    }
+};
+
+Program stencilProgram(std::int64_t n) {
+    ProgramBuilder b("stencil");
+    auto A = b.realArray("A", {n});
+    auto B = b.realArray("B", {n});
+    auto R = b.realArray("R", {n});  // replicated
+    auto i = b.integerVar("i");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.alignIdentity(B, A);
+    b.doLoop(i, b.lit(std::int64_t{2}), b.lit(n - 1), [&] {
+        b.assign(b.ref(A, {b.idx(i)}),
+                 b.ref(B, {b.idx(i) - b.lit(std::int64_t{1})}) +
+                     b.ref(B, {b.idx(i)}) + b.ref(R, {b.idx(i)}));
+    });
+    return b.finish();
+}
+
+TEST(Classify, SameOwnerNoComm) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    const CommRequirement req = classifyComm(w.rd->describe(s->lhs),
+                                             w.rd->describe(w.rhsRef(s, "B", 1)));
+    EXPECT_FALSE(req.needed);
+    EXPECT_EQ(req.overall, CommPattern::None);
+}
+
+TEST(Classify, ConstantOffsetIsShift) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    const CommRequirement req = classifyComm(w.rd->describe(s->lhs),
+                                             w.rd->describe(w.rhsRef(s, "B", 0)));
+    EXPECT_TRUE(req.needed);
+    EXPECT_EQ(req.overall, CommPattern::Shift);
+    EXPECT_EQ(req.dims[0].shift, -1);  // B(i-1) read by owner of A(i)
+}
+
+TEST(Classify, ReplicatedSourceNeverNeedsComm) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    const CommRequirement req = classifyComm(w.rd->describe(s->lhs),
+                                             w.rd->describe(w.rhsRef(s, "R")));
+    EXPECT_FALSE(req.needed);
+}
+
+TEST(Classify, PartitionedToReplicatedIsAllGather) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    const RefDesc all = RefDesc::replicated(1);
+    const CommRequirement req =
+        classifyComm(all, w.rd->describe(w.rhsRef(s, "B", 1)));
+    EXPECT_TRUE(req.needed);
+    EXPECT_EQ(req.overall, CommPattern::AllGather);
+}
+
+TEST(Classify, FixedToFixed) {
+    RefDesc a = RefDesc::replicated(1);
+    a.dims[0].kind = RefDim::Kind::Fixed;
+    a.dims[0].fixedCoord = 2;
+    RefDesc b = a;
+    EXPECT_FALSE(classifyComm(a, b).needed);
+    b.dims[0].fixedCoord = 3;
+    EXPECT_TRUE(classifyComm(a, b).needed);
+    EXPECT_EQ(classifyComm(a, b).overall, CommPattern::PointToPoint);
+}
+
+TEST(Classify, FixedSourceToPartitionedIsBroadcast) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    RefDesc src = RefDesc::replicated(1);
+    src.dims[0].kind = RefDim::Kind::Fixed;
+    src.dims[0].fixedCoord = 0;
+    const CommRequirement req = classifyComm(w.rd->describe(s->lhs), src);
+    EXPECT_EQ(req.overall, CommPattern::Broadcast);
+}
+
+TEST(Classify, DistributionMismatchIsGeneral) {
+    ProgramBuilder b("mismatch");
+    auto A = b.realArray("A", {32});
+    auto B = b.realArray("B", {32});
+    auto i = b.integerVar("i");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.distribute(B, {{DistKind::Cyclic, 0}});
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{32}),
+             [&] { b.assign(b.ref(A, {b.idx(i)}), b.ref(B, {b.idx(i)})); });
+    StencilWorld w(b.finish(), {4});
+    Stmt* s = w.assignTo("A");
+    const CommRequirement req = classifyComm(w.rd->describe(s->lhs),
+                                             w.rd->describe(w.rhsRef(s, "B")));
+    EXPECT_EQ(req.overall, CommPattern::General);
+}
+
+// ---------------------------------------------------------------------------
+// Message-vectorization placement
+// ---------------------------------------------------------------------------
+
+TEST(Placement, ReadOnlyArrayHoistsFully) {
+    StencilWorld w(stencilProgram(64), {4});
+    Stmt* s = w.assignTo("A");
+    EXPECT_EQ(commPlacementLevel(w.p, w.ssa.get(), w.rhsRef(s, "B", 0)), 0);
+    EXPECT_FALSE(isInnerLoopComm(w.p, w.ssa.get(), w.rhsRef(s, "B", 0)));
+}
+
+TEST(Placement, ScalarDefInLoopPinsPlacement) {
+    // Fig. 1: x defined inside the i loop, read at D(m) = x/z — the
+    // message for x cannot leave the loop.
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    bool sawYComm = false;
+    for (const CommOp& op : c.lowering->commOps()) {
+        if (op.ref->kind == ExprKind::VarRef &&
+            p.sym(op.ref->sym).name == "y") {
+            sawYComm = true;
+            EXPECT_EQ(op.placementLevel, 1);
+        }
+    }
+    EXPECT_TRUE(sawYComm);
+}
+
+TEST(Placement, StoreToSameArrayConstrains) {
+    // TOMCATV: x written in the update nest; stencil reads of x can only
+    // hoist to the iter loop (level 1), not fully out.
+    Program p = programs::tomcatv(32, 3);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    ASSERT_FALSE(c.lowering->commOps().empty());
+    for (const CommOp& op : c.lowering->commOps()) {
+        if (op.ref->kind != ExprKind::ArrayRef) continue;
+        EXPECT_EQ(op.placementLevel, 1) << printExpr(p, op.ref);
+    }
+}
+
+TEST(Placement, DisjointColumnStoreDoesNotConstrain) {
+    // DGEFA: the update writes columns j >= k+1; reading column k can
+    // hoist to the k loop even though both touch A.
+    Program p = programs::dgefa(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    for (const CommOp& op : c.lowering->commOps()) {
+        EXPECT_LE(op.placementLevel, 1)
+            << (op.ref != nullptr ? printExpr(p, op.ref) : "combine");
+    }
+}
+
+TEST(Placement, NonIndexSubscriptPinsToItsDef) {
+    // Fig. 2: G(q,i) with q computed per iteration: placement level 1.
+    Program p = programs::fig2(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    bool sawG = false;
+    for (const CommOp& op : c.lowering->commOps()) {
+        if (op.ref->kind == ExprKind::ArrayRef &&
+            p.sym(op.ref->sym).name == "G") {
+            sawG = true;
+            EXPECT_EQ(op.placementLevel, 1);
+        }
+    }
+    EXPECT_TRUE(sawG);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.h"
+#include "analysis/dominators.h"
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+struct DepWorld {
+    Program p;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<SsaForm> ssa;
+    std::unique_ptr<DependenceTester> tester;
+
+    explicit DepWorld(Program prog) : p(std::move(prog)) {
+        p.finalize();
+        cfg = std::make_unique<Cfg>(p);
+        dom = std::make_unique<Dominators>(*cfg);
+        ssa = std::make_unique<SsaForm>(p, *cfg, *dom);
+        tester = std::make_unique<DependenceTester>(p, ssa.get());
+    }
+
+    std::pair<Stmt*, Expr*> access(const std::string& array, bool write,
+                                   int occurrence = 0) {
+        const SymbolId sym = p.findSymbol(array);
+        std::pair<Stmt*, Expr*> out{nullptr, nullptr};
+        int seen = 0;
+        p.forEachStmt([&](Stmt* s) {
+            Program::forEachExpr(s, [&](Expr* e) {
+                if (e->kind != ExprKind::ArrayRef || e->sym != sym) return;
+                const bool w = s->kind == StmtKind::Assign && e == s->lhs;
+                if (w != write) return;
+                if (seen++ == occurrence && out.first == nullptr) out = {s, e};
+            });
+        });
+        return out;
+    }
+};
+
+// A single-loop program writing A(f(i)) and reading A(g(i)).
+DepWorld siv(std::int64_t wMul, std::int64_t wOff, std::int64_t rMul,
+             std::int64_t rOff) {
+    ProgramBuilder b("siv");
+    auto A = b.realArray("A", {256});
+    auto S = b.realArray("S", {256});
+    auto i = b.integerVar("i");
+    b.doLoop(i, b.lit(std::int64_t{3}), b.lit(std::int64_t{60}), [&] {
+        b.assign(b.ref(A, {b.lit(wMul) * b.idx(i) + b.lit(wOff)}),
+                 b.lit(1.0));
+        b.assign(b.ref(S, {b.idx(i)}),
+                 b.ref(A, {b.lit(rMul) * b.idx(i) + b.lit(rOff)}));
+    });
+    return DepWorld(b.finish());
+}
+
+TEST(Dependence, SameElementIsLoopIndependent) {
+    DepWorld w = siv(1, 0, 1, 0);
+    auto [ws, wr] = w.access("A", true);
+    auto [rs, rr] = w.access("A", false);
+    const auto dep = w.tester->test(ws, wr, rs, rr);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_TRUE(dep->loopIndependent);
+    EXPECT_EQ(dep->carrier, nullptr);
+    ASSERT_TRUE(dep->distanceKnown);
+    EXPECT_EQ(dep->distance[0], 0);
+}
+
+TEST(Dependence, StrongSivConstantDistance) {
+    DepWorld w = siv(1, 0, 1, -3);  // read A(i-3): written 3 iterations ago
+    auto [ws, wr] = w.access("A", true);
+    auto [rs, rr] = w.access("A", false);
+    const auto dep = w.tester->test(ws, wr, rs, rr);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_FALSE(dep->loopIndependent);
+    ASSERT_NE(dep->carrier, nullptr);
+    EXPECT_EQ(dep->carrier->loopNestingLevel(), 1);
+    ASSERT_TRUE(dep->distanceKnown);
+    EXPECT_EQ(dep->distance[0], -3);
+}
+
+TEST(Dependence, GcdProvesIndependence) {
+    // Write A(2i), read A(2i+1): even vs odd elements never meet.
+    DepWorld w = siv(2, 0, 2, 1);
+    auto [ws, wr] = w.access("A", true);
+    auto [rs, rr] = w.access("A", false);
+    EXPECT_FALSE(w.tester->test(ws, wr, rs, rr).has_value());
+}
+
+TEST(Dependence, StridedSameParityDepends) {
+    DepWorld w = siv(2, 0, 2, 4);
+    auto [ws, wr] = w.access("A", true);
+    auto [rs, rr] = w.access("A", false);
+    const auto dep = w.tester->test(ws, wr, rs, rr);
+    ASSERT_TRUE(dep.has_value());
+    ASSERT_TRUE(dep->distanceKnown);
+    EXPECT_EQ(dep->distance[0], 2);  // 2i + 4 = 2(i+2)
+}
+
+TEST(Dependence, DgefaTrailingColumnsIndependentOfPivotColumn) {
+    DepWorld w(programs::dgefa(32));
+    // Update write A(i,j), j >= k+1 vs. update read A(i,k).
+    auto [updStmt, updWrite] = w.access("A", true, 3);  // 4th write: update
+    ASSERT_NE(updStmt, nullptr);
+    Expr* pivotRead = nullptr;
+    Program::walkExpr(updStmt->rhs, [&](Expr* e) {
+        if (e->kind == ExprKind::ArrayRef && e->args.size() == 2) {
+            // A(i,k): second subscript is the k loop var.
+            if (e->args[1]->kind == ExprKind::VarRef &&
+                w.p.sym(e->args[1]->sym).name == "k")
+                pivotRead = e;
+        }
+    });
+    ASSERT_NE(pivotRead, nullptr);
+    EXPECT_FALSE(w.tester->test(updStmt, updWrite, updStmt, pivotRead)
+                     .has_value());
+}
+
+TEST(Dependence, AdiPipelineCarriedByOuterLoop) {
+    DepWorld w(programs::adi(24, 2));
+    // y-sweep: write du(i,j), read du(i,j-1) in the same statement.
+    auto [stmt, write] = w.access("du", true, 1);
+    ASSERT_NE(stmt, nullptr);
+    Expr* read = nullptr;
+    Program::walkExpr(stmt->rhs, [&](Expr* e) {
+        if (e->kind == ExprKind::ArrayRef &&
+            w.p.sym(e->sym).name == "du")
+            read = e;
+    });
+    ASSERT_NE(read, nullptr);
+    const auto dep = w.tester->test(stmt, write, stmt, read);
+    ASSERT_TRUE(dep.has_value());
+    ASSERT_NE(dep->carrier, nullptr);
+    // Carried by the j loop (level 2 under the iter loop).
+    EXPECT_EQ(dep->carrier->loopNestingLevel(), 2);
+    ASSERT_TRUE(dep->distanceKnown);
+}
+
+TEST(Dependence, ComponentSelectorsIndependent) {
+    DepWorld w(programs::fig6(10, 10, 10));
+    // Writes c(i,j,1) vs reads c(i,j,2): ZIV-independent third dim.
+    auto [w1, ref1] = w.access("c", true, 0);  // c(i,j,1) write
+    Expr* readOf2 = nullptr;
+    Stmt* readStmt = nullptr;
+    w.p.forEachStmt([&](Stmt* s) {
+        Program::walkExpr(s->rhs, [&](Expr* e) {
+            if (e->kind != ExprKind::ArrayRef || w.p.sym(e->sym).name != "c")
+                return;
+            if (e->args[2]->isIntLit(2) && readOf2 == nullptr) {
+                readOf2 = e;
+                readStmt = s;
+            }
+        });
+    });
+    if (readOf2 != nullptr) {
+        EXPECT_FALSE(
+            w.tester->test(w1, ref1, readStmt, readOf2).has_value());
+    }
+}
+
+TEST(Dependence, AllArrayDependencesCoversFlowAntiOutput) {
+    ProgramBuilder b("kinds");
+    auto A = b.realArray("A", {64});
+    auto i = b.integerVar("i");
+    b.doLoop(i, b.lit(std::int64_t{2}), b.lit(std::int64_t{63}), [&] {
+        b.assign(b.ref(A, {b.idx(i)}),
+                 b.ref(A, {b.idx(i) - b.lit(std::int64_t{1})}) + b.lit(1.0));
+        b.assign(b.ref(A, {b.idx(i)}), b.ref(A, {b.idx(i)}) * b.lit(2.0));
+    });
+    DepWorld w(b.finish());
+    const auto deps = w.tester->allArrayDependences();
+    bool flow = false, anti = false, output = false;
+    for (const auto& d : deps) {
+        if (d.kind == DepKind::Flow) flow = true;
+        if (d.kind == DepKind::Anti) anti = true;
+        if (d.kind == DepKind::Output) output = true;
+    }
+    EXPECT_TRUE(flow);
+    EXPECT_TRUE(anti);
+    EXPECT_TRUE(output);
+}
+
+TEST(Dependence, NonAffineIsConservative) {
+    ProgramBuilder b("nonaff");
+    auto A = b.realArray("A", {64});
+    auto P = b.integerArray("P", {64});
+    auto i = b.integerVar("i");
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{64}), [&] {
+        b.assign(b.ref(A, {b.ref(P, {b.idx(i)})}), b.lit(1.0));
+        b.assign(b.ref(A, {b.idx(i)}), b.ref(A, {b.idx(i)}) + b.lit(1.0));
+    });
+    DepWorld w(b.finish());
+    auto [ws, wr] = w.access("A", true, 0);  // indirect write
+    auto [rs, rr] = w.access("A", false, 0);
+    const auto dep = w.tester->test(ws, wr, rs, rr);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_FALSE(dep->distanceKnown);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "mapping/dist.h"
+#include "mapping/proc_grid.h"
+
+namespace phpf {
+namespace {
+
+TEST(DimDist, BlockOwnership) {
+    DimDist d(DistKind::Block, 1, 100, 4);
+    EXPECT_EQ(d.blockSize(), 25);
+    EXPECT_EQ(d.ownerOf(1), 0);
+    EXPECT_EQ(d.ownerOf(25), 0);
+    EXPECT_EQ(d.ownerOf(26), 1);
+    EXPECT_EQ(d.ownerOf(100), 3);
+}
+
+TEST(DimDist, CyclicOwnership) {
+    DimDist d(DistKind::Cyclic, 1, 10, 3);
+    EXPECT_EQ(d.ownerOf(1), 0);
+    EXPECT_EQ(d.ownerOf(2), 1);
+    EXPECT_EQ(d.ownerOf(3), 2);
+    EXPECT_EQ(d.ownerOf(4), 0);
+}
+
+TEST(DimDist, BlockCyclicOwnership) {
+    DimDist d(DistKind::BlockCyclic, 1, 12, 2, 3);
+    // blocks of 3: [1-3]->0 [4-6]->1 [7-9]->0 [10-12]->1
+    EXPECT_EQ(d.ownerOf(3), 0);
+    EXPECT_EQ(d.ownerOf(4), 1);
+    EXPECT_EQ(d.ownerOf(7), 0);
+    EXPECT_EQ(d.ownerOf(12), 1);
+}
+
+// Property: local counts partition the index space for every dist kind.
+class DistPartitionTest
+    : public ::testing::TestWithParam<std::tuple<DistKind, int, int>> {};
+
+TEST_P(DistPartitionTest, LocalCountsSumToExtent) {
+    const auto [kind, extent, procs] = GetParam();
+    DimDist d(kind, 1, extent, procs, kind == DistKind::BlockCyclic ? 4 : 0);
+    std::int64_t sum = 0;
+    for (int p = 0; p < procs; ++p) sum += d.localCount(p);
+    EXPECT_EQ(sum, extent);
+    // And ownerOf agrees with localCount.
+    std::vector<std::int64_t> counted(static_cast<size_t>(procs), 0);
+    for (int idx = 1; idx <= extent; ++idx) ++counted[static_cast<size_t>(d.ownerOf(idx))];
+    for (int p = 0; p < procs; ++p)
+        EXPECT_EQ(counted[static_cast<size_t>(p)], d.localCount(p))
+            << "proc " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistPartitionTest,
+    ::testing::Combine(::testing::Values(DistKind::Block, DistKind::Cyclic,
+                                         DistKind::BlockCyclic),
+                       ::testing::Values(1, 7, 16, 100, 513),
+                       ::testing::Values(1, 2, 3, 8, 16)));
+
+TEST(DimDist, LocalCountInRangeMatchesScan) {
+    for (DistKind kind : {DistKind::Block, DistKind::Cyclic}) {
+        DimDist d(kind, 1, 50, 4);
+        for (int first = 1; first <= 50; first += 7) {
+            for (int last = first; last <= 50; last += 11) {
+                for (int p = 0; p < 4; ++p) {
+                    std::int64_t scan = 0;
+                    for (int idx = first; idx <= last; ++idx)
+                        if (d.ownerOf(idx) == p) ++scan;
+                    EXPECT_EQ(d.localCountInRange(p, first, last), scan);
+                }
+            }
+        }
+    }
+}
+
+TEST(ProcGrid, LinearizeRoundTrip) {
+    ProcGrid g({2, 3, 4});
+    EXPECT_EQ(g.totalProcs(), 24);
+    for (int p = 0; p < g.totalProcs(); ++p) {
+        EXPECT_EQ(g.linearize(g.coordsOf(p)), p);
+    }
+}
+
+TEST(ProcGrid, MaxLocalCountBalanced) {
+    DimDist d(DistKind::Block, 1, 100, 16);
+    EXPECT_EQ(d.maxLocalCount(), 7);  // ceil(100/16)
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+// End-to-end check of the paper's Fig. 1 walkthrough: the compiler must
+// choose exactly the mappings Section 2.1 derives.
+TEST(Fig1, SelectedAlignmentMatchesPaper) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+
+    EXPECT_EQ(c.inductionRewrites, 1);
+
+    auto decisionOf = [&](const std::string& name,
+                          int occurrence = 0) -> const ScalarMapDecision* {
+        const SymbolId sym = p.findSymbol(name);
+        const ScalarMapDecision* out = nullptr;
+        int seen = 0;
+        p.forEachStmt([&](Stmt* s) {
+            if (s->kind == StmtKind::Assign &&
+                s->lhs->kind == ExprKind::VarRef && s->lhs->sym == sym) {
+                if (seen++ == occurrence && out == nullptr) {
+                    const int def = c.ssa->defIdOfAssign(s);
+                    out = c.mappingPass->decisions().forDef(def);
+                }
+            }
+        });
+        return out;
+    };
+
+    // m (induction variable): privatized without alignment.
+    const ScalarMapDecision* m = decisionOf("m", 1);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, ScalarMapKind::PrivatizedNoAlign) << m->rationale;
+
+    // x: aligned with the consumer reference D(m).
+    const ScalarMapDecision* x = decisionOf("x");
+    ASSERT_NE(x, nullptr);
+    ASSERT_EQ(x->kind, ScalarMapKind::Aligned) << x->rationale;
+    EXPECT_TRUE(x->viaConsumer) << x->rationale;
+    EXPECT_EQ(p.sym(x->alignRef->sym).name, "D");
+
+    // y: aligned with a producer reference (A(i) or B(i)).
+    const ScalarMapDecision* y = decisionOf("y");
+    ASSERT_NE(y, nullptr);
+    ASSERT_EQ(y->kind, ScalarMapKind::Aligned) << y->rationale;
+    EXPECT_FALSE(y->viaConsumer) << y->rationale;
+    const std::string yTarget = p.sym(y->alignRef->sym).name;
+    EXPECT_TRUE(yTarget == "A" || yTarget == "B") << yTarget;
+
+    // z: privatized without alignment (rhs fully replicated).
+    const ScalarMapDecision* z = decisionOf("z");
+    ASSERT_NE(z, nullptr);
+    EXPECT_EQ(z->kind, ScalarMapKind::PrivatizedNoAlign) << z->rationale;
+}
+
+// The simulated SPMD execution must reproduce sequential semantics under
+// every compiler variant, and replication must cost more than selected
+// alignment.
+TEST(Fig1, SpmdSimulationMatchesOracle) {
+    for (bool privatize : {false, true}) {
+        Program p = programs::fig1(24);
+        CompilerOptions opts;
+        opts.gridExtents = {4};
+        opts.mapping.privatization = privatize;
+        Compilation c = Compiler::compile(p, opts);
+
+        auto sim = c.simulate([](Interpreter& oracle) {
+            for (std::int64_t i = 1; i <= 24; ++i) {
+                oracle.setElement("B", {i}, static_cast<double>(i));
+                oracle.setElement("C", {i}, 1.0);
+                oracle.setElement("E", {i}, 2.0);
+                oracle.setElement("F", {i}, 2.0);
+                oracle.setElement("A", {i}, 0.5);
+            }
+            oracle.setElement("A", {25}, 0.5);
+        });
+        EXPECT_EQ(sim->maxErrorVsOracle("A"), 0.0) << "priv=" << privatize;
+        EXPECT_EQ(sim->maxErrorVsOracle("D"), 0.0) << "priv=" << privatize;
+    }
+}
+
+TEST(Fig1, SelectedBeatsReplicationInPredictedCost) {
+    Program p1 = programs::fig1(64);
+    CompilerOptions repl;
+    repl.gridExtents = {8};
+    repl.mapping.privatization = false;
+    const double replCost = Compiler::compile(p1, repl).predictCost().totalSec();
+
+    Program p2 = programs::fig1(64);
+    CompilerOptions sel;
+    sel.gridExtents = {8};
+    const double selCost = Compiler::compile(p2, sel).predictCost().totalSec();
+
+    EXPECT_LT(selCost, replCost);
+}
+
+}  // namespace
+}  // namespace phpf

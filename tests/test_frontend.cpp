@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "frontend/parser.h"
+#include "ir/printer.h"
+#include "programs/programs.h"
+#include "runtime/interp.h"
+
+namespace phpf {
+namespace {
+
+TEST(Frontend, ParsesSimpleProgram) {
+    Program p = parseProgramOrDie(R"(
+program demo
+  parameter (n = 16)
+  real A(n), B(n)
+!hpf$ distribute A(block)
+!hpf$ align B(i) with A(i)
+  do i = 2, n-1
+    A(i) = 0.5 * (B(i-1) + B(i+1))
+  end do
+end
+)");
+    EXPECT_EQ(p.name, "demo");
+    ASSERT_NE(p.findSymbol("A"), kNoSymbol);
+    EXPECT_EQ(p.sym(p.findSymbol("A")).dims[0].ub, 16);
+    EXPECT_EQ(p.distributes.size(), 1u);
+    EXPECT_EQ(p.aligns.size(), 1u);
+    ASSERT_EQ(p.top.size(), 1u);
+    EXPECT_EQ(p.top[0]->kind, StmtKind::Do);
+    EXPECT_EQ(p.top[0]->body.size(), 1u);
+}
+
+TEST(Frontend, ParsesPaperStyleDirectives) {
+    Program p = parseProgramOrDie(R"(
+program f1
+  parameter (n = 8)
+  real A(n), B(n), C(n), D(n), E(n), F(n)
+!hpf$ align (i) with A(i) :: B, C, D
+!hpf$ align (i) with A(*) :: E, F
+!hpf$ distribute (block) :: A
+  integer m
+  m = 2
+  do i = 2, n-1
+    m = m + 1
+    x = B(i) + C(i)
+    A(i) = x
+    D(m) = x
+  end do
+end
+)");
+    EXPECT_EQ(p.aligns.size(), 5u);
+    EXPECT_EQ(p.distributes.size(), 1u);
+    // E aligned with A(*): replicate spec.
+    const AlignDirective* e = p.alignOf(p.findSymbol("E"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->dims[0].kind, AlignDim::Kind::Replicate);
+}
+
+TEST(Frontend, ParsesControlFlow) {
+    Program p = parseProgramOrDie(R"(
+program cf
+  parameter (n = 8)
+  real A(n), B(n)
+!hpf$ distribute A(block)
+  do i = 1, n
+    if (B(i) /= 0.0) then
+      A(i) = A(i) / B(i)
+      if (B(i) < 0.0) go to 100
+    else
+      A(i) = 0.0
+    end if
+100 continue
+  end do
+end
+)");
+    Stmt* loop = p.top[0];
+    ASSERT_EQ(loop->kind, StmtKind::Do);
+    EXPECT_EQ(loop->body.back()->kind, StmtKind::Continue);
+    EXPECT_EQ(loop->body.back()->label, 100);
+    Stmt* outerIf = loop->body[0];
+    ASSERT_EQ(outerIf->kind, StmtKind::If);
+    EXPECT_EQ(outerIf->thenBody.size(), 2u);
+    EXPECT_EQ(outerIf->elseBody.size(), 1u);
+    // One-line IF: goto nested in then-branch.
+    Stmt* innerIf = outerIf->thenBody[1];
+    ASSERT_EQ(innerIf->kind, StmtKind::If);
+    ASSERT_EQ(innerIf->thenBody.size(), 1u);
+    EXPECT_EQ(innerIf->thenBody[0]->kind, StmtKind::Goto);
+    EXPECT_EQ(innerIf->thenBody[0]->gotoTarget, 100);
+}
+
+TEST(Frontend, IndependentNewClause) {
+    Program p = parseProgramOrDie(R"(
+program ind
+  parameter (n = 8)
+  real A(n,n), w(n)
+!hpf$ distribute A(*,block)
+!hpf$ independent, new(w)
+  do j = 1, n
+    do i = 2, n-1
+      w(i) = A(i,j)
+    end do
+    do i = 2, n-1
+      A(i,j) = w(i-1) + w(i+1)
+    end do
+  end do
+end
+)");
+    Stmt* loop = p.top[0];
+    ASSERT_EQ(loop->kind, StmtKind::Do);
+    EXPECT_TRUE(loop->independent);
+    ASSERT_EQ(loop->newVars.size(), 1u);
+    EXPECT_EQ(p.sym(loop->newVars[0]).name, "w");
+}
+
+TEST(Frontend, ImplicitTyping) {
+    Program p = parseProgramOrDie(R"(
+program imp
+  x = 1.5
+  k = 3
+end
+)");
+    EXPECT_EQ(p.sym(p.findSymbol("x")).type, ScalarType::Real);
+    EXPECT_EQ(p.sym(p.findSymbol("k")).type, ScalarType::Int);
+}
+
+TEST(Frontend, ReportsErrors) {
+    DiagEngine diags;
+    Parser parser("program bad\n  A(1 = 2\nend\n", diags);
+    (void)parser.parse();
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// Round trip: printing a builder-made program and reparsing yields a
+// program that prints identically.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+    Program original = [&] {
+        switch (GetParam()) {
+            case 0: return programs::fig1(16);
+            case 1: return programs::fig2(16);
+            case 2: return programs::fig4(8);
+            case 3: return programs::fig5(8);
+            case 4: return programs::fig6(8, 8, 8);
+            default: return programs::fig7(16);
+        }
+    }();
+    std::string text1 = printProgram(original);
+    // The frontend canonicalizes identifiers to lower case (the language
+    // is case-insensitive), so compare in canonical form.
+    for (char& c : text1) c = static_cast<char>(std::tolower(c));
+    Program reparsed = parseProgramOrDie(text1);
+    const std::string text2 = printProgram(reparsed);
+    EXPECT_EQ(text1, text2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figures, RoundTripTest, ::testing::Range(0, 6));
+
+// Parsed and builder-made programs must behave identically.
+TEST(Frontend, ParsedProgramInterpretsLikeBuilderProgram) {
+    Program built = programs::fig7(8);
+    Program parsed = parseProgramOrDie(printProgram(built));
+    auto seed = [](Interpreter& in) {
+        const double bvals[] = {2, -3, 0, 5, -1, 0, 4, 7};
+        for (std::int64_t i = 1; i <= 8; ++i) {
+            in.setElement("B", {i}, bvals[i - 1]);
+            in.setElement("A", {i}, 12.0);
+            in.setElement("C", {i}, 4.0);
+        }
+    };
+    Interpreter a(built), b(parsed);
+    seed(a);
+    seed(b);
+    a.run();
+    b.run();
+    for (std::int64_t i = 1; i <= 8; ++i) {
+        EXPECT_DOUBLE_EQ(a.element("A", {i}), b.element("A", {i})) << i;
+        EXPECT_DOUBLE_EQ(a.element("C", {i}), b.element("C", {i})) << i;
+    }
+}
+
+}  // namespace
+}  // namespace phpf

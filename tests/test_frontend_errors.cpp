@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+
+namespace phpf {
+namespace {
+
+DiagEngine parseExpectingErrors(const std::string& src) {
+    DiagEngine diags;
+    Parser parser(src, diags);
+    (void)parser.parse();
+    EXPECT_TRUE(diags.hasErrors()) << "expected errors for:\n" << src;
+    return diags;
+}
+
+bool mentions(const DiagEngine& d, const std::string& needle) {
+    return d.dump().find(needle) != std::string::npos;
+}
+
+TEST(FrontendErrors, UnknownDistributeTarget) {
+    auto d = parseExpectingErrors(R"(
+program bad
+!hpf$ distribute Q(block)
+end)");
+    EXPECT_TRUE(mentions(d, "unknown array q")) << d.dump();
+}
+
+TEST(FrontendErrors, UnknownAlignTarget) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  real B(8)
+!hpf$ align B(i) with T(i)
+end)");
+    EXPECT_TRUE(mentions(d, "unknown align target")) << d.dump();
+}
+
+TEST(FrontendErrors, UnknownAlignDummy) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  real A(8), B(8)
+!hpf$ distribute A(block)
+!hpf$ align B(i) with A(j)
+end)");
+    EXPECT_TRUE(mentions(d, "unknown align dummy")) << d.dump();
+}
+
+TEST(FrontendErrors, SubscriptCountMismatch) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  real A(8,8)
+  A(3) = 1.0
+end)");
+    EXPECT_TRUE(mentions(d, "wrong subscript count")) << d.dump();
+}
+
+TEST(FrontendErrors, ScalarSubscripted) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  real x
+  y = x(3)
+end)");
+    EXPECT_TRUE(mentions(d, "not an array")) << d.dump();
+}
+
+TEST(FrontendErrors, Redeclaration) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  real A(8)
+  integer A
+end)");
+    EXPECT_TRUE(mentions(d, "redeclaration")) << d.dump();
+}
+
+TEST(FrontendErrors, NonConstantParameter) {
+    auto d = parseExpectingErrors(R"(
+program bad
+  x = 2.0
+  parameter (n = x)
+end)");
+    EXPECT_TRUE(mentions(d, "constant")) << d.dump();
+}
+
+TEST(FrontendErrors, MissingThenBlockTerminator) {
+    parseExpectingErrors(R"(
+program bad
+  if (1 > 0) then
+    x = 1.0
+end)");
+}
+
+TEST(FrontendErrors, GarbageCharacter) {
+    auto d = parseExpectingErrors("program bad\n  x = 1 @ 2\nend\n");
+    EXPECT_TRUE(mentions(d, "unexpected character")) << d.dump();
+}
+
+TEST(FrontendErrors, UnknownDirective) {
+    auto d = parseExpectingErrors(R"(
+program bad
+!hpf$ teleport A(block)
+end)");
+    EXPECT_TRUE(mentions(d, "unknown HPF directive")) << d.dump();
+}
+
+TEST(FrontendErrors, DiagnosticsCarryLocations) {
+    DiagEngine diags;
+    Parser parser("program bad\n  x = 1 @ 2\nend\n", diags);
+    (void)parser.parse();
+    ASSERT_FALSE(diags.all().empty());
+    EXPECT_EQ(diags.all()[0].loc.line, 2);
+}
+
+TEST(FrontendErrors, GotoUnknownLabelCaughtAtFinalize) {
+    DiagEngine diags;
+    Parser parser(R"(
+program bad
+  do i = 1, 4
+    go to 999
+  end do
+end)",
+                  diags);
+    // The parser accepts the goto syntactically; finalize validates the
+    // label and throws InternalError (no such label anywhere).
+    EXPECT_THROW((void)parser.parse(), InternalError);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/parser.h"
+#include "programs/programs.h"
+#include "runtime/interp.h"
+
+namespace phpf {
+namespace {
+
+double runExpr(const std::string& body, const std::string& out = "r") {
+    Program p = parseProgramOrDie("program t\n" + body + "\nend\n");
+    Interpreter in(p);
+    in.run();
+    return in.scalar(out);
+}
+
+TEST(Interp2, Intrinsics) {
+    EXPECT_DOUBLE_EQ(runExpr("r = abs(-3.5)"), 3.5);
+    EXPECT_DOUBLE_EQ(runExpr("r = max(2.0, 7.0)"), 7.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = min(2.0, 7.0)"), 2.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = sqrt(16.0)"), 4.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = mod(7.0, 3.0)"), 1.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = sign(3.0, -1.0)"), -3.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = sign(-3.0, 2.0)"), 3.0);
+    EXPECT_NEAR(runExpr("r = exp(1.0)"), std::exp(1.0), 1e-12);
+}
+
+TEST(Interp2, OperatorsAndPrecedence) {
+    EXPECT_DOUBLE_EQ(runExpr("r = 2 + 3 * 4"), 14.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = (2 + 3) * 4"), 20.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = 2 ** 3"), 8.0);
+    EXPECT_DOUBLE_EQ(runExpr("r = -2 ** 2"), -4.0);  // Fortran: -(2**2)
+    EXPECT_DOUBLE_EQ(runExpr("r = 10 / 4"), 2.5);   // real division semantics
+}
+
+TEST(Interp2, LogicalOperators) {
+    EXPECT_DOUBLE_EQ(runExpr("x = 1.0\nif (x > 0.0 .and. x < 2.0) then\nr = 1\nelse\nr = 0\nend if"), 1.0);
+    EXPECT_DOUBLE_EQ(runExpr("x = 5.0\nif (x < 0.0 .or. x > 4.0) then\nr = 1\nelse\nr = 0\nend if"), 1.0);
+    EXPECT_DOUBLE_EQ(runExpr("x = 5.0\nif (.not. (x < 0.0)) then\nr = 1\nelse\nr = 0\nend if"), 1.0);
+}
+
+TEST(Interp2, NegativeStepLoop) {
+    const double r = runExpr(R"(
+r = 0
+do i = 10, 2, -2
+  r = r + i
+end do)");
+    EXPECT_DOUBLE_EQ(r, 10 + 8 + 6 + 4 + 2);
+}
+
+TEST(Interp2, NestedLoopsAccumulate) {
+    const double r = runExpr(R"(
+r = 0
+do i = 1, 3
+  do j = 1, 4
+    r = r + i * j
+  end do
+end do)");
+    EXPECT_DOUBLE_EQ(r, (1 + 2 + 3) * (1 + 2 + 3 + 4));
+}
+
+TEST(Interp2, GotoSkipsWithinLoopIteration) {
+    const double r = runExpr(R"(
+r = 0
+do i = 1, 5
+  if (i == 3) go to 10
+  r = r + i
+10 continue
+end do)");
+    EXPECT_DOUBLE_EQ(r, 1 + 2 + 4 + 5);
+}
+
+TEST(Interp2, GotoOutOfLoopTerminatesIt) {
+    const double r = runExpr(R"(
+r = 0
+do i = 1, 100
+  r = r + 1
+  if (i == 4) go to 20
+end do
+20 continue)");
+    EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(Interp2, TomcatvRelaxationReducesResidual) {
+    const std::int64_t n = 16;
+    Program p = programs::tomcatv(n, 30);
+    Interpreter in(p);
+    // A smooth initial mesh perturbed in the interior.
+    for (std::int64_t i = 1; i <= n; ++i)
+        for (std::int64_t j = 1; j <= n; ++j) {
+            const double base = static_cast<double>(i) * 0.1;
+            in.setElement("x", {i, j},
+                          base + ((i > 1 && i < n && j > 1 && j < n)
+                                      ? 0.05 * static_cast<double>((i * j) % 3)
+                                      : 0.0));
+            in.setElement("y", {i, j}, static_cast<double>(j) * 0.1);
+        }
+    in.run();
+    // After relaxation the interior residuals should be small and finite.
+    double maxResid = 0.0;
+    for (std::int64_t i = 2; i < n; ++i)
+        for (std::int64_t j = 2; j < n; ++j)
+            maxResid = std::max(maxResid,
+                                std::abs(in.element("rx", {i, j})));
+    EXPECT_TRUE(std::isfinite(maxResid));
+    EXPECT_LT(maxResid, 1.0);
+}
+
+TEST(Interp2, AppspSweepsStayFinite) {
+    Program p = programs::appsp(8, 8, 8, 3, false);
+    Interpreter in(p);
+    for (std::int64_t m = 1; m <= 5; ++m)
+        for (std::int64_t i = 1; i <= 8; ++i)
+            for (std::int64_t j = 1; j <= 8; ++j)
+                for (std::int64_t k = 1; k <= 8; ++k)
+                    in.setElement("rsd", {m, i, j, k},
+                                  0.01 * static_cast<double>(m + i + j + k));
+    in.run();
+    for (std::int64_t i = 2; i < 8; ++i)
+        EXPECT_TRUE(std::isfinite(in.element("rsd", {1, i, 4, 4})));
+    EXPECT_GT(in.statementsExecuted(), 0);
+}
+
+TEST(Interp2, StoreBoundsChecking) {
+    Program p = parseProgramOrDie(R"(
+program oob
+  real A(4)
+  do i = 1, 5
+    A(i) = 1.0
+  end do
+end)");
+    Interpreter in(p);
+    EXPECT_THROW(in.run(), InternalError);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "programs/programs.h"
+#include "runtime/interp.h"
+
+namespace phpf {
+namespace {
+
+TEST(Ir, BuilderProducesFinalizedTree) {
+    ProgramBuilder b("t");
+    auto A = b.realArray("A", {10});
+    auto i = b.integerVar("i");
+    Stmt* loop = b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{10}),
+                          [&] { b.assign(b.ref(A, {b.idx(i)}), b.lit(1.0)); });
+    Program p = b.finish();
+    ASSERT_EQ(p.top.size(), 1u);
+    EXPECT_EQ(loop->level, 0);
+    EXPECT_EQ(loop->body[0]->level, 1);
+    EXPECT_EQ(loop->body[0]->parent, loop);
+    EXPECT_EQ(loop->body[0]->lhs->parentStmt, loop->body[0]);
+}
+
+TEST(Ir, EnclosingLoopsAndCommonLoop) {
+    Program p = programs::fig4(8);
+    // Find the two innermost assignments.
+    std::vector<Stmt*> assigns;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::ArrayRef)
+            assigns.push_back(s);
+    });
+    ASSERT_EQ(assigns.size(), 2u);
+    EXPECT_EQ(p.enclosingLoops(assigns[0]).size(), 3u);
+    Stmt* common = p.innermostCommonLoop(assigns[0], assigns[1]);
+    ASSERT_NE(common, nullptr);
+    EXPECT_EQ(common->loopNestingLevel(), 3);  // share the k loop
+}
+
+TEST(Ir, PrinterShowsDirectivesAndLoops) {
+    Program p = programs::fig1(16);
+    const std::string text = printProgram(p);
+    EXPECT_NE(text.find("distribute A(block)"), std::string::npos);
+    EXPECT_NE(text.find("align B"), std::string::npos);
+    EXPECT_NE(text.find("do i = 2, 15"), std::string::npos);
+    EXPECT_NE(text.find("m = m + 1"), std::string::npos);
+}
+
+TEST(Interp, Fig1Semantics) {
+    Program p = programs::fig1(8);
+    Interpreter in(p);
+    for (std::int64_t i = 1; i <= 8; ++i) {
+        in.setElement("B", {i}, static_cast<double>(i));
+        in.setElement("C", {i}, 1.0);
+        in.setElement("E", {i}, 2.0);
+        in.setElement("F", {i}, 2.0);
+        in.setElement("A", {i}, 0.5);
+    }
+    in.setElement("A", {9}, 0.5);
+    in.run();
+    // Iteration i: m=i+1, x=B(i)+C(i)=i+1, z=4, y=A(i)+B(i),
+    // A(i+1)=y/z, D(m)=x/z.
+    EXPECT_DOUBLE_EQ(in.element("D", {3}), 3.0 / 4.0);   // i=2
+    EXPECT_DOUBLE_EQ(in.scalar("m"), 8.0);               // last i=7 -> m=8
+    // A(3) = (A(2)+B(2))/4; A(2) is never written (the loop starts at 2),
+    // so A(3) = (0.5 + 2)/4.
+    EXPECT_DOUBLE_EQ(in.element("A", {3}), (0.5 + 2.0) / 4.0);
+    // A(4) uses the freshly-written A(3): (0.625 + 3)/4.
+    EXPECT_DOUBLE_EQ(in.element("A", {4}), (0.625 + 3.0) / 4.0);
+}
+
+TEST(Interp, Fig7GotoSemantics) {
+    Program p = programs::fig7(6);
+    Interpreter in(p);
+    // B = [2, -3, 0, 5, -1, 0], A = 12 everywhere, C = 4 everywhere.
+    const double bvals[] = {2, -3, 0, 5, -1, 0};
+    for (std::int64_t i = 1; i <= 6; ++i) {
+        in.setElement("B", {i}, bvals[i - 1]);
+        in.setElement("A", {i}, 12.0);
+        in.setElement("C", {i}, 4.0);
+    }
+    in.run();
+    EXPECT_DOUBLE_EQ(in.element("A", {1}), 6.0);    // 12/2
+    EXPECT_DOUBLE_EQ(in.element("A", {2}), -4.0);   // 12/-3, then goto
+    EXPECT_DOUBLE_EQ(in.element("A", {3}), 4.0);    // else: A=C
+    EXPECT_DOUBLE_EQ(in.element("C", {3}), 16.0);   // C=C*C
+    EXPECT_DOUBLE_EQ(in.element("C", {1}), 4.0);    // then-branch: C untouched
+}
+
+TEST(Interp, DgefaFactorsMatrix) {
+    const std::int64_t n = 6;
+    Program p = programs::dgefa(n);
+    Interpreter in(p);
+    // A diagonally dominant-ish matrix with deterministic entries.
+    std::vector<std::vector<double>> ref(static_cast<size_t>(n + 1),
+                                         std::vector<double>(static_cast<size_t>(n + 1)));
+    for (std::int64_t r = 1; r <= n; ++r)
+        for (std::int64_t col = 1; col <= n; ++col) {
+            const double v = (r == col) ? 10.0 + static_cast<double>(r)
+                                        : 1.0 / static_cast<double>(r + col);
+            in.setElement("A", {r, col}, v);
+            ref[static_cast<size_t>(r)][static_cast<size_t>(col)] = v;
+        }
+    in.run();
+    // Reference LU with partial pivoting (same algorithm in plain C++).
+    for (std::int64_t k = 1; k <= n - 1; ++k) {
+        std::int64_t l = k;
+        double t = 0;
+        for (std::int64_t r = k; r <= n; ++r)
+            if (std::abs(ref[static_cast<size_t>(r)][static_cast<size_t>(k)]) > t) {
+                t = std::abs(ref[static_cast<size_t>(r)][static_cast<size_t>(k)]);
+                l = r;
+            }
+        for (std::int64_t col = k; col <= n; ++col)
+            std::swap(ref[static_cast<size_t>(l)][static_cast<size_t>(col)],
+                      ref[static_cast<size_t>(k)][static_cast<size_t>(col)]);
+        for (std::int64_t r = k + 1; r <= n; ++r)
+            ref[static_cast<size_t>(r)][static_cast<size_t>(k)] /=
+                ref[static_cast<size_t>(k)][static_cast<size_t>(k)];
+        for (std::int64_t col = k + 1; col <= n; ++col)
+            for (std::int64_t r = k + 1; r <= n; ++r)
+                ref[static_cast<size_t>(r)][static_cast<size_t>(col)] -=
+                    ref[static_cast<size_t>(r)][static_cast<size_t>(k)] *
+                    ref[static_cast<size_t>(k)][static_cast<size_t>(col)];
+    }
+    for (std::int64_t r = 1; r <= n; ++r)
+        for (std::int64_t col = 1; col <= n; ++col)
+            EXPECT_NEAR(in.element("A", {r, col}),
+                        ref[static_cast<size_t>(r)][static_cast<size_t>(col)],
+                        1e-12)
+                << r << "," << col;
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "ir/printer.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+Stmt* findAssign(Program& p, const std::string& lhsName, int occurrence = 0) {
+    const SymbolId sym = p.findSymbol(lhsName);
+    Stmt* found = nullptr;
+    int seen = 0;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->sym == sym &&
+            seen++ == occurrence && found == nullptr)
+            found = s;
+    });
+    return found;
+}
+
+TEST(Lowering, OwnerComputesGuardForDistributedLhs) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* s = findAssign(p, "A");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::OwnerOf);
+    EXPECT_EQ(c.lowering->execOf(s).guardRef, s->lhs);
+}
+
+TEST(Lowering, ReplicatedScalarGetsAllGuard) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    opts.mapping.privatization = false;
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* s = findAssign(p, "x");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::All);
+}
+
+TEST(Lowering, AlignedScalarGetsOwnerGuard) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* s = findAssign(p, "x");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::OwnerOf);
+}
+
+TEST(Lowering, NoAlignPrivatizedGetsUnionGuard) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* s = findAssign(p, "z");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::Union);
+    // The union executor borrows a partitioned descriptor, not All.
+    EXPECT_TRUE(c.lowering->execOf(s).execDesc.anyConstrained());
+}
+
+TEST(Lowering, CommOpsOnlyWhereNeeded) {
+    // Fig. 7 is fully aligned: no comm ops at all.
+    Program p = programs::fig7(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    EXPECT_TRUE(c.lowering->commOps().empty());
+}
+
+TEST(Lowering, OpsAtReturnsConsumingStatement) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* s = findAssign(p, "x");  // x = B(i) + C(i): two hoisted shifts
+    const auto ops = c.lowering->opsAt(s);
+    EXPECT_EQ(ops.size(), 2u);
+    for (const CommOp* op : ops) {
+        EXPECT_EQ(op->atStmt, s);
+        EXPECT_EQ(op->placementLevel, 0);
+        EXPECT_EQ(op->req.overall, CommPattern::Shift);
+    }
+}
+
+TEST(Lowering, DumpMentionsGuardsAndOps) {
+    Program p = programs::fig1(16);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const std::string d = c.lowering->dump();
+    EXPECT_NE(d.find("owner("), std::string::npos);
+    EXPECT_NE(d.find("union"), std::string::npos);
+    EXPECT_NE(d.find("shift"), std::string::npos);
+}
+
+TEST(Lowering, PartialPrivWriteExecutesOnOwnCopy) {
+    Program p = programs::fig6(12, 12, 12);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* cWrite = findAssign(p, "c");
+    ASSERT_NE(cWrite, nullptr);
+    const StmtExec& ex = c.lowering->execOf(cWrite);
+    EXPECT_EQ(ex.guard, StmtExec::Guard::OwnerOf);
+    // Partitioned along grid dim 0 (the j partition), and partitioned by
+    // the k ownership along grid dim 1 (privatized execution follows the
+    // alignment target in the shared k loop).
+    EXPECT_EQ(ex.execDesc.dims[0].kind, RefDim::Kind::Partitioned);
+    EXPECT_EQ(ex.execDesc.dims[1].kind, RefDim::Kind::Partitioned);
+}
+
+TEST(Lowering, ReductionAccumulationPartitionedByTarget) {
+    Program p = programs::fig5(16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    Stmt* acc = findAssign(p, "s", 1);
+    ASSERT_NE(acc, nullptr);
+    const StmtExec& ex = c.lowering->execOf(acc);
+    EXPECT_EQ(ex.guard, StmtExec::Guard::OwnerOf);
+    // Both dims partitioned: each processor accumulates its local part.
+    EXPECT_EQ(ex.execDesc.dims[0].kind, RefDim::Kind::Partitioned);
+    EXPECT_EQ(ex.execDesc.dims[1].kind, RefDim::Kind::Partitioned);
+    // The initialization runs replicated across the reduction dim.
+    Stmt* init = findAssign(p, "s", 0);
+    const StmtExec& exInit = c.lowering->execOf(init);
+    EXPECT_EQ(exInit.execDesc.dims[1].kind, RefDim::Kind::Replicated);
+}
+
+TEST(Lowering, ReductionCombineEmittedOnlyWhenDimsSpanned) {
+    // DGEFA's maxloc spans no grid dim (serial row dim): no combine op.
+    Program p = programs::dgefa(16);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    for (const CommOp& op : c.lowering->commOps())
+        EXPECT_FALSE(op.isReductionCombine);
+    // Fig. 5 spans grid dim 1: combine op present.
+    Program q = programs::fig5(16);
+    CompilerOptions opts2;
+    opts2.gridExtents = {2, 2};
+    Compilation c2 = Compiler::compile(q, opts2);
+    bool combine = false;
+    for (const CommOp& op : c2.lowering->commOps())
+        combine |= op.isReductionCombine;
+    EXPECT_TRUE(combine);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "mapping/data_mapping.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+// Small helper: a program with a (block,cyclic) 2-D array, an aligned
+// 1-D array, a replicate-aligned array, and a const-aligned array.
+Program makeMapped(std::int64_t n) {
+    ProgramBuilder b("mapped");
+    auto H = b.realArray("H", {n, n});
+    auto G = b.realArray("G", {n, n});
+    auto A = b.realArray("A", {n});
+    auto R = b.realArray("R", {n});
+    auto C = b.realArray("C", {n});
+    (void)b.realArray("U", {n});  // no directive: replicated
+    b.processors(2);
+    b.distribute(H, {{DistKind::Block, 0}, {DistKind::Cyclic, 0}});
+    // G(i,j) with H(i,j+2)
+    b.align(G, H,
+            {{AlignDim::Kind::SourceDim, 0, 0, 0},
+             {AlignDim::Kind::SourceDim, 1, 2, 0}});
+    // A(i) with H(i,*)
+    b.align(A, H,
+            {{AlignDim::Kind::SourceDim, 0, 0, 0},
+             {AlignDim::Kind::Replicate, -1, 0, 0}});
+    // R(i) with H(*, i)  — replicated over rows, cyclic over columns
+    b.align(R, H,
+            {{AlignDim::Kind::Replicate, -1, 0, 0},
+             {AlignDim::Kind::SourceDim, 0, 0, 0}});
+    // C(i) with H(i, 3)  — pinned to the owner of column 3
+    b.align(C, H,
+            {{AlignDim::Kind::SourceDim, 0, 0, 0},
+             {AlignDim::Kind::Const, -1, 0, 3}});
+    auto i = b.integerVar("i");
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(n),
+             [&] { b.assign(b.ref(A, {b.idx(i)}), b.lit(1.0)); });
+    return b.finish();
+}
+
+TEST(DataMappingTest, DistributeAssignsGridDimsInOrder) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& h = dm.mapOf(p.findSymbol("H"));
+    EXPECT_EQ(h.gridDimOf(0), 0);
+    EXPECT_EQ(h.gridDimOf(1), 1);
+    EXPECT_EQ(h.dims[0].dist.kind(), DistKind::Block);
+    EXPECT_EQ(h.dims[1].dist.kind(), DistKind::Cyclic);
+    EXPECT_EQ(h.dims[1].dist.procs(), 4);
+}
+
+TEST(DataMappingTest, SerialDimsSkipGridDims) {
+    ProgramBuilder b("serial");
+    auto X = b.realArray("X", {8, 8, 8});
+    b.processors(2);
+    b.distribute(X, {{DistKind::Serial, 0},
+                     {DistKind::Block, 0},
+                     {DistKind::Block, 0}});
+    Program p = b.finish();
+    DataMapping dm(p, ProcGrid({2, 3}));
+    const ArrayMap& x = dm.mapOf(p.findSymbol("X"));
+    EXPECT_EQ(x.gridDimOf(0), -1);
+    EXPECT_EQ(x.gridDimOf(1), 0);
+    EXPECT_EQ(x.gridDimOf(2), 1);
+    EXPECT_EQ(x.arrayDimOnGrid(1), 2);
+}
+
+TEST(DataMappingTest, AlignmentInheritsWithOffset) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& g = dm.mapOf(p.findSymbol("G"));
+    EXPECT_EQ(g.gridDimOf(0), 0);
+    EXPECT_EQ(g.gridDimOf(1), 1);
+    EXPECT_EQ(g.dims[1].alignOffset, 2);
+    // owner of G(i,j) along dim 1 = owner of H column j+2.
+    const ArrayMap& h = dm.mapOf(p.findSymbol("H"));
+    for (std::int64_t j = 1; j <= 14; ++j) {
+        EXPECT_EQ(g.ownerOf({1, j}, dm.grid()).coord[1],
+                  h.ownerOf({1, j + 2}, dm.grid()).coord[1]);
+    }
+}
+
+TEST(DataMappingTest, ReplicateAlignmentReplicatesGridDim) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& a = dm.mapOf(p.findSymbol("A"));
+    EXPECT_EQ(a.gridDimOf(0), 0);
+    EXPECT_TRUE(a.replicatedGrid[1]);
+    const GridSet owner = a.ownerOf({5}, dm.grid());
+    EXPECT_GE(owner.coord[0], 0);
+    EXPECT_EQ(owner.coord[1], -1);  // all coords along dim 1
+    EXPECT_EQ(owner.procCount(dm.grid()), 4);
+}
+
+TEST(DataMappingTest, ConstAlignmentPinsCoordinate) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& c = dm.mapOf(p.findSymbol("C"));
+    const ArrayMap& h = dm.mapOf(p.findSymbol("H"));
+    const int col3Owner = h.ownerOf({1, 3}, dm.grid()).coord[1];
+    EXPECT_EQ(c.fixedCoord[1], col3Owner);
+    EXPECT_EQ(c.ownerOf({7}, dm.grid()).coord[1], col3Owner);
+    EXPECT_TRUE(c.ownerOf({7}, dm.grid()).isSingleProc());
+}
+
+TEST(DataMappingTest, UndirectedArrayIsFullyReplicated) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& u = dm.mapOf(p.findSymbol("U"));
+    EXPECT_FALSE(u.hasMapping);
+    EXPECT_TRUE(u.fullyReplicated());
+    EXPECT_TRUE(u.ownerOf({3}, dm.grid()).isAllProcs());
+}
+
+TEST(DataMappingTest, TransposedAlignment) {
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({2, 4}));
+    const ArrayMap& r = dm.mapOf(p.findSymbol("R"));
+    // R(i) lives with column i: partitioned over grid dim 1, replicated
+    // over grid dim 0.
+    EXPECT_EQ(r.gridDimOf(0), 1);
+    EXPECT_TRUE(r.replicatedGrid[0]);
+}
+
+// Property: owner coordinates returned by ArrayMap::ownerOf always
+// match a brute-force evaluation of the dimension arithmetic.
+class OwnershipPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OwnershipPropertyTest, GridSetMatchesPerDimOwners) {
+    const auto [p0, p1] = GetParam();
+    Program p = makeMapped(16);
+    DataMapping dm(p, ProcGrid({p0, p1}));
+    const ArrayMap& h = dm.mapOf(p.findSymbol("H"));
+    for (std::int64_t i = 1; i <= 16; ++i) {
+        for (std::int64_t j = 1; j <= 16; ++j) {
+            const GridSet gs = h.ownerOf({i, j}, dm.grid());
+            EXPECT_EQ(gs.coord[0], h.dims[0].dist.ownerOf(i));
+            EXPECT_EQ(gs.coord[1], h.dims[1].dist.ownerOf(j));
+            EXPECT_TRUE(gs.isSingleProc());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, OwnershipPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 8)));
+
+TEST(GridSetTest, ContainsAndCounts) {
+    ProcGrid g({2, 3});
+    GridSet all{{-1, -1}};
+    EXPECT_TRUE(all.isAllProcs());
+    EXPECT_EQ(all.procCount(g), 6);
+    GridSet row{{1, -1}};
+    EXPECT_FALSE(row.isAllProcs());
+    EXPECT_FALSE(row.isSingleProc());
+    EXPECT_EQ(row.procCount(g), 3);
+    EXPECT_TRUE(row.contains({1, 2}));
+    EXPECT_FALSE(row.contains({0, 2}));
+    GridSet one{{1, 2}};
+    EXPECT_TRUE(one.isSingleProc());
+    EXPECT_EQ(one.procCount(g), 1);
+}
+
+}  // namespace
+}  // namespace phpf

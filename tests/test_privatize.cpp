@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "privatize/use_site.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+const ScalarMapDecision* decisionFor(const Compilation& c,
+                                     const std::string& name,
+                                     int occurrence = 0) {
+    const Program& p = *c.program;
+    const SymbolId sym = p.findSymbol(name);
+    const ScalarMapDecision* out = nullptr;
+    int seen = 0;
+    const_cast<Program&>(p).forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::VarRef &&
+            s->lhs->sym == sym && seen++ == occurrence && out == nullptr)
+            out = c.mappingPass->decisions().forDef(c.ssa->defIdOfAssign(s));
+    });
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Use-site classification
+// ---------------------------------------------------------------------------
+
+TEST(UseSite, ClassifiesAllPositions) {
+    ProgramBuilder b("us");
+    auto A = b.realArray("A", {16});
+    auto x = b.integerVar("x");
+    auto y = b.realVar("y");
+    auto i = b.integerVar("i");
+    b.assign(b.idx(x), b.lit(std::int64_t{3}));
+    // x in loop bound
+    Stmt* loop = b.doLoop(i, b.lit(std::int64_t{1}), b.idx(x), [&] {
+        // x in rhs subscript; y as rhs value; x in lhs subscript
+        b.assign(b.idx(y), b.ref(A, {b.idx(x)}));
+        b.assign(b.ref(A, {b.idx(x)}), b.idx(y));
+        b.ifStmt(b.idx(y) > b.lit(0.0), [&] {});
+    });
+    Program p = b.finish();
+    (void)loop;
+
+    std::vector<UseSite::Where> found;
+    p.forEachStmt([&](Stmt* s) {
+        Program::forEachExpr(s, [&](Expr* e) {
+            if (e->kind != ExprKind::VarRef) return;
+            if (s->kind == StmtKind::Assign && e == s->lhs) return;
+            if (e->sym == p.findSymbol("i")) return;
+            auto site = locateUse(s, e);
+            ASSERT_TRUE(site.has_value());
+            found.push_back(site->where);
+        });
+    });
+    EXPECT_NE(std::count(found.begin(), found.end(),
+                         UseSite::Where::LoopBound), 0);
+    EXPECT_NE(std::count(found.begin(), found.end(),
+                         UseSite::Where::RhsSubscript), 0);
+    EXPECT_NE(std::count(found.begin(), found.end(),
+                         UseSite::Where::LhsSubscript), 0);
+    EXPECT_NE(std::count(found.begin(), found.end(),
+                         UseSite::Where::RhsValue), 0);
+    EXPECT_NE(std::count(found.begin(), found.end(), UseSite::Where::Cond), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar mapping decisions
+// ---------------------------------------------------------------------------
+
+TEST(Privatize, LoopBoundUseForcesReplication) {
+    ProgramBuilder b("bound");
+    auto A = b.realArray("A", {32});
+    auto m = b.integerVar("m");
+    auto i = b.integerVar("i");
+    auto j = b.integerVar("j");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{4}), [&] {
+        b.assign(b.idx(m), b.idx(i) * b.lit(std::int64_t{8}));
+        b.doLoop(j, b.lit(std::int64_t{1}), b.idx(m),
+                 [&] { b.assign(b.ref(A, {b.idx(j)}), b.lit(1.0)); });
+    });
+    Program p = b.finish();
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* m0 = decisionFor(c, "m");
+    ASSERT_NE(m0, nullptr);
+    EXPECT_EQ(m0->kind, ScalarMapKind::Replicated) << m0->rationale;
+}
+
+TEST(Privatize, LiveOutScalarNotPrivatized) {
+    ProgramBuilder b("liveout");
+    auto A = b.realArray("A", {32});
+    auto x = b.realVar("x");
+    auto y = b.realVar("y");
+    auto i = b.integerVar("i");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{32}), [&] {
+        b.assign(b.idx(x), b.ref(A, {b.idx(i)}));
+        b.assign(b.ref(A, {b.idx(i)}), b.idx(x) * b.lit(2.0));
+    });
+    b.assign(b.idx(y), b.idx(x));  // x live after the loop
+    Program p = b.finish();
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* x0 = decisionFor(c, "x");
+    ASSERT_NE(x0, nullptr);
+    EXPECT_EQ(x0->kind, ScalarMapKind::Replicated) << x0->rationale;
+}
+
+TEST(Privatize, PrivatizationDisabledKeepsEverythingReplicated) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    opts.mapping.privatization = false;
+    Compilation c = Compiler::compile(p, opts);
+    for (const auto& [defId, dec] : c.mappingPass->decisions().scalars()) {
+        (void)defId;
+        EXPECT_EQ(dec.kind, ScalarMapKind::Replicated);
+    }
+}
+
+TEST(Privatize, ConsumerPreferredOverProducerWhenHoistable) {
+    // Fig. 1's x: consumer D(i+1) chosen because B/C shifts hoist.
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* x = decisionFor(c, "x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_TRUE(x->viaConsumer);
+    EXPECT_EQ(c.program->sym(x->alignRef->sym).name, "D");
+}
+
+TEST(Privatize, ProducerChosenWhenConsumerCausesInnerComm) {
+    Program p = programs::fig1(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* y = decisionFor(c, "y");
+    ASSERT_NE(y, nullptr);
+    EXPECT_EQ(y->kind, ScalarMapKind::Aligned);
+    EXPECT_FALSE(y->viaConsumer);
+}
+
+TEST(Privatize, GroupConsistency) {
+    // Two defs of the same scalar reaching a common use get one mapping.
+    ProgramBuilder b("group");
+    auto A = b.realArray("A", {32});
+    auto B = b.realArray("B", {32});
+    auto w = b.realVar("w");
+    auto i = b.integerVar("i");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.alignIdentity(B, A);
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{32}), [&] {
+        b.ifStmt(
+            b.ref(B, {b.idx(i)}) > b.lit(0.0),
+            [&] { b.assign(b.idx(w), b.ref(B, {b.idx(i)})); },
+            [&] { b.assign(b.idx(w), -b.ref(B, {b.idx(i)})); });
+        b.assign(b.ref(A, {b.idx(i)}), b.idx(w));
+    });
+    Program p = b.finish();
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* d0 = decisionFor(c, "w", 0);
+    const ScalarMapDecision* d1 = decisionFor(c, "w", 1);
+    ASSERT_NE(d0, nullptr);
+    ASSERT_NE(d1, nullptr);
+    EXPECT_EQ(d0->kind, d1->kind);
+    if (d0->kind == ScalarMapKind::Aligned) {
+        EXPECT_EQ(d0->alignRef, d1->alignRef);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (Section 2.3)
+// ---------------------------------------------------------------------------
+
+TEST(PrivatizeReduction, Fig5MappingReplicatesReductionDim) {
+    Program p = programs::fig5(32);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* s = decisionFor(c, "s", 1);  // accumulation
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->kind, ScalarMapKind::Aligned) << s->rationale;
+    EXPECT_TRUE(s->isReductionResult);
+    ASSERT_EQ(s->reductionGridDims.size(), 1u);
+    EXPECT_EQ(s->reductionGridDims[0], 1);  // the j (column) grid dim
+    EXPECT_EQ(c.program->sym(s->alignRef->sym).name, "A");
+}
+
+TEST(PrivatizeReduction, DgefaMaxlocConfinedToColumnOwner) {
+    Program p = programs::dgefa(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    for (const char* name : {"t", "l"}) {
+        const ScalarMapDecision* d = decisionFor(c, name, 1);
+        ASSERT_NE(d, nullptr) << name;
+        EXPECT_EQ(d->kind, ScalarMapKind::Aligned) << d->rationale;
+        EXPECT_TRUE(d->isReductionResult);
+        // A(i,k): the cyclic column dim does not vary with the reduction
+        // loop, so no grid dim is a reduction dim.
+        EXPECT_TRUE(d->reductionGridDims.empty());
+    }
+}
+
+TEST(PrivatizeReduction, DisabledFallsBackToReplication) {
+    Program p = programs::fig5(32);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    opts.mapping.reductionAlignment = false;
+    Compilation c = Compiler::compile(p, opts);
+    const ScalarMapDecision* s = decisionFor(c, "s", 1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, ScalarMapKind::Replicated);
+    EXPECT_TRUE(s->isReductionResult);
+}
+
+// ---------------------------------------------------------------------------
+// Arrays (Section 3)
+// ---------------------------------------------------------------------------
+
+TEST(PrivatizeArray, Fig6FullFailsPartialSucceeds) {
+    Program p = programs::fig6(16, 16, 16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    Compilation c = Compiler::compile(p, opts);
+    const auto& arrays = c.mappingPass->decisions().arrays();
+    ASSERT_EQ(arrays.size(), 1u);
+    const ArrayPrivDecision& d = arrays[0];
+    EXPECT_EQ(d.kind, ArrayPrivDecision::Kind::Partial) << d.rationale;
+    // Partitioned in grid dim 0 (the j dimension), privatized in dim 1.
+    EXPECT_FALSE(d.privatizedGrid[0]);
+    EXPECT_TRUE(d.privatizedGrid[1]);
+    // c's second (j) array dim carries the partition, offset +1 from the
+    // c(i,j-1,1) use.
+    EXPECT_EQ(d.mapInLoop.gridDimOf(1), 0);
+    EXPECT_EQ(d.mapInLoop.dims[1].alignOffset, 1);
+    EXPECT_TRUE(d.mapInLoop.replicatedGrid[1]);
+}
+
+TEST(PrivatizeArray, OneDimGridFullPrivatization) {
+    // On a 1-D grid (distribution over k only) full privatization of c
+    // is valid: the target's only partitioned subscript is k.
+    Program p = programs::appsp(16, 16, 16, 2, /*oneD=*/true);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    const auto& arrays = c.mappingPass->decisions().arrays();
+    ASSERT_EQ(arrays.size(), 1u);
+    EXPECT_EQ(arrays[0].kind, ArrayPrivDecision::Kind::Full)
+        << arrays[0].rationale;
+}
+
+TEST(PrivatizeArray, DisabledMeansReplicated) {
+    Program p = programs::fig6(16, 16, 16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    opts.mapping.arrayPrivatization = false;
+    Compilation c = Compiler::compile(p, opts);
+    ASSERT_EQ(c.mappingPass->decisions().arrays().size(), 1u);
+    EXPECT_EQ(c.mappingPass->decisions().arrays()[0].kind,
+              ArrayPrivDecision::Kind::Replicated);
+}
+
+TEST(PrivatizeArray, PartialDisabledMeansReplicatedOn2D) {
+    Program p = programs::fig6(16, 16, 16);
+    CompilerOptions opts;
+    opts.gridExtents = {2, 2};
+    opts.mapping.partialPrivatization = false;
+    Compilation c = Compiler::compile(p, opts);
+    ASSERT_EQ(c.mappingPass->decisions().arrays().size(), 1u);
+    EXPECT_EQ(c.mappingPass->decisions().arrays()[0].kind,
+              ArrayPrivDecision::Kind::Replicated);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow (Section 4)
+// ---------------------------------------------------------------------------
+
+TEST(PrivatizeControlFlow, Fig7AllStatementsPrivatized) {
+    Program p = programs::fig7(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    p.forEachStmt([&](const Stmt* s) {
+        if (s->kind != StmtKind::If && s->kind != StmtKind::Goto) return;
+        EXPECT_TRUE(c.mappingPass->decisions().controlPrivatized(s));
+    });
+    // And no communication at all: B, C are aligned with A.
+    EXPECT_TRUE(c.lowering->commOps().empty());
+}
+
+TEST(PrivatizeControlFlow, GotoLeavingLoopNotPrivatized) {
+    ProgramBuilder b("escape");
+    auto A = b.realArray("A", {16});
+    auto i = b.integerVar("i");
+    b.distribute(A, {{DistKind::Block, 0}});
+    b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{16}), [&] {
+        b.ifStmt(b.ref(A, {b.idx(i)}) < b.lit(0.0),
+                 [&] { b.gotoStmt(200); });
+        b.assign(b.ref(A, {b.idx(i)}), b.lit(1.0));
+    });
+    b.continueStmt(200);
+    Program p = b.finish();
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    Compilation c = Compiler::compile(p, opts);
+    p.forEachStmt([&](const Stmt* s) {
+        if (s->kind == StmtKind::Goto) {
+            EXPECT_FALSE(c.mappingPass->decisions().controlPrivatized(s));
+        }
+    });
+}
+
+TEST(PrivatizeControlFlow, DisabledExecutesOnAll) {
+    Program p = programs::fig7(32);
+    CompilerOptions opts;
+    opts.gridExtents = {4};
+    opts.mapping.controlFlowPrivatization = false;
+    Compilation c = Compiler::compile(p, opts);
+    bool sawBroadcast = false;
+    for (const CommOp& op : c.lowering->commOps())
+        if (op.atStmt->kind == StmtKind::If) sawBroadcast = true;
+    EXPECT_TRUE(sawBroadcast);
+}
+
+}  // namespace
+}  // namespace phpf

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "analysis/affine.h"
+#include "analysis/const_prop.h"
+#include "analysis/induction.h"
+#include "analysis/privatizable.h"
+#include "analysis/reduction.h"
+#include "ir/builder.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+struct Pipeline {
+    Program p;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<SsaForm> ssa;
+
+    explicit Pipeline(Program prog) : p(std::move(prog)) {
+        p.finalize();
+        cfg = std::make_unique<Cfg>(p);
+        dom = std::make_unique<Dominators>(*cfg);
+        ssa = std::make_unique<SsaForm>(p, *cfg, *dom);
+    }
+};
+
+Stmt* assignTo(Program& p, const std::string& name, int occurrence = 0) {
+    const SymbolId sym = p.findSymbol(name);
+    Stmt* found = nullptr;
+    int seen = 0;
+    p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::VarRef &&
+            s->lhs->sym == sym) {
+            if (seen++ == occurrence && found == nullptr) found = s;
+        }
+    });
+    return found;
+}
+
+TEST(Ssa, EveryUseHasExactlyOneDef) {
+    std::vector<Program> progs;
+    progs.push_back(programs::fig1(16));
+    progs.push_back(programs::fig5(8));
+    progs.push_back(programs::dgefa(6));
+    progs.push_back(programs::fig7(8));
+    for (auto& prog : progs) {
+        Pipeline pl(std::move(prog));
+        pl.p.forEachStmt([&](Stmt* s) {
+            Program::forEachExpr(s, [&](Expr* e) {
+                if (e->kind != ExprKind::VarRef) return;
+                if (s->kind == StmtKind::Assign && e == s->lhs) return;  // def
+                EXPECT_GE(pl.ssa->defIdOfUse(e), 0)
+                    << "unbound use in " << pl.p.name;
+            });
+        });
+    }
+}
+
+TEST(Ssa, PhiOperandsMatchPredCount) {
+    Pipeline pl(programs::fig7(8));
+    for (const auto& d : pl.ssa->defs()) {
+        if (!d.isPhi()) continue;
+        EXPECT_EQ(d.operands.size(),
+                  pl.cfg->block(d.block).preds.size());
+    }
+}
+
+TEST(Ssa, Fig1PrivatizableScalars) {
+    Pipeline pl(programs::fig1(16));
+    Stmt* loop = nullptr;
+    pl.p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Do) loop = s;
+    });
+    ASSERT_NE(loop, nullptr);
+
+    // x, y, z are privatizable w.r.t. the i loop.
+    for (const char* name : {"x", "y", "z"}) {
+        Stmt* s = assignTo(pl.p, name);
+        ASSERT_NE(s, nullptr) << name;
+        const int def = pl.ssa->defIdOfAssign(s);
+        EXPECT_TRUE(isPrivatizableAt(*pl.ssa, def, loop)) << name;
+        EXPECT_EQ(outermostPrivatizationLoop(*pl.ssa, def), loop) << name;
+    }
+    // m = m + 1 is loop-carried: not privatizable before induction rewrite.
+    Stmt* mInc = assignTo(pl.p, "m", 1);
+    ASSERT_NE(mInc, nullptr);
+    EXPECT_FALSE(
+        isPrivatizableAt(*pl.ssa, pl.ssa->defIdOfAssign(mInc), loop));
+}
+
+TEST(Ssa, InductionRecognitionAndRewrite) {
+    Pipeline pl(programs::fig1(16));
+    ConstProp cp(*pl.ssa);
+    const auto ivs = findInductionVars(*pl.ssa, cp);
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(pl.p.sym(ivs[0].sym).name, "m");
+    EXPECT_EQ(ivs[0].stride, 1);
+
+    const int rewrites = rewriteInductionVars(pl.p, *pl.ssa, cp);
+    EXPECT_EQ(rewrites, 1);
+    // After rewrite m = i + 1 and m is privatizable.
+    Pipeline pl2(std::move(pl.p));
+    Stmt* mInc = assignTo(pl2.p, "m", 1);
+    ASSERT_NE(mInc, nullptr);
+    ASSERT_EQ(mInc->rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(mInc->rhs->bop, BinaryOp::Add);
+    EXPECT_EQ(mInc->rhs->args[1]->ival, 1);
+    Stmt* loop = nullptr;
+    pl2.p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Do) loop = s;
+    });
+    EXPECT_TRUE(isPrivatizableAt(*pl2.ssa, pl2.ssa->defIdOfAssign(mInc), loop));
+}
+
+TEST(Ssa, Fig5SumReductionRecognized) {
+    Pipeline pl(programs::fig5(8));
+    const auto reds = findReductions(*pl.ssa);
+    ASSERT_EQ(reds.size(), 1u);
+    EXPECT_EQ(pl.p.sym(reds[0].scalar).name, "s");
+    EXPECT_EQ(reds[0].op, ReductionInfo::Op::Sum);
+    ASSERT_EQ(reds[0].loops.size(), 1u);
+    EXPECT_EQ(pl.p.sym(reds[0].loops[0]->loopVar).name, "j");
+}
+
+TEST(Ssa, DgefaMaxlocRecognized) {
+    Pipeline pl(programs::dgefa(8));
+    const auto reds = findReductions(*pl.ssa);
+    ASSERT_EQ(reds.size(), 1u);
+    EXPECT_EQ(reds[0].op, ReductionInfo::Op::MaxLoc);
+    EXPECT_EQ(pl.p.sym(reds[0].scalar).name, "t");
+    EXPECT_EQ(pl.p.sym(reds[0].locScalar).name, "l");
+}
+
+TEST(Affine, SubscriptAlignLevelsOfFig4) {
+    Pipeline pl(programs::fig4(8));
+    AffineAnalyzer aff(pl.p, pl.ssa.get());
+    std::vector<Expr*> lhsRefs;
+    pl.p.forEachStmt([&](Stmt* s) {
+        if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::ArrayRef)
+            lhsRefs.push_back(s->lhs);
+    });
+    ASSERT_EQ(lhsRefs.size(), 2u);
+    // A(i,j,k): subscripts i, j, k -> SALs 1, 2, 3.
+    EXPECT_EQ(aff.subscriptAlignLevel(lhsRefs[0]->args[0]), 1);
+    EXPECT_EQ(aff.subscriptAlignLevel(lhsRefs[0]->args[1]), 2);
+    EXPECT_EQ(aff.subscriptAlignLevel(lhsRefs[0]->args[2]), 3);
+    // B(s,j,k): s is non-affine, defined at level 2 -> SAL 3.
+    EXPECT_EQ(aff.subscriptAlignLevel(lhsRefs[1]->args[0]), 3);
+}
+
+TEST(ConstPropTest, FoldsLiteralChains) {
+    ProgramBuilder b("cp");
+    auto a = b.integerVar("a");
+    auto c = b.integerVar("c");
+    b.assign(b.idx(a), b.lit(std::int64_t{4}));
+    b.assign(b.idx(c), b.idx(a) * b.lit(std::int64_t{3}) +
+                            b.lit(std::int64_t{2}));
+    Pipeline pl(b.finish());
+    ConstProp cp(*pl.ssa);
+    Stmt* cAssign = assignTo(pl.p, "c");
+    const int def = pl.ssa->defIdOfAssign(cAssign);
+    ASSERT_TRUE(cp.valueOfDef(def).has_value());
+    EXPECT_EQ(*cp.valueOfDef(def), 14);
+}
+
+}  // namespace
+}  // namespace phpf

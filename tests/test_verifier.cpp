@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "driver/verifier.h"
+#include "programs/programs.h"
+
+namespace phpf {
+namespace {
+
+// Every program x option-set x grid must verify clean: the compiler's
+// internal invariants hold regardless of which features are enabled.
+class VerifierSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(VerifierSweepTest, CompilationVerifiesClean) {
+    const auto [programId, variant, gridId] = GetParam();
+    Program p = [&] {
+        switch (programId) {
+            case 0: return programs::fig1(24);
+            case 1: return programs::fig2(16);
+            case 2: return programs::fig4(8);
+            case 3: return programs::fig5(12);
+            case 4: return programs::fig6(10, 10, 10);
+            case 5: return programs::fig7(16);
+            case 6: return programs::dgefa(12);
+            case 7: return programs::tomcatv(12, 2);
+            case 8: return programs::appsp(8, 8, 8, 2, true);
+            case 9: return programs::appsp(8, 8, 8, 2, false);
+            default: return programs::adi(12, 2);
+        }
+    }();
+    CompilerOptions opts;
+    const std::vector<std::vector<int>> grids{{1}, {4}, {2, 2}, {3, 2}};
+    opts.gridExtents = grids[static_cast<size_t>(gridId)];
+    switch (variant) {
+        case 1:
+            opts.mapping.alignPolicy = MappingOptions::AlignPolicy::ProducerOnly;
+            break;
+        case 2: opts.mapping.privatization = false; break;
+        case 3:
+            opts.mapping.reductionAlignment = false;
+            opts.mapping.partialPrivatization = false;
+            break;
+        case 4: opts.mapping.autoArrayPrivatization = true; break;
+        default: break;
+    }
+    Compilation c = Compiler::compile(p, opts);
+    const auto issues = verifyCompilation(c);
+    EXPECT_TRUE(issues.empty()) << [&] {
+        std::string all = "program " + p.name + ":";
+        for (const auto& s : issues) all += "\n  " + s;
+        return all;
+    }();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProgramsVariantsGrids, VerifierSweepTest,
+    ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 5),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace phpf
