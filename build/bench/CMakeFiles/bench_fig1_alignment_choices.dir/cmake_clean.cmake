@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_alignment_choices.dir/bench_fig1_alignment_choices.cpp.o"
+  "CMakeFiles/bench_fig1_alignment_choices.dir/bench_fig1_alignment_choices.cpp.o.d"
+  "bench_fig1_alignment_choices"
+  "bench_fig1_alignment_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_alignment_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_subscript_consumers.dir/bench_fig2_subscript_consumers.cpp.o"
+  "CMakeFiles/bench_fig2_subscript_consumers.dir/bench_fig2_subscript_consumers.cpp.o.d"
+  "bench_fig2_subscript_consumers"
+  "bench_fig2_subscript_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_subscript_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_alignlevel.dir/bench_fig4_alignlevel.cpp.o"
+  "CMakeFiles/bench_fig4_alignlevel.dir/bench_fig4_alignlevel.cpp.o.d"
+  "bench_fig4_alignlevel"
+  "bench_fig4_alignlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_alignlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partial_priv.dir/bench_fig6_partial_priv.cpp.o"
+  "CMakeFiles/bench_fig6_partial_priv.dir/bench_fig6_partial_priv.cpp.o.d"
+  "bench_fig6_partial_priv"
+  "bench_fig6_partial_priv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partial_priv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

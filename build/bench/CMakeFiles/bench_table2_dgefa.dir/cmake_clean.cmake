@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dgefa.dir/bench_table2_dgefa.cpp.o"
+  "CMakeFiles/bench_table2_dgefa.dir/bench_table2_dgefa.cpp.o.d"
+  "bench_table2_dgefa"
+  "bench_table2_dgefa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dgefa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_appsp.dir/bench_table3_appsp.cpp.o"
+  "CMakeFiles/bench_table3_appsp.dir/bench_table3_appsp.cpp.o.d"
+  "bench_table3_appsp"
+  "bench_table3_appsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_appsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

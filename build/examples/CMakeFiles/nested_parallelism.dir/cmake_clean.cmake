@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_parallelism.dir/nested_parallelism.cpp.o"
+  "CMakeFiles/nested_parallelism.dir/nested_parallelism.cpp.o.d"
+  "nested_parallelism"
+  "nested_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phpfc.dir/phpfc.cpp.o"
+  "CMakeFiles/phpfc.dir/phpfc.cpp.o.d"
+  "phpfc"
+  "phpfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phpfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

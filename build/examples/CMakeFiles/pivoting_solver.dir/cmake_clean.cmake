@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivoting_solver.dir/pivoting_solver.cpp.o"
+  "CMakeFiles/pivoting_solver.dir/pivoting_solver.cpp.o.d"
+  "pivoting_solver"
+  "pivoting_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivoting_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/affine.cpp" "src/CMakeFiles/phpf.dir/analysis/affine.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/affine.cpp.o.d"
+  "/root/repo/src/analysis/array_priv.cpp" "src/CMakeFiles/phpf.dir/analysis/array_priv.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/array_priv.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/CMakeFiles/phpf.dir/analysis/cfg.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/cfg.cpp.o.d"
+  "/root/repo/src/analysis/const_prop.cpp" "src/CMakeFiles/phpf.dir/analysis/const_prop.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/const_prop.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/phpf.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/phpf.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/analysis/induction.cpp" "src/CMakeFiles/phpf.dir/analysis/induction.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/induction.cpp.o.d"
+  "/root/repo/src/analysis/privatizable.cpp" "src/CMakeFiles/phpf.dir/analysis/privatizable.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/privatizable.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/CMakeFiles/phpf.dir/analysis/reduction.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/reduction.cpp.o.d"
+  "/root/repo/src/analysis/ssa.cpp" "src/CMakeFiles/phpf.dir/analysis/ssa.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/analysis/ssa.cpp.o.d"
+  "/root/repo/src/comm/classify.cpp" "src/CMakeFiles/phpf.dir/comm/classify.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/comm/classify.cpp.o.d"
+  "/root/repo/src/comm/ref_desc.cpp" "src/CMakeFiles/phpf.dir/comm/ref_desc.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/comm/ref_desc.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "src/CMakeFiles/phpf.dir/driver/compiler.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/driver/compiler.cpp.o.d"
+  "/root/repo/src/driver/verifier.cpp" "src/CMakeFiles/phpf.dir/driver/verifier.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/driver/verifier.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/phpf.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/phpf.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/phpf.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/phpf.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/phpf.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/ir/program.cpp.o.d"
+  "/root/repo/src/mapping/data_mapping.cpp" "src/CMakeFiles/phpf.dir/mapping/data_mapping.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/mapping/data_mapping.cpp.o.d"
+  "/root/repo/src/mapping/dist.cpp" "src/CMakeFiles/phpf.dir/mapping/dist.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/mapping/dist.cpp.o.d"
+  "/root/repo/src/privatize/mapping_pass.cpp" "src/CMakeFiles/phpf.dir/privatize/mapping_pass.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/privatize/mapping_pass.cpp.o.d"
+  "/root/repo/src/privatize/scalar_expansion.cpp" "src/CMakeFiles/phpf.dir/privatize/scalar_expansion.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/privatize/scalar_expansion.cpp.o.d"
+  "/root/repo/src/privatize/use_site.cpp" "src/CMakeFiles/phpf.dir/privatize/use_site.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/privatize/use_site.cpp.o.d"
+  "/root/repo/src/programs/adi.cpp" "src/CMakeFiles/phpf.dir/programs/adi.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/programs/adi.cpp.o.d"
+  "/root/repo/src/programs/appsp.cpp" "src/CMakeFiles/phpf.dir/programs/appsp.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/programs/appsp.cpp.o.d"
+  "/root/repo/src/programs/dgefa.cpp" "src/CMakeFiles/phpf.dir/programs/dgefa.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/programs/dgefa.cpp.o.d"
+  "/root/repo/src/programs/figures.cpp" "src/CMakeFiles/phpf.dir/programs/figures.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/programs/figures.cpp.o.d"
+  "/root/repo/src/programs/tomcatv.cpp" "src/CMakeFiles/phpf.dir/programs/tomcatv.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/programs/tomcatv.cpp.o.d"
+  "/root/repo/src/runtime/interp.cpp" "src/CMakeFiles/phpf.dir/runtime/interp.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/runtime/interp.cpp.o.d"
+  "/root/repo/src/runtime/spmd_sim.cpp" "src/CMakeFiles/phpf.dir/runtime/spmd_sim.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/runtime/spmd_sim.cpp.o.d"
+  "/root/repo/src/runtime/store.cpp" "src/CMakeFiles/phpf.dir/runtime/store.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/runtime/store.cpp.o.d"
+  "/root/repo/src/spmd/cost_eval.cpp" "src/CMakeFiles/phpf.dir/spmd/cost_eval.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/spmd/cost_eval.cpp.o.d"
+  "/root/repo/src/spmd/cost_report.cpp" "src/CMakeFiles/phpf.dir/spmd/cost_report.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/spmd/cost_report.cpp.o.d"
+  "/root/repo/src/spmd/local_bounds.cpp" "src/CMakeFiles/phpf.dir/spmd/local_bounds.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/spmd/local_bounds.cpp.o.d"
+  "/root/repo/src/spmd/lowering.cpp" "src/CMakeFiles/phpf.dir/spmd/lowering.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/spmd/lowering.cpp.o.d"
+  "/root/repo/src/spmd/spmd_text.cpp" "src/CMakeFiles/phpf.dir/spmd/spmd_text.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/spmd/spmd_text.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/phpf.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/phpf.dir/support/diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

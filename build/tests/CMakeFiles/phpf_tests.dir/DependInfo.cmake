@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adi.cpp" "tests/CMakeFiles/phpf_tests.dir/test_adi.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_adi.cpp.o.d"
+  "/root/repo/tests/test_affine.cpp" "tests/CMakeFiles/phpf_tests.dir/test_affine.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_affine.cpp.o.d"
+  "/root/repo/tests/test_autopriv.cpp" "tests/CMakeFiles/phpf_tests.dir/test_autopriv.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_autopriv.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/phpf_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/phpf_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_combining.cpp" "tests/CMakeFiles/phpf_tests.dir/test_combining.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_combining.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/phpf_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_dependence.cpp" "tests/CMakeFiles/phpf_tests.dir/test_dependence.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_dependence.cpp.o.d"
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/phpf_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_expansion.cpp" "tests/CMakeFiles/phpf_tests.dir/test_expansion.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_expansion.cpp.o.d"
+  "/root/repo/tests/test_fig1.cpp" "tests/CMakeFiles/phpf_tests.dir/test_fig1.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_fig1.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/phpf_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_frontend_errors.cpp" "tests/CMakeFiles/phpf_tests.dir/test_frontend_errors.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_frontend_errors.cpp.o.d"
+  "/root/repo/tests/test_interp2.cpp" "tests/CMakeFiles/phpf_tests.dir/test_interp2.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_interp2.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/phpf_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_lowering.cpp" "tests/CMakeFiles/phpf_tests.dir/test_lowering.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_lowering.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/phpf_tests.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/phpf_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_printer.cpp" "tests/CMakeFiles/phpf_tests.dir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_printer.cpp.o.d"
+  "/root/repo/tests/test_privatize.cpp" "tests/CMakeFiles/phpf_tests.dir/test_privatize.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_privatize.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/phpf_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim2.cpp" "tests/CMakeFiles/phpf_tests.dir/test_sim2.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_sim2.cpp.o.d"
+  "/root/repo/tests/test_spmd_text.cpp" "tests/CMakeFiles/phpf_tests.dir/test_spmd_text.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_spmd_text.cpp.o.d"
+  "/root/repo/tests/test_ssa.cpp" "tests/CMakeFiles/phpf_tests.dir/test_ssa.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_ssa.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/phpf_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/phpf_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/phpf_tests.dir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
