@@ -1,13 +1,60 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "driver/compiler.h"
+#include "obs/json.h"
 #include "programs/programs.h"
 
 namespace phpf::bench {
+
+/// Opt-in machine-readable bench output. When the PHPF_BENCH_REPORT
+/// environment variable names a file, every printRow() also appends one
+/// JSON line (`{"bench": ..., "procs": ..., "<column>": sec, ...}`) to
+/// it, keyed by the most recent printHeader(). Human-readable stdout is
+/// unchanged either way.
+class BenchReporter {
+public:
+    static BenchReporter& instance() {
+        static BenchReporter r;
+        return r;
+    }
+
+    void setHeader(const std::string& title,
+                   const std::vector<std::string>& columns) {
+        title_ = title;
+        columns_ = columns;
+    }
+
+    void row(int procs, const std::vector<double>& secs) {
+        if (path_.empty()) return;
+        obs::Json j = obs::Json::object();
+        j.set("bench", title_);
+        j.set("procs", procs);
+        for (size_t i = 0; i < secs.size(); ++i) {
+            const std::string key =
+                i < columns_.size() ? columns_[i]
+                                    : "col" + std::to_string(i);
+            j.set(key, secs[i]);
+        }
+        std::ofstream out(path_, std::ios::app);
+        if (out) out << j.dump(-1) << "\n";
+    }
+
+private:
+    BenchReporter() {
+        const char* p = std::getenv("PHPF_BENCH_REPORT");
+        if (p != nullptr) path_ = p;
+    }
+
+    std::string path_;
+    std::string title_;
+    std::vector<std::string> columns_;
+};
 
 /// Format a predicted execution time like the paper's tables (seconds).
 inline std::string fmtSec(double s) {
@@ -36,6 +83,7 @@ inline CostBreakdown predict(Program& p, std::vector<int> grid,
 
 inline void printHeader(const std::string& title,
                         const std::vector<std::string>& columns) {
+    BenchReporter::instance().setHeader(title, columns);
     std::printf("\n%s\n", title.c_str());
     std::printf("%-6s", "#P");
     for (const auto& c : columns) std::printf("  %-22s", c.c_str());
@@ -43,6 +91,7 @@ inline void printHeader(const std::string& title,
 }
 
 inline void printRow(int procs, const std::vector<double>& secs) {
+    BenchReporter::instance().row(procs, secs);
     std::printf("%-6d", procs);
     for (double s : secs) std::printf("  %-22s", fmtSec(s).c_str());
     std::printf("\n");

@@ -1,11 +1,16 @@
 // phpfc — command-line driver for the mini-HPF compiler.
 //
 //   phpfc FILE.hpf [--procs NxM] [--report] [--lower] [--cost]
+//         [--report=FILE.json] [--trace=FILE.json] [--no-sim]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
+// `--report=FILE` writes the machine-readable JSON run report (pass
+// timings, decision records with rejected-alternative costs, cost
+// prediction, simulation metrics); `--trace=FILE` writes a Chrome
+// trace_event file openable in chrome://tracing / Perfetto.
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +21,7 @@
 #include "driver/compiler.h"
 #include "frontend/parser.h"
 #include "ir/printer.h"
+#include "obs/trace.h"
 #include "spmd/cost_report.h"
 #include "spmd/spmd_text.h"
 
@@ -36,9 +42,15 @@ void usage() {
     std::fprintf(stderr,
                  "usage: phpfc FILE.hpf [--procs NxM] [--report] [--lower] "
                  "[--cost] [--spmd]\n"
+                 "             [--report=FILE.json] [--trace=FILE.json] "
+                 "[--no-sim]\n"
                  "             [--no-privatization] [--producer-only]\n"
                  "             [--no-reduction-align] [--no-array-priv]\n"
                  "             [--no-partial-priv] [--no-cf-priv]\n");
+}
+
+bool startsWith(const std::string& s, const char* prefix) {
+    return s.rfind(prefix, 0) == 0;
 }
 
 }  // namespace
@@ -47,12 +59,17 @@ int main(int argc, char** argv) {
     std::string file;
     std::vector<int> grid{4};
     bool doReport = false, doLower = false, doCost = false, doSpmd = false;
+    bool runSim = true;
+    std::string reportFile, traceFile;
     MappingOptions mapping;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--procs" && i + 1 < argc) grid = parseGrid(argv[++i]);
         else if (arg == "--report") doReport = true;
+        else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
+        else if (startsWith(arg, "--trace=")) traceFile = arg.substr(8);
+        else if (arg == "--no-sim") runSim = false;
         else if (arg == "--lower") doLower = true;
         else if (arg == "--cost") doCost = true;
         else if (arg == "--spmd") doSpmd = true;
@@ -81,7 +98,8 @@ int main(int argc, char** argv) {
         usage();
         return 2;
     }
-    if (!doReport && !doLower && !doCost && !doSpmd)
+    const bool jsonOnly = !reportFile.empty() || !traceFile.empty();
+    if (!doReport && !doLower && !doCost && !doSpmd && !jsonOnly)
         doReport = doLower = doCost = doSpmd = true;
 
     std::ifstream in(file);
@@ -92,9 +110,15 @@ int main(int argc, char** argv) {
     std::stringstream buf;
     buf << in.rdbuf();
 
+    // One tracer covers the whole run so the front end's span lands on
+    // the same timeline as the compiler passes and the simulation.
+    auto tracer = std::make_shared<obs::Tracer>();
     DiagEngine diags;
-    Parser parser(buf.str(), diags);
-    Program p = parser.parse();
+    Program p = [&] {
+        obs::ScopedSpan span(*tracer, "parse", "pass");
+        Parser parser(buf.str(), diags);
+        return parser.parse();
+    }();
     if (diags.hasErrors()) {
         std::fprintf(stderr, "%s", diags.dump().c_str());
         return 1;
@@ -103,6 +127,8 @@ int main(int argc, char** argv) {
     CompilerOptions opts;
     opts.gridExtents = grid;
     opts.mapping = mapping;
+    opts.tracer = tracer;
+    opts.diags = &diags;
     Compilation c = Compiler::compile(p, opts);
 
     std::printf("compiled '%s' for grid %s\n", p.name.c_str(),
@@ -115,6 +141,29 @@ int main(int argc, char** argv) {
             buildCostReport(*c.lowering, opts.costModel);
         std::printf("\npredicted execution on the SP2 model:\n%s",
                     report.str(p).c_str());
+    }
+
+    if (!reportFile.empty()) {
+        // The JSON report carries per-processor metrics only when the
+        // functional simulation runs (zero-seeded inputs; message and
+        // guard accounting do not depend on values).
+        std::unique_ptr<SpmdSimulator> sim;
+        if (runSim) sim = c.simulate();
+        if (!c.writeReport(reportFile, sim.get())) {
+            std::fprintf(stderr, "phpfc: cannot write %s\n",
+                         reportFile.c_str());
+            return 1;
+        }
+        std::printf("run report written to %s\n", reportFile.c_str());
+    }
+    if (!traceFile.empty()) {
+        if (!c.writeChromeTrace(traceFile)) {
+            std::fprintf(stderr, "phpfc: cannot write %s\n", traceFile.c_str());
+            return 1;
+        }
+        std::printf("chrome trace written to %s (open in chrome://tracing "
+                    "or ui.perfetto.dev)\n",
+                    traceFile.c_str());
     }
     return 0;
 }

@@ -5,18 +5,43 @@ namespace phpf {
 Compilation Compiler::compile(Program& p, CompilerOptions opts) {
     Compilation c;
     c.program = &p;
+    c.tracer = opts.tracer != nullptr ? opts.tracer
+                                      : std::make_shared<obs::Tracer>();
     c.options = opts;
+    obs::Tracer* tr = c.tracer.get();
+    obs::ScopedSpan all(tr, "compile", "pass");
 
-    p.finalize();
-    c.cfg = std::make_unique<Cfg>(p);
-    c.dom = std::make_unique<Dominators>(*c.cfg);
-    c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
-    c.constProp = std::make_unique<ConstProp>(*c.ssa);
+    {
+        obs::ScopedSpan span(tr, "finalize", "pass");
+        p.finalize();
+    }
+    {
+        obs::ScopedSpan span(tr, "cfg", "pass");
+        c.cfg = std::make_unique<Cfg>(p);
+    }
+    {
+        obs::ScopedSpan span(tr, "dominators", "pass");
+        c.dom = std::make_unique<Dominators>(*c.cfg);
+    }
+    {
+        obs::ScopedSpan span(tr, "ssa", "pass");
+        c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
+    }
+    {
+        obs::ScopedSpan span(tr, "const-prop", "pass");
+        c.constProp = std::make_unique<ConstProp>(*c.ssa);
+    }
 
     if (opts.rewriteInduction) {
+        obs::ScopedSpan span(tr, "induction-rewrite", "pass");
         c.inductionRewrites = rewriteInductionVars(p, *c.ssa, *c.constProp);
         if (c.inductionRewrites > 0) {
+            if (opts.diags != nullptr)
+                opts.diags->note(
+                    {}, "rewrote " + std::to_string(c.inductionRewrites) +
+                            " induction variable(s) to closed form");
             // The tree changed: rebuild the dataflow world.
+            obs::ScopedSpan rebuild(tr, "dataflow-rebuild", "pass");
             c.cfg = std::make_unique<Cfg>(p);
             c.dom = std::make_unique<Dominators>(*c.cfg);
             c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
@@ -24,14 +49,24 @@ Compilation Compiler::compile(Program& p, CompilerOptions opts) {
         }
     }
 
-    c.dataMapping = std::make_unique<DataMapping>(p, ProcGrid(opts.gridExtents));
-    c.mappingPass = std::make_unique<MappingPass>(p, *c.ssa, *c.dataMapping,
-                                                  opts.mapping);
-    c.mappingPass->run();
-    c.lowering = std::make_unique<SpmdLowering>(
-        p, *c.ssa, *c.dataMapping, c.mappingPass->decisions(),
-        c.mappingPass->reductions());
-    c.lowering->run();
+    {
+        obs::ScopedSpan span(tr, "data-mapping", "pass");
+        c.dataMapping = std::make_unique<DataMapping>(p, ProcGrid(opts.gridExtents));
+    }
+    {
+        obs::ScopedSpan span(tr, "mapping-pass", "pass");
+        c.mappingPass = std::make_unique<MappingPass>(p, *c.ssa, *c.dataMapping,
+                                                      opts.mapping,
+                                                      opts.costModel);
+        c.mappingPass->run();
+    }
+    {
+        obs::ScopedSpan span(tr, "spmd-lowering", "pass");
+        c.lowering = std::make_unique<SpmdLowering>(
+            p, *c.ssa, *c.dataMapping, c.mappingPass->decisions(),
+            c.mappingPass->reductions());
+        c.lowering->run();
+    }
     return c;
 }
 

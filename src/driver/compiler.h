@@ -5,9 +5,12 @@
 
 #include "analysis/const_prop.h"
 #include "analysis/induction.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "privatize/mapping_pass.h"
 #include "runtime/spmd_sim.h"
 #include "spmd/cost_eval.h"
+#include "support/diagnostics.h"
 
 namespace phpf {
 
@@ -21,6 +24,15 @@ struct CompilerOptions {
     /// Closed-form rewriting of induction variables (Section 2.1). The
     /// phpf compiler always does this; exposed for ablation.
     bool rewriteInduction = true;
+    /// Span recorder for the run. When null, compile() creates one (the
+    /// per-pass spans are a handful of clock reads — effectively free);
+    /// pass a shared tracer to add caller-side spans (e.g. "parse") to
+    /// the same timeline.
+    std::shared_ptr<obs::Tracer> tracer;
+    /// Diagnostics engine of the run. Not owned; when set, compilation
+    /// notes land here and the JSON run report includes every collected
+    /// diagnostic (parse warnings included).
+    DiagEngine* diags = nullptr;
 };
 
 /// Everything one compilation produced. Owns the analysis objects so
@@ -38,6 +50,8 @@ public:
     std::unique_ptr<SpmdLowering> lowering;
     CompilerOptions options;
     int inductionRewrites = 0;
+    /// Timeline of the run (per-pass spans; simulate() adds its own).
+    std::shared_ptr<obs::Tracer> tracer;
 
     /// Analytic performance prediction on the modelled machine.
     [[nodiscard]] CostBreakdown predictCost() const {
@@ -49,12 +63,29 @@ public:
     /// using the overload taking a seeding callback.
     [[nodiscard]] std::unique_ptr<SpmdSimulator> simulate(
         const std::function<void(Interpreter&)>& seed = nullptr) const {
-        auto sim = std::make_unique<SpmdSimulator>(*lowering);
+        obs::ScopedSpan span(tracer.get(), "simulate", "sim");
+        auto sim = std::make_unique<SpmdSimulator>(*lowering,
+                                                   options.costModel.elemBytes);
         if (seed) seed(sim->oracle());
         sim->run();
         return sim;
     }
     [[nodiscard]] std::string report() const { return mappingPass->report(); }
+
+    /// Schema-versioned JSON run report: per-pass wall times, one
+    /// DecisionRecord per variable with the modeled cost of every
+    /// rejected mapping alternative, the analytic cost prediction, the
+    /// collected diagnostics, and — when `sim` is given — per-processor
+    /// and per-comm-op simulation metrics. See obs/ and README
+    /// "Observability".
+    [[nodiscard]] obs::Json buildRunReport(
+        const SpmdSimulator* sim = nullptr) const;
+    /// Write buildRunReport() to `path`; returns false on I/O failure.
+    bool writeReport(const std::string& path,
+                     const SpmdSimulator* sim = nullptr) const;
+    /// Write the tracer's spans as a Chrome trace_event file (openable
+    /// in chrome://tracing or Perfetto); returns false on I/O failure.
+    bool writeChromeTrace(const std::string& path) const;
 };
 
 /// The phpf-style compiler driver: program analysis (CFG, SSA, constant

@@ -1,0 +1,195 @@
+// JSON run report assembly (Compilation::buildRunReport and the file
+// writers). Lives in the driver because it stitches together every
+// layer's observability surface: pass spans (obs::Tracer), mapping
+// decision records (privatize), the analytic cost prediction (spmd),
+// simulation metrics (runtime), and collected diagnostics (support).
+
+#include <fstream>
+
+#include "driver/compiler.h"
+#include "ir/printer.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "spmd/cost_report.h"
+
+namespace phpf {
+
+namespace {
+
+const char* severityName(DiagSeverity s) {
+    switch (s) {
+        case DiagSeverity::Note: return "note";
+        case DiagSeverity::Warning: return "warning";
+        case DiagSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+obs::Json optionsJson(const CompilerOptions& o) {
+    obs::Json j = obs::Json::object();
+    j.set("privatization", o.mapping.privatization);
+    j.set("align_policy",
+          o.mapping.alignPolicy == MappingOptions::AlignPolicy::Selected
+              ? "selected"
+              : "producer-only");
+    j.set("reduction_alignment", o.mapping.reductionAlignment);
+    j.set("array_privatization", o.mapping.arrayPrivatization);
+    j.set("partial_privatization", o.mapping.partialPrivatization);
+    j.set("auto_array_privatization", o.mapping.autoArrayPrivatization);
+    j.set("control_flow_privatization", o.mapping.controlFlowPrivatization);
+    j.set("rewrite_induction", o.rewriteInduction);
+    j.set("elem_bytes", o.costModel.elemBytes);
+    j.set("combine_messages", o.costModel.combineMessages);
+    return j;
+}
+
+obs::Json passesJson(const obs::Tracer& tracer) {
+    obs::Json arr = obs::Json::array();
+    for (const obs::TraceSpan& s : tracer.spans()) {
+        if (s.category != "pass" && s.category != "sim") continue;
+        obs::Json j = obs::Json::object();
+        j.set("name", s.name);
+        j.set("start_us", static_cast<double>(s.startNs) / 1000.0);
+        j.set("wall_us",
+              static_cast<double>(s.closed() ? s.durNs : 0) / 1000.0);
+        j.set("depth", s.depth);
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
+    obs::Json j = obs::Json::object();
+    j.set("proc_count", sim.procCount());
+    j.set("message_events", sim.messageEvents());
+    j.set("element_transfers", sim.elementTransfers());
+    j.set("bytes_moved", sim.bytesMoved());
+    j.set("elem_bytes", sim.elemBytes());
+    j.set("statements_executed_all_procs", sim.statementsExecutedAllProcs());
+
+    obs::Json perProc = obs::Json::array();
+    std::int64_t maxStmts = 0;
+    std::int64_t minStmts = 0;
+    for (size_t p = 0; p < sim.procMetrics().size(); ++p) {
+        const ProcSimMetrics& m = sim.procMetrics()[p];
+        maxStmts = std::max(maxStmts, m.stmtsExecuted);
+        minStmts = p == 0 ? m.stmtsExecuted
+                          : std::min(minStmts, m.stmtsExecuted);
+        obs::Json pj = obs::Json::object();
+        pj.set("proc", static_cast<std::int64_t>(p));
+        pj.set("stmts_executed", m.stmtsExecuted);
+        pj.set("stmts_guard_skipped", m.stmtsSkipped);
+        pj.set("recv_elements", m.recvElements);
+        pj.set("sent_elements", m.sentElements);
+        pj.set("recv_bytes", m.recvElements * sim.elemBytes());
+        pj.set("sent_bytes", m.sentElements * sim.elemBytes());
+        perProc.push(std::move(pj));
+    }
+    j.set("per_proc", std::move(perProc));
+
+    obs::Json imbalance = obs::Json::object();
+    imbalance.set("max_stmts", maxStmts);
+    imbalance.set("min_stmts", minStmts);
+    imbalance.set("ratio", sim.imbalanceRatio());
+    j.set("imbalance", std::move(imbalance));
+
+    obs::Json perOp = obs::Json::array();
+    const Program& p = low.program();
+    for (const CommOp& op : low.commOps()) {
+        obs::Json oj = obs::Json::object();
+        oj.set("op", op.id);
+        oj.set("ref", printExpr(p, op.ref));
+        oj.set("pattern", op.isReductionCombine
+                              ? "reduction-combine"
+                              : commPatternName(op.req.overall));
+        oj.set("placement_level", op.placementLevel);
+        oj.set("events", sim.eventsOfOp(op.id));
+        oj.set("elements", sim.elementsOfOp(op.id));
+        oj.set("bytes", sim.elementsOfOp(op.id) * sim.elemBytes());
+        perOp.push(std::move(oj));
+    }
+    j.set("per_op", std::move(perOp));
+    return j;
+}
+
+}  // namespace
+
+obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
+    obs::Json root = obs::Json::object();
+    root.set("schema", "phpf.run_report");
+    root.set("schema_version", 1);
+    root.set("program", program != nullptr ? program->name : "");
+
+    obs::Json grid = obs::Json::array();
+    for (int e : options.gridExtents) grid.push(e);
+    root.set("grid", std::move(grid));
+    root.set("total_procs", dataMapping->grid().totalProcs());
+    root.set("options", optionsJson(options));
+    root.set("induction_rewrites", inductionRewrites);
+
+    if (tracer != nullptr) root.set("passes", passesJson(*tracer));
+
+    obs::Json diags = obs::Json::array();
+    if (options.diags != nullptr) {
+        for (const Diagnostic& d : options.diags->all()) {
+            obs::Json dj = obs::Json::object();
+            dj.set("severity", severityName(d.severity));
+            dj.set("line", static_cast<std::int64_t>(d.loc.line));
+            dj.set("col", static_cast<std::int64_t>(d.loc.column));
+            dj.set("message", d.message);
+            diags.push(std::move(dj));
+        }
+    }
+    root.set("diagnostics", std::move(diags));
+
+    root.set("decisions", mappingPass->decisionLog().toJson());
+
+    {
+        const CostBreakdown cb = predictCost();
+        obs::Json cj = obs::Json::object();
+        cj.set("compute_sec", cb.computeSec);
+        cj.set("comm_sec", cb.commSec);
+        cj.set("total_sec", cb.totalSec());
+        cj.set("message_events", cb.messageEvents);
+        cj.set("comm_bytes", cb.commBytes);
+        root.set("cost_prediction", std::move(cj));
+    }
+
+    {
+        obs::Json ops = obs::Json::array();
+        const Program& p = lowering->program();
+        for (const CommOp& op : lowering->commOps()) {
+            obs::Json oj = obs::Json::object();
+            oj.set("op", op.id);
+            oj.set("ref", printExpr(p, op.ref));
+            oj.set("pattern", op.isReductionCombine
+                                  ? "reduction-combine"
+                                  : commPatternName(op.req.overall));
+            oj.set("placement_level", op.placementLevel);
+            ops.push(std::move(oj));
+        }
+        root.set("comm_ops", std::move(ops));
+    }
+
+    if (sim != nullptr) root.set("simulation", simulationJson(*sim, *lowering));
+
+    root.set("metrics", obs::MetricRegistry::global().toJson());
+    return root;
+}
+
+bool Compilation::writeReport(const std::string& path,
+                              const SpmdSimulator* sim) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << buildRunReport(sim).dump() << "\n";
+    return static_cast<bool>(out);
+}
+
+bool Compilation::writeChromeTrace(const std::string& path) const {
+    if (tracer == nullptr) return false;
+    return obs::writeChromeTrace(*tracer, path,
+                                 program != nullptr ? "phpf " + program->name
+                                                    : "phpf");
+}
+
+}  // namespace phpf

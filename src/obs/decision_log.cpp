@@ -1,0 +1,44 @@
+#include "obs/decision_log.h"
+
+namespace phpf::obs {
+
+const char* decisionKindName(DecisionRecord::Kind k) {
+    switch (k) {
+        case DecisionRecord::Kind::Scalar: return "scalar";
+        case DecisionRecord::Kind::Array: return "array";
+        case DecisionRecord::Kind::Reduction: return "reduction";
+        case DecisionRecord::Kind::ControlFlow: return "control-flow";
+    }
+    return "?";
+}
+
+Json DecisionLog::toJson() const {
+    Json arr = Json::array();
+    for (const DecisionRecord& r : records_) {
+        Json j = Json::object();
+        j.set("kind", decisionKindName(r.kind));
+        j.set("variable", r.variable);
+        if (r.defId >= 0) j.set("def_id", r.defId);
+        if (r.stmtId >= 0) j.set("stmt_id", r.stmtId);
+        j.set("chosen", r.chosen);
+        if (!r.alignTarget.empty()) j.set("align_target", r.alignTarget);
+        j.set("align_level", r.alignLevel);
+        j.set("rationale", r.rationale);
+        Json alts = Json::array();
+        for (const AlternativeCost& a : r.alternatives) {
+            Json aj = Json::object();
+            aj.set("name", a.name);
+            aj.set("feasible", a.feasible);
+            aj.set("chosen", a.chosen);
+            aj.set("cost_sec", a.feasible ? Json(a.costSec) : Json(nullptr));
+            if (!a.target.empty()) aj.set("target", a.target);
+            if (!a.note.empty()) aj.set("note", a.note);
+            alts.push(std::move(aj));
+        }
+        j.set("alternatives", std::move(alts));
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+}  // namespace phpf::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace phpf::obs {
+
+/// Modeled cost of one mapping alternative the compiler weighed for a
+/// variable. Costs are per iteration of the privatization loop on the
+/// machine cost model — a coarse analytic proxy (Section 2.2's selection
+/// criterion), not the full CostEvaluator; infeasible alternatives carry
+/// no cost.
+struct AlternativeCost {
+    std::string name;    ///< "consumer-aligned", "producer-aligned",
+                         ///< "unaligned-private", "replicated", ...
+    bool feasible = false;
+    bool chosen = false;
+    double costSec = 0.0;   ///< meaningful only when feasible
+    std::string target;     ///< candidate alignment reference, if any
+    std::string note;       ///< why infeasible / how the cost arises
+};
+
+/// Why one variable (scalar definition, privatizable array, reduction
+/// result, or control-flow statement) got the mapping it did: the chosen
+/// alternative plus every rejected alternative with its modeled cost.
+struct DecisionRecord {
+    enum class Kind : std::uint8_t { Scalar, Array, Reduction, ControlFlow };
+    Kind kind = Kind::Scalar;
+
+    std::string variable;  ///< symbol name (scalars: name#version)
+    int defId = -1;        ///< SSA definition id (scalars/reductions)
+    int stmtId = -1;       ///< defining / controlled statement id
+    std::string chosen;    ///< name of the selected alternative
+    std::string alignTarget;  ///< chosen alignment reference, printed
+    int alignLevel = 0;       ///< AlignLevel of the chosen target (Fig. 4)
+    std::string rationale;    ///< the pass's one-line explanation
+    std::vector<AlternativeCost> alternatives;
+};
+
+/// Append-only log of every mapping decision of one compilation.
+class DecisionLog {
+public:
+    DecisionRecord& add(DecisionRecord r) {
+        records_.push_back(std::move(r));
+        return records_.back();
+    }
+    [[nodiscard]] const std::vector<DecisionRecord>& records() const {
+        return records_;
+    }
+    [[nodiscard]] bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+
+    /// First record whose variable name starts with `name` (scalars are
+    /// logged as "name#version"); nullptr if absent.
+    [[nodiscard]] const DecisionRecord* findVariable(
+        const std::string& name) const {
+        for (const auto& r : records_) {
+            if (r.variable == name) return &r;
+            if (r.variable.size() > name.size() &&
+                r.variable.compare(0, name.size(), name) == 0 &&
+                r.variable[name.size()] == '#')
+                return &r;
+        }
+        return nullptr;
+    }
+
+    [[nodiscard]] Json toJson() const;
+
+private:
+    std::vector<DecisionRecord> records_;
+};
+
+[[nodiscard]] const char* decisionKindName(DecisionRecord::Kind k);
+
+}  // namespace phpf::obs

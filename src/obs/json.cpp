@@ -1,0 +1,283 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace phpf::obs {
+
+Json& Json::set(const std::string& key, Json v) {
+    kind_ = Kind::Object;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        items_[it->second] = std::move(v);
+        return items_[it->second];
+    }
+    index_[key] = items_.size();
+    keys_.push_back(key);
+    items_.push_back(std::move(v));
+    return items_.back();
+}
+
+const Json* Json::find(const std::string& key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &items_[it->second];
+}
+
+const Json& Json::at(const std::string& key) const {
+    static const Json kNull;
+    const Json* j = find(key);
+    return j == nullptr ? kNull : *j;
+}
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+    const auto newline = [&](int d) {
+        if (indent < 0) return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+        case Kind::Null: out += "null"; break;
+        case Kind::Bool: out += bool_ ? "true" : "false"; break;
+        case Kind::Int: out += std::to_string(int_); break;
+        case Kind::Double: {
+            if (std::isfinite(dbl_)) {
+                char buf[40];
+                std::snprintf(buf, sizeof buf, "%.12g", dbl_);
+                out += buf;
+            } else {
+                out += "null";  // JSON has no inf/nan
+            }
+            break;
+        }
+        case Kind::String:
+            out += '"';
+            out += jsonEscape(str_);
+            out += '"';
+            break;
+        case Kind::Array: {
+            if (items_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            for (size_t i = 0; i < items_.size(); ++i) {
+                if (i > 0) out += ',';
+                newline(depth + 1);
+                items_[i].dumpTo(out, indent, depth + 1);
+            }
+            newline(depth);
+            out += ']';
+            break;
+        }
+        case Kind::Object: {
+            if (keys_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (size_t i = 0; i < keys_.size(); ++i) {
+                if (i > 0) out += ',';
+                newline(depth + 1);
+                out += '"';
+                out += jsonEscape(keys_[i]);
+                out += "\": ";
+                items_[i].dumpTo(out, indent, depth + 1);
+            }
+            newline(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent; accepts exactly the JSON this module emits
+// plus ordinary whitespace).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ParseState {
+    const std::string& text;
+    size_t pos = 0;
+    std::string err;
+
+    [[nodiscard]] bool failed() const { return !err.empty(); }
+    void fail(const std::string& what) {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+    }
+    void skipWs() {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+    [[nodiscard]] char peek() {
+        skipWs();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+    bool consume(char c) {
+        if (peek() != c) return false;
+        ++pos;
+        return true;
+    }
+};
+
+Json parseValue(ParseState& st);
+
+Json parseString(ParseState& st) {
+    std::string out;
+    ++st.pos;  // opening quote
+    while (st.pos < st.text.size() && st.text[st.pos] != '"') {
+        char c = st.text[st.pos++];
+        if (c == '\\' && st.pos < st.text.size()) {
+            const char e = st.text[st.pos++];
+            switch (e) {
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (st.pos + 4 > st.text.size()) {
+                        st.fail("truncated \\u escape");
+                        return {};
+                    }
+                    const int code = static_cast<int>(
+                        std::strtol(st.text.substr(st.pos, 4).c_str(), nullptr, 16));
+                    st.pos += 4;
+                    if (code < 0x80) out += static_cast<char>(code);
+                    else out += '?';  // non-ASCII: not produced by our emitter
+                    break;
+                }
+                default: out += e;
+            }
+        } else {
+            out += c;
+        }
+    }
+    if (st.pos >= st.text.size()) {
+        st.fail("unterminated string");
+        return {};
+    }
+    ++st.pos;  // closing quote
+    return Json(std::move(out));
+}
+
+Json parseNumber(ParseState& st) {
+    const size_t start = st.pos;
+    bool isFloat = false;
+    while (st.pos < st.text.size()) {
+        const char c = st.text[st.pos];
+        if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
+            ++st.pos;
+        } else if (c == '.' || c == 'e' || c == 'E') {
+            isFloat = true;
+            ++st.pos;
+        } else {
+            break;
+        }
+    }
+    const std::string tok = st.text.substr(start, st.pos - start);
+    if (isFloat) return Json(std::strtod(tok.c_str(), nullptr));
+    return Json(static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+}
+
+Json parseValue(ParseState& st) {
+    const char c = st.peek();
+    if (c == '{') {
+        ++st.pos;
+        Json obj = Json::object();
+        if (st.consume('}')) return obj;
+        do {
+            if (st.peek() != '"') {
+                st.fail("expected object key");
+                return {};
+            }
+            Json key = parseString(st);
+            if (st.failed()) return {};
+            if (!st.consume(':')) {
+                st.fail("expected ':'");
+                return {};
+            }
+            obj.set(key.stringValue(), parseValue(st));
+            if (st.failed()) return {};
+        } while (st.consume(','));
+        if (!st.consume('}')) st.fail("expected '}'");
+        return obj;
+    }
+    if (c == '[') {
+        ++st.pos;
+        Json arr = Json::array();
+        if (st.consume(']')) return arr;
+        do {
+            arr.push(parseValue(st));
+            if (st.failed()) return {};
+        } while (st.consume(','));
+        if (!st.consume(']')) st.fail("expected ']'");
+        return arr;
+    }
+    if (c == '"') return parseString(st);
+    if (c == 't' && st.text.compare(st.pos, 4, "true") == 0) {
+        st.pos += 4;
+        return Json(true);
+    }
+    if (c == 'f' && st.text.compare(st.pos, 5, "false") == 0) {
+        st.pos += 5;
+        return Json(false);
+    }
+    if (c == 'n' && st.text.compare(st.pos, 4, "null") == 0) {
+        st.pos += 4;
+        return Json(nullptr);
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+        return parseNumber(st);
+    st.fail("unexpected character");
+    return {};
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string* err) {
+    ParseState st{text, 0, {}};
+    Json v = parseValue(st);
+    st.skipWs();
+    if (!st.failed() && st.pos != st.text.size()) st.fail("trailing content");
+    if (st.failed()) {
+        if (err != nullptr) *err = st.err;
+        return {};
+    }
+    return v;
+}
+
+}  // namespace phpf::obs

@@ -1,0 +1,45 @@
+#include "obs/metrics.h"
+
+namespace phpf::obs {
+
+Json MetricRegistry::toJson() const {
+    Json out = Json::object();
+    if (!counters_.empty()) {
+        Json c = Json::object();
+        for (const auto& [name, m] : counters_) c.set(name, m.value());
+        out.set("counters", std::move(c));
+    }
+    if (!gauges_.empty()) {
+        Json g = Json::object();
+        for (const auto& [name, m] : gauges_) g.set(name, m.value());
+        out.set("gauges", std::move(g));
+    }
+    if (!histograms_.empty()) {
+        Json h = Json::object();
+        for (const auto& [name, m] : histograms_) {
+            Json one = Json::object();
+            one.set("count", m.count());
+            one.set("sum", m.sum());
+            one.set("min", m.min());
+            one.set("max", m.max());
+            one.set("mean", m.mean());
+            Json buckets = Json::array();
+            // Trailing empty buckets are dropped; bucket i covers
+            // [2^(i-1), 2^i).
+            int last = Histogram::kBuckets - 1;
+            while (last >= 0 && m.bucket(last) == 0) --last;
+            for (int i = 0; i <= last; ++i) buckets.push(m.bucket(i));
+            one.set("log2_buckets", std::move(buckets));
+            h.set(name, std::move(one));
+        }
+        out.set("histograms", std::move(h));
+    }
+    return out;
+}
+
+MetricRegistry& MetricRegistry::global() {
+    static MetricRegistry g;
+    return g;
+}
+
+}  // namespace phpf::obs

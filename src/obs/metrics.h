@@ -1,0 +1,109 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+
+namespace phpf::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+public:
+    void add(std::int64_t d = 1) { v_ += d; }
+    [[nodiscard]] std::int64_t value() const { return v_; }
+
+private:
+    std::int64_t v_ = 0;
+};
+
+/// Last-value metric.
+class Gauge {
+public:
+    void set(double v) { v_ = v; }
+    [[nodiscard]] double value() const { return v_; }
+
+private:
+    double v_ = 0.0;
+};
+
+/// Streaming summary of an observed distribution: count / sum / min /
+/// max plus power-of-two magnitude buckets (bucket i counts samples in
+/// [2^(i-1), 2^i); bucket 0 counts samples < 1). Enough to spot
+/// latency-vs-bandwidth regime changes without storing samples.
+class Histogram {
+public:
+    static constexpr int kBuckets = 64;
+
+    void record(double v) {
+        ++count_;
+        sum_ += v;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+        int b = 0;
+        while (b < kBuckets - 1 && v >= static_cast<double>(std::int64_t{1} << b))
+            ++b;
+        ++buckets_[b];
+    }
+
+    [[nodiscard]] std::int64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    [[nodiscard]] std::int64_t bucket(int i) const {
+        return (i < 0 || i >= kBuckets) ? 0 : buckets_[i];
+    }
+
+private:
+    std::int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::int64_t buckets_[kBuckets] = {};
+};
+
+/// Named metrics of one run (or of the whole process via `global()`).
+/// Lookup lazily creates; names use dotted paths ("sim.transfers").
+/// std::map keeps export order deterministic.
+class MetricRegistry {
+public:
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+    [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+        return gauges_;
+    }
+    [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+        return histograms_;
+    }
+
+    void clear() {
+        counters_.clear();
+        gauges_.clear();
+        histograms_.clear();
+    }
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}}; empty
+    /// sections are omitted.
+    [[nodiscard]] Json toJson() const;
+
+    /// Process-wide registry for code with no natural owner to hang a
+    /// registry off (bench harnesses, ad-hoc instrumentation).
+    static MetricRegistry& global();
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace phpf::obs

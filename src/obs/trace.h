@@ -1,0 +1,105 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phpf::obs {
+
+/// One completed (or still-open) span recorded by a Tracer. Times are
+/// nanoseconds on the monotonic clock, relative to the tracer's epoch.
+struct TraceSpan {
+    std::string name;
+    std::string category;   ///< e.g. "pass", "sim", "bench"
+    std::int64_t startNs = 0;
+    std::int64_t durNs = -1;  ///< -1 while the span is still open
+    int depth = 0;            ///< nesting depth at begin time
+
+    [[nodiscard]] bool closed() const { return durNs >= 0; }
+};
+
+/// Lightweight single-threaded span recorder. When disabled, begin/end
+/// are a branch and nothing else — no clock read, no allocation — so
+/// instrumentation can stay compiled in on hot paths.
+///
+/// Spans nest: `depth` records the number of open spans at begin time,
+/// which is all the Chrome trace exporter and the report need (the
+/// pipeline is single-threaded).
+class Tracer {
+public:
+    explicit Tracer(bool enabled = true)
+        : enabled_(enabled), epoch_(std::chrono::steady_clock::now()) {}
+
+    [[nodiscard]] bool enabled() const { return enabled_; }
+    void setEnabled(bool e) { enabled_ = e; }
+
+    /// Nanoseconds since tracer construction (monotonic).
+    [[nodiscard]] std::int64_t nowNs() const {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    /// Open a span; returns its index, or -1 when disabled.
+    int beginSpan(const char* name, const char* category = "") {
+        if (!enabled_) return -1;
+        const int idx = static_cast<int>(spans_.size());
+        spans_.push_back(TraceSpan{name, category, nowNs(), -1, openDepth_});
+        ++openDepth_;
+        return idx;
+    }
+    void endSpan(int idx) {
+        if (idx < 0 || static_cast<size_t>(idx) >= spans_.size()) return;
+        TraceSpan& s = spans_[static_cast<size_t>(idx)];
+        if (s.closed()) return;
+        s.durNs = nowNs() - s.startNs;
+        if (openDepth_ > 0) --openDepth_;
+    }
+
+    /// Record an already-measured interval (e.g. from a sub-component
+    /// with its own timing).
+    void addCompleteSpan(const char* name, const char* category,
+                         std::int64_t startNs, std::int64_t durNs, int depth = 0) {
+        if (!enabled_) return;
+        spans_.push_back(TraceSpan{name, category, startNs, durNs, depth});
+    }
+
+    [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+    void clear() {
+        spans_.clear();
+        openDepth_ = 0;
+    }
+
+private:
+    bool enabled_;
+    int openDepth_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: opens on construction, closes on scope exit. Safe to use
+/// with a null tracer (no-op), so call sites never need to branch.
+class ScopedSpan {
+public:
+    ScopedSpan(Tracer* t, const char* name, const char* category = "")
+        : tracer_(t), idx_(t != nullptr ? t->beginSpan(name, category) : -1) {}
+    ScopedSpan(Tracer& t, const char* name, const char* category = "")
+        : ScopedSpan(&t, name, category) {}
+    ~ScopedSpan() { close(); }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Close early (before scope exit); idempotent.
+    void close() {
+        if (tracer_ != nullptr && idx_ >= 0) tracer_->endSpan(idx_);
+        idx_ = -1;
+    }
+
+private:
+    Tracer* tracer_;
+    int idx_;
+};
+
+}  // namespace phpf::obs

@@ -13,8 +13,8 @@
 namespace phpf {
 
 MappingPass::MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
-                         MappingOptions opts)
-    : prog_(p), ssa_(ssa), dm_(dm), opts_(opts), aff_(p, &ssa) {
+                         MappingOptions opts, CostModel costModel)
+    : prog_(p), ssa_(ssa), dm_(dm), opts_(opts), cm_(costModel), aff_(p, &ssa) {
     visited_.assign(ssa.defs().size(), 0);
     inProgress_.assign(ssa.defs().size(), 0);
 }
@@ -27,6 +27,9 @@ void MappingPass::run() {
     for (const auto& d : ssa_.defs())
         if (d.kind == SsaDef::Kind::Assign) determineMapping(d.id);
     resolveNoAlignList();
+    // Decisions are final only now (the no-align list was deferred), so
+    // the structured records are built last.
+    buildScalarDecisionRecords();
 }
 
 // ---------------------------------------------------------------------------
@@ -45,9 +48,15 @@ void MappingPass::determineMapping(int defId) {
     ScalarMapDecision dec;  // default: replicated
     dec.rationale = "replicated (default)";
 
+    // Alternatives weighed along the way, captured for the decision log.
+    // Kept local and committed at every exit: recursive determineMapping
+    // calls may rehash scalarAlts_, so no reference is held across them.
+    ScalarAlternatives alt;
+
     auto finish = [&]() {
         inProgress_[static_cast<size_t>(defId)] = 0;
         visited_[static_cast<size_t>(defId)] = 1;
+        scalarAlts_[defId] = alt;
         if (decisions_.forDef(defId) == nullptr) decisions_.setScalar(defId, dec);
     };
 
@@ -72,14 +81,20 @@ void MappingPass::determineMapping(int defId) {
         finish();
         return;
     }
+    alt.privatizable = true;
 
     const bool rhsRepl = rhsReplicated(s);
     const bool noAlignCandidate = rhsRepl && ssa_.isUniqueDef(defId);
+    alt.noAlignFeasible = noAlignCandidate;
+    alt.partitionedRhsRefs = countPartitionedRhsRefs(s);
 
     const Expr* alignRef = nullptr;
     bool viaConsumer = false;
     if (opts_.alignPolicy == MappingOptions::AlignPolicy::Selected) {
         const ConsumerSelection consumer = selectConsumerRef(defId);
+        alt.consumerRef = consumer.ref;
+        alt.consumerScore = consumer.score;
+        alt.consumerDummyReplicated = consumer.dummyReplicated;
         if (consumer.dummyReplicated) {
             // A reached use must be available on every processor (loop
             // bound / guard / broadcast subscript): the value stays
@@ -93,14 +108,20 @@ void MappingPass::determineMapping(int defId) {
         viaConsumer = alignRef != nullptr;
         if (!rhsRepl &&
             (alignRef == nullptr || alignmentCausesInnerComm(s, alignRef))) {
-            if (const Expr* prod = selectProducerRef(s)) {
+            int prodScore = 0;
+            if (const Expr* prod = selectProducerRef(s, &prodScore)) {
                 alignRef = prod;
                 viaConsumer = false;
+                alt.producerRef = prod;
+                alt.producerScore = prodScore;
             }
         }
     } else {  // ProducerOnly
-        alignRef = selectProducerRef(s);
+        int prodScore = 0;
+        alignRef = selectProducerRef(s, &prodScore);
         viaConsumer = false;
+        alt.producerRef = alignRef;
+        alt.producerScore = prodScore;
     }
 
     // The recursive consumer/producer analysis may have decided this
@@ -109,6 +130,7 @@ void MappingPass::determineMapping(int defId) {
     if (decisions_.forDef(defId) != nullptr) {
         inProgress_[static_cast<size_t>(defId)] = 0;
         visited_[static_cast<size_t>(defId)] = 1;
+        scalarAlts_[defId] = alt;
         return;
     }
 
@@ -138,6 +160,7 @@ void MappingPass::determineMapping(int defId) {
                 printExpr(prog_, alignRef);
             inProgress_[static_cast<size_t>(defId)] = 0;
             visited_[static_cast<size_t>(defId)] = 1;
+            scalarAlts_[defId] = alt;
             recordForGroup(defId, dec);
             if (noAlignCandidate) noAlignList_.push_back(defId);
             return;
@@ -244,10 +267,10 @@ MappingPass::ConsumerSelection MappingPass::selectConsumerRef(int defId) {
             }
         }
     }
-    return {best, false};
+    return {best, false, bestScore};
 }
 
-const Expr* MappingPass::selectProducerRef(const Stmt* s) {
+const Expr* MappingPass::selectProducerRef(const Stmt* s, int* scoreOut) {
     if (s->rhs == nullptr) return nullptr;
     const Expr* best = nullptr;
     int bestScore = 0;
@@ -272,6 +295,7 @@ const Expr* MappingPass::selectProducerRef(const Stmt* s) {
             best = candidate;
         }
     });
+    if (scoreOut != nullptr) *scoreOut = bestScore;
     return best;
 }
 
@@ -480,6 +504,7 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
     dec.rationale = "replicated (array privatization disabled)";
 
     if (!opts_.privatization || !opts_.arrayPrivatization) {
+        logArrayDecision(dec, false, false);
         decisions_.addArray(std::move(dec));
         return;
     }
@@ -513,6 +538,7 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
         dec.kind = ArrayPrivDecision::Kind::Full;
         std::fill(dec.privatizedGrid.begin(), dec.privatizedGrid.end(), 1);
         dec.rationale = "fully privatized (no partitioned consumer)";
+        logArrayDecision(dec, true, false);
         decisions_.addArray(std::move(dec));
         return;
     }
@@ -525,6 +551,7 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
         std::fill(dec.privatizedGrid.begin(), dec.privatizedGrid.end(), 1);
         dec.rationale =
             "fully privatized, aligned with " + printExpr(prog_, target);
+        logArrayDecision(dec, true, false);
         decisions_.addArray(std::move(dec));
         return;
     }
@@ -532,6 +559,7 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
     if (!opts_.partialPrivatization) {
         dec.rationale = "replicated (full privatization invalid; partial "
                         "privatization disabled)";
+        logArrayDecision(dec, false, false);
         decisions_.addArray(std::move(dec));
         return;
     }
@@ -592,6 +620,7 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
     if (alignLevelOf(target, skip) > privLevel) {
         dec.kind = ArrayPrivDecision::Kind::Replicated;
         dec.rationale = "replicated (partial privatization invalid)";
+        logArrayDecision(dec, false, false);
         decisions_.addArray(std::move(dec));
         return;
     }
@@ -614,7 +643,57 @@ void MappingPass::decideOneArray(SymbolId array, Stmt* loop) {
     }
     os << "}, aligned with " << printExpr(prog_, target);
     dec.rationale = os.str();
+    logArrayDecision(dec, false, true);
     decisions_.addArray(std::move(dec));
+}
+
+void MappingPass::logArrayDecision(const ArrayPrivDecision& d, bool fullFeasible,
+                                   bool partialFeasible) {
+    obs::DecisionRecord rec;
+    rec.kind = obs::DecisionRecord::Kind::Array;
+    rec.variable = prog_.sym(d.array).name;
+    rec.stmtId = d.loop->id;
+    rec.rationale = d.rationale;
+    if (d.alignRef != nullptr) {
+        rec.alignTarget = printExpr(prog_, d.alignRef);
+        rec.alignLevel = alignLevelOf(d.alignRef);
+    }
+    switch (d.kind) {
+        case ArrayPrivDecision::Kind::Full: rec.chosen = "full-private"; break;
+        case ArrayPrivDecision::Kind::Partial:
+            rec.chosen = "partial-private";
+            break;
+        case ArrayPrivDecision::Kind::Replicated:
+            rec.chosen = "replicated";
+            break;
+    }
+
+    obs::AlternativeCost full;
+    full.name = "full-private";
+    full.feasible = fullFeasible;
+    full.chosen = d.kind == ArrayPrivDecision::Kind::Full;
+    if (!fullFeasible)
+        full.note = "alignment not valid across all grid dims at the "
+                    "privatization level";
+    rec.alternatives.push_back(std::move(full));
+
+    obs::AlternativeCost partial;
+    partial.name = "partial-private";
+    partial.feasible = partialFeasible;
+    partial.chosen = d.kind == ArrayPrivDecision::Kind::Partial;
+    if (!partialFeasible)
+        partial.note = fullFeasible ? "not needed (full privatization valid)"
+                                    : "no valid partition/privatize split";
+    rec.alternatives.push_back(std::move(partial));
+
+    obs::AlternativeCost repl;
+    repl.name = "replicated";
+    repl.feasible = true;
+    repl.chosen = d.kind == ArrayPrivDecision::Kind::Replicated;
+    repl.note = "every executor computes the whole array";
+    rec.alternatives.push_back(std::move(repl));
+
+    decisionLog_.add(std::move(rec));
 }
 
 // ---------------------------------------------------------------------------
@@ -625,9 +704,24 @@ void MappingPass::decideControlFlow() {
     prog_.forEachStmt([&](Stmt* s) {
         if (s->kind != StmtKind::If && s->kind != StmtKind::Goto) return;
         const auto loops = prog_.enclosingLoops(s);
-        if (loops.empty() || !opts_.controlFlowPrivatization ||
-            !opts_.privatization) {
+        if (loops.empty()) return;
+
+        obs::DecisionRecord rec;
+        rec.kind = obs::DecisionRecord::Kind::ControlFlow;
+        rec.variable = (s->kind == StmtKind::If ? "if@s" : "goto@s") +
+                       std::to_string(s->id);
+        rec.stmtId = s->id;
+
+        if (!opts_.controlFlowPrivatization || !opts_.privatization) {
             decisions_.setControlPrivatized(s, false);
+            rec.chosen = "all-processors";
+            rec.rationale = "control-flow privatization disabled";
+            rec.alternatives.push_back(
+                {"privatized-execution", false, false, 0.0, "",
+                 "disabled by options"});
+            rec.alternatives.push_back(
+                {"all-processors", true, true, 0.0, "", ""});
+            decisionLog_.add(std::move(rec));
             return;
         }
         const Stmt* innermost = loops.back();
@@ -637,7 +731,203 @@ void MappingPass::decideControlFlow() {
             privatized = tgt != nullptr && Program::isInsideLoop(tgt, innermost);
         }
         decisions_.setControlPrivatized(s, privatized);
+        rec.chosen = privatized ? "privatized-execution" : "all-processors";
+        rec.rationale =
+            privatized
+                ? "branch targets stay inside the innermost loop (Section 4)"
+                : "goto leaves the innermost loop: every processor must follow";
+        rec.alternatives.push_back({"privatized-execution", privatized,
+                                    privatized, 0.0, "",
+                                    privatized ? "" : "target outside loop"});
+        rec.alternatives.push_back({"all-processors", true, !privatized, 0.0,
+                                    "", "predicate broadcast to all"});
+        decisionLog_.add(std::move(rec));
     });
+}
+
+// ---------------------------------------------------------------------------
+// Decision log (observability)
+// ---------------------------------------------------------------------------
+
+int MappingPass::countPartitionedRhsRefs(const Stmt* s) const {
+    if (s->rhs == nullptr) return 0;
+    const RefDescriber rd = describer();
+    int n = 0;
+    Program::walkExpr(const_cast<Expr*>(s->rhs), [&](Expr* e) {
+        if (e->isRef() && !rd.describe(e).fullyReplicated()) ++n;
+    });
+    return n;
+}
+
+std::pair<const Expr*, int> MappingPass::producerCandidateForLog(
+    const Stmt* s) const {
+    if (s->rhs == nullptr) return {nullptr, 0};
+    const RefDescriber rd = describer();
+    const Expr* best = nullptr;
+    int bestScore = 0;
+    // Same candidate set as selectProducerRef, but consulting only the
+    // decisions already made (no recursion, no side effects) — the log
+    // builder runs after every decision is final, so this is exact.
+    Program::walkExpr(const_cast<Expr*>(s->rhs), [&](Expr* e) {
+        if (!e->isRef()) return;
+        const Expr* candidate = nullptr;
+        if (e->kind == ExprKind::ArrayRef) {
+            if (rd.describe(e).anyConstrained()) candidate = e;
+        } else {
+            const ScalarMapDecision* dec = decisions_.forUse(ssa_, e);
+            if (dec != nullptr && dec->kind == ScalarMapKind::Aligned)
+                candidate = dec->alignRef;
+        }
+        if (candidate == nullptr) return;
+        const int score = scoreCandidate(candidate, s);
+        if (score > bestScore) {
+            bestScore = score;
+            best = candidate;
+        }
+    });
+    return {best, bestScore};
+}
+
+double MappingPass::alignedCandidateCost(int score) const {
+    // Score 2: the alignment target traverses a partitioned dimension
+    // with the common loop, so the definition travels with the iteration
+    // and needs no communication of its own. Score 1: the target pins
+    // the value to a fixed owner — one element message per iteration of
+    // the privatization loop.
+    return score >= 2 ? 0.0 : cm_.message(static_cast<double>(cm_.elemBytes));
+}
+
+void MappingPass::buildScalarDecisionRecords() {
+    const int procs = dm_.grid().totalProcs();
+    for (const auto& d : ssa_.defs()) {
+        if (d.kind != SsaDef::Kind::Assign) continue;
+        const ScalarMapDecision* dec = decisions_.forDef(d.id);
+        if (dec == nullptr) continue;
+
+        obs::DecisionRecord rec;
+        rec.kind = dec->isReductionResult ? obs::DecisionRecord::Kind::Reduction
+                                          : obs::DecisionRecord::Kind::Scalar;
+        rec.variable = prog_.sym(d.sym).name + "#" + std::to_string(d.version);
+        rec.defId = d.id;
+        rec.stmtId = d.stmt->id;
+        rec.rationale = dec->rationale;
+        rec.alignLevel = dec->alignLevel;
+        if (dec->alignRef != nullptr)
+            rec.alignTarget = printExpr(prog_, dec->alignRef);
+        switch (dec->kind) {
+            case ScalarMapKind::Aligned:
+                rec.chosen = dec->isReductionResult ? "reduction-aligned"
+                             : dec->viaConsumer     ? "consumer-aligned"
+                                                    : "producer-aligned";
+                break;
+            case ScalarMapKind::PrivatizedNoAlign:
+                rec.chosen = "unaligned-private";
+                break;
+            case ScalarMapKind::Replicated:
+                rec.chosen = "replicated";
+                break;
+        }
+
+        if (dec->isReductionResult) {
+            // Section 2.3 weighs two alternatives: align with the
+            // reduced data (one combine at the nest exit) or leave the
+            // result replicated (every processor keeps a full copy and
+            // the local accumulations must be combined everywhere).
+            const bool aligned = dec->kind == ScalarMapKind::Aligned;
+            rec.alternatives.push_back(
+                {"reduction-aligned", aligned, aligned,
+                 cm_.reduce(procs, static_cast<double>(cm_.elemBytes)),
+                 rec.alignTarget,
+                 aligned ? "one combine per nest exit" : "alignment invalid"});
+            rec.alternatives.push_back(
+                {"replicated", true, !aligned,
+                 cm_.broadcast(procs, static_cast<double>(cm_.elemBytes)),
+                 "", "result broadcast to every processor"});
+            decisionLog_.add(std::move(rec));
+            continue;
+        }
+
+        ScalarAlternatives alt;
+        if (auto it = scalarAlts_.find(d.id); it != scalarAlts_.end())
+            alt = it->second;
+        // The algorithm short-circuits the producer scan when a consumer
+        // alignment sticks; recover the candidate now that decisions are
+        // final so every record carries all three alternative costs.
+        if (alt.producerRef == nullptr) {
+            const auto [ref, score] = producerCandidateForLog(d.stmt);
+            alt.producerRef = ref;
+            alt.producerScore = score;
+        }
+
+        const bool privOn = opts_.privatization;
+        obs::AlternativeCost consumer;
+        consumer.name = "consumer-aligned";
+        consumer.feasible = privOn && alt.privatizable &&
+                            alt.consumerRef != nullptr;
+        consumer.chosen = rec.chosen == "consumer-aligned";
+        if (alt.consumerRef != nullptr)
+            consumer.target = printExpr(prog_, alt.consumerRef);
+        if (consumer.feasible) {
+            consumer.costSec = alignedCandidateCost(alt.consumerScore);
+        } else if (!privOn) {
+            consumer.note = "privatization disabled";
+        } else if (!alt.privatizable) {
+            consumer.note = "not privatizable in any loop";
+        } else if (alt.consumerDummyReplicated) {
+            consumer.note = "a reached use needs the value on every processor";
+        } else if (opts_.alignPolicy == MappingOptions::AlignPolicy::ProducerOnly) {
+            consumer.note = "not considered (producer-only policy)";
+        } else {
+            consumer.note = "no partitioned consumer reference";
+        }
+        rec.alternatives.push_back(std::move(consumer));
+
+        obs::AlternativeCost producer;
+        producer.name = "producer-aligned";
+        producer.feasible = privOn && alt.privatizable &&
+                            alt.producerRef != nullptr;
+        producer.chosen = rec.chosen == "producer-aligned";
+        if (alt.producerRef != nullptr)
+            producer.target = printExpr(prog_, alt.producerRef);
+        if (producer.feasible)
+            producer.costSec = alignedCandidateCost(alt.producerScore);
+        else if (!privOn)
+            producer.note = "privatization disabled";
+        else if (!alt.privatizable)
+            producer.note = "not privatizable in any loop";
+        else
+            producer.note = "no partitioned producer reference";
+        rec.alternatives.push_back(std::move(producer));
+
+        obs::AlternativeCost noAlign;
+        noAlign.name = "unaligned-private";
+        noAlign.feasible = privOn && alt.privatizable && alt.noAlignFeasible;
+        noAlign.chosen = rec.chosen == "unaligned-private";
+        if (noAlign.feasible)
+            noAlign.costSec = 0.0;  // rhs replicated: no communication at all
+        else if (!privOn)
+            noAlign.note = "privatization disabled";
+        else if (!alt.privatizable)
+            noAlign.note = "not privatizable in any loop";
+        else
+            noAlign.note = "rhs reads partitioned data or def is not unique";
+        rec.alternatives.push_back(std::move(noAlign));
+
+        obs::AlternativeCost repl;
+        repl.name = "replicated";
+        repl.feasible = true;
+        repl.chosen = rec.chosen == "replicated";
+        // Replication broadcasts every partitioned rhs operand so all
+        // processors can compute the value (the Table 1 penalty).
+        repl.costSec = static_cast<double>(alt.partitionedRhsRefs) *
+                       cm_.broadcast(procs, static_cast<double>(cm_.elemBytes));
+        if (alt.partitionedRhsRefs > 0)
+            repl.note = std::to_string(alt.partitionedRhsRefs) +
+                        " partitioned rhs operand(s) broadcast per iteration";
+        rec.alternatives.push_back(std::move(repl));
+
+        decisionLog_.add(std::move(rec));
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -2,10 +2,13 @@
 
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "analysis/reduction.h"
+#include "comm/cost_model.h"
 #include "comm/ref_desc.h"
 #include "mapping/decisions.h"
+#include "obs/decision_log.h"
 
 namespace phpf {
 
@@ -43,7 +46,7 @@ struct MappingOptions {
 class MappingPass {
 public:
     MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
-                MappingOptions opts = {});
+                MappingOptions opts = {}, CostModel costModel = {});
 
     void run();
 
@@ -55,17 +58,39 @@ public:
     /// Human-readable summary of every decision (used by examples and
     /// the driver's -report mode).
     [[nodiscard]] std::string report() const;
+    /// Structured decision records: the chosen mapping alternative per
+    /// variable plus the modeled cost of every rejected alternative.
+    /// Populated by run(); consumed by the JSON run report.
+    [[nodiscard]] const obs::DecisionLog& decisionLog() const {
+        return decisionLog_;
+    }
 
 private:
     struct ConsumerSelection {
         const Expr* ref = nullptr;
         bool dummyReplicated = false;  ///< value must be available everywhere
+        int score = 0;                 ///< scoreCandidate of `ref`
+    };
+
+    /// Alternatives weighed for one scalar definition, captured during
+    /// determineMapping for the decision log (records are built after
+    /// the deferred no-align resolution, when decisions are final).
+    struct ScalarAlternatives {
+        const Expr* consumerRef = nullptr;
+        int consumerScore = 0;
+        bool consumerDummyReplicated = false;
+        const Expr* producerRef = nullptr;
+        int producerScore = 0;
+        bool noAlignFeasible = false;
+        bool privatizable = false;
+        int partitionedRhsRefs = 0;
     };
 
     void determineMapping(int defId);
     void handleReduction(const ReductionInfo& red);
     [[nodiscard]] ConsumerSelection selectConsumerRef(int defId);
-    [[nodiscard]] const Expr* selectProducerRef(const Stmt* s);
+    [[nodiscard]] const Expr* selectProducerRef(const Stmt* s,
+                                                int* scoreOut = nullptr);
     [[nodiscard]] bool rhsReplicated(const Stmt* s) const;
     [[nodiscard]] bool alignmentCausesInnerComm(const Stmt* s,
                                                 const Expr* target) const;
@@ -77,8 +102,24 @@ private:
     void recordForGroup(int defId, const ScalarMapDecision& d);
     void decideArrays();
     void decideOneArray(SymbolId array, Stmt* loop);
+    void logArrayDecision(const ArrayPrivDecision& d, bool fullFeasible,
+                          bool partialFeasible);
     void decideControlFlow();
     void resolveNoAlignList();
+    /// Decision-log support: count of partitioned (non-replicated) data
+    /// references on the rhs of `s` — what replication would broadcast.
+    [[nodiscard]] int countPartitionedRhsRefs(const Stmt* s) const;
+    /// Producer candidate for logging only: like selectProducerRef but
+    /// without recursing into undecided scalar defs (no side effects).
+    [[nodiscard]] std::pair<const Expr*, int> producerCandidateForLog(
+        const Stmt* s) const;
+    /// Build one DecisionRecord per scalar definition from the final
+    /// decisions plus the captured alternatives; called at end of run().
+    void buildScalarDecisionRecords();
+    /// Modeled per-iteration cost of an alignment candidate with the
+    /// given selection score (2 = moves with the iteration, 1 = fixed
+    /// owner, i.e. one element message per iteration).
+    [[nodiscard]] double alignedCandidateCost(int score) const;
     [[nodiscard]] RefDescriber describer() const {
         return RefDescriber(prog_, dm_, &ssa_, &decisions_, aff_);
     }
@@ -87,12 +128,15 @@ private:
     const SsaForm& ssa_;
     const DataMapping& dm_;
     MappingOptions opts_;
+    CostModel cm_;
     AffineAnalyzer aff_;
     std::vector<ReductionInfo> reductions_;
     MappingDecisions decisions_;
     std::vector<char> visited_;
     std::vector<char> inProgress_;
     std::vector<int> noAlignList_;
+    std::unordered_map<int, ScalarAlternatives> scalarAlts_;
+    obs::DecisionLog decisionLog_;
 };
 
 }  // namespace phpf

@@ -1,5 +1,6 @@
 #include "runtime/spmd_sim.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ir/printer.h"
@@ -7,10 +8,12 @@
 
 namespace phpf {
 
-SpmdSimulator::SpmdSimulator(const SpmdLowering& low)
+SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes)
     : low_(low), prog_(low.program()), oracle_(prog_),
-      procCount_(low.dataMapping().grid().totalProcs()) {
+      procCount_(low.dataMapping().grid().totalProcs()),
+      elemBytes_(elemBytes) {
     procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
+    procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
     for (const CommOp& op : low_.commOps())
         if (!op.isReductionCombine) opByRef_[op.ref] = &op;
 }
@@ -140,10 +143,12 @@ double SpmdSimulator::fetch(int proc, const Expr* ref) {
     const GridSet ownerSet = evalDesc(op->srcDesc, oracle_, grid);
     double v = 0.0;
     bool found = false;
+    int src = -1;
     for (int p : expandGridSet(ownerSet, grid)) {
         if (procStore_[static_cast<size_t>(p)].valid(ref->sym, flat)) {
             v = procStore_[static_cast<size_t>(p)].get(ref->sym, flat);
             found = true;
+            src = p;
             break;
         }
     }
@@ -151,6 +156,9 @@ double SpmdSimulator::fetch(int proc, const Expr* ref) {
                            printExpr(prog_, ref) + " in program " + prog_.name);
     st.set(ref->sym, flat, v);
     ++transfers_;
+    ++elemsPerOp_[op->id];
+    ++procMetrics_[static_cast<size_t>(proc)].recvElements;
+    ++procMetrics_[static_cast<size_t>(src)].sentElements;
     recordEvent(op);
     return v;
 }
@@ -223,6 +231,7 @@ void SpmdSimulator::execStmt(const Stmt* s) {
         case StmtKind::Assign: {
             const std::vector<int> execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
+            accountExecutors(execs);
             const std::int64_t flat = s->lhs->kind == ExprKind::ArrayRef
                                           ? oracle_.flatIndexOf(s->lhs)
                                           : 0;
@@ -251,6 +260,7 @@ void SpmdSimulator::execStmt(const Stmt* s) {
         case StmtKind::If: {
             const std::vector<int> execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
+            accountExecutors(execs);
             for (int q : execs) (void)evalOn(q, s->cond);  // predicate comm
             const bool taken = oracle_.eval(s->cond) != 0.0;
             if (taken)
@@ -305,6 +315,10 @@ void SpmdSimulator::execStmt(const Stmt* s) {
                 }
                 recordEvent(&op);
                 ++transfers_;
+                ++elemsPerOp_[op.id];
+                // The combine delivers the global result everywhere.
+                for (int p = 0; p < procCount_; ++p)
+                    ++procMetrics_[static_cast<size_t>(p)].recvElements;
             }
             break;
         }
@@ -374,6 +388,38 @@ void SpmdSimulator::run() {
 std::int64_t SpmdSimulator::eventsOfOp(int opId) const {
     auto it = eventsPerOp_.find(opId);
     return it == eventsPerOp_.end() ? 0 : it->second;
+}
+
+std::int64_t SpmdSimulator::elementsOfOp(int opId) const {
+    auto it = elemsPerOp_.find(opId);
+    return it == elemsPerOp_.end() ? 0 : it->second;
+}
+
+void SpmdSimulator::accountExecutors(const std::vector<int>& execs) {
+    // Guard accounting: processors in `execs` pass their computation-
+    // partitioning guard for this statement instance, everyone else
+    // evaluates the guard and skips.
+    std::vector<char> in(static_cast<size_t>(procCount_), 0);
+    for (int p : execs) in[static_cast<size_t>(p)] = 1;
+    for (int p = 0; p < procCount_; ++p) {
+        if (in[static_cast<size_t>(p)])
+            ++procMetrics_[static_cast<size_t>(p)].stmtsExecuted;
+        else
+            ++procMetrics_[static_cast<size_t>(p)].stmtsSkipped;
+    }
+}
+
+double SpmdSimulator::imbalanceRatio() const {
+    std::int64_t total = 0;
+    std::int64_t maxExec = 0;
+    for (const ProcSimMetrics& m : procMetrics_) {
+        total += m.stmtsExecuted;
+        maxExec = std::max(maxExec, m.stmtsExecuted);
+    }
+    if (total == 0) return 0.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(procCount_);
+    return static_cast<double>(maxExec) / mean;
 }
 
 double SpmdSimulator::valueOn(int proc, const std::string& name,

@@ -26,9 +26,22 @@ namespace phpf {
 /// vector at the op's placement level): one group is one vectorized
 /// message event, directly comparable with the analytic cost model's
 /// event counts.
+/// Per-processor accounting of one simulated run: what each processor
+/// executed, skipped (its computation-partitioning guard was false), and
+/// moved. The imbalance across processors is the load-balance signal the
+/// run report surfaces.
+struct ProcSimMetrics {
+    std::int64_t stmtsExecuted = 0;
+    std::int64_t stmtsSkipped = 0;  ///< guard evaluated false
+    std::int64_t recvElements = 0;
+    std::int64_t sentElements = 0;
+};
+
 class SpmdSimulator {
 public:
-    SpmdSimulator(const SpmdLowering& low);
+    /// `elemBytes` is the machine element size used for byte accounting
+    /// (CostModel::elemBytes; REAL = 8 on the modelled SP2).
+    explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8);
 
     void run();
 
@@ -40,10 +53,27 @@ public:
     /// Raw element transfers (element granularity).
     [[nodiscard]] std::int64_t elementTransfers() const { return transfers_; }
     [[nodiscard]] double bytesMoved() const {
-        return static_cast<double>(transfers_) * 8.0;
+        return static_cast<double>(transfers_ * elemBytes_);
     }
+    [[nodiscard]] int elemBytes() const { return elemBytes_; }
     /// Message events attributed to one comm op.
     [[nodiscard]] std::int64_t eventsOfOp(int opId) const;
+    /// Element transfers attributed to one comm op.
+    [[nodiscard]] std::int64_t elementsOfOp(int opId) const;
+    [[nodiscard]] const std::map<int, std::int64_t>& eventsPerOp() const {
+        return eventsPerOp_;
+    }
+    [[nodiscard]] const std::map<int, std::int64_t>& elementsPerOp() const {
+        return elemsPerOp_;
+    }
+
+    /// Per-processor execution/communication accounting of the last run.
+    [[nodiscard]] const std::vector<ProcSimMetrics>& procMetrics() const {
+        return procMetrics_;
+    }
+    /// max/mean statements-executed ratio across processors (1.0 =
+    /// perfectly balanced; 0.0 when nothing executed).
+    [[nodiscard]] double imbalanceRatio() const;
 
     /// The oracle (sequential reference) interpreter; seed inputs here
     /// before run(). Inputs are mirrored to every processor's store as
@@ -83,6 +113,8 @@ private:
     double fetch(int proc, const Expr* ref);
     [[nodiscard]] const CommOp* coveringOp(const Expr* ref) const;
     void recordEvent(const CommOp* op);
+    /// Per-proc executed/skipped accounting for one statement instance.
+    void accountExecutors(const std::vector<int>& execs);
     void writeRef(const std::vector<int>& procs, const Expr* lhs, double v,
                   double oracleV);
 
@@ -90,11 +122,14 @@ private:
     const Program& prog_;
     Interpreter oracle_;
     int procCount_;
+    int elemBytes_;
     std::vector<Store> procStore_;
+    std::vector<ProcSimMetrics> procMetrics_;
     std::int64_t transfers_ = 0;
     std::int64_t procStmts_ = 0;
     std::set<std::pair<int, std::vector<std::int64_t>>> events_;
     std::map<int, std::int64_t> eventsPerOp_;
+    std::map<int, std::int64_t> elemsPerOp_;
     std::map<const Expr*, const CommOp*> opByRef_;
 };
 
