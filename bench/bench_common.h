@@ -31,7 +31,7 @@ public:
     }
 
     void row(int procs, const std::vector<double>& secs) {
-        if (path_.empty()) return;
+        if (!out_.is_open()) return;
         obs::Json j = obs::Json::object();
         j.set("bench", title_);
         j.set("procs", procs);
@@ -41,17 +41,20 @@ public:
                                     : "col" + std::to_string(i);
             j.set(key, secs[i]);
         }
-        std::ofstream out(path_, std::ios::app);
-        if (out) out << j.dump(-1) << "\n";
+        out_ << j.dump(-1) << "\n";
+        out_.flush();  // rows survive a crashed/killed bench run
     }
 
 private:
     BenchReporter() {
+        // The report file stays open for the process lifetime: a bench
+        // binary emits hundreds of rows, and reopening per row turned
+        // the reporter into the bottleneck of short benches.
         const char* p = std::getenv("PHPF_BENCH_REPORT");
-        if (p != nullptr) path_ = p;
+        if (p != nullptr) out_.open(p, std::ios::app);
     }
 
-    std::string path_;
+    std::ofstream out_;
     std::string title_;
     std::vector<std::string> columns_;
 };

@@ -2,6 +2,7 @@
 //
 //   phpfc FILE.hpf [--procs NxM] [--report] [--lower] [--cost]
 //         [--report=FILE.json] [--trace=FILE.json] [--no-sim]
+//         [--sim-threads=N]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
 //
@@ -44,6 +45,8 @@ void usage() {
                  "[--cost] [--spmd]\n"
                  "             [--report=FILE.json] [--trace=FILE.json] "
                  "[--no-sim]\n"
+                 "             [--sim-threads=N]  (0 = auto: "
+                 "PHPF_SIM_THREADS, else hardware)\n"
                  "             [--no-privatization] [--producer-only]\n"
                  "             [--no-reduction-align] [--no-array-priv]\n"
                  "             [--no-partial-priv] [--no-cf-priv]\n");
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     std::vector<int> grid{4};
     bool doReport = false, doLower = false, doCost = false, doSpmd = false;
     bool runSim = true;
+    int simThreads = 0;
     std::string reportFile, traceFile;
     MappingOptions mapping;
 
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
         else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
         else if (startsWith(arg, "--trace=")) traceFile = arg.substr(8);
         else if (arg == "--no-sim") runSim = false;
+        else if (startsWith(arg, "--sim-threads="))
+            simThreads = std::stoi(arg.substr(14));
         else if (arg == "--lower") doLower = true;
         else if (arg == "--cost") doCost = true;
         else if (arg == "--spmd") doSpmd = true;
@@ -129,6 +135,7 @@ int main(int argc, char** argv) {
     opts.mapping = mapping;
     opts.tracer = tracer;
     opts.diags = &diags;
+    opts.simThreads = simThreads;
     Compilation c = Compiler::compile(p, opts);
 
     std::printf("compiled '%s' for grid %s\n", p.name.c_str(),

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Run the phpf bench executables and collect their machine-readable
+# reports as one JSONL file per bench (BENCH_<name>.json, one JSON
+# object per table row — see bench/bench_common.h).
+#
+#   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR] [bench ...]
+#
+# BUILD_DIR defaults to ./build, OUT_DIR to BUILD_DIR/bench-reports.
+# With no bench names, every bench_* executable in BUILD_DIR/bench runs.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-"$BUILD_DIR/bench-reports"}
+[ $# -gt 0 ] && shift
+[ $# -gt 0 ] && shift
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found (build the project first:" \
+         "cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+if [ $# -gt 0 ]; then
+    benches=$*
+else
+    benches=$(for b in "$BUILD_DIR"/bench/bench_*; do
+        [ -x "$b" ] && [ -f "$b" ] && basename "$b"
+    done)
+fi
+
+status=0
+for name in $benches; do
+    exe="$BUILD_DIR/bench/$name"
+    if [ ! -x "$exe" ]; then
+        echo "skip: $name (no executable at $exe)" >&2
+        status=1
+        continue
+    fi
+    report="$OUT_DIR/BENCH_${name#bench_}.json"
+    rm -f "$report"
+    echo "== $name -> $report"
+    PHPF_BENCH_REPORT="$report" "$exe"
+done
+
+echo "reports in $OUT_DIR:"
+ls -l "$OUT_DIR"
+exit $status

@@ -24,6 +24,11 @@ struct CompilerOptions {
     /// Closed-form rewriting of induction variables (Section 2.1). The
     /// phpf compiler always does this; exposed for ablation.
     bool rewriteInduction = true;
+    /// Lockstep worker threads for the SPMD simulator: 0 = auto
+    /// (PHPF_SIM_THREADS environment variable, else hardware
+    /// concurrency). Simulation results and metrics are independent of
+    /// the value.
+    int simThreads = 0;
     /// Span recorder for the run. When null, compile() creates one (the
     /// per-pass spans are a handful of clock reads — effectively free);
     /// pass a shared tracer to add caller-side spans (e.g. "parse") to
@@ -64,10 +69,19 @@ public:
     [[nodiscard]] std::unique_ptr<SpmdSimulator> simulate(
         const std::function<void(Interpreter&)>& seed = nullptr) const {
         obs::ScopedSpan span(tracer.get(), "simulate", "sim");
-        auto sim = std::make_unique<SpmdSimulator>(*lowering,
-                                                   options.costModel.elemBytes);
+        auto sim = std::make_unique<SpmdSimulator>(
+            *lowering, options.costModel.elemBytes, options.simThreads);
         if (seed) seed(sim->oracle());
         sim->run();
+        if (tracer != nullptr) {
+            const std::string name =
+                "sim-exec[" + std::to_string(sim->threads()) + "t]";
+            const auto endNs = tracer->nowNs();
+            tracer->addCompleteSpan(
+                name.c_str(), "sim",
+                endNs - static_cast<std::int64_t>(sim->wallSec() * 1e9),
+                static_cast<std::int64_t>(sim->wallSec() * 1e9), 1);
+        }
         return sim;
     }
     [[nodiscard]] std::string report() const { return mappingPass->report(); }

@@ -61,6 +61,9 @@ obs::Json passesJson(const obs::Tracer& tracer) {
 obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
     obs::Json j = obs::Json::object();
     j.set("proc_count", sim.procCount());
+    j.set("threads", sim.threads());
+    j.set("wall_sec", sim.wallSec());
+    j.set("parallel_speedup_est", sim.parallelSpeedupEst());
     j.set("message_events", sim.messageEvents());
     j.set("element_transfers", sim.elementTransfers());
     j.set("bytes_moved", sim.bytesMoved());

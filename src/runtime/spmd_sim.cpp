@@ -1,51 +1,159 @@
 #include "runtime/spmd_sim.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <numeric>
 
 #include "ir/printer.h"
 #include "support/diagnostics.h"
 
 namespace phpf {
 
-SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes)
-    : low_(low), prog_(low.program()), oracle_(prog_),
-      procCount_(low.dataMapping().grid().totalProcs()),
-      elemBytes_(elemBytes) {
-    procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
-    procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
-    for (const CommOp& op : low_.commOps())
-        if (!op.isReductionCombine) opByRef_[op.ref] = &op;
+namespace {
+
+/// Calls fn(linearProc) for every processor in `gs`, last grid dimension
+/// fastest (the enumeration order the executor/owner sets are defined
+/// in). `fn` returns false to stop early; `coords` is caller-provided
+/// scratch so the walk never allocates.
+template <typename Fn>
+void forEachGridProc(const GridSet& gs, const ProcGrid& grid,
+                     std::vector<int>& coords, Fn&& fn) {
+    const int rank = grid.rank();
+    coords.assign(static_cast<size_t>(rank), 0);
+    for (int d = 0; d < rank; ++d)
+        if (gs.coord[static_cast<size_t>(d)] >= 0)
+            coords[static_cast<size_t>(d)] = gs.coord[static_cast<size_t>(d)];
+    for (;;) {
+        if (!fn(grid.linearize(coords))) return;
+        int d = rank - 1;
+        for (; d >= 0; --d) {
+            if (gs.coord[static_cast<size_t>(d)] >= 0) continue;  // pinned
+            if (++coords[static_cast<size_t>(d)] < grid.extent(d)) break;
+            coords[static_cast<size_t>(d)] = 0;
+        }
+        if (d < 0) return;
+    }
 }
 
-namespace {
-std::vector<int> expandGridSet(const GridSet& gs, const ProcGrid& grid) {
-    std::vector<int> procs;
-    std::vector<int> coords(static_cast<size_t>(grid.rank()), 0);
-    std::function<void(int)> rec = [&](int d) {
-        if (d == grid.rank()) {
-            procs.push_back(grid.linearize(coords));
+/// VarRef/ArrayRef nodes of `e` read in value position (ArrayRef
+/// subscripts resolve on the oracle and are never fetched).
+void collectFetchRefs(const Expr* e, std::vector<const Expr*>& out) {
+    switch (e->kind) {
+        case ExprKind::IntLit:
+        case ExprKind::RealLit:
             return;
-        }
-        const int c = gs.coord[static_cast<size_t>(d)];
-        if (c >= 0) {
-            coords[static_cast<size_t>(d)] = c;
-            rec(d + 1);
-        } else {
-            for (int i = 0; i < grid.extent(d); ++i) {
-                coords[static_cast<size_t>(d)] = i;
-                rec(d + 1);
-            }
-        }
-    };
-    rec(0);
-    return procs;
+        case ExprKind::VarRef:
+        case ExprKind::ArrayRef:
+            out.push_back(e);
+            return;
+        case ExprKind::Unary:
+        case ExprKind::Binary:
+        case ExprKind::Call:
+            for (const Expr* a : e->args) collectFetchRefs(a, out);
+            return;
+    }
 }
+
 }  // namespace
 
-static GridSet evalDesc(const RefDesc& desc, const Interpreter& oracle,
-                        const ProcGrid& grid) {
-    GridSet out;
+SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
+                             int threads)
+    : low_(low), prog_(low.program()), oracle_(prog_),
+      procCount_(low.dataMapping().grid().totalProcs()),
+      elemBytes_(elemBytes),
+      threads_(resolveThreadCount(threads, procCount_)) {
+    procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
+    procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
+    if (threads_ > 1) pool_ = std::make_unique<LockstepPool>(threads_);
+    workers_.resize(static_cast<size_t>(threads_));
+
+    allProcs_.resize(static_cast<size_t>(procCount_));
+    std::iota(allProcs_.begin(), allProcs_.end(), 0);
+    flagsScratch_.assign(static_cast<size_t>(procCount_), 0);
+    refFlat_.assign(static_cast<size_t>(prog_.exprCount()), 0);
+
+    const size_t nOps = low_.commOps().size();
+    eventsPerOp_.assign(nOps, 0);
+    elemsPerOp_.assign(nOps, 0);
+    opByRef_.assign(static_cast<size_t>(prog_.exprCount()), nullptr);
+    opCtxVars_.resize(nOps);
+    for (const CommOp& op : low_.commOps()) {
+        PHPF_ASSERT(op.id >= 0 && static_cast<size_t>(op.id) < nOps,
+                    "comm op ids must be dense");
+        if (!op.isReductionCombine)
+            opByRef_[static_cast<size_t>(op.ref->id)] = &op;
+        // The iteration-vector context of the op's events: loop indices
+        // of the enclosing loops at or above the placement level.
+        for (const Stmt* l : prog_.enclosingLoops(op.atStmt)) {
+            if (l->loopNestingLevel() > op.placementLevel) break;
+            opCtxVars_[static_cast<size_t>(op.id)].push_back(l->loopVar);
+        }
+    }
+    buildPlans();
+}
+
+void SpmdSimulator::buildPlans() {
+    plans_.resize(static_cast<size_t>(prog_.stmtCount()));
+    for (const auto& r : low_.reductions()) {
+        if (r.stmt != nullptr)
+            plans_[static_cast<size_t>(r.stmt->id)].isReductionAcc = true;
+        if (r.locStmt != nullptr)
+            plans_[static_cast<size_t>(r.locStmt->id)].isReductionAcc = true;
+    }
+    prog_.forEachStmt([&](const Stmt* s) {
+        StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
+        switch (s->kind) {
+            case StmtKind::Assign:
+            case StmtKind::If: {
+                plan.exec = &low_.execOf(s);
+                collectFetchRefs(s->kind == StmtKind::Assign ? s->rhs
+                                                             : s->cond,
+                                 plan.fetchRefs);
+                if (plan.exec->guard != StmtExec::Guard::Union) break;
+                // Section 2.1 / 4: executed by the union of all
+                // processors executing any other statement inside the
+                // loop for this iteration. Only statements in the same
+                // iteration context (enclosing loops a subset of ours)
+                // contribute — their owner descriptors are evaluable
+                // right when the instance executes.
+                const auto loops = prog_.enclosingLoops(s);
+                if (loops.empty()) break;
+                const Stmt* innermost = loops.back();
+                prog_.forEachStmt([&](const Stmt* t) {
+                    if (t == s || t->kind != StmtKind::Assign) return;
+                    if (!Program::isInsideLoop(t, innermost)) return;
+                    if (prog_.enclosingLoops(t).size() != loops.size())
+                        return;
+                    const StmtExec& tex = low_.execOf(t);
+                    if (tex.guard != StmtExec::Guard::OwnerOf) return;
+                    plan.unionSrcs.push_back(&tex.execDesc);
+                });
+                break;
+            }
+            case StmtKind::Do: {
+                // Global combines for reductions whose nest ends here,
+                // in comm-op order.
+                for (const CommOp& op : low_.commOps()) {
+                    if (!op.isReductionCombine) continue;
+                    const ReductionInfo* red = nullptr;
+                    for (const auto& r : low_.reductions())
+                        if (r.stmt == op.atStmt) red = &r;
+                    if (red == nullptr || red->loops.front() != s) continue;
+                    plan.combines.push_back(CombinePlan{&op, red});
+                }
+                break;
+            }
+            case StmtKind::Goto:
+            case StmtKind::Continue:
+                break;
+        }
+    });
+}
+
+void SpmdSimulator::evalDescInto(const RefDesc& desc, GridSet& out) const {
+    const ProcGrid& grid = low_.dataMapping().grid();
     out.coord.assign(static_cast<size_t>(grid.rank()), -1);
     for (int g = 0; g < grid.rank(); ++g) {
         const RefDim& dim = desc.dims[static_cast<size_t>(g)];
@@ -58,112 +166,100 @@ static GridSet evalDesc(const RefDesc& desc, const Interpreter& oracle,
             case RefDim::Kind::Partitioned: {
                 PHPF_ASSERT(dim.subscriptExpr != nullptr,
                             "partitioned dim without subscript expr");
-                const std::int64_t v = oracle.evalIndex(dim.subscriptExpr);
+                const std::int64_t v = oracle_.evalIndex(dim.subscriptExpr);
                 out.coord[static_cast<size_t>(g)] =
                     dim.dist.ownerOf(v + dim.offset);
                 break;
             }
         }
     }
-    return out;
 }
 
-std::vector<int> SpmdSimulator::executorsOf(const Stmt* s) {
-    const StmtExec& ex = low_.execOf(s);
+const std::vector<int>& SpmdSimulator::executorsOf(const Stmt* s) {
+    const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
     const ProcGrid& grid = low_.dataMapping().grid();
-    const auto allProcs = [&] {
-        return expandGridSet(
-            GridSet{std::vector<int>(static_cast<size_t>(grid.rank()), -1)},
-            grid);
-    };
-    switch (ex.guard) {
+    switch (plan.exec->guard) {
         case StmtExec::Guard::All:
-            return allProcs();
+            return allProcs_;
         case StmtExec::Guard::OwnerOf:
-            return expandGridSet(evalDesc(ex.execDesc, oracle_, grid), grid);
-        case StmtExec::Guard::Union: {
-            // Section 2.1 / 4: executed by the union of all processors
-            // executing any other statement inside the loop for this
-            // iteration. Only statements in the same iteration context
-            // (enclosing loops a subset of ours) contribute — their
-            // owner descriptors are evaluable right now.
-            const auto loops = prog_.enclosingLoops(s);
-            if (loops.empty()) return allProcs();
-            const Stmt* innermost = loops.back();
-            std::set<int> u;
-            prog_.forEachStmt([&](const Stmt* t) {
-                if (t == s || t->kind != StmtKind::Assign) return;
-                if (!Program::isInsideLoop(t, innermost)) return;
-                const auto tLoops = prog_.enclosingLoops(t);
-                if (tLoops.size() != loops.size()) return;
-                const StmtExec& tex = low_.execOf(t);
-                if (tex.guard != StmtExec::Guard::OwnerOf) return;
-                for (int q :
-                     expandGridSet(evalDesc(tex.execDesc, oracle_, grid), grid))
-                    u.insert(q);
+            execsScratch_.clear();
+            evalDescInto(plan.exec->execDesc, gsScratch_);
+            forEachGridProc(gsScratch_, grid, coordsScratch_, [&](int p) {
+                execsScratch_.push_back(p);
+                return true;
             });
-            if (u.empty()) return allProcs();
-            return {u.begin(), u.end()};
+            return execsScratch_;
+        case StmtExec::Guard::Union: {
+            if (plan.unionSrcs.empty()) return allProcs_;
+            std::fill(flagsScratch_.begin(), flagsScratch_.end(), 0);
+            for (const RefDesc* d : plan.unionSrcs) {
+                evalDescInto(*d, gsScratch_);
+                forEachGridProc(gsScratch_, grid, coordsScratch_, [&](int p) {
+                    flagsScratch_[static_cast<size_t>(p)] = 1;
+                    return true;
+                });
+            }
+            execsScratch_.clear();
+            for (int p = 0; p < procCount_; ++p)
+                if (flagsScratch_[static_cast<size_t>(p)] != 0)
+                    execsScratch_.push_back(p);
+            if (execsScratch_.empty()) return allProcs_;
+            return execsScratch_;
         }
     }
-    return allProcs();
+    return allProcs_;
 }
 
-const CommOp* SpmdSimulator::coveringOp(const Expr* ref) const {
-    auto it = opByRef_.find(ref);
-    return it == opByRef_.end() ? nullptr : it->second;
+void SpmdSimulator::noteEvent(const CommOp* op) {
+    ctxScratch_.clear();
+    for (const SymbolId v : opCtxVars_[static_cast<size_t>(op->id)])
+        ctxScratch_.push_back(
+            static_cast<std::int64_t>(oracle_.store().get(v)));
+    if (events_.record(op->id, ctxScratch_))
+        ++eventsPerOp_[static_cast<size_t>(op->id)];
 }
 
-void SpmdSimulator::recordEvent(const CommOp* op) {
-    std::vector<std::int64_t> context;
-    for (const Stmt* l : prog_.enclosingLoops(op->atStmt)) {
-        if (l->loopNestingLevel() > op->placementLevel) break;
-        context.push_back(
-            static_cast<std::int64_t>(oracle_.store().get(l->loopVar)));
-    }
-    if (events_.insert({op->id, std::move(context)}).second)
-        ++eventsPerOp_[op->id];
-}
-
-double SpmdSimulator::fetch(int proc, const Expr* ref) {
+double SpmdSimulator::fetchW(WorkerScratch& w, int proc, const Expr* ref) {
     const std::int64_t flat =
-        ref->kind == ExprKind::ArrayRef ? oracle_.flatIndexOf(ref) : 0;
-    Store& st = procStore_[static_cast<size_t>(proc)];
+        ref->kind == ExprKind::ArrayRef ? refFlat_[static_cast<size_t>(ref->id)]
+                                        : 0;
+    const Store& st = procStore_[static_cast<size_t>(proc)];
     if (st.valid(ref->sym, flat)) return st.get(ref->sym, flat);
+    // A copy this processor already fetched earlier in the same phase
+    // (store writes are deferred to the barrier).
+    for (const PendingWrite& pw : w.pending)
+        if (pw.proc == proc && pw.sym == ref->sym && pw.flat == flat)
+            return pw.v;
 
-    const CommOp* op = coveringOp(ref);
+    const CommOp* op = opByRef_[static_cast<size_t>(ref->id)];
     PHPF_ASSERT(op != nullptr,
                 "processor " + std::to_string(proc) +
                     " reads unavailable data with no communication op: " +
                     printExpr(prog_, ref) + " (program " + prog_.name + ")");
     // Locate a processor holding the value: the descriptor's owner set,
     // falling back to a scan (stale-free by construction: writes
-    // invalidate every non-executing copy).
+    // invalidate every non-executing copy). All stores are read-only
+    // within a phase, so cross-processor reads are race-free.
     const ProcGrid& grid = low_.dataMapping().grid();
-    const GridSet ownerSet = evalDesc(op->srcDesc, oracle_, grid);
+    evalDescInto(op->srcDesc, w.gs);
     double v = 0.0;
-    bool found = false;
     int src = -1;
-    for (int p : expandGridSet(ownerSet, grid)) {
-        if (procStore_[static_cast<size_t>(p)].valid(ref->sym, flat)) {
-            v = procStore_[static_cast<size_t>(p)].get(ref->sym, flat);
-            found = true;
-            src = p;
-            break;
-        }
-    }
-    PHPF_ASSERT(found, "no owner holds a valid copy of " +
-                           printExpr(prog_, ref) + " in program " + prog_.name);
-    st.set(ref->sym, flat, v);
-    ++transfers_;
-    ++elemsPerOp_[op->id];
-    ++procMetrics_[static_cast<size_t>(proc)].recvElements;
-    ++procMetrics_[static_cast<size_t>(src)].sentElements;
-    recordEvent(op);
+    forEachGridProc(w.gs, grid, w.coords, [&](int p) {
+        const Store& owner = procStore_[static_cast<size_t>(p)];
+        if (!owner.valid(ref->sym, flat)) return true;
+        v = owner.get(ref->sym, flat);
+        src = p;
+        return false;
+    });
+    PHPF_ASSERT(src >= 0, "no owner holds a valid copy of " +
+                              printExpr(prog_, ref) + " in program " +
+                              prog_.name);
+    w.pending.push_back(PendingWrite{proc, ref->sym, flat, v});
+    w.misses.push_back(MissRecord{op, proc, src});
     return v;
 }
 
-double SpmdSimulator::evalOn(int proc, const Expr* e) {
+double SpmdSimulator::evalOnW(WorkerScratch& w, int proc, const Expr* e) {
     switch (e->kind) {
         case ExprKind::IntLit:
             return static_cast<double>(e->ival);
@@ -171,14 +267,14 @@ double SpmdSimulator::evalOn(int proc, const Expr* e) {
             return e->rval;
         case ExprKind::VarRef:
         case ExprKind::ArrayRef:
-            return fetch(proc, e);
+            return fetchW(w, proc, e);
         case ExprKind::Unary: {
-            const double a = evalOn(proc, e->args[0]);
+            const double a = evalOnW(w, proc, e->args[0]);
             return e->uop == UnaryOp::Neg ? -a : (a != 0.0 ? 0.0 : 1.0);
         }
         case ExprKind::Binary: {
-            const double a = evalOn(proc, e->args[0]);
-            const double b = evalOn(proc, e->args[1]);
+            const double a = evalOnW(w, proc, e->args[0]);
+            const double b = evalOnW(w, proc, e->args[1]);
             switch (e->bop) {
                 case BinaryOp::Add: return a + b;
                 case BinaryOp::Sub: return a - b;
@@ -200,25 +296,26 @@ double SpmdSimulator::evalOn(int proc, const Expr* e) {
         }
         case ExprKind::Call: {
             switch (e->fn) {
-                case Intrinsic::Abs: return std::abs(evalOn(proc, e->args[0]));
+                case Intrinsic::Abs:
+                    return std::abs(evalOnW(w, proc, e->args[0]));
                 case Intrinsic::Max:
-                    return std::max(evalOn(proc, e->args[0]),
-                                    evalOn(proc, e->args[1]));
+                    return std::max(evalOnW(w, proc, e->args[0]),
+                                    evalOnW(w, proc, e->args[1]));
                 case Intrinsic::Min:
-                    return std::min(evalOn(proc, e->args[0]),
-                                    evalOn(proc, e->args[1]));
+                    return std::min(evalOnW(w, proc, e->args[0]),
+                                    evalOnW(w, proc, e->args[1]));
                 case Intrinsic::Sqrt:
-                    return std::sqrt(evalOn(proc, e->args[0]));
+                    return std::sqrt(evalOnW(w, proc, e->args[0]));
                 case Intrinsic::Mod:
-                    return std::fmod(evalOn(proc, e->args[0]),
-                                     evalOn(proc, e->args[1]));
+                    return std::fmod(evalOnW(w, proc, e->args[0]),
+                                     evalOnW(w, proc, e->args[1]));
                 case Intrinsic::Sign: {
-                    const double a = evalOn(proc, e->args[0]);
-                    const double b = evalOn(proc, e->args[1]);
+                    const double a = evalOnW(w, proc, e->args[0]);
+                    const double b = evalOnW(w, proc, e->args[1]);
                     return b >= 0.0 ? std::abs(a) : -std::abs(a);
                 }
                 case Intrinsic::Exp:
-                    return std::exp(evalOn(proc, e->args[0]));
+                    return std::exp(evalOnW(w, proc, e->args[0]));
             }
             return 0.0;
         }
@@ -226,42 +323,104 @@ double SpmdSimulator::evalOn(int proc, const Expr* e) {
     return 0.0;
 }
 
+void SpmdSimulator::phaseWorker(int worker) {
+    WorkerScratch& ws = workers_[static_cast<size_t>(worker)];
+    try {
+        const std::vector<int>& execs = *phaseExecs_;
+        const auto [b, e] = LockstepPool::chunkOf(
+            static_cast<std::int64_t>(execs.size()), worker, threads_);
+        for (std::int64_t i = b; i < e; ++i)
+            values_[static_cast<size_t>(i)] =
+                evalOnW(ws, execs[static_cast<size_t>(i)], phaseExpr_);
+    } catch (...) {
+        ws.error = std::current_exception();
+    }
+}
+
+void SpmdSimulator::evalPhase(const StmtPlan& plan,
+                              const std::vector<int>& execs, const Expr* e) {
+    // Resolve the flat index of every fetched ArrayRef once on the
+    // oracle; subscripts are iteration-dependent but identical on every
+    // executor.
+    for (const Expr* r : plan.fetchRefs)
+        if (r->kind == ExprKind::ArrayRef)
+            refFlat_[static_cast<size_t>(r->id)] = oracle_.flatIndexOf(r);
+    const size_t ne = execs.size();
+    values_.resize(ne);
+    if (pool_ == nullptr || static_cast<int>(ne) < threads_) {
+        WorkerScratch& w = workers_[0];
+        for (size_t i = 0; i < ne; ++i)
+            values_[i] = evalOnW(w, execs[i], e);
+        return;
+    }
+    phaseExecs_ = &execs;
+    phaseExpr_ = e;
+    pool_->run(
+        [](void* ctx, int worker) {
+            static_cast<SpmdSimulator*>(ctx)->phaseWorker(worker);
+        },
+        this);
+    for (WorkerScratch& ws : workers_) {
+        if (ws.error == nullptr) continue;
+        const std::exception_ptr err = ws.error;
+        for (WorkerScratch& other : workers_) {
+            other.error = nullptr;
+            other.pending.clear();
+            other.misses.clear();
+        }
+        std::rethrow_exception(err);
+    }
+}
+
+void SpmdSimulator::mergeWorkers() {
+    for (WorkerScratch& ws : workers_) {
+        for (const PendingWrite& pw : ws.pending)
+            procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
+                                                         pw.v);
+        for (const MissRecord& m : ws.misses) {
+            ++transfers_;
+            ++elemsPerOp_[static_cast<size_t>(m.op->id)];
+            ++procMetrics_[static_cast<size_t>(m.proc)].recvElements;
+            ++procMetrics_[static_cast<size_t>(m.src)].sentElements;
+            noteEvent(m.op);
+        }
+        ws.pending.clear();
+        ws.misses.clear();
+    }
+}
+
 void SpmdSimulator::execStmt(const Stmt* s) {
     switch (s->kind) {
         case StmtKind::Assign: {
-            const std::vector<int> execs = executorsOf(s);
+            const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
+            const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
             accountExecutors(execs);
             const std::int64_t flat = s->lhs->kind == ExprKind::ArrayRef
                                           ? oracle_.flatIndexOf(s->lhs)
                                           : 0;
             // Evaluate on every executor against the pre-statement state.
-            std::vector<double> values(execs.size());
-            for (size_t i = 0; i < execs.size(); ++i)
-                values[i] = evalOn(execs[i], s->rhs);
-
-            const bool isReductionAcc = [&] {
-                for (const auto& r : low_.reductions())
-                    if (r.stmt == s || r.locStmt == s) return true;
-                return false;
-            }();
-            if (!isReductionAcc) {
+            evalPhase(plan, execs, s->rhs);
+            mergeWorkers();
+            if (!plan.isReductionAcc) {
                 // Non-executors' copies become stale.
                 for (int p = 0; p < procCount_; ++p)
                     procStore_[static_cast<size_t>(p)].invalidate(s->lhs->sym,
                                                                   flat);
             }
             for (size_t i = 0; i < execs.size(); ++i)
-                procStore_[static_cast<size_t>(execs[i])].set(s->lhs->sym, flat,
-                                                              values[i]);
+                procStore_[static_cast<size_t>(execs[i])].set(s->lhs->sym,
+                                                              flat, values_[i]);
             oracle_.execStmt(s);
             break;
         }
         case StmtKind::If: {
-            const std::vector<int> execs = executorsOf(s);
+            const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
+            const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
             accountExecutors(execs);
-            for (int q : execs) (void)evalOn(q, s->cond);  // predicate comm
+            evalPhase(plan, execs, s->cond);  // predicate comm
+            mergeWorkers();
             const bool taken = oracle_.eval(s->cond) != 0.0;
             if (taken)
                 execBlock(s->thenBody);
@@ -298,24 +457,21 @@ void SpmdSimulator::execStmt(const Stmt* s) {
                 }
             }
             // Apply global combining for reductions whose nest just ended.
-            for (const CommOp& op : low_.commOps()) {
-                if (!op.isReductionCombine) continue;
-                const ReductionInfo* red = nullptr;
-                for (const auto& r : low_.reductions())
-                    if (r.stmt == op.atStmt) red = &r;
-                if (red == nullptr || red->loops.front() != s) continue;
+            for (const CombinePlan& c :
+                 plans_[static_cast<size_t>(s->id)].combines) {
+                const CommOp& op = *c.op;
                 const double v = oracle_.eval(op.ref);
                 for (int p = 0; p < procCount_; ++p)
                     procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
-                if (red->locScalar != kNoSymbol) {
-                    const double lv = oracle_.store().get(red->locScalar);
+                if (c.red->locScalar != kNoSymbol) {
+                    const double lv = oracle_.store().get(c.red->locScalar);
                     for (int p = 0; p < procCount_; ++p)
-                        procStore_[static_cast<size_t>(p)].set(red->locScalar,
-                                                               0, lv);
+                        procStore_[static_cast<size_t>(p)].set(
+                            c.red->locScalar, 0, lv);
                 }
-                recordEvent(&op);
+                noteEvent(&op);
                 ++transfers_;
-                ++elemsPerOp_[op.id];
+                ++elemsPerOp_[static_cast<size_t>(op.id)];
                 // The combine delivers the global result everywhere.
                 for (int p = 0; p < procCount_; ++p)
                     ++procMetrics_[static_cast<size_t>(p)].recvElements;
@@ -348,11 +504,9 @@ void SpmdSimulator::execBlock(const std::vector<Stmt*>& block) {
 }
 
 void SpmdSimulator::run() {
+    const auto t0 = std::chrono::steady_clock::now();
     // Distribute initial (oracle-seeded) data: owners hold their
     // elements, replicated data is everywhere.
-    const RefDescriber rd(prog_, low_.dataMapping(), &low_.ssa(),
-                          &low_.decisions(), AffineAnalyzer(prog_, nullptr));
-    (void)rd;
     const ProcGrid& grid = low_.dataMapping().grid();
     for (const Symbol& sym : prog_.symbols) {
         const ArrayMap& map = low_.dataMapping().mapOf(sym.id);
@@ -369,9 +523,11 @@ void SpmdSimulator::run() {
                 const std::int64_t flat =
                     procStore_[0].flatten(prog_, sym.id, idx);
                 const GridSet owners = map.ownerOf(idx, grid);
-                for (int p : expandGridSet(owners, grid))
+                forEachGridProc(owners, grid, coordsScratch_, [&](int p) {
                     procStore_[static_cast<size_t>(p)].set(
                         sym.id, flat, oracle_.store().get(sym.id, flat));
+                    return true;
+                });
                 return;
             }
             const ArrayDim& dim = sym.dims[static_cast<size_t>(d)];
@@ -383,29 +539,32 @@ void SpmdSimulator::run() {
         rec(0);
     }
     execBlock(prog_.top);
+    wallSec_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
 }
 
 std::int64_t SpmdSimulator::eventsOfOp(int opId) const {
-    auto it = eventsPerOp_.find(opId);
-    return it == eventsPerOp_.end() ? 0 : it->second;
+    return opId >= 0 && static_cast<size_t>(opId) < eventsPerOp_.size()
+               ? eventsPerOp_[static_cast<size_t>(opId)]
+               : 0;
 }
 
 std::int64_t SpmdSimulator::elementsOfOp(int opId) const {
-    auto it = elemsPerOp_.find(opId);
-    return it == elemsPerOp_.end() ? 0 : it->second;
+    return opId >= 0 && static_cast<size_t>(opId) < elemsPerOp_.size()
+               ? elemsPerOp_[static_cast<size_t>(opId)]
+               : 0;
 }
 
 void SpmdSimulator::accountExecutors(const std::vector<int>& execs) {
     // Guard accounting: processors in `execs` pass their computation-
     // partitioning guard for this statement instance, everyone else
     // evaluates the guard and skips.
-    std::vector<char> in(static_cast<size_t>(procCount_), 0);
-    for (int p : execs) in[static_cast<size_t>(p)] = 1;
-    for (int p = 0; p < procCount_; ++p) {
-        if (in[static_cast<size_t>(p)])
-            ++procMetrics_[static_cast<size_t>(p)].stmtsExecuted;
-        else
-            ++procMetrics_[static_cast<size_t>(p)].stmtsSkipped;
+    for (ProcSimMetrics& m : procMetrics_) ++m.stmtsSkipped;
+    for (const int p : execs) {
+        ProcSimMetrics& m = procMetrics_[static_cast<size_t>(p)];
+        ++m.stmtsExecuted;
+        --m.stmtsSkipped;
     }
 }
 

@@ -1,11 +1,12 @@
 #pragma once
 
-#include <map>
+#include <exception>
 #include <memory>
-#include <set>
 
 #include "runtime/interp.h"
 #include "spmd/lowering.h"
+#include "support/interned_events.h"
+#include "support/parallel.h"
 
 namespace phpf {
 
@@ -26,6 +27,15 @@ namespace phpf {
 /// vector at the op's placement level): one group is one vectorized
 /// message event, directly comparable with the analytic cost model's
 /// event counts.
+///
+/// The per-processor work of each statement instance runs on a reusable
+/// lockstep worker pool (support/parallel.h) when `threads > 1`: every
+/// executor evaluates its right-hand side against the frozen
+/// pre-statement state (store writes — fetched-copy caching, lhs
+/// stores, invalidation — are deferred to the barrier at the end of the
+/// instance), so owner-computes semantics and the validity-bitmap
+/// checks are unchanged and all results and metrics are bit-identical
+/// across thread counts.
 /// Per-processor accounting of one simulated run: what each processor
 /// executed, skipped (its computation-partitioning guard was false), and
 /// moved. The imbalance across processors is the load-balance signal the
@@ -40,16 +50,37 @@ struct ProcSimMetrics {
 class SpmdSimulator {
 public:
     /// `elemBytes` is the machine element size used for byte accounting
-    /// (CostModel::elemBytes; REAL = 8 on the modelled SP2).
-    explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8);
+    /// (CostModel::elemBytes; REAL = 8 on the modelled SP2). `threads`
+    /// is the lockstep worker count: 0 means auto (PHPF_SIM_THREADS,
+    /// else hardware_concurrency), always clamped to the processor
+    /// count. Results are independent of the value.
+    explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8,
+                           int threads = 1);
 
     void run();
 
     [[nodiscard]] int procCount() const { return procCount_; }
-    /// Vectorized message events (see class comment).
-    [[nodiscard]] std::int64_t messageEvents() const {
-        return static_cast<std::int64_t>(events_.size());
+    /// Lockstep worker threads the simulation runs on (resolved).
+    [[nodiscard]] int threads() const { return threads_; }
+    /// Wall-clock seconds of the last run() (initial distribution
+    /// included).
+    [[nodiscard]] double wallSec() const { return wallSec_; }
+    /// Aggregate seconds the pool workers spent inside parallel phases;
+    /// busy/wall estimates the achieved parallel speedup. 0 when the
+    /// simulation ran single-threaded.
+    [[nodiscard]] double workerBusySec() const {
+        return pool_ != nullptr
+                   ? static_cast<double>(pool_->busyNs()) * 1e-9
+                   : 0.0;
     }
+    [[nodiscard]] double parallelSpeedupEst() const {
+        if (pool_ == nullptr || wallSec_ <= 0.0) return 1.0;
+        const double est = workerBusySec() / wallSec_;
+        return est < 1.0 ? 1.0 : est;
+    }
+
+    /// Vectorized message events (see class comment).
+    [[nodiscard]] std::int64_t messageEvents() const { return events_.size(); }
     /// Raw element transfers (element granularity).
     [[nodiscard]] std::int64_t elementTransfers() const { return transfers_; }
     [[nodiscard]] double bytesMoved() const {
@@ -60,12 +91,6 @@ public:
     [[nodiscard]] std::int64_t eventsOfOp(int opId) const;
     /// Element transfers attributed to one comm op.
     [[nodiscard]] std::int64_t elementsOfOp(int opId) const;
-    [[nodiscard]] const std::map<int, std::int64_t>& eventsPerOp() const {
-        return eventsPerOp_;
-    }
-    [[nodiscard]] const std::map<int, std::int64_t>& elementsPerOp() const {
-        return elemsPerOp_;
-    }
 
     /// Per-processor execution/communication accounting of the last run.
     [[nodiscard]] const std::vector<ProcSimMetrics>& procMetrics() const {
@@ -101,36 +126,116 @@ private:
         int label;
     };
 
+    /// A reduction's global combine applied at the end of one loop nest.
+    struct CombinePlan {
+        const CommOp* op = nullptr;
+        const ReductionInfo* red = nullptr;
+    };
+
+    /// Precomputed per-statement execution plan: everything executorsOf
+    /// and the eval phase would otherwise rediscover on every statement
+    /// instance (guard descriptors, Union contributor descriptors, the
+    /// fetched refs of the rhs/cond, reduction roles, loop-end
+    /// combines). Indexed by Stmt::id.
+    struct StmtPlan {
+        const StmtExec* exec = nullptr;  ///< Assign / If
+        bool isReductionAcc = false;     ///< Assign: reduction accumulate
+        /// Union guard: executor descriptors of the contributing
+        /// owner-computes statements of the same loop body.
+        std::vector<const RefDesc*> unionSrcs;
+        /// VarRef/ArrayRef nodes the executors fetch (value positions of
+        /// rhs/cond; subscripts resolve on the oracle).
+        std::vector<const Expr*> fetchRefs;
+        std::vector<CombinePlan> combines;  ///< Do: loop-end combines
+    };
+
+    /// A fetched-copy store write deferred to the end of the phase.
+    struct PendingWrite {
+        int proc;
+        SymbolId sym;
+        std::int64_t flat;
+        double v;
+    };
+    /// One element transfer observed during a phase; accounted (and its
+    /// event recorded) in deterministic worker order at the barrier.
+    struct MissRecord {
+        const CommOp* op;
+        int proc;
+        int src;
+    };
+
+    /// Per-worker scratch; padded so workers never share a cache line.
+    struct alignas(64) WorkerScratch {
+        std::vector<PendingWrite> pending;
+        std::vector<MissRecord> misses;
+        GridSet gs;               ///< owner-set scratch for fetches
+        std::vector<int> coords;  ///< grid-iteration scratch
+        std::exception_ptr error;
+    };
+
+    void buildPlans();
     void execBlock(const std::vector<Stmt*>& block);
     void execStmt(const Stmt* s);
-    /// Set of linear proc ids executing statement `s` now.
-    [[nodiscard]] std::vector<int> executorsOf(const Stmt* s);
+    /// Set of linear proc ids executing statement `s` now. Returns a
+    /// reference to a per-instance scratch (or the constant all-procs
+    /// set); valid until the next call.
+    [[nodiscard]] const std::vector<int>& executorsOf(const Stmt* s);
+    /// Evaluate `e` on every executor against the frozen pre-statement
+    /// state, filling values_; parallel when the pool is active and the
+    /// executor set is wide enough.
+    void evalPhase(const StmtPlan& plan, const std::vector<int>& execs,
+                   const Expr* e);
+    void phaseWorker(int worker);
+    /// Apply deferred store writes and account the recorded transfers,
+    /// workers in index order (deterministic for any thread count).
+    void mergeWorkers();
     /// Evaluate `e` on processor `proc`, triggering communication for
     /// any data the processor does not hold.
-    double evalOn(int proc, const Expr* e);
+    double evalOnW(WorkerScratch& w, int proc, const Expr* e);
     /// Ensure `proc` holds the value of reference `ref`; fetch from the
     /// owner through the covering comm op otherwise.
-    double fetch(int proc, const Expr* ref);
-    [[nodiscard]] const CommOp* coveringOp(const Expr* ref) const;
-    void recordEvent(const CommOp* op);
+    double fetchW(WorkerScratch& w, int proc, const Expr* ref);
+    /// Account one element transfer's message event (main thread).
+    void noteEvent(const CommOp* op);
     /// Per-proc executed/skipped accounting for one statement instance.
     void accountExecutors(const std::vector<int>& execs);
-    void writeRef(const std::vector<int>& procs, const Expr* lhs, double v,
-                  double oracleV);
+    void evalDescInto(const RefDesc& desc, GridSet& out) const;
 
     const SpmdLowering& low_;
     const Program& prog_;
     Interpreter oracle_;
     int procCount_;
     int elemBytes_;
+    int threads_;
+    std::unique_ptr<LockstepPool> pool_;
     std::vector<Store> procStore_;
     std::vector<ProcSimMetrics> procMetrics_;
     std::int64_t transfers_ = 0;
     std::int64_t procStmts_ = 0;
-    std::set<std::pair<int, std::vector<std::int64_t>>> events_;
-    std::map<int, std::int64_t> eventsPerOp_;
-    std::map<int, std::int64_t> elemsPerOp_;
-    std::map<const Expr*, const CommOp*> opByRef_;
+    double wallSec_ = 0.0;
+    InternedEventSet events_;
+    std::vector<std::int64_t> eventsPerOp_;  ///< by CommOp::id (dense)
+    std::vector<std::int64_t> elemsPerOp_;   ///< by CommOp::id (dense)
+
+    // --- precomputed execution plan (built once in the constructor) ---
+    std::vector<StmtPlan> plans_;               ///< by Stmt::id
+    std::vector<const CommOp*> opByRef_;        ///< by Expr::id
+    std::vector<std::vector<SymbolId>> opCtxVars_;  ///< by CommOp::id
+    std::vector<int> allProcs_;
+
+    // --- per-instance scratch (main thread; no per-statement allocs) ---
+    std::vector<int> execsScratch_;
+    GridSet gsScratch_;
+    std::vector<int> coordsScratch_;
+    std::vector<char> flagsScratch_;
+    std::vector<double> values_;
+    std::vector<std::int64_t> refFlat_;  ///< by Expr::id, per instance
+    std::vector<std::int64_t> ctxScratch_;
+    std::vector<WorkerScratch> workers_;
+
+    // --- current phase (set by evalPhase, read by workers) ---
+    const std::vector<int>* phaseExecs_ = nullptr;
+    const Expr* phaseExpr_ = nullptr;
 };
 
 }  // namespace phpf

@@ -6,7 +6,7 @@
 
 namespace phpf {
 
-Store::Store(const Program& p) {
+Store::Store(const Program& p) : prog_(&p) {
     offset_.resize(p.symbols.size());
     size_.resize(p.symbols.size());
     std::int64_t total = 0;
@@ -20,6 +20,15 @@ Store::Store(const Program& p) {
 }
 
 void Store::setAllValid() { std::fill(valid_.begin(), valid_.end(), 1); }
+
+std::string Store::describeAccess(SymbolId s, std::int64_t flat) const {
+    if (s < 0 || static_cast<size_t>(s) >= size_.size())
+        return "symbol id " + std::to_string(s) + " out of range (" +
+               std::to_string(size_.size()) + " symbols)";
+    return prog_->sym(s).name + "[flat " + std::to_string(flat) +
+           "] with declared size " +
+           std::to_string(size_[static_cast<size_t>(s)]);
+}
 
 std::int64_t Store::flatten(const Program& p, SymbolId s,
                             const std::vector<std::int64_t>& idx) const {

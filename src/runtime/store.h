@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ir/program.h"
+#include "support/diagnostics.h"
 
 namespace phpf {
 
@@ -14,14 +16,20 @@ namespace phpf {
 /// reads of data a processor was never sent — an insufficient
 /// communication plan trips an assertion instead of silently computing
 /// garbage.
+///
+/// Element accesses bounds-check the flat index against the symbol's
+/// declared size in Debug builds (PHPF_DASSERT) and compile to bare
+/// loads/stores under NDEBUG.
 class Store {
 public:
     explicit Store(const Program& p);
 
     [[nodiscard]] double get(SymbolId s, std::int64_t flat = 0) const {
+        checkFlat(s, flat);
         return data_[static_cast<size_t>(offset_[static_cast<size_t>(s)] + flat)];
     }
     void set(SymbolId s, std::int64_t flat, double v) {
+        checkFlat(s, flat);
         const std::int64_t at = offset_[static_cast<size_t>(s)] + flat;
         data_[static_cast<size_t>(at)] = v;
         valid_[static_cast<size_t>(at)] = 1;
@@ -29,10 +37,12 @@ public:
     void setScalar(SymbolId s, double v) { set(s, 0, v); }
 
     [[nodiscard]] bool valid(SymbolId s, std::int64_t flat = 0) const {
+        checkFlat(s, flat);
         return valid_[static_cast<size_t>(offset_[static_cast<size_t>(s)] +
                                           flat)] != 0;
     }
     void invalidate(SymbolId s, std::int64_t flat = 0) {
+        checkFlat(s, flat);
         valid_[static_cast<size_t>(offset_[static_cast<size_t>(s)] + flat)] = 0;
     }
     /// Mark everything valid (sequential interpretation has no notion of
@@ -48,6 +58,19 @@ public:
     }
 
 private:
+    void checkFlat([[maybe_unused]] SymbolId s,
+                   [[maybe_unused]] std::int64_t flat) const {
+        PHPF_DASSERT(
+            s >= 0 && static_cast<size_t>(s) < size_.size() && flat >= 0 &&
+                flat < size_[static_cast<size_t>(s)],
+            "store access out of bounds: " + describeAccess(s, flat));
+    }
+    /// Slow-path formatting for a failed bounds check (symbol name and
+    /// declared size); out of line so checkFlat stays inlineable.
+    [[nodiscard]] std::string describeAccess(SymbolId s,
+                                             std::int64_t flat) const;
+
+    const Program* prog_;
     std::vector<std::int64_t> offset_;
     std::vector<std::int64_t> size_;
     std::vector<double> data_;

@@ -57,4 +57,14 @@ private:
                                            #cond + " — " + (msg));        \
     } while (false)
 
+/// Debug-build-only assertion for hot paths (per-element store access):
+/// full checking in Debug builds, zero cost when NDEBUG is defined.
+#ifdef NDEBUG
+#define PHPF_DASSERT(cond, msg) \
+    do {                        \
+    } while (false)
+#else
+#define PHPF_DASSERT(cond, msg) PHPF_ASSERT(cond, msg)
+#endif
+
 }  // namespace phpf

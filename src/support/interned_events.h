@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace phpf {
+
+/// Interns iteration-vector contexts (the enclosing-loop index values a
+/// vectorized message event is keyed by) to dense integer ids, so that
+/// event deduplication is a hash-set probe on a 64-bit key instead of an
+/// ordered set of (op, vector<int64>) pairs. Lookups of an
+/// already-interned context never allocate; each distinct context is
+/// copied exactly once.
+class ContextInterner {
+public:
+    /// Dense id of `ctx`, assigning the next id on first sight.
+    int intern(const std::vector<std::int64_t>& ctx) {
+        const auto it = ids_.find(ctx);
+        if (it != ids_.end()) return it->second;
+        const int id = static_cast<int>(ids_.size());
+        ids_.emplace(ctx, id);
+        return id;
+    }
+
+    [[nodiscard]] int size() const { return static_cast<int>(ids_.size()); }
+
+private:
+    struct Hash {
+        size_t operator()(const std::vector<std::int64_t>& v) const {
+            // FNV-1a over the elements; contexts are short (loop depth).
+            std::uint64_t h = 1469598103934665603ULL;
+            for (const std::int64_t x : v) {
+                h ^= static_cast<std::uint64_t>(x);
+                h *= 1099511628211ULL;
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+    std::unordered_map<std::vector<std::int64_t>, int, Hash> ids_;
+};
+
+/// Deduplicating set of (comm op, iteration-vector context) message
+/// events. One entry is one vectorized message of the simulated run;
+/// repeated element transfers under the same op and context (the common
+/// case: every element of a block in the same statement instance)
+/// collapse onto it. Exact — interning gives each context a unique id,
+/// so two events collide only if they are equal.
+class InternedEventSet {
+public:
+    /// Record one (op, context) event; true when it is new.
+    bool record(int opId, const std::vector<std::int64_t>& ctx) {
+        const std::uint32_t ctxId =
+            static_cast<std::uint32_t>(interner_.intern(ctx));
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(opId))
+             << 32) |
+            ctxId;
+        return seen_.insert(key).second;
+    }
+
+    /// Number of distinct events recorded.
+    [[nodiscard]] std::int64_t size() const {
+        return static_cast<std::int64_t>(seen_.size());
+    }
+    /// Number of distinct contexts seen across all ops.
+    [[nodiscard]] int contexts() const { return interner_.size(); }
+
+    void clear() {
+        seen_.clear();
+        interner_ = ContextInterner{};
+    }
+
+private:
+    ContextInterner interner_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace phpf
