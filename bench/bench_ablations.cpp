@@ -70,7 +70,7 @@ end
         std::printf("autoArrayPrivatization=%d  total=%.4fs comm=%.4fs "
                     "arrays privatized=%zu\n",
                     autoPriv, cb.totalSec(), cb.commSec,
-                    c.mappingPass->decisions().arrays().size());
+                    c.mappingPass().decisions().arrays().size());
     }
     std::printf("\n");
 }
@@ -110,8 +110,8 @@ void ablateScalarExpansion() {
         CompilerOptions opts;
         opts.gridExtents = {8};
         Compilation c = Compiler::compile(p, opts);
-        const int n = expandAlignedScalars(p, *c.ssa, *c.dataMapping,
-                                           c.mappingPass->decisions());
+        const int n = expandAlignedScalars(p, c.ssa(), c.dataMapping(),
+                                           c.mappingPass().decisions());
         CompilerOptions noPriv;
         noPriv.gridExtents = {8};
         noPriv.mapping.privatization = false;

@@ -58,7 +58,7 @@ void BM_Fig1Simulate(benchmark::State& state) {
         CompilerOptions opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) {
+        auto sim = c.simulate({.seed = [](Interpreter& o) {
             for (std::int64_t i = 1; i <= 25; ++i) {
                 if (i <= 24) {
                     o.setElement("B", {i}, 1.0 + static_cast<double>(i));
@@ -68,7 +68,7 @@ void BM_Fig1Simulate(benchmark::State& state) {
                 }
                 o.setElement("A", {i}, 0.5);
             }
-        });
+        }});
         benchmark::DoNotOptimize(sim->messageEvents());
     }
 }

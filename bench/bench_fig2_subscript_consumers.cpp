@@ -28,7 +28,7 @@ void show() {
                 s->lhs->kind != ExprKind::VarRef || s->lhs->sym != sym)
                 return;
             const ScalarMapDecision* dec =
-                c.mappingPass->decisions().forDef(c.ssa->defIdOfAssign(s));
+                c.mappingPass().decisions().forDef(c.ssa().defIdOfAssign(s));
             std::printf("%s: %s\n", name,
                         dec != nullptr ? dec->rationale.c_str() : "(none)");
         });

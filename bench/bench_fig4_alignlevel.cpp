@@ -22,7 +22,7 @@ void show() {
     Compilation c = Compiler::compile(p, opts);
     std::printf("%s\n", printProgram(p).c_str());
 
-    AffineAnalyzer aff(p, c.ssa.get());
+    AffineAnalyzer aff(p, &c.ssa());
     p.forEachStmt([&](Stmt* s) {
         if (s->kind != StmtKind::Assign || s->lhs->kind != ExprKind::ArrayRef)
             return;
@@ -46,7 +46,7 @@ void BM_Fig4AffineAnalysis(benchmark::State& state) {
     CompilerOptions opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
-    AffineAnalyzer aff(p, c.ssa.get());
+    AffineAnalyzer aff(p, &c.ssa());
     std::vector<Expr*> refs;
     p.forEachStmt([&](Stmt* s) {
         if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::ArrayRef)

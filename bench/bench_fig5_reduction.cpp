@@ -39,12 +39,12 @@ void BM_Fig5Simulate(benchmark::State& state) {
         CompilerOptions opts;
         opts.gridExtents = {2, 2};
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) {
+        auto sim = c.simulate({.seed = [](Interpreter& o) {
             for (std::int64_t i = 1; i <= 12; ++i)
                 for (std::int64_t j = 1; j <= 12; ++j)
                     o.setElement("A", {i, j},
                                  static_cast<double>(i * 100 + j));
-        });
+        }});
         benchmark::DoNotOptimize(sim->maxErrorVsOracle("B"));
     }
 }

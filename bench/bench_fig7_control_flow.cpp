@@ -40,13 +40,13 @@ void BM_Fig7Simulate(benchmark::State& state) {
         CompilerOptions opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) {
+        auto sim = c.simulate({.seed = [](Interpreter& o) {
             for (std::int64_t i = 1; i <= 16; ++i) {
                 o.setElement("B", {i}, static_cast<double>((i % 3) - 1));
                 o.setElement("A", {i}, 6.0);
                 o.setElement("C", {i}, 2.0);
             }
-        });
+        }});
         benchmark::DoNotOptimize(sim->maxErrorVsOracle("A"));
     }
 }

@@ -19,7 +19,7 @@ inline Compilation showFigure(Program& p, std::vector<int> grid,
     Compilation c = Compiler::compile(p, opts);
     if (printSource) std::printf("%s\n", printProgram(p).c_str());
     std::printf("%s\n", c.report().c_str());
-    std::printf("%s\n", c.lowering->dump().c_str());
+    std::printf("%s\n", c.lowering().dump().c_str());
     const CostBreakdown cb = c.predictCost();
     std::printf("predicted: compute %.6fs, comm %.6fs, %lld message events\n\n",
                 cb.computeSec, cb.commSec,

@@ -56,8 +56,7 @@ struct SimResult {
 };
 
 SimResult runAt(Compilation& c, int threads) {
-    c.options.simThreads = threads;
-    auto sim = c.simulate(seedTomcatv);
+    auto sim = c.simulate({.threads = threads, .seed = seedTomcatv});
     SimResult r;
     r.wall = sim->wallSec();
     r.transfers = sim->elementTransfers();

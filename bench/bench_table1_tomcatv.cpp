@@ -46,9 +46,10 @@ void printTable() {
     for (int procs : {1, 2, 4, 8, 16}) {
         std::vector<double> row;
         for (int variant : {0, 1, 2}) {
-            Program p = programs::tomcatv(kN, kIters);
             row.push_back(
-                predict(p, {procs}, variantOpts(variant)).totalSec());
+                predictService([] { return programs::tomcatv(kN, kIters); },
+                               {procs}, variantOpts(variant))
+                    .totalSec());
         }
         printRow(procs, row);
     }
@@ -63,7 +64,7 @@ void BM_CompileTomcatv(benchmark::State& state) {
         opts.gridExtents = {16};
         opts.mapping = variantOpts(variant);
         Compilation c = Compiler::compile(p, opts);
-        benchmark::DoNotOptimize(c.lowering->commOps().size());
+        benchmark::DoNotOptimize(c.lowering().commOps().size());
     }
 }
 BENCHMARK(BM_CompileTomcatv)->Arg(0)->Arg(1)->Arg(2);

@@ -33,8 +33,9 @@ void printTable() {
         for (bool align : {false, true}) {
             MappingOptions m;
             m.reductionAlignment = align;
-            Program p = programs::dgefa(kN);
-            row.push_back(predict(p, {procs}, m).totalSec());
+            row.push_back(
+                predictService([] { return programs::dgefa(kN); }, {procs}, m)
+                    .totalSec());
         }
         printRow(procs, row);
     }
@@ -47,7 +48,7 @@ void BM_CompileDgefa(benchmark::State& state) {
         CompilerOptions opts;
         opts.gridExtents = {16};
         Compilation c = Compiler::compile(p, opts);
-        benchmark::DoNotOptimize(c.lowering->commOps().size());
+        benchmark::DoNotOptimize(c.lowering().commOps().size());
     }
 }
 BENCHMARK(BM_CompileDgefa);

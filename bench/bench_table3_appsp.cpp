@@ -39,15 +39,13 @@ CostBreakdown runVariant(int variant, int procs) {
     MappingOptions m;
     m.arrayPrivatization = variant == 1 || variant >= 3;
     m.partialPrivatization = variant >= 3;
-    Program p = programs::appsp(kN, kN, kN, kIters, oneD);
-    CompilerOptions opts;
-    opts.gridExtents = oneD ? std::vector<int>{procs} : grid2d(procs);
-    opts.mapping = m;
     // Variant 4: the paper's suggested fix for the 2-D version —
     // global message combining across loop nests.
-    opts.costModel.combineMessages = variant == 4;
-    Compilation c = Compiler::compile(p, opts);
-    return c.predictCost();
+    CostModel cost;
+    cost.combineMessages = variant == 4;
+    return predictService(
+        [oneD] { return programs::appsp(kN, kN, kN, kIters, oneD); },
+        oneD ? std::vector<int>{procs} : grid2d(procs), m, cost);
 }
 
 void printTable() {
@@ -72,7 +70,7 @@ void BM_CompileAppsp(benchmark::State& state) {
         CompilerOptions opts;
         opts.gridExtents = oneD ? std::vector<int>{16} : std::vector<int>{4, 4};
         Compilation c = Compiler::compile(p, opts);
-        benchmark::DoNotOptimize(c.lowering->commOps().size());
+        benchmark::DoNotOptimize(c.lowering().commOps().size());
     }
 }
 BENCHMARK(BM_CompileAppsp)->Arg(0)->Arg(1);

@@ -38,7 +38,7 @@ int main() {
                             "rsd", {m, i, j, k},
                             0.001 * static_cast<double>(m * i + j * k));
     };
-    auto sim = c.simulate(seed);
+    auto sim = c.simulate({.seed = seed});
     std::printf("partial privatization: %lld message events, max error on "
                 "rsd = %g\n",
                 static_cast<long long>(sim->messageEvents()),
@@ -50,7 +50,7 @@ int main() {
     o2.gridExtents = {2, 2};
     o2.mapping.partialPrivatization = false;
     Compilation c2 = Compiler::compile(q, o2);
-    auto sim2 = c2.simulate(seed);
+    auto sim2 = c2.simulate({.seed = seed});
     std::printf("c replicated:          %lld message events, max error on "
                 "rsd = %g\n",
                 static_cast<long long>(sim2->messageEvents()),

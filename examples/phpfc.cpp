@@ -5,6 +5,7 @@
 //         [--sim-threads=N]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
+//   phpfc --batch=JOBS.json [--workers=N] [--cache-capacity=N]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
@@ -12,6 +13,12 @@
 // timings, decision records with rejected-alternative costs, cost
 // prediction, simulation metrics); `--trace=FILE` writes a Chrome
 // trace_event file openable in chrome://tracing / Perfetto.
+//
+// `--batch=JOBS.json` runs a jobs file (program × grid × option
+// variants) through the concurrent compile service and emits one JSONL
+// row per job on stdout, plus a final {"summary": true, ...} row with
+// the service metrics (cache hits/misses/evictions, coalesced joins,
+// per-stage latency histograms).
 
 #include <cstdio>
 #include <cstring>
@@ -19,10 +26,14 @@
 #include <sstream>
 #include <string>
 
+#include <iostream>
+
 #include "driver/compiler.h"
 #include "frontend/parser.h"
 #include "ir/printer.h"
 #include "obs/trace.h"
+#include "service/batch.h"
+#include "service/compile_service.h"
 #include "spmd/cost_report.h"
 #include "spmd/spmd_text.h"
 
@@ -49,7 +60,31 @@ void usage() {
                  "PHPF_SIM_THREADS, else hardware)\n"
                  "             [--no-privatization] [--producer-only]\n"
                  "             [--no-reduction-align] [--no-array-priv]\n"
-                 "             [--no-partial-priv] [--no-cf-priv]\n");
+                 "             [--no-partial-priv] [--no-cf-priv]\n"
+                 "       phpfc --batch=JOBS.json [--workers=N] "
+                 "[--cache-capacity=N]\n");
+}
+
+int runBatchMode(const std::string& jobsFile, int workers,
+                 std::size_t cacheCapacity) {
+    service::BatchSpec spec;
+    std::string err;
+    if (!service::loadBatchFile(jobsFile, &spec, &err)) {
+        std::fprintf(stderr, "phpfc: %s\n", err.c_str());
+        return 1;
+    }
+    service::ServiceConfig cfg;
+    cfg.workers = workers;
+    if (cacheCapacity > 0) cfg.cacheCapacity = cacheCapacity;
+    service::CompileService svc(cfg);
+    const service::BatchOutcome outcome =
+        service::runBatch(svc, spec, std::cout);
+    std::fprintf(stderr,
+                 "phpfc: %d job(s), %d ok, %d failed, %d cache hit(s), "
+                 "%d coalesced, %.3f s\n",
+                 outcome.jobs, outcome.ok, outcome.failed, outcome.cacheHits,
+                 outcome.coalesced, outcome.wallSec);
+    return outcome.failed == 0 ? 0 : 1;
 }
 
 bool startsWith(const std::string& s, const char* prefix) {
@@ -66,10 +101,19 @@ int main(int argc, char** argv) {
     int simThreads = 0;
     std::string reportFile, traceFile;
     MappingOptions mapping;
+    std::string batchFile;
+    int batchWorkers = 0;
+    std::size_t batchCacheCapacity = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--procs" && i + 1 < argc) grid = parseGrid(argv[++i]);
+        else if (startsWith(arg, "--batch=")) batchFile = arg.substr(8);
+        else if (startsWith(arg, "--workers="))
+            batchWorkers = std::stoi(arg.substr(10));
+        else if (startsWith(arg, "--cache-capacity="))
+            batchCacheCapacity =
+                static_cast<std::size_t>(std::stoul(arg.substr(17)));
         else if (arg == "--report") doReport = true;
         else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
         else if (startsWith(arg, "--trace=")) traceFile = arg.substr(8);
@@ -100,6 +144,8 @@ int main(int argc, char** argv) {
             file = arg;
         }
     }
+    if (!batchFile.empty())
+        return runBatchMode(batchFile, batchWorkers, batchCacheCapacity);
     if (file.empty()) {
         usage();
         return 2;
@@ -130,22 +176,24 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    CompilerOptions opts;
-    opts.gridExtents = grid;
-    opts.mapping = mapping;
-    opts.tracer = tracer;
-    opts.diags = &diags;
-    opts.simThreads = simThreads;
-    Compilation c = Compiler::compile(p, opts);
+    TargetConfig target;
+    target.gridExtents = grid;
+    PassOptions passes;
+    passes.mapping = mapping;
+    passes.simThreads = simThreads;
+    CompileSession session;
+    session.tracer = tracer;
+    session.diags = &diags;
+    Compilation c = Compiler::compile(p, target, passes, std::move(session));
 
     std::printf("compiled '%s' for grid %s\n", p.name.c_str(),
                 ProcGrid(grid).str().c_str());
     if (doReport) std::printf("\n%s", c.report().c_str());
-    if (doLower) std::printf("\n%s", c.lowering->dump().c_str());
-    if (doSpmd) std::printf("\n%s", emitSpmdText(*c.lowering).c_str());
+    if (doLower) std::printf("\n%s", c.lowering().dump().c_str());
+    if (doSpmd) std::printf("\n%s", emitSpmdText(c.lowering()).c_str());
     if (doCost) {
         const CostReport report =
-            buildCostReport(*c.lowering, opts.costModel);
+            buildCostReport(c.lowering(), target.costModel);
         std::printf("\npredicted execution on the SP2 model:\n%s",
                     report.str(p).c_str());
     }

@@ -33,7 +33,7 @@ int main() {
                                   r == col ? 8.0 + static_cast<double>(r)
                                            : 1.0 / static_cast<double>(r + col));
     };
-    auto sim = c.simulate(seed);
+    auto sim = c.simulate({.seed = seed});
     std::printf("simulated factorization: %lld vectorized message events, "
                 "%lld element transfers\n",
                 static_cast<long long>(sim->messageEvents()),
@@ -62,7 +62,7 @@ int main() {
         o.gridExtents = {4};
         o.mapping.reductionAlignment = align;
         Compilation cc = Compiler::compile(q, o);
-        auto s = cc.simulate(seed);
+        auto s = cc.simulate({.seed = seed});
         std::printf("reductionAlignment=%d: %lld message events, "
                     "%lld element transfers, max error %g\n",
                     align, static_cast<long long>(s->messageEvents()),

@@ -42,7 +42,7 @@ int main() {
     Compilation c = Compiler::compile(p, opts);
 
     std::printf("--- mapping decisions ---\n%s\n", c.report().c_str());
-    std::printf("--- SPMD lowering ---\n%s\n", c.lowering->dump().c_str());
+    std::printf("--- SPMD lowering ---\n%s\n", c.lowering().dump().c_str());
 
     // --- 3. Predict performance on the SP2 cost model. --------------
     const CostBreakdown cost = c.predictCost();
@@ -51,10 +51,10 @@ int main() {
                 static_cast<long long>(cost.messageEvents));
 
     // --- 4. Simulate the SPMD execution and check semantics. --------
-    auto sim = c.simulate([](Interpreter& oracle) {
+    auto sim = c.simulate({.seed = [](Interpreter& oracle) {
         for (std::int64_t k = 1; k <= n; ++k)
             oracle.setElement("B", {k}, static_cast<double>(k * k));
-    });
+    }});
     std::printf("simulated on %d procs: %lld element transfers, "
                 "max |SPMD - sequential| on A = %g\n",
                 sim->procCount(),

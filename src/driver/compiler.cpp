@@ -2,72 +2,181 @@
 
 namespace phpf {
 
-Compilation Compiler::compile(Program& p, CompilerOptions opts) {
-    Compilation c;
-    c.program = &p;
-    c.tracer = opts.tracer != nullptr ? opts.tracer
-                                      : std::make_shared<obs::Tracer>();
-    c.options = opts;
-    obs::Tracer* tr = c.tracer.get();
-    obs::ScopedSpan all(tr, "compile", "pass");
+void Compilation::adoptProgram(std::unique_ptr<Program> p) {
+    PHPF_ASSERT(p.get() == program_,
+                "adoptProgram: not the program this compilation ran on");
+    ownedProgram_ = std::move(p);
+}
 
-    {
-        obs::ScopedSpan span(tr, "finalize", "pass");
-        p.finalize();
+std::unique_ptr<SpmdSimulator> Compilation::simulate(
+    const SimulationRequest& req) const {
+    obs::Tracer* tr = req.tracer != nullptr ? req.tracer : tracer_.get();
+    obs::ScopedSpan span(tr, "simulate", "sim");
+    const int threads = req.threads >= 0 ? req.threads : passes_.simThreads;
+    const int elemBytes =
+        req.elemBytes > 0 ? req.elemBytes : target_.costModel.elemBytes;
+    auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads);
+    if (req.seed) req.seed(sim->oracle());
+    // Capture the execution span's real endpoints on the tracer's own
+    // clock: reconstructing the start from wallSec once drifted (and
+    // could go negative) under clock rounding.
+    const std::int64_t startNs = tr != nullptr ? tr->nowNs() : 0;
+    sim->run();
+    if (tr != nullptr) {
+        const std::string name =
+            "sim-exec[" + std::to_string(sim->threads()) + "t]";
+        tr->addCompleteSpan(name.c_str(), "sim", startNs,
+                            tr->nowNs() - startNs, 1);
     }
-    {
-        obs::ScopedSpan span(tr, "cfg", "pass");
-        c.cfg = std::make_unique<Cfg>(p);
-    }
-    {
-        obs::ScopedSpan span(tr, "dominators", "pass");
-        c.dom = std::make_unique<Dominators>(*c.cfg);
-    }
-    {
-        obs::ScopedSpan span(tr, "ssa", "pass");
-        c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
-    }
-    {
-        obs::ScopedSpan span(tr, "const-prop", "pass");
-        c.constProp = std::make_unique<ConstProp>(*c.ssa);
-    }
+    return sim;
+}
 
-    if (opts.rewriteInduction) {
-        obs::ScopedSpan span(tr, "induction-rewrite", "pass");
-        c.inductionRewrites = rewriteInductionVars(p, *c.ssa, *c.constProp);
-        if (c.inductionRewrites > 0) {
-            if (opts.diags != nullptr)
-                opts.diags->note(
-                    {}, "rewrote " + std::to_string(c.inductionRewrites) +
-                            " induction variable(s) to closed form");
-            // The tree changed: rebuild the dataflow world.
-            obs::ScopedSpan rebuild(tr, "dataflow-rebuild", "pass");
-            c.cfg = std::make_unique<Cfg>(p);
-            c.dom = std::make_unique<Dominators>(*c.cfg);
-            c.ssa = std::make_unique<SsaForm>(p, *c.cfg, *c.dom);
-            c.constProp = std::make_unique<ConstProp>(*c.ssa);
+const char* stageName(CompileStage s) {
+    switch (s) {
+        case CompileStage::Finalize: return "finalize";
+        case CompileStage::Cfg: return "cfg";
+        case CompileStage::Dominators: return "dominators";
+        case CompileStage::Ssa: return "ssa";
+        case CompileStage::ConstProp: return "const-prop";
+        case CompileStage::InductionRewrite: return "induction-rewrite";
+        case CompileStage::DataMapping: return "data-mapping";
+        case CompileStage::MappingPass: return "mapping-pass";
+        case CompileStage::SpmdLowering: return "spmd-lowering";
+        case CompileStage::Done: return "done";
+    }
+    return "?";
+}
+
+CompilePipeline::CompilePipeline(Program& p, TargetConfig target,
+                                 PassOptions passes, CompileSession session)
+    : prog_(p), session_(std::move(session)) {
+    c_.program_ = &p;
+    c_.target_ = std::move(target);
+    c_.passes_ = passes;
+    c_.tracer_ = session_.tracer != nullptr ? session_.tracer
+                                            : std::make_shared<obs::Tracer>();
+    compileSpan_ = c_.tracer_->beginSpan("compile", "pass");
+}
+
+CompilePipeline::~CompilePipeline() {
+    // An abandoned (or cancelled) pipeline must not leave the whole-run
+    // span dangling open on a shared tracer.
+    if (c_.tracer_ != nullptr && compileSpan_ >= 0)
+        c_.tracer_->endSpan(compileSpan_);
+}
+
+bool CompilePipeline::step() {
+    if (next_ == CompileStage::Done || cancelled_) return false;
+    if (session_.cancel.cancelled()) {
+        cancelled_ = true;
+        if (c_.tracer_ != nullptr && compileSpan_ >= 0) {
+            c_.tracer_->endSpan(compileSpan_);
+            compileSpan_ = -1;
         }
+        return false;
     }
 
-    {
-        obs::ScopedSpan span(tr, "data-mapping", "pass");
-        c.dataMapping = std::make_unique<DataMapping>(p, ProcGrid(opts.gridExtents));
+    obs::Tracer* tr = c_.tracer_.get();
+    obs::ScopedSpan span(tr, stageName(next_), "pass");
+    switch (next_) {
+        case CompileStage::Finalize:
+            prog_.finalize();
+            next_ = CompileStage::Cfg;
+            break;
+        case CompileStage::Cfg:
+            c_.cfg_ = std::make_unique<Cfg>(prog_);
+            next_ = CompileStage::Dominators;
+            break;
+        case CompileStage::Dominators:
+            c_.dom_ = std::make_unique<Dominators>(*c_.cfg_);
+            next_ = CompileStage::Ssa;
+            break;
+        case CompileStage::Ssa:
+            c_.ssa_ = std::make_unique<SsaForm>(prog_, *c_.cfg_, *c_.dom_);
+            next_ = CompileStage::ConstProp;
+            break;
+        case CompileStage::ConstProp:
+            c_.constProp_ = std::make_unique<ConstProp>(*c_.ssa_);
+            next_ = CompileStage::InductionRewrite;
+            break;
+        case CompileStage::InductionRewrite:
+            if (c_.passes_.rewriteInduction) {
+                c_.inductionRewrites_ =
+                    rewriteInductionVars(prog_, *c_.ssa_, *c_.constProp_);
+                if (c_.inductionRewrites_ > 0) {
+                    if (session_.diags != nullptr)
+                        session_.diags->note(
+                            {}, "rewrote " +
+                                    std::to_string(c_.inductionRewrites_) +
+                                    " induction variable(s) to closed form");
+                    // The tree changed: rebuild the dataflow world.
+                    obs::ScopedSpan rebuild(tr, "dataflow-rebuild", "pass");
+                    c_.cfg_ = std::make_unique<Cfg>(prog_);
+                    c_.dom_ = std::make_unique<Dominators>(*c_.cfg_);
+                    c_.ssa_ =
+                        std::make_unique<SsaForm>(prog_, *c_.cfg_, *c_.dom_);
+                    c_.constProp_ = std::make_unique<ConstProp>(*c_.ssa_);
+                }
+            }
+            next_ = CompileStage::DataMapping;
+            break;
+        case CompileStage::DataMapping:
+            c_.dataMapping_ = std::make_unique<DataMapping>(
+                prog_, ProcGrid(c_.target_.gridExtents));
+            next_ = CompileStage::MappingPass;
+            break;
+        case CompileStage::MappingPass:
+            c_.mappingPass_ = std::make_unique<MappingPass>(
+                prog_, *c_.ssa_, *c_.dataMapping_, c_.passes_.mapping,
+                c_.target_.costModel);
+            c_.mappingPass_->run();
+            next_ = CompileStage::SpmdLowering;
+            break;
+        case CompileStage::SpmdLowering:
+            c_.lowering_ = std::make_unique<SpmdLowering>(
+                prog_, *c_.ssa_, *c_.dataMapping_, c_.mappingPass_->decisions(),
+                c_.mappingPass_->reductions());
+            c_.lowering_->run();
+            next_ = CompileStage::Done;
+            break;
+        case CompileStage::Done:
+            break;
     }
-    {
-        obs::ScopedSpan span(tr, "mapping-pass", "pass");
-        c.mappingPass = std::make_unique<MappingPass>(p, *c.ssa, *c.dataMapping,
-                                                      opts.mapping,
-                                                      opts.costModel);
-        c.mappingPass->run();
+
+    if (next_ == CompileStage::Done) {
+        span.close();
+        if (tr != nullptr && compileSpan_ >= 0) {
+            tr->endSpan(compileSpan_);
+            compileSpan_ = -1;
+        }
+        // Freeze the run's diagnostics into the artifact so cached
+        // compilations never dangle on a dead DiagEngine.
+        if (session_.diags != nullptr) c_.diagnostics_ = session_.diags->all();
     }
-    {
-        obs::ScopedSpan span(tr, "spmd-lowering", "pass");
-        c.lowering = std::make_unique<SpmdLowering>(
-            p, *c.ssa, *c.dataMapping, c.mappingPass->decisions(),
-            c.mappingPass->reductions());
-        c.lowering->run();
+    return true;
+}
+
+bool CompilePipeline::run() {
+    while (step()) {
     }
-    return c;
+    return done();
+}
+
+Compilation CompilePipeline::take() && {
+    PHPF_ASSERT(done(), "take() on an unfinished compile pipeline");
+    return std::move(c_);
+}
+
+Compilation Compiler::compile(Program& p, const TargetConfig& target,
+                              const PassOptions& passes,
+                              CompileSession session) {
+    CompilePipeline pipe(p, target, passes, std::move(session));
+    pipe.run();
+    return std::move(pipe).take();
+}
+
+Compilation Compiler::compile(Program& p, CompilerOptions opts) {
+    return compile(p, opts.target(), opts.passes(), opts.session());
 }
 
 }  // namespace phpf

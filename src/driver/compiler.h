@@ -1,10 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "analysis/const_prop.h"
 #include "analysis/induction.h"
+#include "driver/options.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "privatize/mapping_pass.h"
@@ -14,77 +16,83 @@
 
 namespace phpf {
 
-/// End-to-end compilation options: the processor grid the program is
-/// compiled for, the privatization/mapping variant, and the machine
-/// cost model.
-struct CompilerOptions {
-    std::vector<int> gridExtents{1};
-    MappingOptions mapping;
-    CostModel costModel;
-    /// Closed-form rewriting of induction variables (Section 2.1). The
-    /// phpf compiler always does this; exposed for ablation.
-    bool rewriteInduction = true;
-    /// Lockstep worker threads for the SPMD simulator: 0 = auto
-    /// (PHPF_SIM_THREADS environment variable, else hardware
-    /// concurrency). Simulation results and metrics are independent of
+/// How to run one functional SPMD simulation of a finished compilation.
+/// All fields are optional; the defaults inherit the compile-time
+/// configuration, so `c.simulate({})` behaves like the old no-argument
+/// overload.
+struct SimulationRequest {
+    /// Lockstep worker threads: -1 inherits the compilation's
+    /// PassOptions::simThreads; 0 means auto (PHPF_SIM_THREADS, else
+    /// hardware concurrency). Results and metrics are independent of
     /// the value.
-    int simThreads = 0;
-    /// Span recorder for the run. When null, compile() creates one (the
-    /// per-pass spans are a handful of clock reads — effectively free);
-    /// pass a shared tracer to add caller-side spans (e.g. "parse") to
-    /// the same timeline.
-    std::shared_ptr<obs::Tracer> tracer;
-    /// Diagnostics engine of the run. Not owned; when set, compilation
-    /// notes land here and the JSON run report includes every collected
-    /// diagnostic (parse warnings included).
-    DiagEngine* diags = nullptr;
+    int threads = -1;
+    /// Element size for byte accounting: 0 inherits the compilation's
+    /// CostModel::elemBytes.
+    int elemBytes = 0;
+    /// Seeds the simulator's sequential oracle before the run (input
+    /// arrays default to zero otherwise).
+    std::function<void(Interpreter&)> seed;
+    /// Span destination for the sim-exec span. When null, spans go to
+    /// the compilation's own tracer — fine for a privately owned
+    /// Compilation, but a Compilation shared read-only across threads
+    /// (compile-service cache) needs a per-request tracer here to keep
+    /// simulate() race-free.
+    obs::Tracer* tracer = nullptr;
 };
 
-/// Everything one compilation produced. Owns the analysis objects so
-/// callers can inspect any stage; the Program itself is owned by the
-/// caller and may have been transformed (induction rewriting).
+/// Everything one compilation produced, immutable once the pipeline
+/// finishes: analyses, mapping decisions, the lowered SPMD program, and
+/// a captured copy of the run's diagnostics. All accessors are const —
+/// a `shared_ptr<const Compilation>` can be shared read-only across
+/// threads (this is what the compile-service cache hands out).
+///
+/// The Program is owned by the caller by default (and may have been
+/// transformed by induction rewriting); adoptProgram() transfers
+/// ownership into the Compilation for self-contained cached artifacts.
 class Compilation {
 public:
-    Program* program = nullptr;
-    std::unique_ptr<Cfg> cfg;
-    std::unique_ptr<Dominators> dom;
-    std::unique_ptr<SsaForm> ssa;
-    std::unique_ptr<ConstProp> constProp;
-    std::unique_ptr<DataMapping> dataMapping;
-    std::unique_ptr<MappingPass> mappingPass;
-    std::unique_ptr<SpmdLowering> lowering;
-    CompilerOptions options;
-    int inductionRewrites = 0;
+    Compilation() = default;
+    Compilation(Compilation&&) = default;
+    Compilation& operator=(Compilation&&) = default;
+
+    [[nodiscard]] const Program& program() const { return *program_; }
+    [[nodiscard]] Program& program() { return *program_; }
+    [[nodiscard]] const Cfg& cfg() const { return *cfg_; }
+    [[nodiscard]] const Dominators& dom() const { return *dom_; }
+    [[nodiscard]] const SsaForm& ssa() const { return *ssa_; }
+    [[nodiscard]] const ConstProp& constProp() const { return *constProp_; }
+    [[nodiscard]] const DataMapping& dataMapping() const { return *dataMapping_; }
+    [[nodiscard]] const MappingPass& mappingPass() const { return *mappingPass_; }
+    [[nodiscard]] const SpmdLowering& lowering() const { return *lowering_; }
+    [[nodiscard]] const TargetConfig& target() const { return target_; }
+    [[nodiscard]] const PassOptions& passes() const { return passes_; }
+    [[nodiscard]] int inductionRewrites() const { return inductionRewrites_; }
     /// Timeline of the run (per-pass spans; simulate() adds its own).
-    std::shared_ptr<obs::Tracer> tracer;
+    [[nodiscard]] const std::shared_ptr<obs::Tracer>& tracer() const {
+        return tracer_;
+    }
+    /// Diagnostics captured when the pipeline finished (parse warnings
+    /// included when the session shared its engine with the front end).
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+        return diagnostics_;
+    }
+
+    /// Transfer ownership of the program into this compilation (the
+    /// pointer must be the program the pipeline ran on). Cached
+    /// artifacts use this to stay valid after the request scope dies.
+    void adoptProgram(std::unique_ptr<Program> p);
 
     /// Analytic performance prediction on the modelled machine.
     [[nodiscard]] CostBreakdown predictCost() const {
-        CostEvaluator eval(*lowering, options.costModel);
+        CostEvaluator eval(*lowering_, target_.costModel);
         return eval.evaluate();
     }
     /// Functional SPMD simulation (small problem sizes): returns the
-    /// simulator after a full run; seed inputs via its oracle first by
-    /// using the overload taking a seeding callback.
+    /// simulator after a full run. Seed inputs, override the thread
+    /// count or element size via the request's named fields.
     [[nodiscard]] std::unique_ptr<SpmdSimulator> simulate(
-        const std::function<void(Interpreter&)>& seed = nullptr) const {
-        obs::ScopedSpan span(tracer.get(), "simulate", "sim");
-        auto sim = std::make_unique<SpmdSimulator>(
-            *lowering, options.costModel.elemBytes, options.simThreads);
-        if (seed) seed(sim->oracle());
-        sim->run();
-        if (tracer != nullptr) {
-            const std::string name =
-                "sim-exec[" + std::to_string(sim->threads()) + "t]";
-            const auto endNs = tracer->nowNs();
-            tracer->addCompleteSpan(
-                name.c_str(), "sim",
-                endNs - static_cast<std::int64_t>(sim->wallSec() * 1e9),
-                static_cast<std::int64_t>(sim->wallSec() * 1e9), 1);
-        }
-        return sim;
-    }
-    [[nodiscard]] std::string report() const { return mappingPass->report(); }
+        const SimulationRequest& req = {}) const;
+    [[nodiscard]] std::string report() const { return mappingPass_->report(); }
 
     /// Schema-versioned JSON run report: per-pass wall times, one
     /// DecisionRecord per variable with the modeled cost of every
@@ -100,6 +108,86 @@ public:
     /// Write the tracer's spans as a Chrome trace_event file (openable
     /// in chrome://tracing or Perfetto); returns false on I/O failure.
     bool writeChromeTrace(const std::string& path) const;
+
+private:
+    friend class CompilePipeline;
+
+    Program* program_ = nullptr;
+    std::unique_ptr<Program> ownedProgram_;
+    std::unique_ptr<Cfg> cfg_;
+    std::unique_ptr<Dominators> dom_;
+    std::unique_ptr<SsaForm> ssa_;
+    std::unique_ptr<ConstProp> constProp_;
+    std::unique_ptr<DataMapping> dataMapping_;
+    std::unique_ptr<MappingPass> mappingPass_;
+    std::unique_ptr<SpmdLowering> lowering_;
+    TargetConfig target_;
+    PassOptions passes_;
+    int inductionRewrites_ = 0;
+    std::shared_ptr<obs::Tracer> tracer_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+/// The pipeline stages, in execution order. InductionRewrite includes
+/// the dataflow rebuild it may trigger.
+enum class CompileStage : std::uint8_t {
+    Finalize,
+    Cfg,
+    Dominators,
+    Ssa,
+    ConstProp,
+    InductionRewrite,
+    DataMapping,
+    MappingPass,
+    SpmdLowering,
+    Done,
+};
+
+/// Stable lower-case stage label ("mapping-pass"); also the span name
+/// the stage records, so per-stage latencies can be keyed off either.
+[[nodiscard]] const char* stageName(CompileStage s);
+
+/// One compilation in flight, advanced stage by stage. The session's
+/// cancel token is polled before every stage, so a deadline or an
+/// explicit cancel stops the run cleanly at a stage boundary — no
+/// half-executed pass, no partially rewritten program published.
+///
+///     CompilePipeline pipe(p, target, passes, session);
+///     if (pipe.run()) Compilation c = std::move(pipe).take();
+///
+/// step() exposes the stage granularity directly (schedulers can
+/// interleave many pipelines; tests can stop at a chosen stage).
+class CompilePipeline {
+public:
+    CompilePipeline(Program& p, TargetConfig target, PassOptions passes,
+                    CompileSession session = {});
+    ~CompilePipeline();
+
+    CompilePipeline(const CompilePipeline&) = delete;
+    CompilePipeline& operator=(const CompilePipeline&) = delete;
+
+    /// The stage the next step() would run; Done when finished.
+    [[nodiscard]] CompileStage next() const { return next_; }
+    [[nodiscard]] bool done() const { return next_ == CompileStage::Done; }
+    /// True once a cancelled session token stopped the pipeline.
+    [[nodiscard]] bool cancelled() const { return cancelled_; }
+
+    /// Run the next stage. Returns false (and runs nothing) when the
+    /// pipeline is done or the session token is cancelled.
+    bool step();
+    /// Run every remaining stage; true when the pipeline reached Done.
+    bool run();
+
+    /// Take the finished Compilation; valid only when done().
+    [[nodiscard]] Compilation take() &&;
+
+private:
+    Program& prog_;
+    CompileSession session_;
+    Compilation c_;
+    CompileStage next_ = CompileStage::Finalize;
+    bool cancelled_ = false;
+    int compileSpan_ = -1;  ///< the whole-run "compile" span, open until Done
 };
 
 /// The phpf-style compiler driver: program analysis (CFG, SSA, constant
@@ -108,6 +196,12 @@ public:
 /// this paper, and SPMD lowering with placed communication.
 class Compiler {
 public:
+    [[nodiscard]] static Compilation compile(Program& p,
+                                             const TargetConfig& target,
+                                             const PassOptions& passes = {},
+                                             CompileSession session = {});
+    /// Deprecated: flat-options overload kept for existing call sites;
+    /// forwards tracer/diags into a CompileSession.
     [[nodiscard]] static Compilation compile(Program& p, CompilerOptions opts);
 };
 

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "obs/trace.h"
+#include "privatize/mapping_pass.h"
+#include "support/cancellation.h"
+#include "support/diagnostics.h"
+
+namespace phpf {
+
+/// What the program is compiled FOR: the processor grid shape and the
+/// machine cost model. Two requests with equal TargetConfig + equal
+/// PassOptions on the same program produce bit-identical compilations —
+/// this is the cacheable half of the old CompilerOptions.
+struct TargetConfig {
+    std::vector<int> gridExtents{1};
+    CostModel costModel;
+};
+
+/// What the pipeline DOES: the privatization/mapping variant, induction
+/// rewriting, and the simulator's default thread count. `simThreads`
+/// affects only how fast the functional simulation runs, never any
+/// result or metric, so cache keys ignore it.
+struct PassOptions {
+    MappingOptions mapping;
+    /// Closed-form rewriting of induction variables (Section 2.1). The
+    /// phpf compiler always does this; exposed for ablation.
+    bool rewriteInduction = true;
+    /// Lockstep worker threads for the SPMD simulator: 0 = auto
+    /// (PHPF_SIM_THREADS environment variable, else hardware
+    /// concurrency). Simulation results and metrics are independent of
+    /// the value.
+    int simThreads = 0;
+};
+
+/// Per-run mutable context of one compilation: everything that is NOT a
+/// property of (program, target, passes) — the span recorder, the
+/// diagnostics sink, and the cancellation token polled between passes.
+/// These used to ride inside CompilerOptions, which made compilations
+/// impossible to cache or coalesce (two identical option structs could
+/// carry different live side channels).
+struct CompileSession {
+    /// Span recorder for the run. When null, the pipeline creates one
+    /// (the per-pass spans are a handful of clock reads — effectively
+    /// free); pass a shared tracer to add caller-side spans (e.g.
+    /// "parse") to the same timeline.
+    std::shared_ptr<obs::Tracer> tracer;
+    /// Diagnostics engine of the run. Not owned; when set, compilation
+    /// notes land here and the finished Compilation captures a copy of
+    /// every collected diagnostic (parse warnings included) so cached
+    /// results stay self-contained.
+    DiagEngine* diags = nullptr;
+    /// Polled between pipeline stages; a cancelled token stops the run
+    /// cleanly at the next stage boundary (no partial pass ever runs).
+    CancelToken cancel;
+};
+
+/// Deprecated flat aggregate of TargetConfig + PassOptions (+ the side
+/// channels that now live in CompileSession). Kept so existing call
+/// sites keep compiling; new code should pass TargetConfig/PassOptions
+/// and a CompileSession explicitly.
+struct CompilerOptions {
+    std::vector<int> gridExtents{1};
+    MappingOptions mapping;
+    CostModel costModel;
+    bool rewriteInduction = true;
+    int simThreads = 0;
+    /// Deprecated: a session concern — see CompileSession::tracer.
+    std::shared_ptr<obs::Tracer> tracer;
+    /// Deprecated: a session concern — see CompileSession::diags.
+    DiagEngine* diags = nullptr;
+
+    [[nodiscard]] TargetConfig target() const { return {gridExtents, costModel}; }
+    [[nodiscard]] PassOptions passes() const {
+        return {mapping, rewriteInduction, simThreads};
+    }
+    [[nodiscard]] CompileSession session() const {
+        CompileSession s;
+        s.tracer = tracer;
+        s.diags = diags;
+        return s;
+    }
+};
+
+}  // namespace phpf

@@ -25,21 +25,21 @@ const char* severityName(DiagSeverity s) {
     return "?";
 }
 
-obs::Json optionsJson(const CompilerOptions& o) {
+obs::Json optionsJson(const TargetConfig& t, const PassOptions& po) {
     obs::Json j = obs::Json::object();
-    j.set("privatization", o.mapping.privatization);
+    j.set("privatization", po.mapping.privatization);
     j.set("align_policy",
-          o.mapping.alignPolicy == MappingOptions::AlignPolicy::Selected
+          po.mapping.alignPolicy == MappingOptions::AlignPolicy::Selected
               ? "selected"
               : "producer-only");
-    j.set("reduction_alignment", o.mapping.reductionAlignment);
-    j.set("array_privatization", o.mapping.arrayPrivatization);
-    j.set("partial_privatization", o.mapping.partialPrivatization);
-    j.set("auto_array_privatization", o.mapping.autoArrayPrivatization);
-    j.set("control_flow_privatization", o.mapping.controlFlowPrivatization);
-    j.set("rewrite_induction", o.rewriteInduction);
-    j.set("elem_bytes", o.costModel.elemBytes);
-    j.set("combine_messages", o.costModel.combineMessages);
+    j.set("reduction_alignment", po.mapping.reductionAlignment);
+    j.set("array_privatization", po.mapping.arrayPrivatization);
+    j.set("partial_privatization", po.mapping.partialPrivatization);
+    j.set("auto_array_privatization", po.mapping.autoArrayPrivatization);
+    j.set("control_flow_privatization", po.mapping.controlFlowPrivatization);
+    j.set("rewrite_induction", po.rewriteInduction);
+    j.set("elem_bytes", t.costModel.elemBytes);
+    j.set("combine_messages", t.costModel.combineMessages);
     return j;
 }
 
@@ -121,31 +121,29 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
     obs::Json root = obs::Json::object();
     root.set("schema", "phpf.run_report");
     root.set("schema_version", 1);
-    root.set("program", program != nullptr ? program->name : "");
+    root.set("program", program_ != nullptr ? program_->name : "");
 
     obs::Json grid = obs::Json::array();
-    for (int e : options.gridExtents) grid.push(e);
+    for (int e : target_.gridExtents) grid.push(e);
     root.set("grid", std::move(grid));
-    root.set("total_procs", dataMapping->grid().totalProcs());
-    root.set("options", optionsJson(options));
-    root.set("induction_rewrites", inductionRewrites);
+    root.set("total_procs", dataMapping_->grid().totalProcs());
+    root.set("options", optionsJson(target_, passes_));
+    root.set("induction_rewrites", inductionRewrites_);
 
-    if (tracer != nullptr) root.set("passes", passesJson(*tracer));
+    if (tracer_ != nullptr) root.set("passes", passesJson(*tracer_));
 
     obs::Json diags = obs::Json::array();
-    if (options.diags != nullptr) {
-        for (const Diagnostic& d : options.diags->all()) {
-            obs::Json dj = obs::Json::object();
-            dj.set("severity", severityName(d.severity));
-            dj.set("line", static_cast<std::int64_t>(d.loc.line));
-            dj.set("col", static_cast<std::int64_t>(d.loc.column));
-            dj.set("message", d.message);
-            diags.push(std::move(dj));
-        }
+    for (const Diagnostic& d : diagnostics_) {
+        obs::Json dj = obs::Json::object();
+        dj.set("severity", severityName(d.severity));
+        dj.set("line", static_cast<std::int64_t>(d.loc.line));
+        dj.set("col", static_cast<std::int64_t>(d.loc.column));
+        dj.set("message", d.message);
+        diags.push(std::move(dj));
     }
     root.set("diagnostics", std::move(diags));
 
-    root.set("decisions", mappingPass->decisionLog().toJson());
+    root.set("decisions", mappingPass_->decisionLog().toJson());
 
     {
         const CostBreakdown cb = predictCost();
@@ -160,8 +158,8 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
 
     {
         obs::Json ops = obs::Json::array();
-        const Program& p = lowering->program();
-        for (const CommOp& op : lowering->commOps()) {
+        const Program& p = lowering_->program();
+        for (const CommOp& op : lowering_->commOps()) {
             obs::Json oj = obs::Json::object();
             oj.set("op", op.id);
             oj.set("ref", printExpr(p, op.ref));
@@ -174,7 +172,7 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
         root.set("comm_ops", std::move(ops));
     }
 
-    if (sim != nullptr) root.set("simulation", simulationJson(*sim, *lowering));
+    if (sim != nullptr) root.set("simulation", simulationJson(*sim, *lowering_));
 
     root.set("metrics", obs::MetricRegistry::global().toJson());
     return root;
@@ -189,10 +187,10 @@ bool Compilation::writeReport(const std::string& path,
 }
 
 bool Compilation::writeChromeTrace(const std::string& path) const {
-    if (tracer == nullptr) return false;
-    return obs::writeChromeTrace(*tracer, path,
-                                 program != nullptr ? "phpf " + program->name
-                                                    : "phpf");
+    if (tracer_ == nullptr) return false;
+    return obs::writeChromeTrace(*tracer_, path,
+                                 program_ != nullptr ? "phpf " + program_->name
+                                                     : "phpf");
 }
 
 }  // namespace phpf

@@ -8,15 +8,15 @@ namespace phpf {
 
 std::vector<std::string> verifyCompilation(const Compilation& c) {
     std::vector<std::string> issues;
-    Program& p = *c.program;
-    const MappingDecisions& dec = c.mappingPass->decisions();
+    const Program& p = c.program();
+    const MappingDecisions& dec = c.mappingPass().decisions();
 
     auto complain = [&](const std::string& msg) { issues.push_back(msg); };
 
     // 1. Every statement lowered; OwnerOf implies a constrained executor.
-    p.forEachStmt([&](Stmt* s) {
+    p.forEachStmt([&](const Stmt* s) {
         try {
-            const StmtExec& ex = c.lowering->execOf(s);
+            const StmtExec& ex = c.lowering().execOf(s);
             if (ex.guard == StmtExec::Guard::OwnerOf &&
                 !ex.execDesc.anyConstrained())
                 complain("s" + std::to_string(s->id) +
@@ -28,7 +28,7 @@ std::vector<std::string> verifyCompilation(const Compilation& c) {
 
     // 2/3. Scalar decisions.
     for (const auto& [defId, d] : dec.scalars()) {
-        const SsaDef& def = c.ssa->def(defId);
+        const SsaDef& def = c.ssa().def(defId);
         if (d.kind == ScalarMapKind::Aligned) {
             if (d.alignRef == nullptr ||
                 d.alignRef->kind != ExprKind::ArrayRef) {
@@ -44,11 +44,11 @@ std::vector<std::string> verifyCompilation(const Compilation& c) {
         }
     }
     // Consistency across reaching defs of every use.
-    p.forEachStmt([&](Stmt* s) {
+    p.forEachStmt([&](const Stmt* s) {
         Program::forEachExpr(s, [&](Expr* e) {
             if (e->kind != ExprKind::VarRef) return;
             if (s->kind == StmtKind::Assign && e == s->lhs) return;
-            const auto rds = c.ssa->reachingDefs(e);
+            const auto rds = c.ssa().reachingDefs(e);
             if (rds.size() < 2) return;
             const ScalarMapDecision* first = dec.forDef(rds[0]);
             for (size_t i = 1; i < rds.size(); ++i) {
@@ -72,7 +72,7 @@ std::vector<std::string> verifyCompilation(const Compilation& c) {
     // 4. Array privatization maps.
     for (const ArrayPrivDecision& a : dec.arrays()) {
         if (a.kind != ArrayPrivDecision::Kind::Partial) continue;
-        const int rank = c.dataMapping->grid().rank();
+        const int rank = c.dataMapping().grid().rank();
         for (const auto& dim : a.mapInLoop.dims) {
             if (dim.partitioned() && (dim.gridDim < 0 || dim.gridDim >= rank))
                 complain(p.sym(a.array).name + ": partial map names bad grid dim");
@@ -86,7 +86,7 @@ std::vector<std::string> verifyCompilation(const Compilation& c) {
     }
 
     // 5. Communication ops.
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         const int stmtLevel = op.atStmt->level;
         if (op.placementLevel > stmtLevel)
             complain("comm op " + std::to_string(op.id) +

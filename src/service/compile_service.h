@@ -1,0 +1,165 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/compiler.h"
+#include "obs/metrics.h"
+#include "service/artifact_cache.h"
+#include "support/parallel.h"
+
+namespace phpf::service {
+
+/// One compile job: a program (mini-HPF source text OR an IR builder
+/// producing a fresh Program per call) plus the canonicalized compile
+/// configuration. Tracer/diagnostics side channels deliberately have no
+/// place here — the service owns per-job sessions, which is what makes
+/// requests safe to fingerprint, cache, and coalesce.
+struct CompileRequest {
+    /// Label for logs and batch rows; not part of the cache key.
+    std::string name;
+    /// Mini-HPF source text. Mutually exclusive with `build` (source
+    /// wins when both are set).
+    std::string source;
+    /// IR builder invoked once per cache miss (and once per request for
+    /// fingerprinting); must return an equivalent fresh Program each
+    /// call — compilation mutates its input.
+    std::function<Program()> build;
+    TargetConfig target;
+    PassOptions passes;
+    /// Wall-clock budget from submission; 0 = none. An expired budget
+    /// cancels the pipeline cleanly at the next stage boundary.
+    std::int64_t deadlineMs = 0;
+};
+
+enum class CompileStatus : std::uint8_t {
+    Ok,
+    ParseError,        ///< front end rejected the source (not cached)
+    DeadlineExceeded,  ///< cancelled between passes by the deadline
+    Error,             ///< builder/pipeline failure (InternalError etc.)
+};
+[[nodiscard]] const char* statusName(CompileStatus s);
+
+/// The immutable product of one successful compilation, shared
+/// read-only between the cache and any number of concurrent readers.
+/// Owns its Program, so it stays valid after the request that produced
+/// it is gone.
+struct CompileArtifact {
+    std::string key;          ///< content-addressed request key
+    std::string programName;
+    std::shared_ptr<const Compilation> compilation;
+    std::string spmdText;         ///< annotated SPMD pseudo-code
+    std::string decisionReport;   ///< human-readable mapping decisions
+    CostBreakdown cost;           ///< analytic prediction
+    obs::Json runReport;          ///< buildRunReport() (no simulation)
+};
+
+struct CompileResult {
+    CompileStatus status = CompileStatus::Error;
+    std::shared_ptr<const CompileArtifact> artifact;  ///< null unless Ok
+    bool cacheHit = false;
+    /// True when this request joined an identical in-flight compile
+    /// instead of running its own.
+    bool coalesced = false;
+    std::string key;      ///< empty for parse errors
+    std::string error;    ///< message for non-Ok statuses
+    double parseUs = 0;   ///< parse/build + fingerprint time
+    double compileUs = 0; ///< pipeline + artifact assembly (0 on hit/join)
+    double totalUs = 0;   ///< submission to completion, queue wait included
+};
+
+struct ServiceConfig {
+    /// Worker threads of the async submit() pool. 0 = auto
+    /// (PHPF_SIM_THREADS, else hardware concurrency, clamped to 8 —
+    /// compiles are memory-bound well before that).
+    int workers = 0;
+    /// Total artifact-cache entries across shards.
+    std::size_t cacheCapacity = 256;
+    int cacheShards = 8;
+};
+
+struct ServiceStats {
+    std::int64_t requests = 0;
+    std::int64_t compiles = 0;  ///< misses actually executed
+    std::int64_t coalescedJoins = 0;
+    std::int64_t parseErrors = 0;
+    std::int64_t deadlineExceeded = 0;
+    std::int64_t errors = 0;
+    CacheStats cache;
+    std::size_t queueDepth = 0;
+    int activeJobs = 0;
+    int workers = 0;
+};
+
+/// Concurrent compile service: fingerprints every request (stable
+/// program hash + normalized options key), serves repeats from a
+/// bounded sharded LRU of immutable artifacts, coalesces identical
+/// in-flight requests onto one execution, enforces per-request
+/// deadlines via between-pass cancellation, and records service metrics
+/// (hits/misses/evictions, coalesced joins, queue depth, per-stage
+/// latency histograms) in an obs::MetricRegistry.
+class CompileService {
+public:
+    explicit CompileService(ServiceConfig cfg = {});
+    ~CompileService();  ///< drains the worker pool first
+
+    CompileService(const CompileService&) = delete;
+    CompileService& operator=(const CompileService&) = delete;
+
+    /// Synchronous compile on the calling thread (cache hits and
+    /// coalesced joins return without compiling anything).
+    [[nodiscard]] CompileResult compile(const CompileRequest& req);
+
+    /// Asynchronous compile on the worker pool. The deadline clock
+    /// starts now, so queue wait counts against it.
+    [[nodiscard]] std::shared_future<CompileResult> submit(CompileRequest req);
+
+    [[nodiscard]] ServiceStats stats() const;
+    /// Service metric snapshot: the registry (counters + per-stage
+    /// latency histograms) plus live cache/queue state — ready to embed
+    /// in a JSON run report or the batch summary row.
+    [[nodiscard]] obs::Json metricsJson() const;
+
+    /// The registry the service records into, with the lock that guards
+    /// it (MetricRegistry itself is not thread-safe).
+    void withMetrics(const std::function<void(const obs::MetricRegistry&)>& fn) const;
+
+private:
+    struct Inflight {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        CompileResult result;
+    };
+
+    using Clock = std::chrono::steady_clock;
+
+    [[nodiscard]] CompileResult compileAt(const CompileRequest& req,
+                                          Clock::time_point submitted);
+    /// Execute a cache miss: run the pipeline with deadline
+    /// cancellation, assemble the artifact, fill per-stage metrics.
+    [[nodiscard]] CompileResult runJob(const CompileRequest& req,
+                                       const std::string& key,
+                                       std::unique_ptr<Program> prog,
+                                       DiagEngine& diags,
+                                       Clock::time_point submitted);
+    void recordOutcome(const CompileResult& r);
+
+    ServiceConfig cfg_;
+    ArtifactCache cache_;
+    std::unique_ptr<TaskPool> pool_;
+
+    std::mutex inflightMu_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+
+    mutable std::mutex metricsMu_;
+    obs::MetricRegistry registry_;
+};
+
+}  // namespace phpf::service

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace phpf {
+
+namespace detail {
+/// Shared cancellation state: an explicit flag plus an optional deadline
+/// on the steady clock. Kept in one heap cell so tokens stay copyable
+/// and trivially cheap to poll.
+struct CancelState {
+    std::atomic<bool> flag{false};
+    /// steady_clock time_since_epoch in ns; 0 = no deadline.
+    std::atomic<std::int64_t> deadlineNs{0};
+};
+
+inline std::int64_t steadyNowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+}  // namespace detail
+
+/// Read-only view of a cancellation request. Default-constructed tokens
+/// never cancel, so APIs can take one by value with no null checks.
+/// Polling is two relaxed atomic loads plus (when a deadline is armed) a
+/// clock read — cheap enough to call between compiler passes.
+class CancelToken {
+public:
+    CancelToken() = default;
+
+    [[nodiscard]] bool cancelled() const {
+        if (state_ == nullptr) return false;
+        if (state_->flag.load(std::memory_order_relaxed)) return true;
+        const std::int64_t d = state_->deadlineNs.load(std::memory_order_relaxed);
+        return d != 0 && detail::steadyNowNs() >= d;
+    }
+    /// True when this token can ever cancel (it is bound to a source).
+    [[nodiscard]] bool armed() const { return state_ != nullptr; }
+
+private:
+    friend class CancelSource;
+    explicit CancelToken(std::shared_ptr<const detail::CancelState> s)
+        : state_(std::move(s)) {}
+
+    std::shared_ptr<const detail::CancelState> state_;
+};
+
+/// Owner side of a cancellation: cancel() explicitly, or arm a deadline
+/// after which every token observes cancelled(). One source can hand out
+/// any number of tokens; the state outlives the source while a token
+/// holds it.
+class CancelSource {
+public:
+    CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+    void cancel() { state_->flag.store(true, std::memory_order_relaxed); }
+
+    /// Arm (or move) the deadline to now + d; non-positive durations
+    /// cancel immediately.
+    template <typename Rep, typename Period>
+    void setDeadlineAfter(std::chrono::duration<Rep, Period> d) {
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+        if (ns <= 0) {
+            cancel();
+            return;
+        }
+        state_->deadlineNs.store(detail::steadyNowNs() + ns,
+                                 std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] bool cancelled() const {
+        return CancelToken(state_).cancelled();
+    }
+    [[nodiscard]] CancelToken token() const { return CancelToken(state_); }
+
+private:
+    std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace phpf

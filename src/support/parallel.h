@@ -3,6 +3,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -91,6 +93,51 @@ private:
     std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<WorkerStat> stats_;
+    std::vector<std::thread> threads_;
+};
+
+/// A queue-fed pool of persistent workers for independent heterogeneous
+/// jobs — the complement of LockstepPool: where LockstepPool hands ONE
+/// task to EVERY worker with a barrier (simulator phases), TaskPool
+/// hands EACH queued task to ONE free worker with no ordering between
+/// tasks. Built for the compile service: jobs are milliseconds long, so
+/// a plain mutex + condition variable queue is nowhere near the
+/// bottleneck.
+class TaskPool {
+public:
+    /// `threads` workers are spawned eagerly; values < 1 are treated
+    /// as 1. Unlike LockstepPool the caller does NOT participate.
+    explicit TaskPool(int threads);
+    /// Finishes every queued task, then joins the workers.
+    ~TaskPool();
+
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    [[nodiscard]] int threads() const { return nThreads_; }
+
+    /// Enqueue a task; runs on some worker as soon as one is free.
+    void post(std::function<void()> task);
+
+    /// Tasks queued but not yet picked up by a worker.
+    [[nodiscard]] std::size_t queueDepth() const;
+    /// Tasks currently executing on a worker.
+    [[nodiscard]] int active() const {
+        return active_.load(std::memory_order_relaxed);
+    }
+    /// Block until the queue is empty and no task is executing.
+    void drain();
+
+private:
+    void workerMain();
+
+    int nThreads_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;       ///< workers wait for tasks
+    std::condition_variable idleCv_;   ///< drain() waits for quiescence
+    std::deque<std::function<void()>> queue_;
+    std::atomic<int> active_{0};
+    bool stop_ = false;
     std::vector<std::thread> threads_;
 };
 

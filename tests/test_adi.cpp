@@ -24,7 +24,7 @@ TEST(Adi, XSweepIsLocalYSweepCommunicates) {
     // Exactly one array comm op: du(i,j-1) in the y sweep. The x sweep's
     // du(i-1,j) is along the serial dimension and stays local.
     int arrayOps = 0;
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         if (op.ref->kind != ExprKind::ArrayRef) continue;
         ++arrayOps;
         EXPECT_EQ(printExpr(p, op.ref), "du(i,j - 1)");
@@ -48,7 +48,7 @@ TEST(Adi, UpdateScalarPrivatizedAndAligned) {
             s->lhs->sym != tmp)
             return;
         const ScalarMapDecision* d =
-            c.mappingPass->decisions().forDef(c.ssa->defIdOfAssign(s));
+            c.mappingPass().decisions().forDef(c.ssa().defIdOfAssign(s));
         ASSERT_NE(d, nullptr);
         EXPECT_EQ(d->kind, ScalarMapKind::Aligned) << d->rationale;
         checked = true;
@@ -62,7 +62,7 @@ TEST(Adi, SpmdMatchesSequential) {
         CompilerOptions opts;
         opts.gridExtents = grid;
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) { seedAdi(o, 12); });
+        auto sim = c.simulate({.seed = [](Interpreter& o) { seedAdi(o, 12); }});
         EXPECT_EQ(sim->maxErrorVsOracle("u"), 0.0)
             << ProcGrid(grid).str();
         EXPECT_EQ(sim->maxErrorVsOracle("du"), 0.0)

@@ -62,7 +62,7 @@ TEST(AutoPriv, MappingPassUsesDetection) {
     opts.gridExtents = {2, 2};
     opts.mapping.autoArrayPrivatization = true;
     Compilation c = Compiler::compile(p, opts);
-    const auto& arrays = c.mappingPass->decisions().arrays();
+    const auto& arrays = c.mappingPass().decisions().arrays();
     ASSERT_EQ(arrays.size(), 1u);
     EXPECT_EQ(arrays[0].kind, ArrayPrivDecision::Kind::Partial)
         << arrays[0].rationale;
@@ -73,7 +73,7 @@ TEST(AutoPriv, OffByDefault) {
     CompilerOptions opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
-    EXPECT_TRUE(c.mappingPass->decisions().arrays().empty());
+    EXPECT_TRUE(c.mappingPass().decisions().arrays().empty());
 }
 
 TEST(AutoPriv, SemanticsPreservedUnderAutoPrivatization) {
@@ -82,7 +82,7 @@ TEST(AutoPriv, SemanticsPreservedUnderAutoPrivatization) {
     opts.gridExtents = {2, 2};
     opts.mapping.autoArrayPrivatization = true;
     Compilation c = Compiler::compile(p, opts);
-    auto sim = c.simulate([](Interpreter& o) {
+    auto sim = c.simulate({.seed = [](Interpreter& o) {
         for (std::int64_t m = 1; m <= 5; ++m)
             for (std::int64_t i = 1; i <= 10; ++i)
                 for (std::int64_t j = 1; j <= 10; ++j)
@@ -90,7 +90,7 @@ TEST(AutoPriv, SemanticsPreservedUnderAutoPrivatization) {
                         o.setElement("rsd", {m, i, j, k},
                                      0.01 * static_cast<double>(m * i) +
                                          0.001 * static_cast<double>(j - k));
-    });
+    }});
     EXPECT_EQ(sim->maxErrorVsOracle("rsd"), 0.0);
 }
 

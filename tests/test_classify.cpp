@@ -164,7 +164,7 @@ TEST(Placement, ScalarDefInLoopPinsPlacement) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     bool sawYComm = false;
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         if (op.ref->kind == ExprKind::VarRef &&
             p.sym(op.ref->sym).name == "y") {
             sawYComm = true;
@@ -181,8 +181,8 @@ TEST(Placement, StoreToSameArrayConstrains) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    ASSERT_FALSE(c.lowering->commOps().empty());
-    for (const CommOp& op : c.lowering->commOps()) {
+    ASSERT_FALSE(c.lowering().commOps().empty());
+    for (const CommOp& op : c.lowering().commOps()) {
         if (op.ref->kind != ExprKind::ArrayRef) continue;
         EXPECT_EQ(op.placementLevel, 1) << printExpr(p, op.ref);
     }
@@ -195,7 +195,7 @@ TEST(Placement, DisjointColumnStoreDoesNotConstrain) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         EXPECT_LE(op.placementLevel, 1)
             << (op.ref != nullptr ? printExpr(p, op.ref) : "combine");
     }
@@ -208,7 +208,7 @@ TEST(Placement, NonIndexSubscriptPinsToItsDef) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     bool sawG = false;
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         if (op.ref->kind == ExprKind::ArrayRef &&
             p.sym(op.ref->sym).name == "G") {
             sawG = true;

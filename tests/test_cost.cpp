@@ -130,7 +130,7 @@ TEST(Cost, ReductionCombineChargedPerOuterIteration) {
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     bool sawCombine = false;
-    for (const CommOp& op : c.lowering->commOps())
+    for (const CommOp& op : c.lowering().commOps())
         if (op.isReductionCombine) {
             sawCombine = true;
             EXPECT_EQ(op.placementLevel, 1);  // once per i iteration

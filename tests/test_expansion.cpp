@@ -14,8 +14,8 @@ TEST(Expansion, ExpandsFig1Scalars) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const int n = expandAlignedScalars(p, *c.ssa, *c.dataMapping,
-                                       c.mappingPass->decisions());
+    const int n = expandAlignedScalars(p, c.ssa(), c.dataMapping(),
+                                       c.mappingPass().decisions());
     // x and y are Aligned; m and z are privatized without alignment and
     // stay scalars.
     EXPECT_EQ(n, 2);
@@ -35,8 +35,8 @@ TEST(Expansion, PreservesSemantics) {
         CompilerOptions opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(expanded, opts);
-        ASSERT_GT(expandAlignedScalars(expanded, *c.ssa, *c.dataMapping,
-                                       c.mappingPass->decisions()),
+        ASSERT_GT(expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
+                                       c.mappingPass().decisions()),
                   0);
     }
     auto seed = [](Interpreter& in) {
@@ -69,8 +69,8 @@ TEST(Expansion, ExpandedProgramParallelizesWithoutPrivatization) {
         CompilerOptions opts;
         opts.gridExtents = {8};
         Compilation c = Compiler::compile(expanded, opts);
-        expandAlignedScalars(expanded, *c.ssa, *c.dataMapping,
-                             c.mappingPass->decisions());
+        expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
+                             c.mappingPass().decisions());
     }
     CompilerOptions noPriv;
     noPriv.gridExtents = {8};
@@ -99,13 +99,13 @@ TEST(Expansion, SpmdSemanticsPreservedAfterExpansion) {
         CompilerOptions opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(expanded, opts);
-        expandAlignedScalars(expanded, *c.ssa, *c.dataMapping,
-                             c.mappingPass->decisions());
+        expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
+                             c.mappingPass().decisions());
     }
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(expanded, opts);
-    auto sim = c.simulate([](Interpreter& o) {
+    auto sim = c.simulate({.seed = [](Interpreter& o) {
         for (std::int64_t i = 1; i <= 24; ++i) {
             o.setElement("B", {i}, static_cast<double>(i));
             o.setElement("C", {i}, 1.0);
@@ -114,7 +114,7 @@ TEST(Expansion, SpmdSemanticsPreservedAfterExpansion) {
             o.setElement("A", {i}, 0.5);
         }
         o.setElement("A", {25}, 0.5);
-    });
+    }});
     EXPECT_EQ(sim->maxErrorVsOracle("A"), 0.0);
     EXPECT_EQ(sim->maxErrorVsOracle("D"), 0.0);
 }

@@ -14,7 +14,7 @@ TEST(Fig1, SelectedAlignmentMatchesPaper) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
 
-    EXPECT_EQ(c.inductionRewrites, 1);
+    EXPECT_EQ(c.inductionRewrites(), 1);
 
     auto decisionOf = [&](const std::string& name,
                           int occurrence = 0) -> const ScalarMapDecision* {
@@ -25,8 +25,8 @@ TEST(Fig1, SelectedAlignmentMatchesPaper) {
             if (s->kind == StmtKind::Assign &&
                 s->lhs->kind == ExprKind::VarRef && s->lhs->sym == sym) {
                 if (seen++ == occurrence && out == nullptr) {
-                    const int def = c.ssa->defIdOfAssign(s);
-                    out = c.mappingPass->decisions().forDef(def);
+                    const int def = c.ssa().defIdOfAssign(s);
+                    out = c.mappingPass().decisions().forDef(def);
                 }
             }
         });
@@ -70,7 +70,7 @@ TEST(Fig1, SpmdSimulationMatchesOracle) {
         opts.mapping.privatization = privatize;
         Compilation c = Compiler::compile(p, opts);
 
-        auto sim = c.simulate([](Interpreter& oracle) {
+        auto sim = c.simulate({.seed = [](Interpreter& oracle) {
             for (std::int64_t i = 1; i <= 24; ++i) {
                 oracle.setElement("B", {i}, static_cast<double>(i));
                 oracle.setElement("C", {i}, 1.0);
@@ -79,7 +79,7 @@ TEST(Fig1, SpmdSimulationMatchesOracle) {
                 oracle.setElement("A", {i}, 0.5);
             }
             oracle.setElement("A", {25}, 0.5);
-        });
+        }});
         EXPECT_EQ(sim->maxErrorVsOracle("A"), 0.0) << "priv=" << privatize;
         EXPECT_EQ(sim->maxErrorVsOracle("D"), 0.0) << "priv=" << privatize;
     }

@@ -26,8 +26,8 @@ TEST(Lowering, OwnerComputesGuardForDistributedLhs) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "A");
     ASSERT_NE(s, nullptr);
-    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::OwnerOf);
-    EXPECT_EQ(c.lowering->execOf(s).guardRef, s->lhs);
+    EXPECT_EQ(c.lowering().execOf(s).guard, StmtExec::Guard::OwnerOf);
+    EXPECT_EQ(c.lowering().execOf(s).guardRef, s->lhs);
 }
 
 TEST(Lowering, ReplicatedScalarGetsAllGuard) {
@@ -38,7 +38,7 @@ TEST(Lowering, ReplicatedScalarGetsAllGuard) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "x");
     ASSERT_NE(s, nullptr);
-    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::All);
+    EXPECT_EQ(c.lowering().execOf(s).guard, StmtExec::Guard::All);
 }
 
 TEST(Lowering, AlignedScalarGetsOwnerGuard) {
@@ -48,7 +48,7 @@ TEST(Lowering, AlignedScalarGetsOwnerGuard) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "x");
     ASSERT_NE(s, nullptr);
-    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::OwnerOf);
+    EXPECT_EQ(c.lowering().execOf(s).guard, StmtExec::Guard::OwnerOf);
 }
 
 TEST(Lowering, NoAlignPrivatizedGetsUnionGuard) {
@@ -58,9 +58,9 @@ TEST(Lowering, NoAlignPrivatizedGetsUnionGuard) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "z");
     ASSERT_NE(s, nullptr);
-    EXPECT_EQ(c.lowering->execOf(s).guard, StmtExec::Guard::Union);
+    EXPECT_EQ(c.lowering().execOf(s).guard, StmtExec::Guard::Union);
     // The union executor borrows a partitioned descriptor, not All.
-    EXPECT_TRUE(c.lowering->execOf(s).execDesc.anyConstrained());
+    EXPECT_TRUE(c.lowering().execOf(s).execDesc.anyConstrained());
 }
 
 TEST(Lowering, CommOpsOnlyWhereNeeded) {
@@ -69,7 +69,7 @@ TEST(Lowering, CommOpsOnlyWhereNeeded) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    EXPECT_TRUE(c.lowering->commOps().empty());
+    EXPECT_TRUE(c.lowering().commOps().empty());
 }
 
 TEST(Lowering, OpsAtReturnsConsumingStatement) {
@@ -78,7 +78,7 @@ TEST(Lowering, OpsAtReturnsConsumingStatement) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "x");  // x = B(i) + C(i): two hoisted shifts
-    const auto ops = c.lowering->opsAt(s);
+    const auto ops = c.lowering().opsAt(s);
     EXPECT_EQ(ops.size(), 2u);
     for (const CommOp* op : ops) {
         EXPECT_EQ(op->atStmt, s);
@@ -92,7 +92,7 @@ TEST(Lowering, DumpMentionsGuardsAndOps) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const std::string d = c.lowering->dump();
+    const std::string d = c.lowering().dump();
     EXPECT_NE(d.find("owner("), std::string::npos);
     EXPECT_NE(d.find("union"), std::string::npos);
     EXPECT_NE(d.find("shift"), std::string::npos);
@@ -105,7 +105,7 @@ TEST(Lowering, PartialPrivWriteExecutesOnOwnCopy) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* cWrite = findAssign(p, "c");
     ASSERT_NE(cWrite, nullptr);
-    const StmtExec& ex = c.lowering->execOf(cWrite);
+    const StmtExec& ex = c.lowering().execOf(cWrite);
     EXPECT_EQ(ex.guard, StmtExec::Guard::OwnerOf);
     // Partitioned along grid dim 0 (the j partition), and partitioned by
     // the k ownership along grid dim 1 (privatized execution follows the
@@ -121,14 +121,14 @@ TEST(Lowering, ReductionAccumulationPartitionedByTarget) {
     Compilation c = Compiler::compile(p, opts);
     Stmt* acc = findAssign(p, "s", 1);
     ASSERT_NE(acc, nullptr);
-    const StmtExec& ex = c.lowering->execOf(acc);
+    const StmtExec& ex = c.lowering().execOf(acc);
     EXPECT_EQ(ex.guard, StmtExec::Guard::OwnerOf);
     // Both dims partitioned: each processor accumulates its local part.
     EXPECT_EQ(ex.execDesc.dims[0].kind, RefDim::Kind::Partitioned);
     EXPECT_EQ(ex.execDesc.dims[1].kind, RefDim::Kind::Partitioned);
     // The initialization runs replicated across the reduction dim.
     Stmt* init = findAssign(p, "s", 0);
-    const StmtExec& exInit = c.lowering->execOf(init);
+    const StmtExec& exInit = c.lowering().execOf(init);
     EXPECT_EQ(exInit.execDesc.dims[1].kind, RefDim::Kind::Replicated);
 }
 
@@ -138,7 +138,7 @@ TEST(Lowering, ReductionCombineEmittedOnlyWhenDimsSpanned) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    for (const CommOp& op : c.lowering->commOps())
+    for (const CommOp& op : c.lowering().commOps())
         EXPECT_FALSE(op.isReductionCombine);
     // Fig. 5 spans grid dim 1: combine op present.
     Program q = programs::fig5(16);
@@ -146,7 +146,7 @@ TEST(Lowering, ReductionCombineEmittedOnlyWhenDimsSpanned) {
     opts2.gridExtents = {2, 2};
     Compilation c2 = Compiler::compile(q, opts2);
     bool combine = false;
-    for (const CommOp& op : c2.lowering->commOps())
+    for (const CommOp& op : c2.lowering().commOps())
         combine |= op.isReductionCombine;
     EXPECT_TRUE(combine);
 }

@@ -13,7 +13,7 @@ TEST(CostReport, AttributionSumsToTotals) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const CostReport report = buildCostReport(*c.lowering, opts.costModel);
+    const CostReport report = buildCostReport(c.lowering(), opts.costModel);
     double compute = 0.0, comm = 0.0;
     for (const CostItem& item : report.items)
         (item.isComm ? comm : compute) += item.seconds;
@@ -30,7 +30,7 @@ TEST(CostReport, RendersTopItems) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const CostReport report = buildCostReport(*c.lowering, opts.costModel);
+    const CostReport report = buildCostReport(c.lowering(), opts.costModel);
     const std::string text = report.str(p, 3);
     EXPECT_NE(text.find("comm "), std::string::npos);
     EXPECT_NE(text.find("total:"), std::string::npos);
@@ -104,13 +104,13 @@ TEST(Options, VariantSwitchesAreIndependent) {
     Compilation c2 = Compiler::compile(other, o2);
 
     auto tmpDecision = [](Compilation& c) {
-        const SymbolId sym = c.program->findSymbol("tmp");
+        const SymbolId sym = c.program().findSymbol("tmp");
         ScalarMapKind kind = ScalarMapKind::Replicated;
-        c.program->forEachStmt([&](Stmt* s) {
+        c.program().forEachStmt([&](Stmt* s) {
             if (s->kind == StmtKind::Assign &&
                 s->lhs->kind == ExprKind::VarRef && s->lhs->sym == sym) {
-                const auto* d = c.mappingPass->decisions().forDef(
-                    c.ssa->defIdOfAssign(s));
+                const auto* d = c.mappingPass().decisions().forDef(
+                    c.ssa().defIdOfAssign(s));
                 if (d != nullptr) kind = d->kind;
             }
         });
@@ -126,7 +126,7 @@ TEST(Options, GridRankOneCollapsesTwoDimPrograms) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const ArrayMap& m = c.dataMapping->mapOf(p.findSymbol("A"));
+    const ArrayMap& m = c.dataMapping().mapOf(p.findSymbol("A"));
     EXPECT_EQ(m.gridDimOf(0), 0);
     EXPECT_EQ(m.gridDimOf(1), -1);
 }

@@ -160,7 +160,7 @@ protected:
     }
 
     const obs::DecisionLog& log() const {
-        return compilation_->mappingPass->decisionLog();
+        return compilation_->mappingPass().decisionLog();
     }
 
     Program program_;

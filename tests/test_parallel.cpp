@@ -144,8 +144,7 @@ struct SimSnapshot {
 SimSnapshot snapshotAt(Compilation& c,
                        const std::function<void(Interpreter&)>& seed,
                        const std::vector<std::string>& outputs, int threads) {
-    c.options.simThreads = threads;
-    auto sim = c.simulate(seed);
+    auto sim = c.simulate({.threads = threads, .seed = seed});
     EXPECT_EQ(sim->threads(), std::min(threads, sim->procCount()));
     SimSnapshot s;
     s.transfers = sim->elementTransfers();
@@ -153,7 +152,7 @@ SimSnapshot snapshotAt(Compilation& c,
     s.procStmts = sim->statementsExecutedAllProcs();
     s.imbalance = sim->imbalanceRatio();
     s.perProc = sim->procMetrics();
-    for (const CommOp& op : c.lowering->commOps()) {
+    for (const CommOp& op : c.lowering().commOps()) {
         s.perOpEvents.push_back(sim->eventsOfOp(op.id));
         s.perOpElems.push_back(sim->elementsOfOp(op.id));
     }

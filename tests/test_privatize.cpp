@@ -13,14 +13,14 @@ namespace {
 const ScalarMapDecision* decisionFor(const Compilation& c,
                                      const std::string& name,
                                      int occurrence = 0) {
-    const Program& p = *c.program;
+    const Program& p = c.program();
     const SymbolId sym = p.findSymbol(name);
     const ScalarMapDecision* out = nullptr;
     int seen = 0;
     const_cast<Program&>(p).forEachStmt([&](Stmt* s) {
         if (s->kind == StmtKind::Assign && s->lhs->kind == ExprKind::VarRef &&
             s->lhs->sym == sym && seen++ == occurrence && out == nullptr)
-            out = c.mappingPass->decisions().forDef(c.ssa->defIdOfAssign(s));
+            out = c.mappingPass().decisions().forDef(c.ssa().defIdOfAssign(s));
     });
     return out;
 }
@@ -120,7 +120,7 @@ TEST(Privatize, PrivatizationDisabledKeepsEverythingReplicated) {
     opts.gridExtents = {4};
     opts.mapping.privatization = false;
     Compilation c = Compiler::compile(p, opts);
-    for (const auto& [defId, dec] : c.mappingPass->decisions().scalars()) {
+    for (const auto& [defId, dec] : c.mappingPass().decisions().scalars()) {
         (void)defId;
         EXPECT_EQ(dec.kind, ScalarMapKind::Replicated);
     }
@@ -135,7 +135,7 @@ TEST(Privatize, ConsumerPreferredOverProducerWhenHoistable) {
     const ScalarMapDecision* x = decisionFor(c, "x");
     ASSERT_NE(x, nullptr);
     EXPECT_TRUE(x->viaConsumer);
-    EXPECT_EQ(c.program->sym(x->alignRef->sym).name, "D");
+    EXPECT_EQ(c.program().sym(x->alignRef->sym).name, "D");
 }
 
 TEST(Privatize, ProducerChosenWhenConsumerCausesInnerComm) {
@@ -194,7 +194,7 @@ TEST(PrivatizeReduction, Fig5MappingReplicatesReductionDim) {
     EXPECT_TRUE(s->isReductionResult);
     ASSERT_EQ(s->reductionGridDims.size(), 1u);
     EXPECT_EQ(s->reductionGridDims[0], 1);  // the j (column) grid dim
-    EXPECT_EQ(c.program->sym(s->alignRef->sym).name, "A");
+    EXPECT_EQ(c.program().sym(s->alignRef->sym).name, "A");
 }
 
 TEST(PrivatizeReduction, DgefaMaxlocConfinedToColumnOwner) {
@@ -234,7 +234,7 @@ TEST(PrivatizeArray, Fig6FullFailsPartialSucceeds) {
     CompilerOptions opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
-    const auto& arrays = c.mappingPass->decisions().arrays();
+    const auto& arrays = c.mappingPass().decisions().arrays();
     ASSERT_EQ(arrays.size(), 1u);
     const ArrayPrivDecision& d = arrays[0];
     EXPECT_EQ(d.kind, ArrayPrivDecision::Kind::Partial) << d.rationale;
@@ -255,7 +255,7 @@ TEST(PrivatizeArray, OneDimGridFullPrivatization) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const auto& arrays = c.mappingPass->decisions().arrays();
+    const auto& arrays = c.mappingPass().decisions().arrays();
     ASSERT_EQ(arrays.size(), 1u);
     EXPECT_EQ(arrays[0].kind, ArrayPrivDecision::Kind::Full)
         << arrays[0].rationale;
@@ -267,8 +267,8 @@ TEST(PrivatizeArray, DisabledMeansReplicated) {
     opts.gridExtents = {2, 2};
     opts.mapping.arrayPrivatization = false;
     Compilation c = Compiler::compile(p, opts);
-    ASSERT_EQ(c.mappingPass->decisions().arrays().size(), 1u);
-    EXPECT_EQ(c.mappingPass->decisions().arrays()[0].kind,
+    ASSERT_EQ(c.mappingPass().decisions().arrays().size(), 1u);
+    EXPECT_EQ(c.mappingPass().decisions().arrays()[0].kind,
               ArrayPrivDecision::Kind::Replicated);
 }
 
@@ -278,8 +278,8 @@ TEST(PrivatizeArray, PartialDisabledMeansReplicatedOn2D) {
     opts.gridExtents = {2, 2};
     opts.mapping.partialPrivatization = false;
     Compilation c = Compiler::compile(p, opts);
-    ASSERT_EQ(c.mappingPass->decisions().arrays().size(), 1u);
-    EXPECT_EQ(c.mappingPass->decisions().arrays()[0].kind,
+    ASSERT_EQ(c.mappingPass().decisions().arrays().size(), 1u);
+    EXPECT_EQ(c.mappingPass().decisions().arrays()[0].kind,
               ArrayPrivDecision::Kind::Replicated);
 }
 
@@ -294,10 +294,10 @@ TEST(PrivatizeControlFlow, Fig7AllStatementsPrivatized) {
     Compilation c = Compiler::compile(p, opts);
     p.forEachStmt([&](const Stmt* s) {
         if (s->kind != StmtKind::If && s->kind != StmtKind::Goto) return;
-        EXPECT_TRUE(c.mappingPass->decisions().controlPrivatized(s));
+        EXPECT_TRUE(c.mappingPass().decisions().controlPrivatized(s));
     });
     // And no communication at all: B, C are aligned with A.
-    EXPECT_TRUE(c.lowering->commOps().empty());
+    EXPECT_TRUE(c.lowering().commOps().empty());
 }
 
 TEST(PrivatizeControlFlow, GotoLeavingLoopNotPrivatized) {
@@ -317,7 +317,7 @@ TEST(PrivatizeControlFlow, GotoLeavingLoopNotPrivatized) {
     Compilation c = Compiler::compile(p, opts);
     p.forEachStmt([&](const Stmt* s) {
         if (s->kind == StmtKind::Goto) {
-            EXPECT_FALSE(c.mappingPass->decisions().controlPrivatized(s));
+            EXPECT_FALSE(c.mappingPass().decisions().controlPrivatized(s));
         }
     });
 }
@@ -329,7 +329,7 @@ TEST(PrivatizeControlFlow, DisabledExecutesOnAll) {
     opts.mapping.controlFlowPrivatization = false;
     Compilation c = Compiler::compile(p, opts);
     bool sawBroadcast = false;
-    for (const CommOp& op : c.lowering->commOps())
+    for (const CommOp& op : c.lowering().commOps())
         if (op.atStmt->kind == StmtKind::If) sawBroadcast = true;
     EXPECT_TRUE(sawBroadcast);
 }

@@ -154,8 +154,8 @@ TEST_P(SemanticsPreservationTest, SpmdMatchesSequential) {
     opts.gridExtents = grid;
     opts.mapping = variantOptions(variant);
     Compilation c = Compiler::compile(p, opts);
-    auto sim = c.simulate(
-        [&](Interpreter& o) { seedProgram(programId, o); });
+    auto sim = c.simulate({.seed = 
+        [&](Interpreter& o) { seedProgram(programId, o); }});
     for (const char* out : outputsOf(programId)) {
         EXPECT_EQ(sim->maxErrorVsOracle(out), 0.0)
             << "program " << p.name << " variant " << variant << " grid "
@@ -178,7 +178,7 @@ TEST(SimMessages, SingleProcessorNeverCommunicates) {
         CompilerOptions opts;
         opts.gridExtents = {1};
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([&](Interpreter& o) { seedProgram(id, o); });
+        auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(id, o); }});
         EXPECT_EQ(sim->elementTransfers(), 0) << p.name;
     }
 }
@@ -192,7 +192,7 @@ TEST(SimMessages, SelectedAlignmentMovesFewerElementsThanReplication) {
             opts.gridExtents = {4};
             opts.mapping = variantOptions(v);
             Compilation c = Compiler::compile(p, opts);
-            auto sim = c.simulate([&](Interpreter& o) { seedProgram(id, o); });
+            auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(id, o); }});
             transfers[v == 0 ? 0 : 1] = sim->elementTransfers();
         }
         EXPECT_LT(transfers[0], transfers[1]) << "program " << id;
@@ -207,7 +207,7 @@ TEST(SimMessages, ReductionAlignmentReducesTraffic) {
         opts.gridExtents = {4};
         opts.mapping.reductionAlignment = align;
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([&](Interpreter& o) { seedProgram(5, o); });
+        auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(5, o); }});
         transfers[align ? 1 : 0] = sim->elementTransfers();
     }
     EXPECT_LT(transfers[1], transfers[0]);
@@ -219,7 +219,7 @@ TEST(SimMessages, EventCountsMatchAnalyticOnFig1) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const CostBreakdown analytic = c.predictCost();
-    auto sim = c.simulate([&](Interpreter& o) { seedProgram(0, o); });
+    auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(0, o); }});
     // The analytic model counts every placed event; the simulator counts
     // only events whose data actually crossed a processor boundary
     // (interior shift instances are local), so simulated <= analytic and
@@ -237,7 +237,7 @@ TEST(SimMessages, ControlFlowPrivatizationEliminatesPredicateTraffic) {
         opts.gridExtents = {4};
         opts.mapping.controlFlowPrivatization = cf;
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([&](Interpreter& o) { seedProgram(4, o); });
+        auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(4, o); }});
         transfers[cf ? 1 : 0] = sim->elementTransfers();
     }
     EXPECT_EQ(transfers[1], 0);

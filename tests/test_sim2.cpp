@@ -23,7 +23,7 @@ TEST(SimConsistency, DgefaLargerFactorizationAcrossGrids) {
         CompilerOptions opts;
         opts.gridExtents = {procs};
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) { seedDgefa(o, 16); });
+        auto sim = c.simulate({.seed = [](Interpreter& o) { seedDgefa(o, 16); }});
         EXPECT_EQ(sim->maxErrorVsOracle("A"), 0.0) << procs;
         if (procs > 1) EXPECT_GT(sim->messageEvents(), 0);
     }
@@ -48,7 +48,7 @@ TEST(SimConsistency, SimulatedEventsNeverExceedAnalytic) {
         opts.gridExtents = grid;
         Compilation c = Compiler::compile(p, opts);
         const CostBreakdown analytic = c.predictCost();
-        auto sim = c.simulate([&](Interpreter& o) {
+        auto sim = c.simulate({.seed = [&](Interpreter& o) {
             switch (id) {
                 case 0:
                     for (std::int64_t i = 1; i <= 25; ++i) {
@@ -91,7 +91,7 @@ TEST(SimConsistency, SimulatedEventsNeverExceedAnalytic) {
                                         0.01 * static_cast<double>(i + j + k));
                     break;
             }
-        });
+        }});
         EXPECT_LE(sim->messageEvents(), analytic.messageEvents)
             << "program id " << id;
     }
@@ -105,14 +105,14 @@ TEST(SimConsistency, PartialPrivatizationMovesFewerElements) {
         opts.gridExtents = {2, 2};
         opts.mapping.partialPrivatization = partial;
         Compilation c = Compiler::compile(p, opts);
-        auto sim = c.simulate([](Interpreter& o) {
+        auto sim = c.simulate({.seed = [](Interpreter& o) {
             for (std::int64_t m = 1; m <= 5; ++m)
                 for (std::int64_t i = 1; i <= 10; ++i)
                     for (std::int64_t j = 1; j <= 10; ++j)
                         for (std::int64_t k = 1; k <= 10; ++k)
                             o.setElement("rsd", {m, i, j, k},
                                          0.01 * static_cast<double>(m + i));
-        });
+        }});
         transfers[partial ? 1 : 0] = sim->elementTransfers();
         EXPECT_EQ(sim->maxErrorVsOracle("rsd"), 0.0);
     }
@@ -124,7 +124,7 @@ TEST(SimConsistency, PerOpEventAccounting) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    auto sim = c.simulate([](Interpreter& o) {
+    auto sim = c.simulate({.seed = [](Interpreter& o) {
         for (std::int64_t i = 1; i <= 25; ++i) {
             if (i <= 24) {
                 o.setElement("B", {i}, static_cast<double>(i));
@@ -134,9 +134,9 @@ TEST(SimConsistency, PerOpEventAccounting) {
             }
             o.setElement("A", {i}, 0.5);
         }
-    });
+    }});
     std::int64_t sum = 0;
-    for (const CommOp& op : c.lowering->commOps()) sum += sim->eventsOfOp(op.id);
+    for (const CommOp& op : c.lowering().commOps()) sum += sim->eventsOfOp(op.id);
     EXPECT_EQ(sum, sim->messageEvents());
 }
 

@@ -30,7 +30,7 @@ TEST(LocalBounds, UniformOwnerLoopIsShrinkable) {
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* loop = p.top[0];
-    const ShrinkInfo info = analyzeShrink(*c.lowering, loop);
+    const ShrinkInfo info = analyzeShrink(c.lowering(), loop);
     ASSERT_TRUE(info.shrinkable);
     EXPECT_EQ(info.gridDim, 0);
     EXPECT_EQ(info.subscriptOffset, 0);
@@ -57,7 +57,7 @@ TEST(LocalBounds, MixedOwnersAreNotShrinkable) {
     p.forEachStmt([&](Stmt* s) {
         if (s->kind == StmtKind::Do) loop = s;
     });
-    EXPECT_FALSE(analyzeShrink(*c.lowering, loop).shrinkable);
+    EXPECT_FALSE(analyzeShrink(c.lowering(), loop).shrinkable);
 }
 
 TEST(LocalBounds, ReplicatedStatementBlocksShrinking) {
@@ -80,7 +80,7 @@ TEST(LocalBounds, ReplicatedStatementBlocksShrinking) {
     });
     Program q = b.finish();
     Compilation c2 = Compiler::compile(q, opts);
-    EXPECT_FALSE(analyzeShrink(*c2.lowering, q.top[0]).shrinkable);
+    EXPECT_FALSE(analyzeShrink(c2.lowering(), q.top[0]).shrinkable);
 }
 
 TEST(LocalBounds, CyclicDistributionNotShrunk) {
@@ -94,7 +94,7 @@ TEST(LocalBounds, CyclicDistributionNotShrunk) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    EXPECT_FALSE(analyzeShrink(*c.lowering, p.top[0]).shrinkable);
+    EXPECT_FALSE(analyzeShrink(c.lowering(), p.top[0]).shrinkable);
 }
 
 TEST(SpmdText, ShowsGuardsShrinkingAndComm) {
@@ -102,7 +102,7 @@ TEST(SpmdText, ShowsGuardsShrinkingAndComm) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const std::string text = emitSpmdText(*c.lowering);
+    const std::string text = emitSpmdText(c.lowering());
     EXPECT_NE(text.find("bounds shrunk to my block"), std::string::npos);
     EXPECT_NE(text.find("comm: shift"), std::string::npos);
     EXPECT_NE(text.find("if I own A(i)"), std::string::npos);
@@ -113,7 +113,7 @@ TEST(SpmdText, ShowsReductionCombine) {
     CompilerOptions opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
-    const std::string text = emitSpmdText(*c.lowering);
+    const std::string text = emitSpmdText(c.lowering());
     EXPECT_NE(text.find("combine reduction"), std::string::npos);
 }
 
@@ -122,7 +122,7 @@ TEST(SpmdText, Fig7ShowsPrivatizedControlFlow) {
     CompilerOptions opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
-    const std::string text = emitSpmdText(*c.lowering);
+    const std::string text = emitSpmdText(c.lowering());
     EXPECT_NE(text.find("with the iteration's executors"), std::string::npos);
     EXPECT_EQ(text.find("comm:"), std::string::npos);  // no messages at all
 }
