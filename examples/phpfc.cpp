@@ -2,10 +2,12 @@
 //
 //   phpfc FILE.hpf [--procs NxM] [--report] [--lower] [--cost]
 //         [--report=FILE.json] [--trace=FILE.json] [--no-sim]
-//         [--sim-threads=N]
+//         [--sim-threads=N] [--faults=SPEC] [--retry=N]
+//         [--checkpoint-every=N]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
 //   phpfc --batch=JOBS.json [--workers=N] [--cache-capacity=N]
+//         [--journal=FILE.jsonl] [--resume] [--faults=SPEC] [--retry=N]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
@@ -19,6 +21,16 @@
 // row per job on stdout, plus a final {"summary": true, ...} row with
 // the service metrics (cache hits/misses/evictions, coalesced joins,
 // per-stage latency histograms).
+//
+// Fault tolerance: `--faults=SPEC` arms the deterministic fault
+// injector (same grammar as PHPF_FAULTS, e.g.
+// "net.drop:p=0.02;seed=7,proc.crash:nth=40"); `--retry=N` bounds
+// transparent service retries and transport resend attempts;
+// `--checkpoint-every=N` checkpoints the simulator every N statement
+// instances. In batch mode, `--journal=FILE` appends one flushed JSONL
+// row per completed job (crash-safe) and `--resume` skips jobs already
+// journaled. Exit codes: 0 ok, 1 job failures, 2 usage, 3 batch
+// aborted mid-run (batch.abort fault).
 
 #include <cstdio>
 #include <cstring>
@@ -58,15 +70,20 @@ void usage() {
                  "[--no-sim]\n"
                  "             [--sim-threads=N]  (0 = auto: "
                  "PHPF_SIM_THREADS, else hardware)\n"
+                 "             [--faults=SPEC] [--retry=N] "
+                 "[--checkpoint-every=N]\n"
                  "             [--no-privatization] [--producer-only]\n"
                  "             [--no-reduction-align] [--no-array-priv]\n"
                  "             [--no-partial-priv] [--no-cf-priv]\n"
                  "       phpfc --batch=JOBS.json [--workers=N] "
-                 "[--cache-capacity=N]\n");
+                 "[--cache-capacity=N]\n"
+                 "             [--journal=FILE.jsonl] [--resume] "
+                 "[--faults=SPEC] [--retry=N]\n");
 }
 
 int runBatchMode(const std::string& jobsFile, int workers,
-                 std::size_t cacheCapacity) {
+                 std::size_t cacheCapacity, int retries,
+                 const std::string& journal, bool resume) {
     service::BatchSpec spec;
     std::string err;
     if (!service::loadBatchFile(jobsFile, &spec, &err)) {
@@ -76,14 +93,20 @@ int runBatchMode(const std::string& jobsFile, int workers,
     service::ServiceConfig cfg;
     cfg.workers = workers;
     if (cacheCapacity > 0) cfg.cacheCapacity = cacheCapacity;
+    if (retries >= 0) cfg.maxRetries = retries;
     service::CompileService svc(cfg);
+    service::BatchRunOptions opts;
+    opts.journalPath = journal;
+    opts.resume = resume;
     const service::BatchOutcome outcome =
-        service::runBatch(svc, spec, std::cout);
+        service::runBatch(svc, spec, std::cout, opts);
     std::fprintf(stderr,
-                 "phpfc: %d job(s), %d ok, %d failed, %d cache hit(s), "
-                 "%d coalesced, %.3f s\n",
-                 outcome.jobs, outcome.ok, outcome.failed, outcome.cacheHits,
-                 outcome.coalesced, outcome.wallSec);
+                 "phpfc: %d job(s), %d ok, %d failed, %d skipped, "
+                 "%d cache hit(s), %d coalesced, %.3f s%s\n",
+                 outcome.jobs, outcome.ok, outcome.failed, outcome.skipped,
+                 outcome.cacheHits, outcome.coalesced, outcome.wallSec,
+                 outcome.aborted ? " [aborted]" : "");
+    if (outcome.aborted) return 3;
     return outcome.failed == 0 ? 0 : 1;
 }
 
@@ -104,6 +127,10 @@ int main(int argc, char** argv) {
     std::string batchFile;
     int batchWorkers = 0;
     std::size_t batchCacheCapacity = 0;
+    std::string journalFile;
+    bool resume = false;
+    int retries = -1;  ///< -1 = keep defaults
+    int checkpointEvery = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -114,6 +141,20 @@ int main(int argc, char** argv) {
         else if (startsWith(arg, "--cache-capacity="))
             batchCacheCapacity =
                 static_cast<std::size_t>(std::stoul(arg.substr(17)));
+        else if (startsWith(arg, "--faults=")) {
+            std::string ferr;
+            if (!FaultInjector::process().configure(arg.substr(9), &ferr)) {
+                std::fprintf(stderr, "phpfc: bad --faults spec: %s\n",
+                             ferr.c_str());
+                return 2;
+            }
+        } else if (startsWith(arg, "--retry="))
+            retries = std::stoi(arg.substr(8));
+        else if (startsWith(arg, "--checkpoint-every="))
+            checkpointEvery = std::stoi(arg.substr(19));
+        else if (startsWith(arg, "--journal="))
+            journalFile = arg.substr(10);
+        else if (arg == "--resume") resume = true;
         else if (arg == "--report") doReport = true;
         else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
         else if (startsWith(arg, "--trace=")) traceFile = arg.substr(8);
@@ -145,7 +186,8 @@ int main(int argc, char** argv) {
         }
     }
     if (!batchFile.empty())
-        return runBatchMode(batchFile, batchWorkers, batchCacheCapacity);
+        return runBatchMode(batchFile, batchWorkers, batchCacheCapacity,
+                            retries, journalFile, resume);
     if (file.empty()) {
         usage();
         return 2;
@@ -203,7 +245,18 @@ int main(int argc, char** argv) {
         // functional simulation runs (zero-seeded inputs; message and
         // guard accounting do not depend on values).
         std::unique_ptr<SpmdSimulator> sim;
-        if (runSim) sim = c.simulate();
+        if (runSim) {
+            SimulationRequest sreq;
+            sreq.faults = FaultInjector::processIfEnabled();
+            sreq.checkpointEvery = checkpointEvery;
+            if (retries > 0) sreq.maxAttempts = retries;
+            try {
+                sim = c.simulate(sreq);
+            } catch (const SimFault& e) {
+                std::fprintf(stderr, "phpfc: %s\n", e.what());
+                return 1;
+            }
+        }
         if (!c.writeReport(reportFile, sim.get())) {
             std::fprintf(stderr, "phpfc: cannot write %s\n",
                          reportFile.c_str());

@@ -15,7 +15,14 @@ std::unique_ptr<SpmdSimulator> Compilation::simulate(
     const int threads = req.threads >= 0 ? req.threads : passes_.simThreads;
     const int elemBytes =
         req.elemBytes > 0 ? req.elemBytes : target_.costModel.elemBytes;
-    auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads);
+    SimRecoveryConfig recovery;
+    recovery.faults = req.faults;
+    recovery.checkpointEvery = req.checkpointEvery;
+    if (req.maxAttempts > 0) recovery.transport.maxAttempts = req.maxAttempts;
+    if (req.maxRecoveries > 0) recovery.maxRecoveries = req.maxRecoveries;
+    recovery.cancel = req.cancel;
+    auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads,
+                                               std::move(recovery));
     if (req.seed) req.seed(sim->oracle());
     // Capture the execution span's real endpoints on the tracer's own
     // clock: reconstructing the start from wallSec once drifted (and

@@ -31,6 +31,10 @@ public:
     [[nodiscard]] std::int64_t flatIndexOf(const Expr* arrayRef) const;
 
     [[nodiscard]] std::int64_t statementsExecuted() const { return executed_; }
+    /// Restore the executed-statement counter (checkpoint recovery: the
+    /// SPMD simulator snapshots/restores its oracle wholesale so a
+    /// replayed run's accounting stays bit-identical).
+    void setStatementsExecuted(std::int64_t n) { executed_ = n; }
 
     /// Convenience accessors.
     [[nodiscard]] double scalar(const std::string& name) const;

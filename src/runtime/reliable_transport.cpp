@@ -1,0 +1,64 @@
+#include "runtime/reliable_transport.h"
+
+#include <algorithm>
+#include <string>
+
+namespace phpf {
+
+ReliableTransport::ReliableTransport(const FaultInjector& faults,
+                                     TransportConfig cfg)
+    : cfg_(cfg),
+      drop_(faults.find(faultsite::kNetDrop)),
+      dup_(faults.find(faultsite::kNetDup)),
+      delay_(faults.find(faultsite::kNetDelay)) {}
+
+void ReliableTransport::deliver(const char* what) {
+    const std::int64_t seq = stats_.messages++;
+    std::int64_t ticks = 0;
+    for (int attempt = 1; attempt <= cfg_.maxAttempts; ++attempt) {
+        if (FaultInjector::poll(drop_)) {
+            // Message (or its ack) lost in flight: back off and resend.
+            ++stats_.drops;
+            ++stats_.retransmits;
+            const std::int64_t backoff =
+                cfg_.baseBackoffTicks << std::min(attempt - 1, 30);
+            ticks += backoff;
+            stats_.backoffTicks += backoff;
+            if (ticks > cfg_.timeoutTicks)
+                throw SimFault(
+                    faultsite::kNetDrop,
+                    std::string("transfer #") + std::to_string(seq) + " (" +
+                        what + ") timed out after " + std::to_string(ticks) +
+                        " ticks (budget " + std::to_string(cfg_.timeoutTicks) +
+                        ", attempt " + std::to_string(attempt) + ")");
+            continue;
+        }
+        if (FaultInjector::poll(dup_)) {
+            // Duplicate arrival: the receiver has seen this sequence
+            // number, the extra copy is discarded. Idempotent by
+            // construction — the payload of every copy is identical.
+            ++stats_.duplicates;
+        }
+        if (FaultInjector::poll(delay_)) {
+            ++stats_.delays;
+            const std::int64_t d =
+                delay_->spec().ticks > 0 ? delay_->spec().ticks : 1;
+            ticks += d;
+            stats_.delayTicks += d;
+            if (ticks > cfg_.timeoutTicks)
+                throw SimFault(
+                    faultsite::kNetDelay,
+                    std::string("transfer #") + std::to_string(seq) + " (" +
+                        what + ") exceeded its tick budget while delayed (" +
+                        std::to_string(ticks) + " > " +
+                        std::to_string(cfg_.timeoutTicks) + ")");
+        }
+        return;  // delivered and acked
+    }
+    throw SimFault(faultsite::kNetDrop,
+                   std::string("transfer #") + std::to_string(seq) + " (" +
+                       what + ") lost " + std::to_string(cfg_.maxAttempts) +
+                       " times; retry budget exhausted");
+}
+
+}  // namespace phpf

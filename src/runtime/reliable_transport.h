@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/fault.h"
+
+namespace phpf {
+
+/// Retry/backoff budget of the simulated reliable transport.
+struct TransportConfig {
+    /// Send attempts per logical message before giving up (SimFault).
+    int maxAttempts = 8;
+    /// First retransmission backoff in simulated ticks; doubles per
+    /// attempt (bounded exponential backoff).
+    std::int64_t baseBackoffTicks = 1;
+    /// Per-transfer budget in simulated ticks (backoff + injected
+    /// delays); exceeding it is a timeout fault even when attempts
+    /// remain.
+    std::int64_t timeoutTicks = 4096;
+};
+
+/// What the transport observed: the fault layer's own accounting, kept
+/// strictly separate from the simulator's message/transfer metrics so
+/// recovered runs stay bit-identical to fault-free runs on everything
+/// the paper's tables report.
+struct TransportStats {
+    std::int64_t messages = 0;     ///< logical deliveries requested
+    std::int64_t drops = 0;        ///< injected message losses
+    std::int64_t duplicates = 0;   ///< injected duplicate arrivals (deduped)
+    std::int64_t delays = 0;       ///< injected delivery delays
+    std::int64_t retransmits = 0;  ///< resends after a loss
+    std::int64_t delayTicks = 0;   ///< simulated ticks lost to delays
+    std::int64_t backoffTicks = 0; ///< simulated ticks lost to backoff
+};
+
+/// Reliable delivery over the simulator's lossy-network mode.
+///
+/// The SPMD simulator's element transfers are logical messages; when a
+/// fault spec configures `net.drop` / `net.dup` / `net.delay`, each
+/// delivery runs a miniature ack + retransmit protocol: the sender
+/// retries a lost message with bounded exponential backoff, duplicate
+/// arrivals are discarded by sequence number (which also subsumes a
+/// lost ack — the receiver has the data, the resent copy dedups), and
+/// injected delays consume the per-transfer tick budget. The payload of
+/// every attempt is identical, so a recovered transfer delivers exactly
+/// the value the fault-free run would — results cannot drift, only the
+/// transport's own stats do.
+///
+/// deliver() throws SimFault when the attempt or tick budget is
+/// exhausted: an unrecoverable network is a typed error, never silently
+/// missing data. All calls happen on the simulator's main thread in
+/// deterministic merge order, so a fixed seed reproduces the exact
+/// fault schedule.
+class ReliableTransport {
+public:
+    ReliableTransport(const FaultInjector& faults, TransportConfig cfg);
+
+    /// Simulate reliable delivery of the next logical message; `what`
+    /// tags the SimFault on failure (evaluated lazily — no cost on the
+    /// success path).
+    void deliver(const char* what);
+
+    [[nodiscard]] const TransportStats& stats() const { return stats_; }
+    /// Sequence number of the next logical message (== messages so far).
+    [[nodiscard]] std::int64_t seq() const { return stats_.messages; }
+
+private:
+    TransportConfig cfg_;
+    TransportStats stats_;
+    FaultSite* drop_;
+    FaultSite* dup_;
+    FaultSite* delay_;
+};
+
+}  // namespace phpf

@@ -56,14 +56,43 @@ void collectFetchRefs(const Expr* e, std::vector<const Expr*>& out) {
     }
 }
 
+/// Pops the back of `v` on scope exit when non-null; keeps the control
+/// stack balanced on every exit path (return, GotoSignal, CrashSignal).
+template <typename V>
+class FramePop {
+public:
+    explicit FramePop(V* v) : v_(v) {}
+    ~FramePop() {
+        if (v_ != nullptr) v_->pop_back();
+    }
+    FramePop(const FramePop&) = delete;
+    FramePop& operator=(const FramePop&) = delete;
+
+private:
+    V* v_;
+};
+
 }  // namespace
 
 SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
-                             int threads)
+                             int threads, SimRecoveryConfig recovery)
     : low_(low), prog_(low.program()), oracle_(prog_),
       procCount_(low.dataMapping().grid().totalProcs()),
       elemBytes_(elemBytes),
       threads_(resolveThreadCount(threads, procCount_)) {
+    rcfg_ = std::move(recovery);
+    if (rcfg_.faults != nullptr && rcfg_.faults->enabled()) {
+        const FaultInjector& inj = *rcfg_.faults;
+        if (inj.find(faultsite::kNetDrop) != nullptr ||
+            inj.find(faultsite::kNetDup) != nullptr ||
+            inj.find(faultsite::kNetDelay) != nullptr)
+            transport_ =
+                std::make_unique<ReliableTransport>(inj, rcfg_.transport);
+        crashSite_ = inj.find(faultsite::kProcCrash);
+    }
+    // Control frames are needed exactly when a checkpoint can be taken.
+    trackCtrl_ = crashSite_ != nullptr || rcfg_.checkpointEvery > 0;
+    boundaryArmed_ = trackCtrl_ || rcfg_.cancel.armed();
     procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
     procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
     if (threads_ > 1) pool_ = std::make_unique<LockstepPool>(threads_);
@@ -378,6 +407,11 @@ void SpmdSimulator::mergeWorkers() {
             procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
                                                          pw.v);
         for (const MissRecord& m : ws.misses) {
+            // Lossy-network mode: every element transfer rides the
+            // reliable transport. Polled here, on the main thread in
+            // deterministic merge order, so a fixed seed reproduces the
+            // exact fault schedule for any worker-thread count.
+            if (transport_ != nullptr) transport_->deliver("element transfer");
             ++transfers_;
             ++elemsPerOp_[static_cast<size_t>(m.op->id)];
             ++procMetrics_[static_cast<size_t>(m.proc)].recvElements;
@@ -392,6 +426,7 @@ void SpmdSimulator::mergeWorkers() {
 void SpmdSimulator::execStmt(const Stmt* s) {
     switch (s->kind) {
         case StmtKind::Assign: {
+            if (boundaryArmed_) boundary(s);
             const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
             const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
@@ -415,6 +450,7 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             break;
         }
         case StmtKind::If: {
+            if (boundaryArmed_) boundary(s);
             const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
             const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
@@ -422,6 +458,13 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             evalPhase(plan, execs, s->cond);  // predicate comm
             mergeWorkers();
             const bool taken = oracle_.eval(s->cond) != 0.0;
+            if (trackCtrl_) {
+                CtrlFrame f;
+                f.stmt = s;
+                f.taken = taken;
+                ctrl_.push_back(f);
+            }
+            FramePop pop{trackCtrl_ ? &ctrl_ : nullptr};
             if (taken)
                 execBlock(s->thenBody);
             else
@@ -433,49 +476,29 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             const auto ub = oracle_.evalIndex(s->ub);
             const auto step =
                 s->step != nullptr ? oracle_.evalIndex(s->step) : std::int64_t{1};
-            for (std::int64_t iv = lb; step > 0 ? iv <= ub : iv >= ub;
-                 iv += step) {
-                oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
-                for (int p = 0; p < procCount_; ++p)
-                    procStore_[static_cast<size_t>(p)].set(
-                        s->loopVar, 0, static_cast<double>(iv));
-                try {
-                    execBlock(s->body);
-                } catch (GotoSignal& g) {
-                    bool handled = false;
-                    for (size_t i = 0; i < s->body.size(); ++i) {
-                        if (s->body[i]->label == g.label) {
-                            std::vector<Stmt*> rest(
-                                s->body.begin() + static_cast<std::ptrdiff_t>(i),
-                                s->body.end());
-                            execBlock(rest);
-                            handled = true;
-                            break;
-                        }
-                    }
-                    if (!handled) throw;
-                }
+            if (trackCtrl_) {
+                // Bounds captured as evaluated at loop entry; a resumed
+                // loop iterates exactly as the original would have.
+                CtrlFrame f;
+                f.stmt = s;
+                f.iv = lb;
+                f.ub = ub;
+                f.step = step;
+                ctrl_.push_back(f);
             }
-            // Apply global combining for reductions whose nest just ended.
-            for (const CombinePlan& c :
-                 plans_[static_cast<size_t>(s->id)].combines) {
-                const CommOp& op = *c.op;
-                const double v = oracle_.eval(op.ref);
-                for (int p = 0; p < procCount_; ++p)
-                    procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
-                if (c.red->locScalar != kNoSymbol) {
-                    const double lv = oracle_.store().get(c.red->locScalar);
+            {
+                FramePop pop{trackCtrl_ ? &ctrl_ : nullptr};
+                for (std::int64_t iv = lb; step > 0 ? iv <= ub : iv >= ub;
+                     iv += step) {
+                    if (trackCtrl_) ctrl_.back().iv = iv;
+                    oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
                     for (int p = 0; p < procCount_; ++p)
                         procStore_[static_cast<size_t>(p)].set(
-                            c.red->locScalar, 0, lv);
+                            s->loopVar, 0, static_cast<double>(iv));
+                    execLoopBody(s);
                 }
-                noteEvent(&op);
-                ++transfers_;
-                ++elemsPerOp_[static_cast<size_t>(op.id)];
-                // The combine delivers the global result everywhere.
-                for (int p = 0; p < procCount_; ++p)
-                    ++procMetrics_[static_cast<size_t>(p)].recvElements;
             }
+            runCombines(s);
             break;
         }
         case StmtKind::Goto:
@@ -485,8 +508,54 @@ void SpmdSimulator::execStmt(const Stmt* s) {
     }
 }
 
+void SpmdSimulator::execLoopBody(const Stmt* s) {
+    try {
+        execBlock(s->body);
+    } catch (GotoSignal& g) {
+        for (size_t i = 0; i < s->body.size(); ++i) {
+            if (s->body[i]->label == g.label) {
+                std::vector<Stmt*> rest(
+                    s->body.begin() + static_cast<std::ptrdiff_t>(i),
+                    s->body.end());
+                execBlock(rest);
+                return;
+            }
+        }
+        throw;
+    }
+}
+
+void SpmdSimulator::runCombines(const Stmt* s) {
+    // Apply global combining for reductions whose nest just ended.
+    for (const CombinePlan& c : plans_[static_cast<size_t>(s->id)].combines) {
+        const CommOp& op = *c.op;
+        // The combine is a global communication event; it rides the
+        // reliable transport like any other transfer.
+        if (transport_ != nullptr) transport_->deliver("reduction combine");
+        const double v = oracle_.eval(op.ref);
+        for (int p = 0; p < procCount_; ++p)
+            procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
+        if (c.red->locScalar != kNoSymbol) {
+            const double lv = oracle_.store().get(c.red->locScalar);
+            for (int p = 0; p < procCount_; ++p)
+                procStore_[static_cast<size_t>(p)].set(c.red->locScalar, 0, lv);
+        }
+        noteEvent(&op);
+        ++transfers_;
+        ++elemsPerOp_[static_cast<size_t>(op.id)];
+        // The combine delivers the global result everywhere.
+        for (int p = 0; p < procCount_; ++p)
+            ++procMetrics_[static_cast<size_t>(p)].recvElements;
+    }
+}
+
 void SpmdSimulator::execBlock(const std::vector<Stmt*>& block) {
-    for (size_t i = 0; i < block.size(); ++i) {
+    execBlockFrom(block, 0);
+}
+
+void SpmdSimulator::execBlockFrom(const std::vector<Stmt*>& block,
+                                  size_t start) {
+    for (size_t i = start; i < block.size(); ++i) {
         try {
             execStmt(block[i]);
         } catch (GotoSignal& g) {
@@ -501,6 +570,148 @@ void SpmdSimulator::execBlock(const std::vector<Stmt*>& block) {
             if (!handled) throw;
         }
     }
+}
+
+void SpmdSimulator::boundary(const Stmt* s) {
+    if (rcfg_.cancel.cancelled())
+        throw SimFault(faultsite::kSimCancel,
+                       "simulation cancelled after " +
+                           std::to_string(instances_) +
+                           " statement instances (deadline or explicit "
+                           "cancellation)");
+    ++instances_;
+    // Crash before checkpointing: the site's poll counter advances even
+    // across restores (injector state is deliberately not checkpointed),
+    // so a replay eventually gets past a firing poll — no livelock.
+    if (FaultInjector::poll(crashSite_)) throw CrashSignal{};
+    if (rcfg_.checkpointEvery > 0 && instances_ % rcfg_.checkpointEvery == 0)
+        takeCheckpoint(s);
+}
+
+void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
+    std::vector<CtrlFrame> path = ctrl_;
+    if (boundaryStmt != nullptr) {
+        // The boundary statement has not executed yet (the hook runs
+        // before any of its side effects), so it re-executes on resume.
+        CtrlFrame f;
+        f.stmt = boundaryStmt;
+        path.push_back(f);
+    }
+    ckpt_ = std::make_unique<Checkpoint>(Checkpoint{
+        procStore_, oracle_.store(), oracle_.statementsExecuted(),
+        procMetrics_, transfers_, procStmts_, instances_, events_,
+        eventsPerOp_, elemsPerOp_, std::move(path)});
+    ++checkpointsTaken_;
+}
+
+void SpmdSimulator::restoreCheckpoint() {
+    PHPF_ASSERT(ckpt_ != nullptr, "restore without a checkpoint");
+    const Checkpoint& ck = *ckpt_;
+    procStore_ = ck.procStore;
+    oracle_.store() = ck.oracleStore;
+    oracle_.setStatementsExecuted(ck.oracleExecuted);
+    procMetrics_ = ck.procMetrics;
+    transfers_ = ck.transfers;
+    procStmts_ = ck.procStmts;
+    instances_ = ck.instances;
+    events_ = ck.events;
+    eventsPerOp_ = ck.eventsPerOp;
+    elemsPerOp_ = ck.elemsPerOp;
+    // The control stack is rebuilt by the resume navigation; worker
+    // scratch holds no state at a statement boundary, but clear it
+    // defensively.
+    ctrl_.clear();
+    for (WorkerScratch& w : workers_) {
+        w.pending.clear();
+        w.misses.clear();
+        w.error = nullptr;
+    }
+}
+
+void SpmdSimulator::resumeInto(const std::vector<Stmt*>& block, size_t depth) {
+    const std::vector<CtrlFrame>& path = ckpt_->path;
+    PHPF_ASSERT(depth < path.size(), "resume path exhausted");
+    const CtrlFrame f = path[depth];  // copy: ckpt_ may be replaced below
+    size_t idx = block.size();
+    for (size_t i = 0; i < block.size(); ++i) {
+        if (block[i] == f.stmt) {
+            idx = i;
+            break;
+        }
+    }
+    PHPF_ASSERT(idx < block.size(),
+                "resume path statement not found in its block");
+    if (depth + 1 == path.size()) {
+        // The boundary statement itself: the checkpoint preceded its
+        // side effects, so re-execute it and the rest of the block.
+        execBlockFrom(block, idx);
+        return;
+    }
+    try {
+        if (f.stmt->kind == StmtKind::Do) {
+            resumeDo(f, depth);
+        } else {
+            PHPF_ASSERT(f.stmt->kind == StmtKind::If,
+                        "resume path frame is neither Do nor If");
+            // The If's own evaluation (predicate comm, accounting)
+            // happened before the checkpoint; descend straight into the
+            // branch that was in execution.
+            ctrl_.push_back(f);
+            FramePop pop{&ctrl_};
+            resumeInto(f.taken ? f.stmt->thenBody : f.stmt->elseBody,
+                       depth + 1);
+        }
+    } catch (GotoSignal& g) {
+        for (size_t j = idx + 1; j < block.size(); ++j) {
+            if (block[j]->label == g.label) {
+                execBlockFrom(block, j);
+                return;
+            }
+        }
+        throw;
+    }
+    execBlockFrom(block, idx + 1);
+}
+
+void SpmdSimulator::resumeDo(const CtrlFrame& f, size_t depth) {
+    const Stmt* s = f.stmt;
+    ctrl_.push_back(f);
+    {
+        FramePop pop{&ctrl_};
+        for (std::int64_t iv = f.iv; f.step > 0 ? iv <= f.ub : iv >= f.ub;
+             iv += f.step) {
+            ctrl_.back().iv = iv;
+            if (iv == f.iv) {
+                // The checkpointed iteration: its loop-variable stores
+                // are already part of the restored state; finish it from
+                // the recorded position.
+                try {
+                    resumeInto(s->body, depth + 1);
+                } catch (GotoSignal& g) {
+                    bool handled = false;
+                    for (size_t i = 0; i < s->body.size(); ++i) {
+                        if (s->body[i]->label == g.label) {
+                            std::vector<Stmt*> rest(
+                                s->body.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                s->body.end());
+                            execBlock(rest);
+                            handled = true;
+                            break;
+                        }
+                    }
+                    if (!handled) throw;
+                }
+                continue;
+            }
+            oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
+            for (int p = 0; p < procCount_; ++p)
+                procStore_[static_cast<size_t>(p)].set(
+                    s->loopVar, 0, static_cast<double>(iv));
+            execLoopBody(s);
+        }
+    }
+    runCombines(s);
 }
 
 void SpmdSimulator::run() {
@@ -538,7 +749,36 @@ void SpmdSimulator::run() {
         };
         rec(0);
     }
-    execBlock(prog_.top);
+    recoveries_ = 0;
+    checkpointsTaken_ = 0;
+    instances_ = 0;
+    ctrl_.clear();
+    ckpt_.reset();
+    // With crash recovery armed, take the initial checkpoint right after
+    // initial distribution — a crash before the first periodic one
+    // replays from the start of the program.
+    if (crashSite_ != nullptr) takeCheckpoint(nullptr);
+    bool resuming = false;
+    for (;;) {
+        try {
+            if (resuming && !ckpt_->path.empty())
+                resumeInto(prog_.top, 0);
+            else
+                execBlock(prog_.top);
+            break;
+        } catch (CrashSignal&) {
+            ++recoveries_;
+            if (recoveries_ > rcfg_.maxRecoveries)
+                throw SimFault(
+                    faultsite::kProcCrash,
+                    "recovery budget exhausted (" +
+                        std::to_string(rcfg_.maxRecoveries) +
+                        " recoveries; " + std::to_string(checkpointsTaken_) +
+                        " checkpoints taken)");
+            restoreCheckpoint();
+            resuming = true;
+        }
+    }
     wallSec_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();

@@ -4,7 +4,10 @@
 #include <memory>
 
 #include "runtime/interp.h"
+#include "runtime/reliable_transport.h"
 #include "spmd/lowering.h"
+#include "support/cancellation.h"
+#include "support/fault.h"
 #include "support/interned_events.h"
 #include "support/parallel.h"
 
@@ -47,6 +50,31 @@ struct ProcSimMetrics {
     std::int64_t sentElements = 0;
 };
 
+/// Fault-injection and recovery configuration of one simulated run.
+/// Defaults leave the whole layer off: a default-constructed config
+/// costs the hot path one branch per statement instance and nothing
+/// else (bench/bench_fault_overhead.cpp enforces ≈0 overhead).
+struct SimRecoveryConfig {
+    /// Fault source; null disables injection entirely. The simulator
+    /// resolves the net.* sites into a reliable transport and the
+    /// proc.crash site into checkpoint-restore recovery.
+    const FaultInjector* faults = nullptr;
+    /// Checkpoint the full simulator state every N statement instances
+    /// (0 = only the initial checkpoint, taken whenever recovery can be
+    /// needed). A crash restores the latest checkpoint and replays —
+    /// deterministically, so results and all metrics stay bit-identical
+    /// to the fault-free run.
+    int checkpointEvery = 0;
+    /// proc.crash restore budget; exceeding it surfaces a SimFault.
+    int maxRecoveries = 64;
+    /// Retry/backoff/timeout budget of the reliable transport.
+    TransportConfig transport;
+    /// Polled at statement boundaries: a cancelled token (deadline or
+    /// explicit) stops the run with a SimFault at site "sim.cancel",
+    /// leaving no partially merged phase behind.
+    CancelToken cancel;
+};
+
 class SpmdSimulator {
 public:
     /// `elemBytes` is the machine element size used for byte accounting
@@ -55,8 +83,12 @@ public:
     /// else hardware_concurrency), always clamped to the processor
     /// count. Results are independent of the value.
     explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8,
-                           int threads = 1);
+                           int threads = 1, SimRecoveryConfig recovery = {});
 
+    /// Throws SimFault when injected faults exhaust the recovery budget
+    /// or the recovery cancel token fires; any other outcome (including
+    /// every recovered fault) leaves results and metrics bit-identical
+    /// to a fault-free run.
     void run();
 
     [[nodiscard]] int procCount() const { return procCount_; }
@@ -121,9 +153,59 @@ public:
         return procStmts_;
     }
 
+    /// True when a fault spec armed any part of the recovery layer.
+    [[nodiscard]] bool faultLayerActive() const {
+        return transport_ != nullptr || crashSite_ != nullptr;
+    }
+    /// Reliable-transport accounting (null when no net.* site armed).
+    [[nodiscard]] const TransportStats* transportStats() const {
+        return transport_ != nullptr ? &transport_->stats() : nullptr;
+    }
+    /// Successful proc.crash recoveries of the last run.
+    [[nodiscard]] int recoveries() const { return recoveries_; }
+    /// Checkpoints taken during the last run (initial one included).
+    [[nodiscard]] std::int64_t checkpointsTaken() const {
+        return checkpointsTaken_;
+    }
+
 private:
     struct GotoSignal {
         int label;
+    };
+    /// Thrown when the proc.crash site fires at a statement boundary;
+    /// run() restores the latest checkpoint and resumes.
+    struct CrashSignal {};
+
+    /// One active control construct (Do or If) on the execution path.
+    /// The stack mirrors the C++ call stack of execStmt; a checkpoint
+    /// copies it (plus the boundary statement) as its resume path. Loop
+    /// frames capture the bounds *as evaluated at loop entry*, so a
+    /// resumed loop iterates exactly as the original would have.
+    struct CtrlFrame {
+        const Stmt* stmt = nullptr;
+        bool taken = false;  ///< If: branch in execution
+        std::int64_t iv = 0, ub = 0, step = 1;  ///< Do: current/captured
+    };
+
+    /// Full simulator state at one statement boundary. Restoring it and
+    /// replaying is deterministic: the stores define all values, the
+    /// event set / counters define all accounting, and the resume path
+    /// pins the control position — so a recovered run re-produces the
+    /// fault-free run bit for bit.
+    struct Checkpoint {
+        std::vector<Store> procStore;
+        Store oracleStore;
+        std::int64_t oracleExecuted = 0;
+        std::vector<ProcSimMetrics> procMetrics;
+        std::int64_t transfers = 0;
+        std::int64_t procStmts = 0;
+        std::int64_t instances = 0;
+        InternedEventSet events;
+        std::vector<std::int64_t> eventsPerOp;
+        std::vector<std::int64_t> elemsPerOp;
+        /// Enclosing Do/If frames + the boundary statement last; empty
+        /// = start of the program.
+        std::vector<CtrlFrame> path;
     };
 
     /// A reduction's global combine applied at the end of one loop nest.
@@ -175,7 +257,25 @@ private:
 
     void buildPlans();
     void execBlock(const std::vector<Stmt*>& block);
+    /// execBlock starting at `start` (resume + goto continuation).
+    void execBlockFrom(const std::vector<Stmt*>& block, size_t start);
     void execStmt(const Stmt* s);
+    /// One iteration of Do statement `s`'s body, with the forward-goto
+    /// continuation handling.
+    void execLoopBody(const Stmt* s);
+    /// Loop-end global reduction combines of `s` (a Do statement).
+    void runCombines(const Stmt* s);
+    /// Statement-boundary hook of the recovery layer: cancellation,
+    /// proc.crash polling, periodic checkpoints. Only called when
+    /// boundaryArmed_.
+    void boundary(const Stmt* s);
+    void takeCheckpoint(const Stmt* boundaryStmt);
+    void restoreCheckpoint();
+    /// Re-enter `block` along the checkpoint's resume path at `depth`.
+    void resumeInto(const std::vector<Stmt*>& block, size_t depth);
+    /// Resume a Do frame: finish the checkpointed iteration via the
+    /// path, then iterate on with the frame's captured bounds.
+    void resumeDo(const CtrlFrame& f, size_t depth);
     /// Set of linear proc ids executing statement `s` now. Returns a
     /// reference to a per-instance scratch (or the constant all-procs
     /// set); valid until the next call.
@@ -236,6 +336,22 @@ private:
     // --- current phase (set by evalPhase, read by workers) ---
     const std::vector<int>* phaseExecs_ = nullptr;
     const Expr* phaseExpr_ = nullptr;
+
+    // --- fault injection & recovery (all null/false when disabled) ---
+    SimRecoveryConfig rcfg_;
+    std::unique_ptr<ReliableTransport> transport_;
+    FaultSite* crashSite_ = nullptr;
+    /// True when boundary() has any work (crash site, periodic
+    /// checkpoints, or an armed cancel token): the only per-statement
+    /// cost of the disabled layer is this one branch.
+    bool boundaryArmed_ = false;
+    /// Maintain ctrl_ frames (true iff a checkpoint can be taken).
+    bool trackCtrl_ = false;
+    std::int64_t instances_ = 0;  ///< statement-boundary counter
+    int recoveries_ = 0;
+    std::int64_t checkpointsTaken_ = 0;
+    std::vector<CtrlFrame> ctrl_;  ///< live Do/If frames (see CtrlFrame)
+    std::unique_ptr<Checkpoint> ckpt_;
 };
 
 }  // namespace phpf

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <future>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "programs/programs.h"
@@ -251,29 +252,75 @@ bool requestOfJob(const BatchJob& job, CompileRequest* out, std::string* err) {
 }
 
 BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
-                      std::ostream& out) {
+                      std::ostream& out, const BatchRunOptions& opts) {
     const auto t0 = std::chrono::steady_clock::now();
     BatchOutcome outcome;
     outcome.jobs = static_cast<int>(spec.jobs.size());
+
+    // Resume: collect the names already journaled by a previous
+    // (possibly killed) run. A torn final line — the crash happened
+    // mid-write — fails to parse and is simply not counted as done.
+    std::set<std::string> done;
+    if (opts.resume && !opts.journalPath.empty()) {
+        std::ifstream in(opts.journalPath);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            std::string perr;
+            const obs::Json row = obs::Json::parse(line, &perr);
+            if (!perr.empty() || !row.isObject()) continue;
+            if (row.find("summary") != nullptr) continue;
+            if (const obs::Json* v = row.find("job"))
+                done.insert(v->stringValue());
+        }
+    }
+    std::ofstream journal;
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, std::ios::app);
+
+    const FaultInjector* finj = opts.faults != nullptr
+                                    ? opts.faults
+                                    : FaultInjector::processIfEnabled();
+    FaultSite* abortSite =
+        finj != nullptr ? finj->find(faultsite::kBatchAbort) : nullptr;
 
     struct Pending {
         const BatchJob* job;
         std::shared_future<CompileResult> fut;
         std::string error;  ///< request construction failure
+        bool skipped = false;
     };
     std::vector<Pending> pending;
     pending.reserve(spec.jobs.size());
     for (const BatchJob& job : spec.jobs) {
         Pending p;
         p.job = &job;
-        CompileRequest req;
-        std::string err;
-        if (requestOfJob(job, &req, &err)) p.fut = svc.submit(std::move(req));
-        else p.error = std::move(err);
+        if (done.count(job.name) != 0) {
+            p.skipped = true;
+            ++outcome.skipped;
+        } else {
+            CompileRequest req;
+            std::string err;
+            if (requestOfJob(job, &req, &err))
+                p.fut = svc.submit(std::move(req));
+            else
+                p.error = std::move(err);
+        }
         pending.push_back(std::move(p));
     }
 
+    const auto emit = [&](const obs::Json& row) {
+        out << row.dump(-1) << "\n";
+        if (journal.is_open()) {
+            // Append + flush per row: everything this run completed
+            // survives a kill at any point.
+            journal << row.dump(-1) << "\n";
+            journal.flush();
+        }
+    };
+
     for (const Pending& p : pending) {
+        if (p.skipped) continue;
         obs::Json row = obs::Json::object();
         row.set("job", p.job->name);
         obs::Json grid = obs::Json::array();
@@ -281,15 +328,18 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
         row.set("grid", std::move(grid));
         if (!p.error.empty()) {
             row.set("status", "bad-request");
+            row.set("code", errorCodeName(ErrorCode::EmptyRequest));
             row.set("error", p.error);
             ++outcome.failed;
-            out << row.dump(-1) << "\n";
+            emit(row);
             continue;
         }
         const CompileResult r = p.fut.get();
         row.set("status", statusName(r.status));
+        row.set("code", errorCodeName(r.code));
         row.set("cache_hit", r.cacheHit);
         row.set("coalesced", r.coalesced);
+        if (r.retries > 0) row.set("retries", r.retries);
         row.set("parse_us", r.parseUs);
         row.set("compile_us", r.compileUs);
         row.set("total_us", r.totalUs);
@@ -313,7 +363,15 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
             ++outcome.failed;
             row.set("error", r.error);
         }
-        out << row.dump(-1) << "\n";
+        emit(row);
+        // Simulated kill of the batch runner: stop right after a row
+        // hit the journal — no summary, later jobs never awaited. The
+        // deterministic stand-in for SIGKILL that the resume tests and
+        // the CI round-trip drive.
+        if (FaultInjector::poll(abortSite)) {
+            outcome.aborted = true;
+            break;
+        }
     }
 
     outcome.wallSec =
@@ -322,6 +380,7 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
                 std::chrono::steady_clock::now() - t0)
                 .count()) /
         1e6;
+    if (outcome.aborted) return outcome;
 
     obs::Json summary = obs::Json::object();
     summary.set("summary", true);
@@ -332,6 +391,7 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
     summary.set("failed", outcome.failed);
     summary.set("cache_hits", outcome.cacheHits);
     summary.set("coalesced_joins", outcome.coalesced);
+    summary.set("skipped", outcome.skipped);
     summary.set("wall_sec", outcome.wallSec);
     summary.set("service", svc.metricsJson());
     out << summary.dump(-1) << "\n";

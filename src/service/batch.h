@@ -50,7 +50,29 @@ struct BatchOutcome {
     int failed = 0;  ///< parse errors, deadline misses, internal errors
     int cacheHits = 0;
     int coalesced = 0;
+    int skipped = 0;  ///< resumed: journal already had the row
+    /// True when the batch.abort fault site killed the run mid-matrix
+    /// (the simulated crash of the batch runner: later rows were never
+    /// awaited and no summary was written).
+    bool aborted = false;
     double wallSec = 0;
+};
+
+/// Crash-safety knobs of one runBatch() invocation.
+struct BatchRunOptions {
+    /// Append every completed job row to this JSONL file, flushed
+    /// before the next result is awaited — a killed run leaves a valid
+    /// journal of everything it finished. Empty disables journaling.
+    /// The journal holds job rows only (never the summary row), so
+    /// resuming from it is a pure name-set lookup.
+    std::string journalPath;
+    /// Skip jobs that already have a row in the journal: a kill +
+    /// `--resume` sequence completes the matrix with each job having
+    /// run exactly once.
+    bool resume = false;
+    /// Fault source for the batch.abort site (null = the process-wide
+    /// injector).
+    const FaultInjector* faults = nullptr;
 };
 
 /// Run every job through the service concurrently (submit() on the
@@ -58,6 +80,6 @@ struct BatchOutcome {
 /// order, then a final summary row ({"summary": true, ...}) carrying
 /// the service metrics snapshot.
 BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
-                      std::ostream& out);
+                      std::ostream& out, const BatchRunOptions& opts = {});
 
 }  // namespace phpf::service

@@ -1,5 +1,7 @@
 #include "service/compile_service.h"
 
+#include <thread>
+
 #include "frontend/parser.h"
 #include "service/fingerprint.h"
 #include "spmd/spmd_text.h"
@@ -14,6 +16,29 @@ double usSince(std::chrono::steady_clock::time_point t0) {
                    std::chrono::steady_clock::now() - t0)
                    .count()) /
            1000.0;
+}
+
+/// Fresh Program for a retry attempt; the failed attempt may have
+/// mutated (or adopted) the one it ran on. Null when re-production
+/// fails — the caller then keeps the previous result.
+std::unique_ptr<Program> remakeProgram(const CompileRequest& req) {
+    std::unique_ptr<Program> prog;
+    if (!req.source.empty()) {
+        DiagEngine diags;
+        Parser parser(req.source, diags);
+        prog = std::make_unique<Program>(parser.parse());
+        if (diags.hasErrors()) return nullptr;
+    } else if (req.build) {
+        try {
+            prog = std::make_unique<Program>(req.build());
+        } catch (const std::exception&) {
+            return nullptr;
+        }
+    } else {
+        return nullptr;
+    }
+    prog->finalize();
+    return prog;
 }
 
 }  // namespace
@@ -31,7 +56,14 @@ const char* statusName(CompileStatus s) {
 CompileService::CompileService(ServiceConfig cfg)
     : cfg_(cfg),
       cache_(cfg.cacheCapacity, cfg.cacheShards),
-      pool_(std::make_unique<TaskPool>(resolveThreadCount(cfg.workers, 8))) {}
+      pool_(std::make_unique<TaskPool>(resolveThreadCount(cfg.workers, 8))) {
+    const FaultInjector* faults =
+        cfg_.faults != nullptr ? cfg_.faults : FaultInjector::processIfEnabled();
+    if (faults != nullptr) {
+        transientSite_ = faults->find(faultsite::kSvcTransient);
+        memPressureSite_ = faults->find(faultsite::kSvcMemPressure);
+    }
+}
 
 CompileService::~CompileService() { pool_->drain(); }
 
@@ -78,6 +110,7 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
         prog = std::make_unique<Program>(parser.parse());
         if (diags.hasErrors()) {
             r.status = CompileStatus::ParseError;
+            r.code = ErrorCode::ParseError;
             r.error = diags.dump();
             r.parseUs = usSince(parse0);
             return finish(std::move(r));
@@ -87,12 +120,14 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
             prog = std::make_unique<Program>(req.build());
         } catch (const std::exception& e) {
             r.status = CompileStatus::Error;
+            r.code = ErrorCode::BuilderFailed;
             r.error = std::string("builder failed: ") + e.what();
             r.parseUs = usSince(parse0);
             return finish(std::move(r));
         }
     } else {
         r.status = CompileStatus::Error;
+        r.code = ErrorCode::EmptyRequest;
         r.error = "empty request: neither source nor builder set";
         return finish(std::move(r));
     }
@@ -105,22 +140,36 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
     // --- cache -------------------------------------------------------
     if (auto hit = cache_.get(key)) {
         r.status = CompileStatus::Ok;
+        r.code = ErrorCode::None;
         r.artifact = std::move(hit);
         r.cacheHit = true;
         return finish(std::move(r));
     }
 
     // --- coalesce with an identical in-flight compile ----------------
+    // Joiners only ever adopt a *successful* leader result: adopting a
+    // failure would fan one transient hiccup out to every waiter. A
+    // joiner that observes a failed leader loops back and compiles for
+    // itself (the bound only guards against a pathological key that
+    // fails forever under heavy contention).
     std::shared_ptr<Inflight> mine;
-    {
-        std::unique_lock<std::mutex> lock(inflightMu_);
-        auto it = inflight_.find(key);
-        if (it != inflight_.end()) {
-            std::shared_ptr<Inflight> theirs = it->second;
-            lock.unlock();
-            std::unique_lock<std::mutex> wait(theirs->mu);
-            theirs->cv.wait(wait, [&] { return theirs->done; });
-            CompileResult joined = theirs->result;
+    for (int joins = 0; mine == nullptr; ++joins) {
+        std::shared_ptr<Inflight> theirs;
+        {
+            std::unique_lock<std::mutex> lock(inflightMu_);
+            auto it = inflight_.find(key);
+            if (it == inflight_.end()) {
+                mine = std::make_shared<Inflight>();
+                inflight_.emplace(key, mine);
+                break;
+            }
+            theirs = it->second;
+        }
+        std::unique_lock<std::mutex> wait(theirs->mu);
+        theirs->cv.wait(wait, [&] { return theirs->done; });
+        CompileResult joined = theirs->result;
+        wait.unlock();
+        if (joined.status == CompileStatus::Ok || joins >= 4) {
             joined.coalesced = true;
             joined.cacheHit = false;
             joined.key = key;
@@ -128,8 +177,6 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
             joined.compileUs = 0;
             return finish(std::move(joined));
         }
-        mine = std::make_shared<Inflight>();
-        inflight_.emplace(key, mine);
     }
 
     // A leader may have published between our cache miss and the
@@ -137,11 +184,12 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
     // recompiling.
     if (auto hit = cache_.get(key, /*countMiss=*/false)) {
         r.status = CompileStatus::Ok;
+        r.code = ErrorCode::None;
         r.artifact = std::move(hit);
         r.cacheHit = true;
     } else {
         const double parseUs = r.parseUs;
-        r = runJob(req, key, std::move(prog), diags, submitted);
+        r = runJobWithRetry(req, key, std::move(prog), diags, submitted);
         r.parseUs = parseUs;
     }
 
@@ -168,6 +216,18 @@ CompileResult CompileService::runJob(const CompileRequest& req,
     r.key = key;
     const Clock::time_point compile0 = Clock::now();
 
+    // Injected transient failure (svc.transient): the job dies before
+    // doing any work, exactly like a worker lost to the environment.
+    // The retry wrapper re-runs it; what must NOT happen is this result
+    // reaching the artifact cache.
+    if (FaultInjector::poll(transientSite_)) {
+        r.status = CompileStatus::Error;
+        r.code = ErrorCode::TransientFault;
+        r.error = "injected transient service fault (site svc.transient)";
+        r.compileUs = usSince(compile0);
+        return r;
+    }
+
     CancelSource cancel;
     if (req.deadlineMs > 0)
         cancel.setDeadlineAfter(std::chrono::milliseconds(req.deadlineMs) -
@@ -183,6 +243,7 @@ CompileResult CompileService::runJob(const CompileRequest& req,
                              std::move(session));
         if (!pipe.run()) {
             r.status = CompileStatus::DeadlineExceeded;
+            r.code = ErrorCode::DeadlineExceeded;
             r.error = "deadline of " + std::to_string(req.deadlineMs) +
                       " ms exceeded before stage '" +
                       stageName(pipe.next()) + "'";
@@ -215,15 +276,76 @@ CompileResult CompileService::runJob(const CompileRequest& req,
             }
         }
 
-        cache_.put(key, artifact);
+        // Memory-pressure hook: when the svc.mem_pressure site fires,
+        // shed the LRU before growing it with this artifact.
+        if (FaultInjector::poll(memPressureSite_)) shedCache();
+
         r.status = CompileStatus::Ok;
+        r.code = ErrorCode::None;
         r.artifact = std::move(artifact);
+    } catch (const SimFault& e) {
+        // A cancelled/faulted embedded simulation is a typed outcome,
+        // not an internal error.
+        r.status = e.site() == faultsite::kSimCancel
+                       ? CompileStatus::DeadlineExceeded
+                       : CompileStatus::Error;
+        r.code = e.site() == faultsite::kSimCancel
+                     ? ErrorCode::DeadlineExceeded
+                     : ErrorCode::TransientFault;
+        r.error = e.what();
     } catch (const std::exception& e) {
         r.status = CompileStatus::Error;
+        r.code = ErrorCode::Internal;
         r.error = e.what();
     }
+    // Cache-poisoning guard: publication is the only put, and it is
+    // gated on a fully assembled Ok artifact — a failure of any class
+    // must never be served to a later identical request.
+    if (r.status == CompileStatus::Ok && r.artifact != nullptr)
+        cache_.put(key, r.artifact);
     r.compileUs = usSince(compile0);
     return r;
+}
+
+CompileResult CompileService::runJobWithRetry(const CompileRequest& req,
+                                              const std::string& key,
+                                              std::unique_ptr<Program> prog,
+                                              DiagEngine& diags,
+                                              Clock::time_point submitted) {
+    CompileResult r = runJob(req, key, std::move(prog), diags, submitted);
+    for (int attempt = 1;
+         attempt <= cfg_.maxRetries && isTransient(r.code); ++attempt) {
+        {
+            std::lock_guard<std::mutex> lock(metricsMu_);
+            registry_.counter("service.transient_faults").add();
+            registry_.counter("service.retries").add();
+        }
+        if (cfg_.retryBackoffMs > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                cfg_.retryBackoffMs << std::min(attempt - 1, 20)));
+        std::unique_ptr<Program> fresh = remakeProgram(req);
+        if (fresh == nullptr) break;  // keep the transient failure result
+        CompileResult next = runJob(req, key, std::move(fresh), diags,
+                                    submitted);
+        next.retries = attempt;
+        r = std::move(next);
+    }
+    if (isTransient(r.code)) {
+        // Exhausted the budget while still transient: count the final
+        // failure too, so the metric reflects every transient outcome.
+        std::lock_guard<std::mutex> lock(metricsMu_);
+        registry_.counter("service.transient_faults").add();
+    }
+    return r;
+}
+
+std::size_t CompileService::shedCache(std::size_t targetEntries) {
+    const std::size_t dropped = cache_.shed(targetEntries);
+    std::lock_guard<std::mutex> lock(metricsMu_);
+    registry_.counter("service.cache.shed").add();
+    registry_.counter("service.cache.shed_entries")
+        .add(static_cast<std::int64_t>(dropped));
+    return dropped;
 }
 
 void CompileService::recordOutcome(const CompileResult& r) {
@@ -276,6 +398,9 @@ ServiceStats CompileService::stats() const {
     s.parseErrors = get("service.parse_errors");
     s.deadlineExceeded = get("service.deadline_exceeded");
     s.errors = get("service.errors");
+    s.retries = get("service.retries");
+    s.transientFaults = get("service.transient_faults");
+    s.shedEntries = get("service.cache.shed_entries");
     return s;
 }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 
 namespace phpf {
 
@@ -179,13 +180,33 @@ void TaskPool::workerMain() {
             queue_.pop_front();
             active_.fetch_add(1, std::memory_order_relaxed);
         }
-        task();
+        // An exception escaping into std::thread is std::terminate for
+        // the whole process; swallow it here so one bad job costs one
+        // result, not the pool.
+        std::string error;
+        try {
+            task();
+        } catch (const std::exception& e) {
+            error = e.what();
+            if (error.empty()) error = "exception with empty message";
+        } catch (...) {
+            error = "unknown exception";
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (!error.empty()) {
+                failures_.fetch_add(1, std::memory_order_relaxed);
+                lastError_ = std::move(error);
+            }
             active_.fetch_sub(1, std::memory_order_relaxed);
         }
         idleCv_.notify_all();
     }
+}
+
+std::string TaskPool::lastError() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lastError_;
 }
 
 std::int64_t LockstepPool::busyNs() const {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -103,6 +104,14 @@ private:
 /// tasks. Built for the compile service: jobs are milliseconds long, so
 /// a plain mutex + condition variable queue is nowhere near the
 /// bottleneck.
+///
+/// A task that throws does not kill its worker (an escaped exception
+/// from a std::thread is std::terminate): the pool swallows it, records
+/// it in failures()/lastError(), and the worker moves on to the next
+/// task. Callers that need the error itself should catch inside the
+/// task (the service wraps every job in its own handler); the pool's
+/// counter is the backstop that keeps one bad job from taking down the
+/// other workers' lanes.
 class TaskPool {
 public:
     /// `threads` workers are spawned eagerly; values < 1 are treated
@@ -128,6 +137,15 @@ public:
     /// Block until the queue is empty and no task is executing.
     void drain();
 
+    /// Tasks that escaped with an exception (and were swallowed to keep
+    /// the worker alive).
+    [[nodiscard]] std::int64_t failures() const {
+        return failures_.load(std::memory_order_relaxed);
+    }
+    /// what() of the most recent escaped exception ("unknown exception"
+    /// for non-std throws); empty when failures() == 0.
+    [[nodiscard]] std::string lastError() const;
+
 private:
     void workerMain();
 
@@ -137,6 +155,8 @@ private:
     std::condition_variable idleCv_;   ///< drain() waits for quiescence
     std::deque<std::function<void()>> queue_;
     std::atomic<int> active_{0};
+    std::atomic<std::int64_t> failures_{0};
+    std::string lastError_;  ///< guarded by mutex_
     bool stop_ = false;
     std::vector<std::thread> threads_;
 };

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "driver/compiler.h"
@@ -103,6 +104,40 @@ TEST(ParallelFor, SumsMatchAcrossPoolSizes) {
     EXPECT_EQ(sumWith(nullptr), expect);
     LockstepPool pool(4);
     EXPECT_EQ(sumWith(&pool), expect);
+}
+
+TEST(TaskPool, ThrowingTaskDoesNotKillWorkers) {
+    TaskPool pool(2);
+    std::atomic<int> ran{0};
+    // A throwing task escaping into std::thread would terminate the
+    // process; the pool must swallow it, count it, and keep serving.
+    pool.post([] { throw std::runtime_error("job 1 exploded"); });
+    pool.post([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(pool.failures(), 1);
+    EXPECT_EQ(pool.lastError(), "job 1 exploded");
+    pool.post([] { throw 42; });  // non-std throw
+    pool.post([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(pool.failures(), 2);
+    EXPECT_EQ(pool.lastError(), "unknown exception");
+    // The pool is still alive after the failures.
+    pool.post([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(pool.failures(), 2);
+}
+
+TEST(TaskPool, CleanRunRecordsNoFailures) {
+    TaskPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) pool.post([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_EQ(pool.failures(), 0);
+    EXPECT_TRUE(pool.lastError().empty());
 }
 
 TEST(ContextInterner, StableDenseIds) {
