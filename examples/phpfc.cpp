@@ -3,11 +3,13 @@
 //   phpfc FILE.hpf [--procs NxM] [--report] [--lower] [--cost]
 //         [--report=FILE.json] [--trace=FILE.json] [--no-sim]
 //         [--sim-threads=N] [--faults=SPEC] [--retry=N]
-//         [--checkpoint-every=N]
+//         [--checkpoint-every=N] [--serve-metrics=PORT]
+//         [--flight-recorder=FILE.jsonl]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
 //   phpfc --batch=JOBS.json [--workers=N] [--cache-capacity=N]
 //         [--journal=FILE.jsonl] [--resume] [--faults=SPEC] [--retry=N]
+//         [--serve-metrics=PORT] [--flight-recorder=FILE.jsonl]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
@@ -31,23 +33,42 @@
 // row per completed job (crash-safe) and `--resume` skips jobs already
 // journaled. Exit codes: 0 ok, 1 job failures, 2 usage, 3 batch
 // aborted mid-run (batch.abort fault).
+//
+// Telemetry: `--serve-metrics=PORT` starts the loopback HTTP exposition
+// endpoint (GET /metrics Prometheus text, /healthz liveness JSON,
+// /report run/metrics JSON) and keeps the process alive after the work
+// finishes until GET /quitquitquit — scripts scrape, then release.
+// PORT 0 binds an ephemeral port; the bound port is printed on stderr.
+// `--flight-recorder=FILE` arms the in-memory flight recorder and dumps
+// its event ring (faults fired, retries, evictions, checkpoints) to
+// FILE as JSONL when a simulation fault escapes, a batch job fails, or
+// the batch aborts. `--faults=...` arms the recorder even without a
+// dump file so /report and post-mortem tooling can read it.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <iostream>
 
 #include "driver/compiler.h"
 #include "frontend/parser.h"
 #include "ir/printer.h"
+#include "obs/chrome_trace.h"
+#include "obs/concurrent_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/batch.h"
 #include "service/compile_service.h"
+#include "service/http_exposition.h"
 #include "spmd/cost_report.h"
 #include "spmd/spmd_text.h"
+#include "support/thread_registry.h"
 
 using namespace phpf;
 
@@ -78,12 +99,31 @@ void usage() {
                  "       phpfc --batch=JOBS.json [--workers=N] "
                  "[--cache-capacity=N]\n"
                  "             [--journal=FILE.jsonl] [--resume] "
-                 "[--faults=SPEC] [--retry=N]\n");
+                 "[--faults=SPEC] [--retry=N]\n"
+                 "       both: [--serve-metrics=PORT]  (0 = ephemeral; "
+                 "serves /metrics /healthz\n"
+                 "              /report until GET /quitquitquit)\n"
+                 "             [--flight-recorder=FILE.jsonl]\n");
+}
+
+/// Serve the attached registries until a scraper GETs /quitquitquit.
+/// This is how the CI smoke test (and any operator script) gets a
+/// deterministic window to curl the endpoints after the work lands,
+/// followed by a clean exit instead of a kill.
+void serveUntilQuit(service::MetricsHttpServer& server) {
+    std::fprintf(stderr,
+                 "phpfc: serving http://127.0.0.1:%d/metrics "
+                 "(GET /quitquitquit to stop)\n",
+                 server.port());
+    while (!server.quitRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.stop();
 }
 
 int runBatchMode(const std::string& jobsFile, int workers,
                  std::size_t cacheCapacity, int retries,
-                 const std::string& journal, bool resume) {
+                 const std::string& journal, bool resume, int servePort,
+                 const std::string& flightFile) {
     service::BatchSpec spec;
     std::string err;
     if (!service::loadBatchFile(jobsFile, &spec, &err)) {
@@ -94,10 +134,36 @@ int runBatchMode(const std::string& jobsFile, int workers,
     cfg.workers = workers;
     if (cacheCapacity > 0) cfg.cacheCapacity = cacheCapacity;
     if (retries >= 0) cfg.maxRetries = retries;
+    obs::ConcurrentTracer ctracer;
+    cfg.tracer = &ctracer;
     service::CompileService svc(cfg);
+
+    service::MetricsHttpServer server(servePort);
+    if (servePort >= 0) {
+        server.addRegistry("phpf", &svc.metrics());
+        server.setHealthProvider([&svc] {
+            const service::ServiceStats st = svc.stats();
+            obs::Json h = obs::Json::object();
+            h.set("queue_depth", static_cast<std::int64_t>(st.queueDepth));
+            h.set("active_jobs", st.activeJobs);
+            h.set("workers", st.workers);
+            h.set("requests", st.requests);
+            return h;
+        });
+        server.setReportProvider([&svc] { return svc.metricsJson(); });
+        std::string serr;
+        if (!server.start(&serr)) {
+            std::fprintf(stderr, "phpfc: --serve-metrics: %s\n", serr.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "phpfc: metrics on http://127.0.0.1:%d\n",
+                     server.port());
+    }
+
     service::BatchRunOptions opts;
     opts.journalPath = journal;
     opts.resume = resume;
+    opts.flightRecorderPath = flightFile;
     const service::BatchOutcome outcome =
         service::runBatch(svc, spec, std::cout, opts);
     std::fprintf(stderr,
@@ -106,6 +172,7 @@ int runBatchMode(const std::string& jobsFile, int workers,
                  outcome.jobs, outcome.ok, outcome.failed, outcome.skipped,
                  outcome.cacheHits, outcome.coalesced, outcome.wallSec,
                  outcome.aborted ? " [aborted]" : "");
+    if (server.running()) serveUntilQuit(server);
     if (outcome.aborted) return 3;
     return outcome.failed == 0 ? 0 : 1;
 }
@@ -117,6 +184,7 @@ bool startsWith(const std::string& s, const char* prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    thread_registry::setCurrentName("main");
     std::string file;
     std::vector<int> grid{4};
     bool doReport = false, doLower = false, doCost = false, doSpmd = false;
@@ -131,6 +199,8 @@ int main(int argc, char** argv) {
     bool resume = false;
     int retries = -1;  ///< -1 = keep defaults
     int checkpointEvery = 0;
+    int servePort = -1;  ///< -1 = no exposition endpoint; 0 = ephemeral
+    std::string flightFile;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -154,6 +224,10 @@ int main(int argc, char** argv) {
             checkpointEvery = std::stoi(arg.substr(19));
         else if (startsWith(arg, "--journal="))
             journalFile = arg.substr(10);
+        else if (startsWith(arg, "--serve-metrics="))
+            servePort = std::stoi(arg.substr(16));
+        else if (startsWith(arg, "--flight-recorder="))
+            flightFile = arg.substr(18);
         else if (arg == "--resume") resume = true;
         else if (arg == "--report") doReport = true;
         else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
@@ -185,9 +259,16 @@ int main(int argc, char** argv) {
             file = arg;
         }
     }
+    // Arm the flight recorder whenever there is a dump destination or
+    // fault injection is live — the ring is cheap to fill and priceless
+    // when the injected fault actually escapes.
+    if (!flightFile.empty() || FaultInjector::processIfEnabled() != nullptr)
+        obs::FlightRecorder::global().setEnabled(true);
+
     if (!batchFile.empty())
         return runBatchMode(batchFile, batchWorkers, batchCacheCapacity,
-                            retries, journalFile, resume);
+                            retries, journalFile, resume, servePort,
+                            flightFile);
     if (file.empty()) {
         usage();
         return 2;
@@ -205,7 +286,12 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
 
     // One tracer covers the whole run so the front end's span lands on
-    // the same timeline as the compiler passes and the simulation.
+    // the same timeline as the compiler passes and the simulation. The
+    // concurrent tracer is the export timeline: pool workers record
+    // into it from their own threads, and the session tracer's spans
+    // are merged in before the Chrome trace is written.
+    obs::ConcurrentTracer ctracer;
+    obs::MetricRegistry runMetrics;
     auto tracer = std::make_shared<obs::Tracer>();
     DiagEngine diags;
     Program p = [&] {
@@ -240,23 +326,33 @@ int main(int argc, char** argv) {
                     report.str(p).c_str());
     }
 
-    if (!reportFile.empty()) {
-        // The JSON report carries per-processor metrics only when the
-        // functional simulation runs (zero-seeded inputs; message and
-        // guard accounting do not depend on values).
-        std::unique_ptr<SpmdSimulator> sim;
-        if (runSim) {
-            SimulationRequest sreq;
-            sreq.faults = FaultInjector::processIfEnabled();
-            sreq.checkpointEvery = checkpointEvery;
-            if (retries > 0) sreq.maxAttempts = retries;
-            try {
-                sim = c.simulate(sreq);
-            } catch (const SimFault& e) {
-                std::fprintf(stderr, "phpfc: %s\n", e.what());
-                return 1;
-            }
+    // The JSON report and the exposition endpoint carry per-processor
+    // metrics only when the functional simulation runs (zero-seeded
+    // inputs; message and guard accounting do not depend on values).
+    // The Chrome trace needs the run too: the per-worker thread rows
+    // are recorded by the simulator's pool from their own threads.
+    std::unique_ptr<SpmdSimulator> sim;
+    const bool wantSim =
+        runSim && (!reportFile.empty() || !traceFile.empty() || servePort >= 0);
+    if (wantSim) {
+        SimulationRequest sreq;
+        sreq.faults = FaultInjector::processIfEnabled();
+        sreq.checkpointEvery = checkpointEvery;
+        if (retries > 0) sreq.maxAttempts = retries;
+        sreq.metrics = &runMetrics;
+        sreq.ctracer = &ctracer;
+        try {
+            sim = c.simulate(sreq);
+        } catch (const SimFault& e) {
+            std::fprintf(stderr, "phpfc: %s\n", e.what());
+            if (!flightFile.empty() &&
+                obs::FlightRecorder::global().dumpJsonl(flightFile))
+                std::fprintf(stderr, "phpfc: flight recorder dumped to %s\n",
+                             flightFile.c_str());
+            return 1;
         }
+    }
+    if (!reportFile.empty()) {
         if (!c.writeReport(reportFile, sim.get())) {
             std::fprintf(stderr, "phpfc: cannot write %s\n",
                          reportFile.c_str());
@@ -265,13 +361,34 @@ int main(int argc, char** argv) {
         std::printf("run report written to %s\n", reportFile.c_str());
     }
     if (!traceFile.empty()) {
-        if (!c.writeChromeTrace(traceFile)) {
+        // Merge the session's per-pass spans onto the concurrent
+        // timeline, then export with real per-thread rows.
+        ctracer.importTracer(*tracer, {}, ctracer.nowNs() - tracer->nowNs());
+        if (!obs::writeChromeTrace(ctracer, traceFile, "phpfc " + p.name)) {
             std::fprintf(stderr, "phpfc: cannot write %s\n", traceFile.c_str());
             return 1;
         }
         std::printf("chrome trace written to %s (open in chrome://tracing "
                     "or ui.perfetto.dev)\n",
                     traceFile.c_str());
+    }
+    if (servePort >= 0) {
+        service::MetricsHttpServer server(servePort);
+        server.addRegistry("phpf", &runMetrics);
+        server.setHealthProvider([&] {
+            obs::Json h = obs::Json::object();
+            h.set("program", p.name);
+            h.set("sim_ran", sim != nullptr);
+            return h;
+        });
+        const obs::Json report = c.buildRunReport(sim.get());
+        server.setReportProvider([report] { return report; });
+        std::string serr;
+        if (!server.start(&serr)) {
+            std::fprintf(stderr, "phpfc: --serve-metrics: %s\n", serr.c_str());
+            return 2;
+        }
+        serveUntilQuit(server);
     }
     return 0;
 }

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Diff bench reports against committed baselines and fail on regressions.
+
+Usage:
+    scripts/compare_bench.py [--tolerance PCT] [--update] BASELINE_DIR CURRENT_DIR
+
+Both directories hold BENCH_<name>.json files as written by
+scripts/run_benches.sh (JSONL: one object per table row, keyed by
+"bench" title + "procs"; every other numeric field is a measured or
+model-predicted value, lower is better).
+
+For every baseline file, the matching current file must exist and every
+baseline row must be present; a numeric value more than --tolerance
+percent ABOVE its baseline is a regression and fails the run (exit 1).
+Improvements and new rows are reported but never fail. Values with tiny
+baselines (< 1e-4) and percentage columns (*_pct) are skipped — relative
+comparison on noise-scale numbers only produces flakes.
+
+--update copies the current reports over the baselines instead of
+comparing (run locally after an intentional perf change, then commit).
+
+The committed baselines cover the deterministic cost-model benches
+(paper tables / figures): their outputs are machine-independent model
+predictions, so the tolerance band guards against real compiler
+regressions, not CI hardware noise.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+SKIP_KEYS = {"bench", "procs"}
+ABS_FLOOR = 1e-4  # baselines below this are noise-scale; skip them
+
+
+def load_rows(path: Path):
+    """{(bench, procs) -> {column -> value}} for one JSONL report."""
+    rows = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"error: {path}:{lineno}: bad JSON row: {e}")
+        key = (obj.get("bench", "?"), obj.get("procs", 0))
+        rows[key] = {
+            k: v
+            for k, v in obj.items()
+            if k not in SKIP_KEYS and isinstance(v, (int, float))
+        }
+    return rows
+
+
+def compare(baseline_dir: Path, current_dir: Path, tolerance: float) -> int:
+    base_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not base_files:
+        sys.exit(f"error: no BENCH_*.json baselines in {baseline_dir}")
+
+    regressions, improvements, checked = [], [], 0
+    for base_path in base_files:
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            regressions.append(f"{base_path.name}: missing from {current_dir}")
+            continue
+        base_rows = load_rows(base_path)
+        cur_rows = load_rows(cur_path)
+        for key, base_cols in sorted(base_rows.items()):
+            label = f"{base_path.name} [{key[0]!r} procs={key[1]}]"
+            if key not in cur_rows:
+                regressions.append(f"{label}: row missing")
+                continue
+            cur_cols = cur_rows[key]
+            for col, base_val in sorted(base_cols.items()):
+                if col.endswith("_pct") or abs(base_val) < ABS_FLOOR:
+                    continue
+                if col not in cur_cols:
+                    regressions.append(f"{label}: column {col} missing")
+                    continue
+                cur_val = cur_cols[col]
+                delta_pct = 100.0 * (cur_val - base_val) / abs(base_val)
+                checked += 1
+                where = f"{label} {col}: {base_val:g} -> {cur_val:g} ({delta_pct:+.1f}%)"
+                if delta_pct > tolerance:
+                    regressions.append(where)
+                elif delta_pct < -tolerance:
+                    improvements.append(where)
+
+    for line in improvements:
+        print(f"improved:  {line}")
+    for line in regressions:
+        print(f"REGRESSED: {line}")
+    print(
+        f"compare_bench: {checked} values checked, "
+        f"{len(regressions)} regression(s), {len(improvements)} improvement(s), "
+        f"tolerance ±{tolerance:g}%"
+    )
+    return 1 if regressions else 0
+
+
+def update(baseline_dir: Path, current_dir: Path) -> int:
+    cur_files = sorted(current_dir.glob("BENCH_*.json"))
+    if not cur_files:
+        sys.exit(f"error: no BENCH_*.json reports in {current_dir}")
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for cur in cur_files:
+        shutil.copyfile(cur, baseline_dir / cur.name)
+        print(f"updated {baseline_dir / cur.name}")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline_dir", type=Path)
+    ap.add_argument("current_dir", type=Path)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="allowed upward drift per value, percent (default 15)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baselines with the current reports",
+    )
+    args = ap.parse_args()
+    if args.update:
+        return update(args.baseline_dir, args.current_dir)
+    return compare(args.baseline_dir, args.current_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

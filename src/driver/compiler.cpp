@@ -23,12 +23,22 @@ std::unique_ptr<SpmdSimulator> Compilation::simulate(
     recovery.cancel = req.cancel;
     auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads,
                                                std::move(recovery));
+    sim->setTelemetry(req.metrics, req.ctracer);
     if (req.seed) req.seed(sim->oracle());
     // Capture the execution span's real endpoints on the tracer's own
     // clock: reconstructing the start from wallSec once drifted (and
     // could go negative) under clock rounding.
     const std::int64_t startNs = tr != nullptr ? tr->nowNs() : 0;
-    sim->run();
+    {
+        // The simulator's per-worker spans parent under the calling
+        // thread's concurrent-tracer context; open a sim-exec span
+        // there so the worker rows nest under the execution, not under
+        // the request. RAII: closes even when run() throws a SimFault.
+        const std::string cname =
+            "sim-exec[" + std::to_string(sim->threads()) + "t]";
+        obs::ConcurrentScopedSpan cspan(req.ctracer, cname.c_str(), "sim");
+        sim->run();
+    }
     if (tr != nullptr) {
         const std::string name =
             "sim-exec[" + std::to_string(sim->threads()) + "t]";

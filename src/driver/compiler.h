@@ -57,6 +57,12 @@ struct SimulationRequest {
     /// tagged "sim.cancel" (the compile service maps it to
     /// DeadlineExceeded / Cancelled).
     CancelToken cancel = {};
+    /// Telemetry opt-ins forwarded to SpmdSimulator::setTelemetry():
+    /// per-phase latency histograms into `metrics`, and per-worker
+    /// tid-stamped spans into `ctracer` (the sim-exec span is then also
+    /// mirrored there so worker rows parent under it). Both nullable.
+    obs::MetricRegistry* metrics = nullptr;
+    obs::ConcurrentTracer* ctracer = nullptr;
 };
 
 /// Everything one compilation produced, immutable once the pipeline

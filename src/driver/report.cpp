@@ -120,7 +120,9 @@ obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
 obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
     obs::Json root = obs::Json::object();
     root.set("schema", "phpf.run_report");
-    root.set("schema_version", 1);
+    // v2: metric histograms carry p50/p90/p99 quantile estimates in
+    // addition to count/sum/min/max/mean.
+    root.set("schema_version", 2);
     root.set("program", program_ != nullptr ? program_->name : "");
 
     obs::Json grid = obs::Json::array();

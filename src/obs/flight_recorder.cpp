@@ -1,0 +1,148 @@
+#include "obs/flight_recorder.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "support/thread_registry.h"
+
+namespace phpf::obs {
+
+/// One seqlock-protected ring slot. `ver` is even when the slot is
+/// stable and odd while a writer is inside it; all payload fields are
+/// relaxed atomics (the version counter carries the publication
+/// ordering), which keeps the protocol data-race-free for TSan.
+struct FlightRecorder::Slot {
+    std::atomic<std::uint64_t> ver{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::int64_t> tNs{0};
+    std::atomic<int> tid{0};
+    std::atomic<int> typeLen{0};
+    std::atomic<int> detailLen{0};
+    std::atomic<char> type[kTypeMax];
+    std::atomic<char> detail[kDetailMax];
+};
+
+namespace {
+
+void storeChars(std::atomic<char>* dst, int cap, std::string_view src,
+                std::atomic<int>& lenField) {
+    const int n =
+        static_cast<int>(src.size()) < cap ? static_cast<int>(src.size()) : cap;
+    for (int i = 0; i < n; ++i)
+        dst[i].store(src[static_cast<size_t>(i)], std::memory_order_relaxed);
+    lenField.store(n, std::memory_order_relaxed);
+}
+
+std::string loadChars(const std::atomic<char>* src, int cap,
+                      const std::atomic<int>& lenField) {
+    int n = lenField.load(std::memory_order_relaxed);
+    if (n < 0) n = 0;
+    if (n > cap) n = cap;
+    std::string out(static_cast<size_t>(n), '\0');
+    for (int i = 0; i < n; ++i)
+        out[static_cast<size_t>(i)] = src[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      slots_(new Slot[static_cast<size_t>(capacity < 1 ? 1 : capacity)]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::record(std::string_view type, std::string_view detail) {
+    if (!enabled()) return;
+    const std::int64_t t = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - epoch_)
+                               .count();
+    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+    Slot& s = slots_[seq % static_cast<std::uint64_t>(capacity_)];
+    // Make the slot odd (in-flight). Two writers wrapping onto the same
+    // slot simultaneously leave it with a mismatched version pair; the
+    // reader discards it — losing one ancient event beats taking a lock
+    // on the failure path.
+    const std::uint64_t v = s.ver.fetch_add(1, std::memory_order_acquire);
+    s.seq.store(seq, std::memory_order_relaxed);
+    s.tNs.store(t, std::memory_order_relaxed);
+    s.tid.store(thread_registry::currentTid(), std::memory_order_relaxed);
+    storeChars(s.type, kTypeMax, type, s.typeLen);
+    storeChars(s.detail, kDetailMax, detail, s.detailLen);
+    s.ver.store(v + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+    std::vector<Event> out;
+    const std::uint64_t total = next_.load(std::memory_order_acquire);
+    const auto cap = static_cast<std::uint64_t>(capacity_);
+    const std::uint64_t first = total > cap ? total - cap : 0;
+    out.reserve(static_cast<size_t>(total - first));
+    for (std::uint64_t seq = first; seq < total; ++seq) {
+        const Slot& s = slots_[seq % cap];
+        Event ev;
+        bool ok = false;
+        for (int attempt = 0; attempt < 4 && !ok; ++attempt) {
+            const std::uint64_t v1 = s.ver.load(std::memory_order_acquire);
+            if (v1 % 2 != 0) continue;  // writer in flight
+            ev.seq = s.seq.load(std::memory_order_relaxed);
+            ev.tNs = s.tNs.load(std::memory_order_relaxed);
+            ev.tid = s.tid.load(std::memory_order_relaxed);
+            ev.type = loadChars(s.type, kTypeMax, s.typeLen);
+            ev.detail = loadChars(s.detail, kDetailMax, s.detailLen);
+            const std::uint64_t v2 = s.ver.load(std::memory_order_acquire);
+            ok = v1 == v2 && ev.seq == seq;
+        }
+        if (ok) out.push_back(std::move(ev));
+    }
+    return out;
+}
+
+void FlightRecorder::clear() {
+    // Not concurrency-safe against in-flight writers; callers reset
+    // between runs, not mid-storm.
+    const std::uint64_t total = next_.load(std::memory_order_acquire);
+    const auto cap = static_cast<std::uint64_t>(capacity_);
+    const std::uint64_t n = total < cap ? total : cap;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        slots_[i].ver.store(0, std::memory_order_relaxed);
+        slots_[i].seq.store(0, std::memory_order_relaxed);
+    }
+    next_.store(0, std::memory_order_release);
+}
+
+bool FlightRecorder::dumpJsonl(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    const std::vector<Event> events = snapshot();
+
+    Json header = Json::object();
+    header.set("type", "flight_recorder.header");
+    header.set("schema", "phpf.flight_recorder");
+    header.set("version", 1);
+    header.set("capacity", capacity_);
+    header.set("recorded", recorded());
+    const auto survived = static_cast<std::int64_t>(events.size());
+    header.set("dropped", recorded() - survived);
+    out << header.dump(-1) << "\n";
+
+    for (const Event& ev : events) {
+        Json e = Json::object();
+        e.set("seq", static_cast<std::int64_t>(ev.seq));
+        e.set("t_us", static_cast<double>(ev.tNs) / 1000.0);
+        e.set("tid", ev.tid);
+        e.set("thread", thread_registry::nameOf(ev.tid));
+        e.set("type", ev.type);
+        e.set("detail", ev.detail);
+        out << e.dump(-1) << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+FlightRecorder& FlightRecorder::global() {
+    static FlightRecorder g;
+    return g;
+}
+
+}  // namespace phpf::obs

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phpf::obs {
+
+/// Crash-forensics ring buffer: the last N structured events (faults
+/// fired, retries, evictions, checkpoint/restore, aborts) kept in a
+/// fixed-size lock-free ring, dumped to JSONL when something actually
+/// goes wrong. The recorder answers "what was the system doing right
+/// before the failure" without paying for full tracing on healthy runs.
+///
+/// Writers claim a slot with one atomic fetch_add and publish through a
+/// per-slot version counter (seqlock): no locks, no allocation, safe
+/// from any thread including pool workers mid-fault. Readers validate
+/// the version before/after copying and skip slots a writer is mid-way
+/// through; if the ring wraps a slot while it is being read, the stale
+/// copy is discarded. Every field of a slot is an atomic with relaxed
+/// ordering (the version counter provides the publication ordering), so
+/// the design is data-race-free under ThreadSanitizer, not just
+/// "benignly racy".
+///
+/// Event strings are stored inline in fixed-width arrays — oversized
+/// details are truncated, never allocated.
+class FlightRecorder {
+public:
+    static constexpr int kDefaultCapacity = 1024;
+    static constexpr int kTypeMax = 24;
+    static constexpr int kDetailMax = 160;
+
+    explicit FlightRecorder(int capacity = kDefaultCapacity);
+    ~FlightRecorder();  ///< out-of-line: Slot is private and incomplete here
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /// Disabled recorders cost one relaxed load per record() call.
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool e) { enabled_.store(e, std::memory_order_relaxed); }
+
+    /// Append one event (no-op while disabled). `type` is a short
+    /// dotted tag ("fault.fire", "cache.evict"); `detail` free-form
+    /// context. Both are truncated to their fixed slot widths.
+    void record(std::string_view type, std::string_view detail);
+
+    struct Event {
+        std::uint64_t seq = 0;  ///< global order (0 = first ever)
+        std::int64_t tNs = 0;   ///< monotonic ns since recorder creation
+        int tid = 0;            ///< thread_registry tid of the recorder
+        std::string type;
+        std::string detail;
+    };
+
+    /// Consistent copies of the surviving events, oldest first. Slots
+    /// being overwritten during the read are skipped.
+    [[nodiscard]] std::vector<Event> snapshot() const;
+
+    /// Total events ever recorded (>= snapshot().size(); the excess was
+    /// overwritten by ring wrap-around).
+    [[nodiscard]] std::int64_t recorded() const {
+        return static_cast<std::int64_t>(next_.load(std::memory_order_acquire));
+    }
+
+    [[nodiscard]] int capacity() const { return capacity_; }
+
+    void clear();
+
+    /// Dump as JSONL: a header line ({"type":"flight_recorder.header",
+    /// "schema":"phpf.flight_recorder","version":1,...}) followed by
+    /// one line per surviving event, oldest first. Returns false on I/O
+    /// failure.
+    bool dumpJsonl(const std::string& path) const;
+
+    /// Process-wide recorder, disabled until someone arms it (phpfc
+    /// arms it when fault injection or --flight-recorder is on). Fault
+    /// sites, the compile service, the artifact cache, and the
+    /// simulator's checkpoint machinery all record here.
+    static FlightRecorder& global();
+
+private:
+    struct Slot;
+
+    std::atomic<bool> enabled_{false};
+    int capacity_;
+    std::atomic<std::uint64_t> next_{0};
+    std::unique_ptr<Slot[]> slots_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace phpf::obs

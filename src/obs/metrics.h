@@ -1,99 +1,197 @@
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "obs/json.h"
 
 namespace phpf::obs {
 
-/// Monotonically increasing integer metric.
+/// Monotonically increasing integer metric. Thread-safe: concurrent
+/// add() calls never lose increments (the compile service exports
+/// hits/misses from every worker thread).
 class Counter {
 public:
-    void add(std::int64_t d = 1) { v_ += d; }
-    [[nodiscard]] std::int64_t value() const { return v_; }
+    void add(std::int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const {
+        return v_.load(std::memory_order_relaxed);
+    }
 
 private:
-    std::int64_t v_ = 0;
+    std::atomic<std::int64_t> v_{0};
 };
 
-/// Last-value metric.
+/// Last-value metric. Thread-safe; concurrent set() calls race benignly
+/// (some thread's value wins, never a torn read).
 class Gauge {
 public:
-    void set(double v) { v_ = v; }
-    [[nodiscard]] double value() const { return v_; }
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const {
+        return v_.load(std::memory_order_relaxed);
+    }
 
 private:
-    double v_ = 0.0;
+    std::atomic<double> v_{0.0};
 };
 
 /// Streaming summary of an observed distribution: count / sum / min /
-/// max plus power-of-two magnitude buckets (bucket i counts samples in
-/// [2^(i-1), 2^i); bucket 0 counts samples < 1). Enough to spot
-/// latency-vs-bandwidth regime changes without storing samples.
+/// max plus fixed power-of-two magnitude buckets (bucket i counts
+/// samples in [2^(i-1), 2^i); bucket 0 counts samples < 1), with
+/// quantile estimation (p50/p90/p99) by linear interpolation inside the
+/// covering bucket. Enough to spot latency-vs-bandwidth regime changes
+/// and tail blowups without storing samples.
+///
+/// Thread-safe: every field is an atomic updated with relaxed ordering
+/// (min/max/sum via CAS loops). Reads taken while writers are active
+/// see a near-point-in-time snapshot — fine for telemetry, not for
+/// invariant checks between fields.
 class Histogram {
 public:
     static constexpr int kBuckets = 64;
 
     void record(double v) {
-        ++count_;
-        sum_ += v;
-        min_ = count_ == 1 ? v : std::min(min_, v);
-        max_ = count_ == 1 ? v : std::max(max_, v);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        addToDouble(sum_, v);
+        updateMin(v);
+        updateMax(v);
+        buckets_[static_cast<size_t>(bucketOf(v))].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /// The bucket index `v` lands in.
+    [[nodiscard]] static int bucketOf(double v) {
         int b = 0;
         while (b < kBuckets - 1 && v >= static_cast<double>(std::int64_t{1} << b))
             ++b;
-        ++buckets_[b];
+        return b;
     }
 
-    [[nodiscard]] std::int64_t count() const { return count_; }
-    [[nodiscard]] double sum() const { return sum_; }
-    [[nodiscard]] double min() const { return min_; }
-    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] std::int64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double min() const {
+        return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double max() const {
+        return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] double mean() const {
-        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+        const std::int64_t c = count();
+        return c == 0 ? 0.0 : sum() / static_cast<double>(c);
     }
     [[nodiscard]] std::int64_t bucket(int i) const {
-        return (i < 0 || i >= kBuckets) ? 0 : buckets_[i];
+        return (i < 0 || i >= kBuckets)
+                   ? 0
+                   : buckets_[static_cast<size_t>(i)].load(
+                         std::memory_order_relaxed);
     }
 
+    /// Estimate the q-quantile (q in [0, 1]) of the recorded samples:
+    /// find the bucket holding the target rank, interpolate linearly
+    /// inside it, and clamp the bucket's bounds to the observed
+    /// min/max. Exact for distributions uniform within each bucket;
+    /// always within one power-of-two bucket of the true value.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+
 private:
-    std::int64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    std::int64_t buckets_[kBuckets] = {};
+    static void addToDouble(std::atomic<double>& a, double d) {
+        double cur = a.load(std::memory_order_relaxed);
+        while (!a.compare_exchange_weak(cur, cur + d,
+                                        std::memory_order_relaxed)) {
+        }
+    }
+    void updateMin(double v) {
+        double cur = min_.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    void updateMax(double v) {
+        double cur = max_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+    std::atomic<std::int64_t> buckets_[kBuckets] = {};
 };
 
 /// Named metrics of one run (or of the whole process via `global()`).
 /// Lookup lazily creates; names use dotted paths ("sim.transfers").
 /// std::map keeps export order deterministic.
+///
+/// Thread-safe: a mutex guards map *structure* (lazy creation and
+/// iteration); the metric objects themselves are atomic, so the common
+/// pattern — resolve a reference once, update it from many threads —
+/// never takes the lock on the hot path. References returned by
+/// counter()/gauge()/histogram() stay valid until clear() (std::map
+/// nodes are stable).
 class MetricRegistry {
 public:
-    Counter& counter(const std::string& name) { return counters_[name]; }
-    Gauge& gauge(const std::string& name) { return gauges_[name]; }
-    Histogram& histogram(const std::string& name) { return histograms_[name]; }
+    Counter& counter(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return counters_[name];
+    }
+    Gauge& gauge(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return gauges_[name];
+    }
+    Histogram& histogram(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return histograms_[name];
+    }
 
-    [[nodiscard]] const std::map<std::string, Counter>& counters() const {
-        return counters_;
+    /// Iterate every metric under the structure lock. The visitor
+    /// patterns the exporters need, without handing out the raw maps
+    /// (which could then be walked concurrently with an insert).
+    template <typename F>
+    void forEachCounter(F&& f) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, m] : counters_) f(name, m);
     }
-    [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
-        return gauges_;
+    template <typename F>
+    void forEachGauge(F&& f) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, m] : gauges_) f(name, m);
     }
-    [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
-        return histograms_;
+    template <typename F>
+    void forEachHistogram(F&& f) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, m] : histograms_) f(name, m);
+    }
+
+    /// Value of a counter without creating it (0 when absent).
+    [[nodiscard]] std::int64_t counterValue(const std::string& name) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
     }
 
     void clear() {
+        std::lock_guard<std::mutex> lock(mu_);
         counters_.clear();
         gauges_.clear();
         histograms_.clear();
     }
 
     /// {"counters": {...}, "gauges": {...}, "histograms": {...}}; empty
-    /// sections are omitted.
+    /// sections are omitted. Histograms carry count/sum/min/max/mean,
+    /// the log2 buckets, and p50/p90/p99 estimates.
     [[nodiscard]] Json toJson() const;
 
     /// Process-wide registry for code with no natural owner to hang a
@@ -101,6 +199,7 @@ public:
     static MetricRegistry& global();
 
 private:
+    mutable std::mutex mu_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,70 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace phpf::obs {
+
+namespace {
+
+void appendValue(std::ostringstream& out, double v) {
+    // Prometheus accepts Go-style floats; default ostream formatting of
+    // doubles is compatible (no locale grouping, '.' decimal point).
+    out << v;
+}
+
+}  // namespace
+
+std::string prometheusName(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty()) out = "_";
+    // Names must not start with a digit.
+    if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string renderPrometheus(const MetricRegistry& reg,
+                             const std::string& prefix) {
+    std::ostringstream out;
+    const std::string p = prefix.empty() ? "" : prometheusName(prefix) + "_";
+
+    reg.forEachCounter([&](const std::string& name, const Counter& c) {
+        const std::string n = p + prometheusName(name) + "_total";
+        out << "# TYPE " << n << " counter\n";
+        out << n << " " << c.value() << "\n";
+    });
+
+    reg.forEachGauge([&](const std::string& name, const Gauge& g) {
+        const std::string n = p + prometheusName(name);
+        out << "# TYPE " << n << " gauge\n";
+        out << n << " ";
+        appendValue(out, g.value());
+        out << "\n";
+    });
+
+    reg.forEachHistogram([&](const std::string& name, const Histogram& h) {
+        const std::string n = p + prometheusName(name);
+        out << "# TYPE " << n << " summary\n";
+        static constexpr double kQs[] = {0.5, 0.9, 0.99};
+        static constexpr const char* kQLabels[] = {"0.5", "0.9", "0.99"};
+        for (int i = 0; i < 3; ++i) {
+            out << n << "{quantile=\"" << kQLabels[i] << "\"} ";
+            appendValue(out, h.quantile(kQs[i]));
+            out << "\n";
+        }
+        out << n << "_sum ";
+        appendValue(out, h.sum());
+        out << "\n";
+        out << n << "_count " << h.count() << "\n";
+    });
+
+    return out.str();
+}
+
+}  // namespace phpf::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace phpf::obs {
+
+/// Render a registry in the Prometheus text exposition format
+/// (version 0.0.4 — what every scraper and promtool accept):
+///
+///   - counters  -> `<prefix>_<name>_total` with `# TYPE ... counter`
+///   - gauges    -> `<prefix>_<name>` with `# TYPE ... gauge`
+///   - histograms-> `<prefix>_<name>` summaries: quantile="0.5/0.9/0.99"
+///                  sample lines plus `_sum` and `_count`
+///
+/// Dotted metric names ("service.cache.hits") are sanitized to the
+/// Prometheus charset by mapping every character outside
+/// [a-zA-Z0-9_:] to '_'. The snapshot is taken under the registry's
+/// structure lock, metric by metric, so scraping never blocks writers
+/// for longer than one map walk.
+[[nodiscard]] std::string renderPrometheus(const MetricRegistry& reg,
+                                           const std::string& prefix = "phpf");
+
+/// Sanitize one metric name to the Prometheus charset (no prefixing).
+[[nodiscard]] std::string prometheusName(const std::string& name);
+
+}  // namespace phpf::obs

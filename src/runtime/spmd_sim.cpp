@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "ir/printer.h"
+#include "obs/flight_recorder.h"
 #include "support/diagnostics.h"
 
 namespace phpf {
@@ -95,7 +96,8 @@ SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
     boundaryArmed_ = trackCtrl_ || rcfg_.cancel.armed();
     procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
     procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
-    if (threads_ > 1) pool_ = std::make_unique<LockstepPool>(threads_);
+    if (threads_ > 1)
+        pool_ = std::make_unique<LockstepPool>(threads_, "sim-worker");
     workers_.resize(static_cast<size_t>(threads_));
 
     allProcs_.resize(static_cast<size_t>(procCount_));
@@ -121,6 +123,18 @@ SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
         }
     }
     buildPlans();
+}
+
+void SpmdSimulator::setTelemetry(obs::MetricRegistry* metrics,
+                                 obs::ConcurrentTracer* tracer) {
+    metrics_ = metrics;
+    ctracer_ = tracer;
+    evalHist_ =
+        metrics != nullptr ? &metrics->histogram("sim.phase.eval_us") : nullptr;
+    mergeHist_ = metrics != nullptr ? &metrics->histogram("sim.phase.merge_us")
+                                    : nullptr;
+    ckptHist_ =
+        metrics != nullptr ? &metrics->histogram("sim.checkpoint_us") : nullptr;
 }
 
 void SpmdSimulator::buildPlans() {
@@ -368,6 +382,14 @@ void SpmdSimulator::phaseWorker(int worker) {
 
 void SpmdSimulator::evalPhase(const StmtPlan& plan,
                               const std::vector<int>& execs, const Expr* e) {
+    // Telemetry is opt-in (evalHist_ resolved once in setTelemetry);
+    // unarmed runs pay a null check, not a clock read. Armed runs
+    // sample 1 in kTelemetrySample phases: a phase is microseconds
+    // long, so timing every one would cost more than the phase.
+    const bool sampleEval =
+        evalHist_ != nullptr && (evalTick_++ & (kTelemetrySample - 1)) == 0;
+    std::chrono::steady_clock::time_point t0;
+    if (sampleEval) t0 = std::chrono::steady_clock::now();
     // Resolve the flat index of every fetched ArrayRef once on the
     // oracle; subscripts are iteration-dependent but identical on every
     // executor.
@@ -380,6 +402,11 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
         WorkerScratch& w = workers_[0];
         for (size_t i = 0; i < ne; ++i)
             values_[i] = evalOnW(w, execs[i], e);
+        if (sampleEval)
+            evalHist_->record(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
         return;
     }
     phaseExecs_ = &execs;
@@ -389,6 +416,10 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
             static_cast<SpmdSimulator*>(ctx)->phaseWorker(worker);
         },
         this);
+    if (sampleEval)
+        evalHist_->record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
     for (WorkerScratch& ws : workers_) {
         if (ws.error == nullptr) continue;
         const std::exception_ptr err = ws.error;
@@ -402,6 +433,10 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
 }
 
 void SpmdSimulator::mergeWorkers() {
+    const bool sampleMerge =
+        mergeHist_ != nullptr && (mergeTick_++ & (kTelemetrySample - 1)) == 0;
+    std::chrono::steady_clock::time_point t0;
+    if (sampleMerge) t0 = std::chrono::steady_clock::now();
     for (WorkerScratch& ws : workers_) {
         for (const PendingWrite& pw : ws.pending)
             procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
@@ -421,6 +456,10 @@ void SpmdSimulator::mergeWorkers() {
         ws.pending.clear();
         ws.misses.clear();
     }
+    if (sampleMerge)
+        mergeHist_->record(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
 }
 
 void SpmdSimulator::execStmt(const Stmt* s) {
@@ -589,6 +628,8 @@ void SpmdSimulator::boundary(const Stmt* s) {
 }
 
 void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
+    std::chrono::steady_clock::time_point t0;
+    if (ckptHist_ != nullptr) t0 = std::chrono::steady_clock::now();
     std::vector<CtrlFrame> path = ctrl_;
     if (boundaryStmt != nullptr) {
         // The boundary statement has not executed yet (the hook runs
@@ -602,10 +643,20 @@ void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
         procMetrics_, transfers_, procStmts_, instances_, events_,
         eventsPerOp_, elemsPerOp_, std::move(path)});
     ++checkpointsTaken_;
+    obs::FlightRecorder::global().record(
+        "sim.checkpoint", "instances=" + std::to_string(instances_) +
+                              " total=" + std::to_string(checkpointsTaken_));
+    if (ckptHist_ != nullptr)
+        ckptHist_->record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
 }
 
 void SpmdSimulator::restoreCheckpoint() {
     PHPF_ASSERT(ckpt_ != nullptr, "restore without a checkpoint");
+    obs::FlightRecorder::global().record(
+        "sim.restore", "to_instances=" + std::to_string(ckpt_->instances) +
+                           " recovery=" + std::to_string(recoveries_));
     const Checkpoint& ck = *ckpt_;
     procStore_ = ck.procStore;
     oracle_.store() = ck.oracleStore;
@@ -782,6 +833,34 @@ void SpmdSimulator::run() {
     wallSec_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();
+
+    // One tid-stamped span per spawned pool worker, covering the whole
+    // run and parented under the caller's current context (normally the
+    // driver's sim-exec span). Recorded from each worker's own thread
+    // in one final pool kick, so the Chrome trace gets a named
+    // "sim-worker-N" row per thread without per-phase span overhead.
+    // Worker 0 is the caller; its time is the sim-exec span itself.
+    if (ctracer_ != nullptr && ctracer_->enabled() && pool_ != nullptr) {
+        struct SpanCtx {
+            obs::ConcurrentTracer* tracer;
+            obs::SpanContext parent;
+            std::int64_t startNs;
+            std::int64_t durNs;
+        };
+        const std::int64_t durNs = static_cast<std::int64_t>(wallSec_ * 1e9);
+        SpanCtx sc{ctracer_, ctracer_->currentContext(),
+                   ctracer_->nowNs() - durNs, durNs};
+        pool_->run(
+            [](void* ctx, int worker) {
+                if (worker == 0) return;
+                const auto* c = static_cast<const SpanCtx*>(ctx);
+                const std::string name =
+                    "sim-worker-" + std::to_string(worker);
+                c->tracer->addCompleteSpan(name.c_str(), "sim", c->startNs,
+                                           c->durNs, c->parent);
+            },
+            &sc);
+    }
 }
 
 std::int64_t SpmdSimulator::eventsOfOp(int opId) const {

@@ -3,6 +3,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/concurrent_trace.h"
+#include "obs/metrics.h"
 #include "runtime/interp.h"
 #include "runtime/reliable_transport.h"
 #include "spmd/lowering.h"
@@ -90,6 +92,22 @@ public:
     /// every recovered fault) leaves results and metrics bit-identical
     /// to a fault-free run.
     void run();
+
+    /// Opt into telemetry before run(). `metrics` (nullable) receives
+    /// per-phase latency histograms (sim.phase.eval_us /
+    /// sim.phase.merge_us / sim.checkpoint_us) — histogram references
+    /// are resolved here once, so the hot path never does a name
+    /// lookup. Phases are microseconds long, so the eval/merge
+    /// histograms sample 1 in kTelemetrySample phases (clock reads on
+    /// every phase would dominate the phase itself); checkpoints are
+    /// rare and timed unconditionally.
+    /// `tracer` (nullable) receives one tid-stamped span per
+    /// pool worker covering the run, parented under the calling
+    /// thread's current context, which gives Chrome traces their
+    /// per-thread sim-worker rows. Null pointers (the default) keep the
+    /// existing zero-overhead behaviour.
+    void setTelemetry(obs::MetricRegistry* metrics,
+                      obs::ConcurrentTracer* tracer);
 
     [[nodiscard]] int procCount() const { return procCount_; }
     /// Lockstep worker threads the simulation runs on (resolved).
@@ -352,6 +370,18 @@ private:
     std::int64_t checkpointsTaken_ = 0;
     std::vector<CtrlFrame> ctrl_;  ///< live Do/If frames (see CtrlFrame)
     std::unique_ptr<Checkpoint> ckpt_;
+
+    // --- telemetry (all null when not opted in via setTelemetry) ---
+    /// 1-in-N phase sampling for the eval/merge histograms (power of
+    /// two; the armed-but-idle overhead budget is <2% of the run).
+    static constexpr std::uint32_t kTelemetrySample = 64;
+    std::uint32_t evalTick_ = 0;
+    std::uint32_t mergeTick_ = 0;
+    obs::MetricRegistry* metrics_ = nullptr;
+    obs::ConcurrentTracer* ctracer_ = nullptr;
+    obs::Histogram* evalHist_ = nullptr;    ///< sim.phase.eval_us
+    obs::Histogram* mergeHist_ = nullptr;   ///< sim.phase.merge_us
+    obs::Histogram* ckptHist_ = nullptr;    ///< sim.checkpoint_us
 };
 
 }  // namespace phpf

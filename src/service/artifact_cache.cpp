@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "service/fingerprint.h"
 
 namespace phpf::service {
@@ -55,6 +56,8 @@ void ArtifactCache::put(const std::string& key,
     s.lru.emplace_front(key, std::move(value));
     s.index.emplace(key, s.lru.begin());
     while (s.lru.size() > shardCapacity_) {
+        obs::FlightRecorder::global().record(
+            "cache.evict", "key=" + s.lru.back().first.substr(0, 40));
         s.index.erase(s.lru.back().first);
         s.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "programs/programs.h"
 
 namespace phpf::service {
@@ -362,6 +363,12 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
         } else {
             ++outcome.failed;
             row.set("error", r.error);
+            obs::FlightRecorder::global().record(
+                "batch.job_fail",
+                p.job->name + " " + statusName(r.status));
+            if (!opts.flightRecorderPath.empty())
+                obs::FlightRecorder::global().dumpJsonl(
+                    opts.flightRecorderPath);
         }
         emit(row);
         // Simulated kill of the batch runner: stop right after a row
@@ -370,6 +377,11 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
         // the CI round-trip drive.
         if (FaultInjector::poll(abortSite)) {
             outcome.aborted = true;
+            obs::FlightRecorder::global().record("batch.abort",
+                                                 "after " + p.job->name);
+            if (!opts.flightRecorderPath.empty())
+                obs::FlightRecorder::global().dumpJsonl(
+                    opts.flightRecorderPath);
             break;
         }
     }
@@ -385,7 +397,9 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
     obs::Json summary = obs::Json::object();
     summary.set("summary", true);
     summary.set("schema", "phpf.batch_report");
-    summary.set("schema_version", 1);
+    // v2: the embedded service registry's histograms gained
+    // p50/p90/p99 quantile estimates.
+    summary.set("schema_version", 2);
     summary.set("jobs", outcome.jobs);
     summary.set("ok", outcome.ok);
     summary.set("failed", outcome.failed);

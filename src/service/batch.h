@@ -73,6 +73,10 @@ struct BatchRunOptions {
     /// Fault source for the batch.abort site (null = the process-wide
     /// injector).
     const FaultInjector* faults = nullptr;
+    /// When non-empty, the global flight recorder dumps its event ring
+    /// to this JSONL path the moment a job fails or the batch aborts —
+    /// the post-mortem is on disk even if the process dies right after.
+    std::string flightRecorderPath;
 };
 
 /// Run every job through the service concurrently (submit() on the

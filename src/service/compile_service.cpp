@@ -1,8 +1,10 @@
 #include "service/compile_service.h"
 
+#include <optional>
 #include <thread>
 
 #include "frontend/parser.h"
+#include "obs/flight_recorder.h"
 #include "service/fingerprint.h"
 #include "spmd/spmd_text.h"
 
@@ -56,7 +58,8 @@ const char* statusName(CompileStatus s) {
 CompileService::CompileService(ServiceConfig cfg)
     : cfg_(cfg),
       cache_(cfg.cacheCapacity, cfg.cacheShards),
-      pool_(std::make_unique<TaskPool>(resolveThreadCount(cfg.workers, 8))) {
+      pool_(std::make_unique<TaskPool>(resolveThreadCount(cfg.workers, 8),
+                                       "svc-worker")) {
     const FaultInjector* faults =
         cfg_.faults != nullptr ? cfg_.faults : FaultInjector::processIfEnabled();
     if (faults != nullptr) {
@@ -73,27 +76,29 @@ CompileResult CompileService::compile(const CompileRequest& req) {
 
 std::shared_future<CompileResult> CompileService::submit(CompileRequest req) {
     const Clock::time_point submitted = Clock::now();
+    // The submitting thread's trace context rides along with the job so
+    // the worker's spans parent under the caller's request/batch span.
+    obs::SpanContext parent{};
+    if (cfg_.tracer != nullptr) parent = cfg_.tracer->currentContext();
     auto promise = std::make_shared<std::promise<CompileResult>>();
     std::shared_future<CompileResult> fut(promise->get_future());
-    pool_->post([this, req = std::move(req), submitted,
+    pool_->post([this, req = std::move(req), submitted, parent,
                  promise = std::move(promise)]() mutable {
-        {
-            std::lock_guard<std::mutex> lock(metricsMu_);
-            registry_.histogram("service.queue_wait_us")
-                .record(usSince(submitted));
-        }
+        registry_.histogram("service.queue_wait_us").record(usSince(submitted));
+        std::optional<obs::ContextScope> scope;
+        if (cfg_.tracer != nullptr) scope.emplace(*cfg_.tracer, parent);
         promise->set_value(compileAt(req, submitted));
     });
-    {
-        std::lock_guard<std::mutex> lock(metricsMu_);
-        registry_.gauge("service.queue.depth")
-            .set(static_cast<double>(pool_->queueDepth()));
-    }
+    registry_.gauge("service.queue.depth")
+        .set(static_cast<double>(pool_->queueDepth()));
     return fut;
 }
 
 CompileResult CompileService::compileAt(const CompileRequest& req,
                                         Clock::time_point submitted) {
+    const std::string spanName =
+        "request:" + (req.name.empty() ? std::string("?") : req.name);
+    obs::ConcurrentScopedSpan reqSpan(cfg_.tracer, spanName.c_str(), "service");
     CompileResult r;
     const auto finish = [&](CompileResult res) {
         res.totalUs = usSince(submitted);
@@ -237,11 +242,23 @@ CompileResult CompileService::runJob(const CompileRequest& req,
     session.tracer = std::make_shared<obs::Tracer>();
     session.diags = &diags;
     session.cancel = cancel.token();
+    const std::shared_ptr<obs::Tracer> sessionTracer = session.tracer;
+    // Merge the single-threaded session tracer's per-pass spans into
+    // the service tracer under this job's context, shifting the
+    // session's private timeline onto the service's.
+    const auto importSession = [&] {
+        if (cfg_.tracer == nullptr || sessionTracer == nullptr) return;
+        const std::int64_t offset =
+            cfg_.tracer->nowNs() - sessionTracer->nowNs();
+        cfg_.tracer->importTracer(*sessionTracer,
+                                  cfg_.tracer->currentContext(), offset);
+    };
 
     try {
         CompilePipeline pipe(*prog, req.target, req.passes,
                              std::move(session));
         if (!pipe.run()) {
+            importSession();
             r.status = CompileStatus::DeadlineExceeded;
             r.code = ErrorCode::DeadlineExceeded;
             r.error = "deadline of " + std::to_string(req.deadlineMs) +
@@ -263,17 +280,14 @@ CompileResult CompileService::runJob(const CompileRequest& req,
         owned->adoptProgram(std::move(prog));
         artifact->compilation = std::move(owned);
 
+        importSession();
         // Per-stage latency histograms from the pipeline's own spans.
-        {
-            std::lock_guard<std::mutex> lock(metricsMu_);
-            for (const obs::TraceSpan& s :
-                 artifact->compilation->tracer()->spans()) {
-                if (s.category != "pass" || !s.closed() ||
-                    s.name == "compile")
-                    continue;
-                registry_.histogram("service.stage." + s.name + "_us")
-                    .record(static_cast<double>(s.durNs) / 1000.0);
-            }
+        for (const obs::TraceSpan& s :
+             artifact->compilation->tracer()->spans()) {
+            if (s.category != "pass" || !s.closed() || s.name == "compile")
+                continue;
+            registry_.histogram("service.stage." + s.name + "_us")
+                .record(static_cast<double>(s.durNs) / 1000.0);
         }
 
         // Memory-pressure hook: when the svc.mem_pressure site fires,
@@ -315,11 +329,11 @@ CompileResult CompileService::runJobWithRetry(const CompileRequest& req,
     CompileResult r = runJob(req, key, std::move(prog), diags, submitted);
     for (int attempt = 1;
          attempt <= cfg_.maxRetries && isTransient(r.code); ++attempt) {
-        {
-            std::lock_guard<std::mutex> lock(metricsMu_);
-            registry_.counter("service.transient_faults").add();
-            registry_.counter("service.retries").add();
-        }
+        registry_.counter("service.transient_faults").add();
+        registry_.counter("service.retries").add();
+        obs::FlightRecorder::global().record(
+            "service.retry", req.name + " attempt=" + std::to_string(attempt) +
+                                 " code=" + errorCodeName(r.code));
         if (cfg_.retryBackoffMs > 0)
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 cfg_.retryBackoffMs << std::min(attempt - 1, 20)));
@@ -333,7 +347,6 @@ CompileResult CompileService::runJobWithRetry(const CompileRequest& req,
     if (isTransient(r.code)) {
         // Exhausted the budget while still transient: count the final
         // failure too, so the metric reflects every transient outcome.
-        std::lock_guard<std::mutex> lock(metricsMu_);
         registry_.counter("service.transient_faults").add();
     }
     return r;
@@ -341,7 +354,8 @@ CompileResult CompileService::runJobWithRetry(const CompileRequest& req,
 
 std::size_t CompileService::shedCache(std::size_t targetEntries) {
     const std::size_t dropped = cache_.shed(targetEntries);
-    std::lock_guard<std::mutex> lock(metricsMu_);
+    obs::FlightRecorder::global().record(
+        "cache.shed", "dropped=" + std::to_string(dropped));
     registry_.counter("service.cache.shed").add();
     registry_.counter("service.cache.shed_entries")
         .add(static_cast<std::int64_t>(dropped));
@@ -349,7 +363,11 @@ std::size_t CompileService::shedCache(std::size_t targetEntries) {
 }
 
 void CompileService::recordOutcome(const CompileResult& r) {
-    std::lock_guard<std::mutex> lock(metricsMu_);
+    if (r.status != CompileStatus::Ok) {
+        obs::FlightRecorder::global().record(
+            "service.fail",
+            std::string(statusName(r.status)) + " " + r.error.substr(0, 120));
+    }
     registry_.counter("service.requests").add();
     switch (r.status) {
         case CompileStatus::Ok:
@@ -384,32 +402,21 @@ ServiceStats CompileService::stats() const {
     s.queueDepth = pool_->queueDepth();
     s.activeJobs = pool_->active();
     s.workers = pool_->threads();
-    std::lock_guard<std::mutex> lock(metricsMu_);
-    // const_cast-free reads: counter() inserts when absent, so go
-    // through the const maps.
-    const auto& counters = registry_.counters();
-    const auto get = [&](const char* name) -> std::int64_t {
-        auto it = counters.find(name);
-        return it == counters.end() ? 0 : it->second.value();
-    };
-    s.requests = get("service.requests");
-    s.compiles = get("service.compiles");
-    s.coalescedJoins = get("service.coalesced_joins");
-    s.parseErrors = get("service.parse_errors");
-    s.deadlineExceeded = get("service.deadline_exceeded");
-    s.errors = get("service.errors");
-    s.retries = get("service.retries");
-    s.transientFaults = get("service.transient_faults");
-    s.shedEntries = get("service.cache.shed_entries");
+    s.requests = registry_.counterValue("service.requests");
+    s.compiles = registry_.counterValue("service.compiles");
+    s.coalescedJoins = registry_.counterValue("service.coalesced_joins");
+    s.parseErrors = registry_.counterValue("service.parse_errors");
+    s.deadlineExceeded = registry_.counterValue("service.deadline_exceeded");
+    s.errors = registry_.counterValue("service.errors");
+    s.retries = registry_.counterValue("service.retries");
+    s.transientFaults = registry_.counterValue("service.transient_faults");
+    s.shedEntries = registry_.counterValue("service.cache.shed_entries");
     return s;
 }
 
 obs::Json CompileService::metricsJson() const {
     obs::Json root = obs::Json::object();
-    {
-        std::lock_guard<std::mutex> lock(metricsMu_);
-        root.set("registry", registry_.toJson());
-    }
+    root.set("registry", registry_.toJson());
     const CacheStats cs = cache_.stats();
     obs::Json cache = obs::Json::object();
     cache.set("hits", cs.hits);
@@ -429,7 +436,6 @@ obs::Json CompileService::metricsJson() const {
 
 void CompileService::withMetrics(
     const std::function<void(const obs::MetricRegistry&)>& fn) const {
-    std::lock_guard<std::mutex> lock(metricsMu_);
     fn(registry_);
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "driver/compiler.h"
+#include "obs/concurrent_trace.h"
 #include "obs/metrics.h"
 #include "service/artifact_cache.h"
 #include "service/error_code.h"
@@ -99,6 +100,12 @@ struct ServiceConfig {
     /// Fault source for the svc.* sites. Null consults the process-wide
     /// injector (PHPF_FAULTS / --faults) at construction.
     const FaultInjector* faults = nullptr;
+    /// Optional cross-thread tracer. When set, every request records a
+    /// root span ("request:<name>"), worker-side spans adopt the
+    /// submitting thread's context (so async jobs parent under their
+    /// request instead of floating), and each compiled job's per-pass
+    /// session spans are imported beneath it. Must outlive the service.
+    obs::ConcurrentTracer* tracer = nullptr;
 };
 
 struct ServiceStats {
@@ -153,9 +160,16 @@ public:
     /// in a JSON run report or the batch summary row.
     [[nodiscard]] obs::Json metricsJson() const;
 
-    /// The registry the service records into, with the lock that guards
-    /// it (MetricRegistry itself is not thread-safe).
+    /// Visit the registry the service records into. (The registry is
+    /// itself thread-safe now; this remains for callers that want a
+    /// scoped read without naming the member.)
     void withMetrics(const std::function<void(const obs::MetricRegistry&)>& fn) const;
+
+    /// Direct read access to the service's metric registry (thread-safe;
+    /// the exposition endpoint scrapes this).
+    [[nodiscard]] const obs::MetricRegistry& metrics() const {
+        return registry_;
+    }
 
 private:
     struct Inflight {
@@ -197,7 +211,6 @@ private:
     std::mutex inflightMu_;
     std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
 
-    mutable std::mutex metricsMu_;
     obs::MetricRegistry registry_;
 };
 

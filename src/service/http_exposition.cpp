@@ -1,0 +1,211 @@
+#include "service/http_exposition.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/prometheus.h"
+#include "support/thread_registry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PHPF_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define PHPF_HAVE_SOCKETS 0
+#endif
+
+namespace phpf::service {
+
+namespace {
+
+#if PHPF_HAVE_SOCKETS
+
+void writeAll(int fd, const char* data, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::send(fd, data + off, n - off, 0);
+        if (w <= 0) return;  // peer went away; nothing useful to do
+        off += static_cast<size_t>(w);
+    }
+}
+
+void respond(int fd, int code, const char* reason, const char* contentType,
+             const std::string& body) {
+    std::string head = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                       "\r\nContent-Type: " + contentType +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    writeAll(fd, head.data(), head.size());
+    writeAll(fd, body.data(), body.size());
+}
+
+#endif  // PHPF_HAVE_SOCKETS
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(int port) : port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::addRegistry(const std::string& prefix,
+                                    const obs::MetricRegistry* reg) {
+    if (reg != nullptr) registries_.emplace_back(prefix, reg);
+}
+
+void MetricsHttpServer::setHealthProvider(std::function<obs::Json()> provider) {
+    healthProvider_ = std::move(provider);
+}
+
+void MetricsHttpServer::setReportProvider(std::function<obs::Json()> provider) {
+    reportProvider_ = std::move(provider);
+}
+
+bool MetricsHttpServer::start(std::string* err) {
+#if !PHPF_HAVE_SOCKETS
+    if (err != nullptr) *err = "metrics exposition: no socket support";
+    return false;
+#else
+    if (running()) return true;
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err != nullptr) *err = "socket(): " + std::string(strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        if (err != nullptr)
+            *err = "bind(" + std::to_string(port_) +
+                   "): " + std::string(strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 16) < 0) {
+        if (err != nullptr) *err = "listen(): " + std::string(strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (port_ == 0) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound),
+                          &len) == 0)
+            port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    started_ = std::chrono::steady_clock::now();
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] {
+        thread_registry::setCurrentName("metrics-http");
+        serveLoop();
+    });
+    return true;
+#endif
+}
+
+void MetricsHttpServer::stop() {
+#if PHPF_HAVE_SOCKETS
+    if (!running()) return;
+    stopping_.store(true, std::memory_order_release);
+    // Unblock the accept(): shutdown makes it return with an error on
+    // Linux; close() finishes the job.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    if (thread_.joinable()) thread_.join();
+    running_.store(false, std::memory_order_release);
+#endif
+}
+
+void MetricsHttpServer::serveLoop() {
+#if PHPF_HAVE_SOCKETS
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire)) return;
+            if (errno == EINTR) continue;
+            return;  // listen socket gone
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+#endif
+}
+
+std::string MetricsHttpServer::buildMetricsBody() const {
+    std::string body;
+    for (const auto& [prefix, reg] : registries_)
+        body += obs::renderPrometheus(*reg, prefix);
+    return body;
+}
+
+std::string MetricsHttpServer::buildHealthBody() const {
+    obs::Json health =
+        healthProvider_ ? healthProvider_() : obs::Json::object();
+    health.set("status", "ok");
+    health.set("uptime_sec",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             started_)
+                   .count());
+    return health.dump();
+}
+
+void MetricsHttpServer::handleConnection(int fd) {
+#if PHPF_HAVE_SOCKETS
+    // One read is enough for the GET requests this serves; anything
+    // larger than the buffer is not a request we answer.
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    if (n <= 0) return;
+    buf[n] = '\0';
+    const std::string head(buf);
+    const size_t sp1 = head.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : head.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        respond(fd, 400, "Bad Request", "text/plain", "bad request\n");
+        return;
+    }
+    const std::string method = head.substr(0, sp1);
+    const std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (method != "GET") {
+        respond(fd, 405, "Method Not Allowed", "text/plain",
+                "GET only\n");
+        return;
+    }
+    if (path == "/metrics") {
+        respond(fd, 200, "OK", "text/plain; version=0.0.4",
+                buildMetricsBody());
+    } else if (path == "/healthz") {
+        respond(fd, 200, "OK", "application/json", buildHealthBody());
+    } else if (path == "/report") {
+        if (!reportProvider_) {
+            respond(fd, 503, "Service Unavailable", "text/plain",
+                    "no report provider\n");
+            return;
+        }
+        respond(fd, 200, "OK", "application/json",
+                reportProvider_().dump());
+    } else if (path == "/quitquitquit") {
+        quit_.store(true, std::memory_order_release);
+        respond(fd, 200, "OK", "text/plain", "shutting down\n");
+    } else {
+        respond(fd, 404, "Not Found", "text/plain",
+                "try /metrics /healthz /report\n");
+    }
+#else
+    (void)fd;
+#endif
+}
+
+}  // namespace phpf::service

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace phpf::service {
+
+/// Live telemetry over HTTP, with zero external dependencies: a plain
+/// POSIX socket, one dedicated accept thread, one connection at a time.
+/// That is exactly the right amount of web server for a compiler — a
+/// scrape every few seconds from one Prometheus and the odd curl.
+///
+/// Endpoints:
+///   GET /metrics      Prometheus text exposition of every attached
+///                     registry (counters as *_total, histograms as
+///                     summaries with p50/p90/p99 quantile samples)
+///   GET /healthz      JSON liveness: status, uptime, and whatever the
+///                     health provider adds (queue depth, workers)
+///   GET /report       JSON from the report provider (a run report);
+///                     503 when no provider is attached
+///   GET /quitquitquit Acknowledges and sets quitRequested() — the
+///                     owner polls it for a clean scripted shutdown
+///                     (CI smoke tests curl it instead of kill -9)
+///
+/// Attach registries and providers before start(); the server never
+/// mutates them (registries are internally thread-safe).
+class MetricsHttpServer {
+public:
+    /// `port` 0 binds an ephemeral port (resolved via port() after
+    /// start) — tests use this to avoid collisions. Binds loopback
+    /// only: this is an operator endpoint, not a public service.
+    explicit MetricsHttpServer(int port = 0);
+    ~MetricsHttpServer();  ///< stop()s
+
+    MetricsHttpServer(const MetricsHttpServer&) = delete;
+    MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+    /// Add a registry scraped by /metrics, its metric names prefixed
+    /// with `prefix` ("phpf" -> phpf_service_requests_total).
+    void addRegistry(const std::string& prefix, const obs::MetricRegistry* reg);
+
+    /// Extra key/values merged into /healthz (called per request from
+    /// the server thread; must be thread-safe).
+    void setHealthProvider(std::function<obs::Json()> provider);
+    /// Body of /report (called per request from the server thread).
+    void setReportProvider(std::function<obs::Json()> provider);
+
+    /// Bind + listen + spawn the accept thread. False (with *err set)
+    /// when the port cannot be bound.
+    bool start(std::string* err = nullptr);
+    /// Close the listen socket and join the thread. Idempotent.
+    void stop();
+
+    [[nodiscard]] bool running() const {
+        return running_.load(std::memory_order_acquire);
+    }
+    /// The bound port (the resolved one when constructed with 0).
+    [[nodiscard]] int port() const { return port_; }
+    [[nodiscard]] std::int64_t requestsServed() const {
+        return requests_.load(std::memory_order_relaxed);
+    }
+    /// True once /quitquitquit has been hit.
+    [[nodiscard]] bool quitRequested() const {
+        return quit_.load(std::memory_order_acquire);
+    }
+
+private:
+    void serveLoop();
+    void handleConnection(int fd);
+    [[nodiscard]] std::string buildMetricsBody() const;
+    [[nodiscard]] std::string buildHealthBody() const;
+
+    int port_;
+    // Written by stop() while serveLoop() is blocked in accept() on it.
+    std::atomic<int> listenFd_{-1};
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> quit_{false};
+    std::atomic<std::int64_t> requests_{0};
+    std::vector<std::pair<std::string, const obs::MetricRegistry*>> registries_;
+    std::function<obs::Json()> healthProvider_;
+    std::function<obs::Json()> reportProvider_;
+    std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace phpf::service

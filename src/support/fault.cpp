@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace phpf {
@@ -104,7 +105,16 @@ bool FaultSite::fire() {
             static_cast<double>(splitmix64(rng_) >> 11) * 0x1.0p-53;
         hit = u < spec_.probability;
     }
-    if (hit) fires_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) {
+        fires_.fetch_add(1, std::memory_order_relaxed);
+        // Individual polls are far too hot to log; a fault actually
+        // firing is exactly the kind of rare event the recorder exists
+        // for.
+        obs::FlightRecorder::global().record(
+            "fault.fire",
+            spec_.site + " poll=" + std::to_string(poll) + " fire=" +
+                std::to_string(fires_.load(std::memory_order_relaxed)));
+    }
     return hit;
 }
 

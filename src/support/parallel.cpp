@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "support/thread_registry.h"
+
 namespace phpf {
 
 namespace {
@@ -48,11 +50,16 @@ int resolveThreadCount(int requested, int maxUseful) {
     return n < 1 ? 1 : n;
 }
 
-LockstepPool::LockstepPool(int threads)
+LockstepPool::LockstepPool(int threads, std::string namePrefix)
     : nThreads_(threads < 1 ? 1 : threads), stats_(static_cast<size_t>(nThreads_)) {
     threads_.reserve(static_cast<size_t>(nThreads_ - 1));
     for (int w = 1; w < nThreads_; ++w)
-        threads_.emplace_back([this, w] { workerMain(w); });
+        threads_.emplace_back([this, w, namePrefix] {
+            if (!namePrefix.empty())
+                thread_registry::setCurrentName(namePrefix + "-" +
+                                                std::to_string(w));
+            workerMain(w);
+        });
 }
 
 LockstepPool::~LockstepPool() {
@@ -132,10 +139,16 @@ void LockstepPool::run(Task task, void* ctx) {
     }
 }
 
-TaskPool::TaskPool(int threads) : nThreads_(threads < 1 ? 1 : threads) {
+TaskPool::TaskPool(int threads, std::string namePrefix)
+    : nThreads_(threads < 1 ? 1 : threads) {
     threads_.reserve(static_cast<size_t>(nThreads_));
     for (int w = 0; w < nThreads_; ++w)
-        threads_.emplace_back([this] { workerMain(); });
+        threads_.emplace_back([this, w, namePrefix] {
+            if (!namePrefix.empty())
+                thread_registry::setCurrentName(namePrefix + "-" +
+                                                std::to_string(w));
+            workerMain();
+        });
 }
 
 TaskPool::~TaskPool() {

@@ -42,8 +42,12 @@ public:
 
     /// `threads` is the total worker count including the calling thread;
     /// values < 1 are treated as 1 (no threads spawned, run() degrades
-    /// to a plain call).
-    explicit LockstepPool(int threads);
+    /// to a plain call). When `namePrefix` is non-empty, spawned worker
+    /// w registers itself as "<namePrefix>-<w>" in the process thread
+    /// registry so telemetry (Chrome trace rows, flight-recorder
+    /// events) shows named threads instead of bare tids. Worker 0 is
+    /// the caller and keeps its own name.
+    explicit LockstepPool(int threads, std::string namePrefix = "");
     ~LockstepPool();
 
     LockstepPool(const LockstepPool&) = delete;
@@ -116,7 +120,9 @@ class TaskPool {
 public:
     /// `threads` workers are spawned eagerly; values < 1 are treated
     /// as 1. Unlike LockstepPool the caller does NOT participate.
-    explicit TaskPool(int threads);
+    /// When `namePrefix` is non-empty, worker w registers itself as
+    /// "<namePrefix>-<w>" in the process thread registry.
+    explicit TaskPool(int threads, std::string namePrefix = "");
     /// Finishes every queued task, then joins the workers.
     ~TaskPool();
 

@@ -1,0 +1,69 @@
+#include "support/thread_registry.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace phpf::thread_registry {
+
+namespace {
+
+std::mutex& namesMutex() {
+    static std::mutex m;
+    return m;
+}
+
+/// Names by tid; indices beyond the vector are registered-but-unnamed.
+std::vector<std::string>& names() {
+    static std::vector<std::string> v;
+    return v;
+}
+
+std::atomic<int>& nextTid() {
+    static std::atomic<int> n{0};
+    return n;
+}
+
+int assignTid() {
+    return nextTid().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int currentTid() {
+    thread_local const int tid = assignTid();
+    return tid;
+}
+
+void setCurrentName(const std::string& name) {
+    const int tid = currentTid();
+    std::lock_guard<std::mutex> lock(namesMutex());
+    std::vector<std::string>& v = names();
+    if (static_cast<int>(v.size()) <= tid)
+        v.resize(static_cast<size_t>(tid) + 1);
+    v[static_cast<size_t>(tid)] = name;
+}
+
+std::string nameOf(int tid) {
+    {
+        std::lock_guard<std::mutex> lock(namesMutex());
+        const std::vector<std::string>& v = names();
+        if (tid >= 0 && tid < static_cast<int>(v.size()) &&
+            !v[static_cast<size_t>(tid)].empty())
+            return v[static_cast<size_t>(tid)];
+    }
+    return "thread-" + std::to_string(tid);
+}
+
+std::string currentName() { return nameOf(currentTid()); }
+
+std::vector<std::pair<int, std::string>> all() {
+    std::vector<std::pair<int, std::string>> out;
+    const int n = count();
+    out.reserve(static_cast<size_t>(n));
+    for (int tid = 0; tid < n; ++tid) out.emplace_back(tid, nameOf(tid));
+    return out;
+}
+
+int count() { return nextTid().load(std::memory_order_relaxed); }
+
+}  // namespace phpf::thread_registry
