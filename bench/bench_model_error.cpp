@@ -1,0 +1,90 @@
+// Cost-model calibration error on the paper's table kernels.
+//
+// For each of TOMCATV (Table 1), DGEFA (Table 2) and APPSP (Table 3),
+// compile with the default mapping pipeline, run the profiled
+// functional simulation, and join the analytic cost model's
+// per-statement / per-comm-op / per-decision predictions against the
+// re-costed measured counters (obs::buildCalibration). The emitted MAPE
+// columns are 100% deterministic — "measured" is re-costed from exact
+// simulator counters through the same CostModel, never wall time — so
+// the committed baseline (bench/baselines/BENCH_model_error.json) is
+// machine-independent and compare_bench.py gates it by absolute point
+// drift: the model may not silently get ±tolerance points worse at
+// predicting the runs it claims to predict.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_common.h"
+#include "obs/calibration.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+struct Kernel {
+    const char* title;
+    std::function<Program()> make;
+    std::vector<int> grid;
+};
+
+const std::vector<Kernel>& kernels() {
+    static const std::vector<Kernel> ks = {
+        {"Model error: TOMCATV ((*,block), n = 33, Table 1 kernel)",
+         [] { return programs::tomcatv(33, 2); },
+         {8}},
+        {"Model error: DGEFA ((*,cyclic), n = 16, Table 2 kernel)",
+         [] { return programs::dgefa(16); },
+         {16}},
+        {"Model error: APPSP 1-D (n = 16, Table 3 kernel)",
+         [] { return programs::appsp(16, 16, 16, 2, /*oneD=*/true); },
+         {16}},
+    };
+    return ks;
+}
+
+obs::CalibrationReport calibrate(const Kernel& k) {
+    Program p = k.make();
+    CompilerOptions opts;
+    opts.gridExtents = k.grid;
+    Compilation c = Compiler::compile(p, opts);
+    SimulationRequest req;
+    req.profile = true;
+    auto sim = c.simulate(req);
+    return obs::buildCalibration(c.lowering(), TargetConfig{}.costModel,
+                                 *sim, *sim->profile(),
+                                 c.mappingPass().decisionLog());
+}
+
+void printTables() {
+    for (const Kernel& k : kernels()) {
+        const obs::CalibrationReport cal = calibrate(k);
+        printHeader(k.title, {"mape_sec_pct", "mape_events_pct",
+                              "mape_bytes_pct", "rows_joined"});
+        printRow(k.grid.size() == 1 ? k.grid[0] : k.grid[0] * k.grid[1],
+                 {cal.summary.mapeSecPct, cal.summary.mapeEventsPct,
+                  cal.summary.mapeBytesPct,
+                  static_cast<double>(cal.summary.joined)});
+    }
+    std::printf("\n");
+}
+
+void BM_CalibrateTomcatv(benchmark::State& state) {
+    for (auto _ : state) {
+        const obs::CalibrationReport cal = calibrate(kernels()[0]);
+        benchmark::DoNotOptimize(cal.summary.mapeSecPct);
+    }
+}
+
+BENCHMARK(BM_CalibrateTomcatv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    printTables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

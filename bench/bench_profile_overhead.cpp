@@ -1,0 +1,193 @@
+// Overhead of the per-statement profiler on the SPMD simulator hot
+// path.
+//
+// Profiling is strictly opt-in: with SimulationRequest::profile unset
+// the simulator pays one null check per hook site. This bench measures
+// the same TOMCATV workload in two configurations:
+//
+//   disabled — no profile (the default every plain run gets)
+//   armed    — SimulationRequest::profile: per-statement instance /
+//              per-proc / element / event counters on every statement
+//              boundary plus 1-in-64 sampled phase timing
+//
+// and enforces that the armed profiler stays within 2% of the disabled
+// run (median of interleaved runs; one re-measure round with more
+// repetitions absorbs scheduler noise before the check is treated as a
+// failure). The armed run must also reproduce the disabled run's
+// simulator totals exactly — and the profile's own totals must match
+// the simulator's — or the measurement is worthless and the bench
+// hard-fails.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/profiler.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+constexpr std::int64_t kN = 33;
+constexpr std::int64_t kIters = 2;
+
+void seedTomcatv(Interpreter& o) {
+    for (std::int64_t i = 1; i <= kN; ++i)
+        for (std::int64_t j = 1; j <= kN; ++j) {
+            o.setElement("x", {i, j},
+                         static_cast<double>(i) + 0.1 * static_cast<double>(j));
+            o.setElement("y", {i, j},
+                         static_cast<double>(j) - 0.05 * static_cast<double>(i));
+        }
+}
+
+struct RunResult {
+    double wall = 0.0;
+    std::int64_t transfers = 0;
+    std::int64_t events = 0;
+    std::int64_t procStmts = 0;
+};
+
+RunResult runWith(const Compilation& c, bool profile) {
+    SimulationRequest req;
+    req.seed = seedTomcatv;
+    req.profile = profile;
+    auto sim = c.simulate(req);
+    if (profile) {
+        // The profile's totals are the simulator's totals, always; a
+        // mismatch means the hooks drifted and every number below lies.
+        const obs::StmtProfile& prof = *sim->profile();
+        std::int64_t procStmts = 0, elements = 0, events = 0;
+        for (int s = 0; s < prof.stmtCount(); ++s) {
+            procStmts += prof.row(s).procStmts;
+            elements += prof.row(s).elements;
+            events += prof.row(s).events;
+        }
+        if (procStmts != sim->statementsExecutedAllProcs() ||
+            elements != sim->elementTransfers() ||
+            events != sim->messageEvents()) {
+            std::fprintf(stderr,
+                         "FATAL: profile totals diverged from the "
+                         "simulator's own counters\n");
+            std::exit(1);
+        }
+    }
+    return {sim->wallSec(), sim->elementTransfers(), sim->messageEvents(),
+            sim->statementsExecutedAllProcs()};
+}
+
+void requireIdentical(const RunResult& base, const RunResult& r,
+                      const char* what) {
+    if (r.transfers == base.transfers && r.events == base.events &&
+        r.procStmts == base.procStmts)
+        return;
+    std::fprintf(stderr,
+                 "FATAL: %s run diverged from the disabled run "
+                 "(transfers %lld vs %lld)\n",
+                 what, static_cast<long long>(r.transfers),
+                 static_cast<long long>(base.transfers));
+    std::exit(1);
+}
+
+double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+/// One measurement round: `reps` interleaved disabled/armed runs
+/// (interleaving cancels slow drift — thermal, competing CI tenants),
+/// medians of each.
+void measure(const Compilation& c, int reps, double* disabledSec,
+             double* armedSec) {
+    std::vector<double> disabled, armed;
+    for (int i = 0; i < reps; ++i) {
+        disabled.push_back(runWith(c, false).wall);
+        armed.push_back(runWith(c, true).wall);
+    }
+    *disabledSec = median(disabled);
+    *armedSec = median(armed);
+}
+
+void printTable() {
+    Program p = programs::tomcatv(kN, kIters);
+    CompilerOptions opts;
+    opts.gridExtents = {8};
+    Compilation c = Compiler::compile(p, opts);
+
+    // Warm-up + divergence gate. Three pairs: the very first simulated
+    // runs of the process are dominated by page faults and lazy
+    // allocator growth, which a single pair does not absorb on small
+    // CI machines.
+    const RunResult base = runWith(c, false);
+    requireIdentical(base, runWith(c, true), "profiled");
+    for (int i = 0; i < 2; ++i) {
+        (void)runWith(c, false);
+        (void)runWith(c, true);
+    }
+
+    double disabledSec = 0, armedSec = 0;
+    measure(c, 7, &disabledSec, &armedSec);
+    double overheadPct = 100.0 * (armedSec - disabledSec) / disabledSec;
+    for (const int reps : {11, 15}) {
+        if (overheadPct < 2.0) break;
+        // Re-measure with more repetitions before declaring a real
+        // regression: CI neighbours cause >2% blips that a longer
+        // median absorbs.
+        measure(c, reps, &disabledSec, &armedSec);
+        overheadPct = 100.0 * (armedSec - disabledSec) / disabledSec;
+    }
+
+    printHeader(
+        "Profiler overhead: TOMCATV ((*,block), n = " + std::to_string(kN) +
+            ", 8 procs) — simulated-run wall sec",
+        {"disabled_sec", "armed_sec", "overhead_pct"});
+    printRow(8, {disabledSec, armedSec, overheadPct});
+    std::printf("\n");
+
+    if (overheadPct >= 2.0) {
+        std::fprintf(stderr,
+                     "FATAL: armed per-statement profiler costs %.2f%% "
+                     "(budget < 2%%)\n",
+                     overheadPct);
+        std::exit(1);
+    }
+}
+
+void BM_SimProfileDisabled(benchmark::State& state) {
+    Program p = programs::tomcatv(kN, kIters);
+    CompilerOptions opts;
+    opts.gridExtents = {8};
+    Compilation c = Compiler::compile(p, opts);
+    for (auto _ : state) {
+        const RunResult r = runWith(c, false);
+        benchmark::DoNotOptimize(r.transfers);
+    }
+}
+
+void BM_SimProfileArmed(benchmark::State& state) {
+    Program p = programs::tomcatv(kN, kIters);
+    CompilerOptions opts;
+    opts.gridExtents = {8};
+    Compilation c = Compiler::compile(p, opts);
+    for (auto _ : state) {
+        const RunResult r = runWith(c, true);
+        benchmark::DoNotOptimize(r.transfers);
+    }
+}
+
+BENCHMARK(BM_SimProfileDisabled)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimProfileArmed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

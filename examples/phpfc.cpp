@@ -5,11 +5,13 @@
 //         [--sim-threads=N] [--faults=SPEC] [--retry=N]
 //         [--checkpoint-every=N] [--serve-metrics=PORT]
 //         [--flight-recorder=FILE.jsonl]
+//         [--profile] [--profile-folded=FILE.folded]
 //         [--no-privatization] [--producer-only] [--no-reduction-align]
 //         [--no-array-priv] [--no-partial-priv] [--no-cf-priv]
+//   phpfc --builtin=NAME ...  (tomcatv, dgefa, appsp, ... instead of a file)
 //   phpfc --batch=JOBS.json [--workers=N] [--cache-capacity=N]
 //         [--journal=FILE.jsonl] [--resume] [--faults=SPEC] [--retry=N]
-//         [--serve-metrics=PORT] [--flight-recorder=FILE.jsonl]
+//         [--profile] [--serve-metrics=PORT] [--flight-recorder=FILE.jsonl]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
@@ -44,6 +46,16 @@
 // FILE as JSONL when a simulation fault escapes, a batch job fails, or
 // the batch aborts. `--faults=...` arms the recorder even without a
 // dump file so /report and post-mortem tooling can read it.
+//
+// Profiling: `--profile` arms the per-statement profiler inside the
+// functional simulation; the run report (schema v3) gains "profile"
+// and "calibration" sections, /metrics gains phpf_stmt_self_time_* and
+// phpf_model_error_* series, and `--profile-folded=FILE` writes
+// flamegraph.pl-ready collapsed stacks weighted by estimated
+// per-statement self time. In batch mode `--profile` turns on the
+// profiled simulation for every job (also settable per job via the
+// jobs file's "profile" field). `--builtin=NAME` compiles a builtin
+// kernel (the same names the batch runner accepts) instead of a file.
 
 #include <chrono>
 #include <cstdio>
@@ -58,10 +70,12 @@
 #include "driver/compiler.h"
 #include "frontend/parser.h"
 #include "ir/printer.h"
+#include "obs/calibration.h"
 #include "obs/chrome_trace.h"
 #include "obs/concurrent_trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "service/batch.h"
 #include "service/compile_service.h"
@@ -93,13 +107,17 @@ void usage() {
                  "PHPF_SIM_THREADS, else hardware)\n"
                  "             [--faults=SPEC] [--retry=N] "
                  "[--checkpoint-every=N]\n"
+                 "             [--profile] [--profile-folded=FILE.folded]\n"
                  "             [--no-privatization] [--producer-only]\n"
                  "             [--no-reduction-align] [--no-array-priv]\n"
                  "             [--no-partial-priv] [--no-cf-priv]\n"
+                 "       phpfc --builtin=NAME ...  (builtin kernel instead "
+                 "of a file)\n"
                  "       phpfc --batch=JOBS.json [--workers=N] "
                  "[--cache-capacity=N]\n"
                  "             [--journal=FILE.jsonl] [--resume] "
                  "[--faults=SPEC] [--retry=N]\n"
+                 "             [--profile]  (profiled sim for every job)\n"
                  "       both: [--serve-metrics=PORT]  (0 = ephemeral; "
                  "serves /metrics /healthz\n"
                  "              /report until GET /quitquitquit)\n"
@@ -123,13 +141,15 @@ void serveUntilQuit(service::MetricsHttpServer& server) {
 int runBatchMode(const std::string& jobsFile, int workers,
                  std::size_t cacheCapacity, int retries,
                  const std::string& journal, bool resume, int servePort,
-                 const std::string& flightFile) {
+                 const std::string& flightFile, bool profileAll) {
     service::BatchSpec spec;
     std::string err;
     if (!service::loadBatchFile(jobsFile, &spec, &err)) {
         std::fprintf(stderr, "phpfc: %s\n", err.c_str());
         return 1;
     }
+    if (profileAll)
+        for (service::BatchJob& job : spec.jobs) job.profile = true;
     service::ServiceConfig cfg;
     cfg.workers = workers;
     if (cacheCapacity > 0) cfg.cacheCapacity = cacheCapacity;
@@ -201,11 +221,18 @@ int main(int argc, char** argv) {
     int checkpointEvery = 0;
     int servePort = -1;  ///< -1 = no exposition endpoint; 0 = ephemeral
     std::string flightFile;
+    bool profile = false;
+    std::string foldedFile;
+    std::string builtinName;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--procs" && i + 1 < argc) grid = parseGrid(argv[++i]);
         else if (startsWith(arg, "--batch=")) batchFile = arg.substr(8);
+        else if (startsWith(arg, "--builtin=")) builtinName = arg.substr(10);
+        else if (arg == "--profile") profile = true;
+        else if (startsWith(arg, "--profile-folded="))
+            foldedFile = arg.substr(17);
         else if (startsWith(arg, "--workers="))
             batchWorkers = std::stoi(arg.substr(10));
         else if (startsWith(arg, "--cache-capacity="))
@@ -268,22 +295,25 @@ int main(int argc, char** argv) {
     if (!batchFile.empty())
         return runBatchMode(batchFile, batchWorkers, batchCacheCapacity,
                             retries, journalFile, resume, servePort,
-                            flightFile);
-    if (file.empty()) {
+                            flightFile, profile);
+    if (file.empty() && builtinName.empty()) {
         usage();
         return 2;
     }
-    const bool jsonOnly = !reportFile.empty() || !traceFile.empty();
+    const bool jsonOnly = !reportFile.empty() || !traceFile.empty() ||
+                          profile || !foldedFile.empty();
     if (!doReport && !doLower && !doCost && !doSpmd && !jsonOnly)
         doReport = doLower = doCost = doSpmd = true;
 
-    std::ifstream in(file);
-    if (!in) {
-        std::fprintf(stderr, "phpfc: cannot open %s\n", file.c_str());
-        return 1;
-    }
     std::stringstream buf;
-    buf << in.rdbuf();
+    if (builtinName.empty()) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "phpfc: cannot open %s\n", file.c_str());
+            return 1;
+        }
+        buf << in.rdbuf();
+    }
 
     // One tracer covers the whole run so the front end's span lands on
     // the same timeline as the compiler passes and the simulation. The
@@ -294,8 +324,23 @@ int main(int argc, char** argv) {
     obs::MetricRegistry runMetrics;
     auto tracer = std::make_shared<obs::Tracer>();
     DiagEngine diags;
+    // --builtin resolves through the batch runner's kernel table so the
+    // CLI and jobs files accept exactly the same names.
+    std::function<Program()> buildBuiltin;
+    if (!builtinName.empty()) {
+        service::BatchJob job;
+        job.program = builtinName;
+        service::CompileRequest breq;
+        std::string berr;
+        if (!service::requestOfJob(job, &breq, &berr)) {
+            std::fprintf(stderr, "phpfc: %s\n", berr.c_str());
+            return 2;
+        }
+        buildBuiltin = breq.build;
+    }
     Program p = [&] {
         obs::ScopedSpan span(*tracer, "parse", "pass");
+        if (buildBuiltin) return buildBuiltin();
         Parser parser(buf.str(), diags);
         return parser.parse();
     }();
@@ -333,7 +378,8 @@ int main(int argc, char** argv) {
     // are recorded by the simulator's pool from their own threads.
     std::unique_ptr<SpmdSimulator> sim;
     const bool wantSim =
-        runSim && (!reportFile.empty() || !traceFile.empty() || servePort >= 0);
+        runSim && (!reportFile.empty() || !traceFile.empty() ||
+                   servePort >= 0 || profile || !foldedFile.empty());
     if (wantSim) {
         SimulationRequest sreq;
         sreq.faults = FaultInjector::processIfEnabled();
@@ -341,6 +387,7 @@ int main(int argc, char** argv) {
         if (retries > 0) sreq.maxAttempts = retries;
         sreq.metrics = &runMetrics;
         sreq.ctracer = &ctracer;
+        sreq.profile = profile || !foldedFile.empty();
         try {
             sim = c.simulate(sreq);
         } catch (const SimFault& e) {
@@ -350,6 +397,31 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "phpfc: flight recorder dumped to %s\n",
                              flightFile.c_str());
             return 1;
+        }
+    }
+    if (sim != nullptr && sim->profile() != nullptr) {
+        // Feed the profile into the run registry so --serve-metrics
+        // exposes phpf_stmt_self_time_* and phpf_model_error_* series.
+        obs::exportStmtSelfTime(runMetrics, *sim->profile());
+        const obs::CalibrationReport cal = obs::buildCalibration(
+            c.lowering(), target.costModel, *sim, *sim->profile(),
+            c.mappingPass().decisionLog());
+        cal.exportTo(runMetrics);
+        std::printf("calibration: %d/%d rows joined, model MAPE %.2f%%\n",
+                    cal.summary.joined, static_cast<int>(cal.rows.size()),
+                    cal.summary.mapeSecPct);
+        if (!foldedFile.empty()) {
+            std::ofstream folded(foldedFile);
+            if (!folded) {
+                std::fprintf(stderr, "phpfc: cannot write %s\n",
+                             foldedFile.c_str());
+                return 1;
+            }
+            folded << obs::foldedStacks(c.lowering().program(),
+                                        *sim->profile());
+            std::printf("folded stacks written to %s (feed to "
+                        "flamegraph.pl)\n",
+                        foldedFile.c_str());
         }
     }
     if (!reportFile.empty()) {

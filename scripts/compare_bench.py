@@ -13,8 +13,12 @@ For every baseline file, the matching current file must exist and every
 baseline row must be present; a numeric value more than --tolerance
 percent ABOVE its baseline is a regression and fails the run (exit 1).
 Improvements and new rows are reported but never fail. Values with tiny
-baselines (< 1e-4) and percentage columns (*_pct) are skipped — relative
-comparison on noise-scale numbers only produces flakes.
+baselines (< 1e-4) are skipped — relative comparison on noise-scale
+numbers only produces flakes. Percentage columns (*_pct, e.g. the
+model-error MAPE of BENCH_model_error.json) are compared by ABSOLUTE
+point delta instead: current more than --tolerance points above the
+baseline fails, so a 50% baseline MAPE may drift to 65% but not beyond
+— relative comparison would let a large baseline absorb huge drifts.
 
 --update copies the current reports over the baselines instead of
 comparing (run locally after an intentional perf change, then commit).
@@ -75,7 +79,24 @@ def compare(baseline_dir: Path, current_dir: Path, tolerance: float) -> int:
                 continue
             cur_cols = cur_rows[key]
             for col, base_val in sorted(base_cols.items()):
-                if col.endswith("_pct") or abs(base_val) < ABS_FLOOR:
+                if col.endswith("_pct"):
+                    # Percentage columns gate on absolute point drift.
+                    if col not in cur_cols:
+                        regressions.append(f"{label}: column {col} missing")
+                        continue
+                    cur_val = cur_cols[col]
+                    delta = cur_val - base_val
+                    checked += 1
+                    where = (
+                        f"{label} {col}: {base_val:g} -> {cur_val:g} "
+                        f"({delta:+.1f} pts)"
+                    )
+                    if delta > tolerance:
+                        regressions.append(where)
+                    elif delta < -tolerance:
+                        improvements.append(where)
+                    continue
+                if abs(base_val) < ABS_FLOOR:
                     continue
                 if col not in cur_cols:
                     regressions.append(f"{label}: column {col} missing")

@@ -24,6 +24,7 @@ std::unique_ptr<SpmdSimulator> Compilation::simulate(
     auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads,
                                                std::move(recovery));
     sim->setTelemetry(req.metrics, req.ctracer);
+    if (req.profile) sim->enableProfiling();
     if (req.seed) req.seed(sim->oracle());
     // Capture the execution span's real endpoints on the tracer's own
     // clock: reconstructing the start from wallSec once drifted (and

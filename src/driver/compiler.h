@@ -63,6 +63,11 @@ struct SimulationRequest {
     /// mirrored there so worker rows parent under it). Both nullable.
     obs::MetricRegistry* metrics = nullptr;
     obs::ConcurrentTracer* ctracer = nullptr;
+    /// Arm the per-statement profiler (SpmdSimulator::enableProfiling):
+    /// the returned simulator carries a StmtProfile, buildRunReport()
+    /// adds the schema-v3 "profile" and "calibration" sections, and the
+    /// service caches both with the artifact.
+    bool profile = false;
 };
 
 /// Everything one compilation produced, immutable once the pipeline

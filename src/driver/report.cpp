@@ -8,8 +8,10 @@
 
 #include "driver/compiler.h"
 #include "ir/printer.h"
+#include "obs/calibration.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "spmd/cost_report.h"
 
 namespace phpf {
@@ -122,7 +124,10 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
     root.set("schema", "phpf.run_report");
     // v2: metric histograms carry p50/p90/p99 quantile estimates in
     // addition to count/sum/min/max/mean.
-    root.set("schema_version", 2);
+    // v3: profiled runs add the "profile" (per-statement measured
+    // counts/times) and "calibration" (predicted-vs-measured model
+    // error with per-DecisionRecord joins) sections.
+    root.set("schema_version", 3);
     root.set("program", program_ != nullptr ? program_->name : "");
 
     obs::Json grid = obs::Json::array();
@@ -175,6 +180,16 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
     }
 
     if (sim != nullptr) root.set("simulation", simulationJson(*sim, *lowering_));
+
+    if (sim != nullptr && sim->profile() != nullptr) {
+        root.set("profile", obs::profileJson(lowering_->program(),
+                                             *sim->profile(),
+                                             sim->elemBytes()));
+        const obs::CalibrationReport cal = obs::buildCalibration(
+            *lowering_, target_.costModel, *sim, *sim->profile(),
+            mappingPass_->decisionLog());
+        root.set("calibration", cal.toJson());
+    }
 
     root.set("metrics", obs::MetricRegistry::global().toJson());
     return root;

@@ -258,8 +258,10 @@ void SpmdSimulator::noteEvent(const CommOp* op) {
     for (const SymbolId v : opCtxVars_[static_cast<size_t>(op->id)])
         ctxScratch_.push_back(
             static_cast<std::int64_t>(oracle_.store().get(v)));
-    if (events_.record(op->id, ctxScratch_))
+    if (events_.record(op->id, ctxScratch_)) {
         ++eventsPerOp_[static_cast<size_t>(op->id)];
+        if (profile_ != nullptr) profile_->addEvent();
+    }
 }
 
 double SpmdSimulator::fetchW(WorkerScratch& w, int proc, const Expr* ref) {
@@ -388,8 +390,11 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
     // long, so timing every one would cost more than the phase.
     const bool sampleEval =
         evalHist_ != nullptr && (evalTick_++ & (kTelemetrySample - 1)) == 0;
+    // The profiler keeps its own tick (checkpointed with the profile),
+    // so its sample schedule is deterministic even across recovery.
+    const bool profEval = profile_ != nullptr && profile_->sampleEval();
     std::chrono::steady_clock::time_point t0;
-    if (sampleEval) t0 = std::chrono::steady_clock::now();
+    if (sampleEval || profEval) t0 = std::chrono::steady_clock::now();
     // Resolve the flat index of every fetched ArrayRef once on the
     // oracle; subscripts are iteration-dependent but identical on every
     // executor.
@@ -402,11 +407,13 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
         WorkerScratch& w = workers_[0];
         for (size_t i = 0; i < ne; ++i)
             values_[i] = evalOnW(w, execs[i], e);
-        if (sampleEval)
-            evalHist_->record(
-                std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count());
+        if (sampleEval || profEval) {
+            const double us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            if (sampleEval) evalHist_->record(us);
+            if (profEval) profile_->addEvalSample(us);
+        }
         return;
     }
     phaseExecs_ = &execs;
@@ -416,10 +423,13 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
             static_cast<SpmdSimulator*>(ctx)->phaseWorker(worker);
         },
         this);
-    if (sampleEval)
-        evalHist_->record(std::chrono::duration<double, std::micro>(
+    if (sampleEval || profEval) {
+        const double us = std::chrono::duration<double, std::micro>(
                               std::chrono::steady_clock::now() - t0)
-                              .count());
+                              .count();
+        if (sampleEval) evalHist_->record(us);
+        if (profEval) profile_->addEvalSample(us);
+    }
     for (WorkerScratch& ws : workers_) {
         if (ws.error == nullptr) continue;
         const std::exception_ptr err = ws.error;
@@ -435,8 +445,9 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
 void SpmdSimulator::mergeWorkers() {
     const bool sampleMerge =
         mergeHist_ != nullptr && (mergeTick_++ & (kTelemetrySample - 1)) == 0;
+    const bool profMerge = profile_ != nullptr && profile_->sampleMerge();
     std::chrono::steady_clock::time_point t0;
-    if (sampleMerge) t0 = std::chrono::steady_clock::now();
+    if (sampleMerge || profMerge) t0 = std::chrono::steady_clock::now();
     for (WorkerScratch& ws : workers_) {
         for (const PendingWrite& pw : ws.pending)
             procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
@@ -451,15 +462,19 @@ void SpmdSimulator::mergeWorkers() {
             ++elemsPerOp_[static_cast<size_t>(m.op->id)];
             ++procMetrics_[static_cast<size_t>(m.proc)].recvElements;
             ++procMetrics_[static_cast<size_t>(m.src)].sentElements;
+            if (profile_ != nullptr) profile_->addElement();
             noteEvent(m.op);
         }
         ws.pending.clear();
         ws.misses.clear();
     }
-    if (sampleMerge)
-        mergeHist_->record(std::chrono::duration<double, std::micro>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
+    if (sampleMerge || profMerge) {
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (sampleMerge) mergeHist_->record(us);
+        if (profMerge) profile_->addMergeSample(us);
+    }
 }
 
 void SpmdSimulator::execStmt(const Stmt* s) {
@@ -470,6 +485,10 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
             accountExecutors(execs);
+            if (profile_ != nullptr) {
+                profile_->beginStmt(s->id);
+                profile_->addExecutors(execs);
+            }
             const std::int64_t flat = s->lhs->kind == ExprKind::ArrayRef
                                           ? oracle_.flatIndexOf(s->lhs)
                                           : 0;
@@ -494,6 +513,10 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             const std::vector<int>& execs = executorsOf(s);
             procStmts_ += static_cast<std::int64_t>(execs.size());
             accountExecutors(execs);
+            if (profile_ != nullptr) {
+                profile_->beginStmt(s->id);
+                profile_->addExecutors(execs);
+            }
             evalPhase(plan, execs, s->cond);  // predicate comm
             mergeWorkers();
             const bool taken = oracle_.eval(s->cond) != 0.0;
@@ -566,6 +589,10 @@ void SpmdSimulator::execLoopBody(const Stmt* s) {
 
 void SpmdSimulator::runCombines(const Stmt* s) {
     // Apply global combining for reductions whose nest just ended.
+    // Their events/transfers are attributed to the loop statement.
+    if (profile_ != nullptr &&
+        !plans_[static_cast<size_t>(s->id)].combines.empty())
+        profile_->setCurrent(s->id);
     for (const CombinePlan& c : plans_[static_cast<size_t>(s->id)].combines) {
         const CommOp& op = *c.op;
         // The combine is a global communication event; it rides the
@@ -582,6 +609,7 @@ void SpmdSimulator::runCombines(const Stmt* s) {
         noteEvent(&op);
         ++transfers_;
         ++elemsPerOp_[static_cast<size_t>(op.id)];
+        if (profile_ != nullptr) profile_->addElement();
         // The combine delivers the global result everywhere.
         for (int p = 0; p < procCount_; ++p)
             ++procMetrics_[static_cast<size_t>(p)].recvElements;
@@ -641,7 +669,10 @@ void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
     ckpt_ = std::make_unique<Checkpoint>(Checkpoint{
         procStore_, oracle_.store(), oracle_.statementsExecuted(),
         procMetrics_, transfers_, procStmts_, instances_, events_,
-        eventsPerOp_, elemsPerOp_, std::move(path)});
+        eventsPerOp_, elemsPerOp_, std::move(path),
+        profile_ != nullptr
+            ? std::make_unique<obs::StmtProfile>(*profile_)
+            : nullptr});
     ++checkpointsTaken_;
     obs::FlightRecorder::global().record(
         "sim.checkpoint", "instances=" + std::to_string(instances_) +
@@ -668,6 +699,8 @@ void SpmdSimulator::restoreCheckpoint() {
     events_ = ck.events;
     eventsPerOp_ = ck.eventsPerOp;
     elemsPerOp_ = ck.elemsPerOp;
+    if (profile_ != nullptr && ck.profile != nullptr)
+        *profile_ = *ck.profile;
     // The control stack is rebuilt by the resume navigation; worker
     // scratch holds no state at a statement boundary, but clear it
     // defensively.

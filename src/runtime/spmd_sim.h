@@ -5,6 +5,7 @@
 
 #include "obs/concurrent_trace.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "runtime/interp.h"
 #include "runtime/reliable_transport.h"
 #include "spmd/lowering.h"
@@ -108,6 +109,22 @@ public:
     /// existing zero-overhead behaviour.
     void setTelemetry(obs::MetricRegistry* metrics,
                       obs::ConcurrentTracer* tracer);
+
+    /// Opt into the per-statement profiler before run(). Counts
+    /// (instances, per-proc executions, transfers, events) are exact
+    /// and bit-identical across thread counts; wall time is
+    /// 1-in-kSampleEvery sampled (deterministic sample *counts*,
+    /// host-dependent durations). The armed overhead budget is <2%
+    /// (bench/bench_profile_overhead.cpp enforces it).
+    void enableProfiling() {
+        profile_ = std::make_unique<obs::StmtProfile>(prog_.stmtCount(),
+                                                      procCount_);
+    }
+    /// The profile of the last run; null unless enableProfiling() was
+    /// called.
+    [[nodiscard]] const obs::StmtProfile* profile() const {
+        return profile_.get();
+    }
 
     [[nodiscard]] int procCount() const { return procCount_; }
     /// Lockstep worker threads the simulation runs on (resolved).
@@ -224,6 +241,10 @@ private:
         /// Enclosing Do/If frames + the boundary statement last; empty
         /// = start of the program.
         std::vector<CtrlFrame> path;
+        /// Profiler state (sample ticks included), so a recovered run
+        /// reproduces the fault-free profile bit for bit. Null when
+        /// profiling is off.
+        std::unique_ptr<obs::StmtProfile> profile;
     };
 
     /// A reduction's global combine applied at the end of one loop nest.
@@ -382,6 +403,9 @@ private:
     obs::Histogram* evalHist_ = nullptr;    ///< sim.phase.eval_us
     obs::Histogram* mergeHist_ = nullptr;   ///< sim.phase.merge_us
     obs::Histogram* ckptHist_ = nullptr;    ///< sim.checkpoint_us
+
+    // --- per-statement profiler (null when not opted in) ---
+    std::unique_ptr<obs::StmtProfile> profile_;
 };
 
 }  // namespace phpf

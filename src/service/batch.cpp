@@ -123,6 +123,7 @@ bool parseJob(const obs::Json& j, int index, BatchJob* job, std::string* err) {
     if (const obs::Json* v = j.find("nz")) job->nz = v->intValue();
     if (const obs::Json* v = j.find("deadline_ms"))
         job->deadlineMs = v->intValue();
+    if (const obs::Json* v = j.find("profile")) job->profile = v->boolValue();
     if (const obs::Json* v = j.find("grid")) {
         if (!v->isArray() || v->size() == 0) {
             *err = "job " + std::to_string(index) + ": grid must be a "
@@ -231,6 +232,7 @@ bool requestOfJob(const BatchJob& job, CompileRequest* out, std::string* err) {
     out->target = job.target;
     out->passes = job.passes;
     out->deadlineMs = job.deadlineMs;
+    out->profile = job.profile;
     if (!job.source.empty()) {
         out->source = job.source;
     } else if (!job.file.empty()) {
@@ -262,6 +264,10 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
     // (possibly killed) run. A torn final line — the crash happened
     // mid-write — fails to parse and is simply not counted as done.
     std::set<std::string> done;
+    // Per-job model-error MAPE for the summary's calibration section:
+    // filled from live profiled rows and — on resume — from journaled
+    // rows, so skipped jobs keep their profile data in the summary.
+    std::map<std::string, double> mapeByJob;
     if (opts.resume && !opts.journalPath.empty()) {
         std::ifstream in(opts.journalPath);
         std::string line;
@@ -271,8 +277,12 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
             const obs::Json row = obs::Json::parse(line, &perr);
             if (!perr.empty() || !row.isObject()) continue;
             if (row.find("summary") != nullptr) continue;
-            if (const obs::Json* v = row.find("job"))
+            if (const obs::Json* v = row.find("job")) {
                 done.insert(v->stringValue());
+                if (const obs::Json* cal = row.find("calibration"))
+                    if (const obs::Json* m = cal->find("mape_sec_pct"))
+                        mapeByJob[v->stringValue()] = m->numberValue();
+            }
         }
     }
     std::ofstream journal;
@@ -360,6 +370,20 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
             row.set("comm_ops",
                     static_cast<std::int64_t>(
                         r.artifact->runReport.at("comm_ops").size()));
+            if (r.artifact->profiled) {
+                // Cached with the artifact, so warm hits replay the
+                // identical calibration the cold compile produced.
+                const obs::Json& cs = r.artifact->calibration.at("summary");
+                obs::Json cal = obs::Json::object();
+                cal.set("mape_sec_pct", cs.at("mape_sec_pct").numberValue());
+                cal.set("mape_events_pct",
+                        cs.at("mape_events_pct").numberValue());
+                cal.set("rows", cs.at("rows").intValue());
+                cal.set("joined", cs.at("joined").intValue());
+                row.set("calibration", std::move(cal));
+                mapeByJob[p.job->name] =
+                    cs.at("mape_sec_pct").numberValue();
+            }
         } else {
             ++outcome.failed;
             row.set("error", r.error);
@@ -399,7 +423,10 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
     summary.set("schema", "phpf.batch_report");
     // v2: the embedded service registry's histograms gained
     // p50/p90/p99 quantile estimates.
-    summary.set("schema_version", 2);
+    // v3: profiled jobs carry a per-row "calibration" object and the
+    // summary aggregates their model-error MAPE (journaled rows of a
+    // resumed run included).
+    summary.set("schema_version", 3);
     summary.set("jobs", outcome.jobs);
     summary.set("ok", outcome.ok);
     summary.set("failed", outcome.failed);
@@ -407,6 +434,28 @@ BatchOutcome runBatch(CompileService& svc, const BatchSpec& spec,
     summary.set("coalesced_joins", outcome.coalesced);
     summary.set("skipped", outcome.skipped);
     summary.set("wall_sec", outcome.wallSec);
+    if (!mapeByJob.empty()) {
+        obs::Json cal = obs::Json::object();
+        cal.set("jobs_profiled",
+                static_cast<std::int64_t>(mapeByJob.size()));
+        double sum = 0.0;
+        obs::Json perJob = obs::Json::array();
+        // Input order, not map order, so the summary reads like the
+        // batch.
+        for (const BatchJob& job : spec.jobs) {
+            const auto it = mapeByJob.find(job.name);
+            if (it == mapeByJob.end()) continue;
+            sum += it->second;
+            obs::Json pj = obs::Json::object();
+            pj.set("job", job.name);
+            pj.set("mape_sec_pct", it->second);
+            perJob.push(std::move(pj));
+        }
+        cal.set("mean_mape_sec_pct",
+                sum / static_cast<double>(mapeByJob.size()));
+        cal.set("per_job", std::move(perJob));
+        summary.set("calibration", std::move(cal));
+    }
     summary.set("service", svc.metricsJson());
     out << summary.dump(-1) << "\n";
     return outcome;

@@ -21,6 +21,10 @@ struct BatchJob {
     TargetConfig target;
     PassOptions passes;
     std::int64_t deadlineMs = 0;
+    /// Run the profiled embedded simulation (CompileRequest::profile):
+    /// the job row gains a "calibration" object and the batch summary a
+    /// per-job model-error MAPE.
+    bool profile = false;
 };
 
 struct BatchSpec {

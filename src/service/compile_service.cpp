@@ -138,7 +138,11 @@ CompileResult CompileService::compileAt(const CompileRequest& req,
     }
     // The printed canonical form requires structural links.
     prog->finalize();
-    const std::string key = requestKey(*prog, req.target, req.passes);
+    std::string key = requestKey(*prog, req.target, req.passes);
+    // Profiled artifacts carry the embedded simulation's profile and
+    // calibration; they must never be served for an unprofiled request
+    // (or vice versa), so the flag is part of the key.
+    if (req.profile) key += "|profile";
     r.key = key;
     r.parseUs = usSince(parse0);
 
@@ -275,7 +279,23 @@ CompileResult CompileService::runJob(const CompileRequest& req,
         artifact->spmdText = emitSpmdText(c.lowering());
         artifact->decisionReport = c.report();
         artifact->cost = c.predictCost();
-        artifact->runReport = c.buildRunReport();
+        // Profiled requests run the embedded simulation here, on the
+        // miss path, so the profile and calibration are cached with the
+        // artifact; the request's deadline covers the simulation too
+        // (a cancelled sim surfaces as the SimFault handled below).
+        std::unique_ptr<SpmdSimulator> sim;
+        if (req.profile) {
+            SimulationRequest sreq;
+            sreq.profile = true;
+            sreq.cancel = cancel.token();
+            sim = c.simulate(sreq);
+        }
+        artifact->runReport = c.buildRunReport(sim.get());
+        if (sim != nullptr && sim->profile() != nullptr) {
+            artifact->profiled = true;
+            artifact->profile = artifact->runReport.at("profile");
+            artifact->calibration = artifact->runReport.at("calibration");
+        }
         auto owned = std::make_shared<Compilation>(std::move(c));
         owned->adoptProgram(std::move(prog));
         artifact->compilation = std::move(owned);

@@ -39,6 +39,12 @@ struct CompileRequest {
     /// Wall-clock budget from submission; 0 = none. An expired budget
     /// cancels the pipeline cleanly at the next stage boundary.
     std::int64_t deadlineMs = 0;
+    /// Run the embedded profiled simulation on a cache miss and cache
+    /// the per-statement profile + model-error calibration with the
+    /// artifact — warm hits replay the identical calibration without
+    /// re-simulating. Part of the cache key (profiled and unprofiled
+    /// artifacts are distinct entries).
+    bool profile = false;
 };
 
 enum class CompileStatus : std::uint8_t {
@@ -60,7 +66,12 @@ struct CompileArtifact {
     std::string spmdText;         ///< annotated SPMD pseudo-code
     std::string decisionReport;   ///< human-readable mapping decisions
     CostBreakdown cost;           ///< analytic prediction
-    obs::Json runReport;          ///< buildRunReport() (no simulation)
+    /// buildRunReport(); includes simulation/profile/calibration
+    /// sections when the request asked for a profile.
+    obs::Json runReport;
+    bool profiled = false;  ///< the sections below are populated
+    obs::Json profile;      ///< per-statement profile (schema v3)
+    obs::Json calibration;  ///< model-error calibration (schema v3)
 };
 
 struct CompileResult {
