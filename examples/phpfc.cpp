@@ -105,6 +105,10 @@ void usage() {
                  "[--no-sim]\n"
                  "             [--sim-threads=N]  (0 = auto: "
                  "PHPF_SIM_THREADS, else hardware)\n"
+                 "             [--sim-engine=interp|bytecode]  (default "
+                 "bytecode; bit-identical)\n"
+                 "             [--relaxed-merge]  (commutative reduction "
+                 "merges, unordered)\n"
                  "             [--faults=SPEC] [--retry=N] "
                  "[--checkpoint-every=N]\n"
                  "             [--profile] [--profile-folded=FILE.folded]\n"
@@ -210,6 +214,8 @@ int main(int argc, char** argv) {
     bool doReport = false, doLower = false, doCost = false, doSpmd = false;
     bool runSim = true;
     int simThreads = 0;
+    SimEngine simEngine = SimEngine::Bytecode;
+    bool relaxedMerge = false;
     std::string reportFile, traceFile;
     MappingOptions mapping;
     std::string batchFile;
@@ -262,6 +268,16 @@ int main(int argc, char** argv) {
         else if (arg == "--no-sim") runSim = false;
         else if (startsWith(arg, "--sim-threads="))
             simThreads = std::stoi(arg.substr(14));
+        else if (startsWith(arg, "--sim-engine=")) {
+            if (!parseSimEngine(arg.substr(13), &simEngine)) {
+                std::fprintf(stderr,
+                             "phpfc: bad --sim-engine '%s' "
+                             "(want interp|bytecode)\n",
+                             arg.substr(13).c_str());
+                return 2;
+            }
+        } else if (arg == "--relaxed-merge")
+            relaxedMerge = true;
         else if (arg == "--lower") doLower = true;
         else if (arg == "--cost") doCost = true;
         else if (arg == "--spmd") doSpmd = true;
@@ -354,6 +370,8 @@ int main(int argc, char** argv) {
     PassOptions passes;
     passes.mapping = mapping;
     passes.simThreads = simThreads;
+    passes.simEngine = simEngine;
+    passes.relaxedMerge = relaxedMerge;
     CompileSession session;
     session.tracer = tracer;
     session.diags = &diags;

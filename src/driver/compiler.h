@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/const_prop.h"
@@ -68,6 +69,13 @@ struct SimulationRequest {
     /// adds the schema-v3 "profile" and "calibration" sections, and the
     /// service caches both with the artifact.
     bool profile = false;
+    /// Execution engine override: unset inherits the compilation's
+    /// PassOptions::simEngine (default bytecode). Strict-mode results
+    /// and metrics are bit-identical across engines.
+    std::optional<SimEngine> engine;
+    /// Relaxed reduction-merge override: unset inherits
+    /// PassOptions::relaxedMerge (default off / strict).
+    std::optional<bool> relaxedMerge;
 };
 
 /// Everything one compilation produced, immutable once the pipeline

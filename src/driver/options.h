@@ -6,6 +6,7 @@
 #include "comm/cost_model.h"
 #include "obs/trace.h"
 #include "privatize/mapping_pass.h"
+#include "runtime/engine.h"
 #include "support/cancellation.h"
 #include "support/diagnostics.h"
 
@@ -34,6 +35,19 @@ struct PassOptions {
     /// concurrency). Simulation results and metrics are independent of
     /// the value.
     int simThreads = 0;
+    /// Default execution engine of the SPMD simulator. Both engines
+    /// produce bit-identical results and metrics in strict mode, but
+    /// the engine IS part of the artifact identity (the service
+    /// fingerprints it), so it lives here rather than next to
+    /// simThreads' "never affects results" carve-out.
+    SimEngine simEngine = SimEngine::Bytecode;
+    /// Relaxed reduction-merge mode: commutative reduction combines
+    /// (SUM/MAX/MIN) merge per-processor accumulator copies in any
+    /// worker order and skip the merge-order barrier. MAX/MIN are exact
+    /// always; SUM is exact for integer-valued accumulators and
+    /// order-sensitive at the last ulp otherwise — hence opt-in and
+    /// fingerprinted.
+    bool relaxedMerge = false;
 };
 
 /// Per-run mutable context of one compilation: everything that is NOT a
@@ -75,7 +89,11 @@ struct CompilerOptions {
 
     [[nodiscard]] TargetConfig target() const { return {gridExtents, costModel}; }
     [[nodiscard]] PassOptions passes() const {
-        return {mapping, rewriteInduction, simThreads};
+        PassOptions p;
+        p.mapping = mapping;
+        p.rewriteInduction = rewriteInduction;
+        p.simThreads = simThreads;
+        return p;
     }
     [[nodiscard]] CompileSession session() const {
         CompileSession s;

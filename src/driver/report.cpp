@@ -64,6 +64,8 @@ obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
     obs::Json j = obs::Json::object();
     j.set("proc_count", sim.procCount());
     j.set("threads", sim.threads());
+    j.set("engine", simEngineName(sim.engine()));
+    j.set("relaxed_merge", sim.relaxedMerge());
     j.set("wall_sec", sim.wallSec());
     j.set("parallel_speedup_est", sim.parallelSpeedupEst());
     j.set("message_events", sim.messageEvents());

@@ -26,24 +26,16 @@ DimDist::DimDist(DistKind kind, std::int64_t lb, std::int64_t ub, int procs,
             block_ = extent();
             break;
     }
+    blockMagic_ = magicFor(static_cast<std::uint64_t>(block_));
+    procsMagic_ = magicFor(static_cast<std::uint64_t>(procs_));
 }
 
-int DimDist::ownerOf(std::int64_t idx) const {
-    // Alignment offsets can push derived positions slightly past the
-    // template bounds (HPF clamps the mapping at the template edge).
-    idx = std::clamp(idx, lb_, ub_);
-    const std::int64_t off = idx - lb_;
-    switch (kind_) {
-        case DistKind::Block:
-            return static_cast<int>(off / block_);
-        case DistKind::Cyclic:
-            return static_cast<int>(off % procs_);
-        case DistKind::BlockCyclic:
-            return static_cast<int>((off / block_) % procs_);
-        case DistKind::Serial:
-            return 0;
-    }
-    return 0;
+std::uint64_t DimDist::magicFor(std::uint64_t d) const {
+    // Exactness of the multiply-high needs off * d < 2^64 for every
+    // offset this dim can produce; off < extent and d <= max(extent,
+    // procs), so extent < 2^31 (procs is an int) is sufficient.
+    if (d <= 1 || extent() >= (std::int64_t{1} << 31)) return 0;
+    return ~std::uint64_t{0} / d + 1;
 }
 
 std::int64_t DimDist::localCount(int p) const {

@@ -28,7 +28,38 @@ public:
     /// `idx`. Serial distributions return 0 (conceptually every
     /// processor in this dim holds the dimension; callers treat Serial
     /// dims as non-partitioning).
-    [[nodiscard]] int ownerOf(std::int64_t idx) const;
+    ///
+    /// Hot: the SPMD simulator calls this once per statement instance
+    /// per partitioned grid dim, so the owner divisions are strength-
+    /// reduced to a multiply-high against a magic reciprocal fixed at
+    /// construction (exact for every offset when extent < 2^31; wider
+    /// ranges fall back to hardware division).
+    [[nodiscard]] int ownerOf(std::int64_t idx) const {
+        // Alignment offsets can push derived positions slightly past
+        // the template bounds (HPF clamps the mapping at the edge).
+        idx = idx < lb_ ? lb_ : idx > ub_ ? ub_ : idx;
+        const std::uint64_t off = static_cast<std::uint64_t>(idx - lb_);
+        switch (kind_) {
+            case DistKind::Block:
+                return static_cast<int>(
+                    fastDiv(off, static_cast<std::uint64_t>(block_),
+                            blockMagic_));
+            case DistKind::Cyclic: {
+                const std::uint64_t d = static_cast<std::uint64_t>(procs_);
+                return static_cast<int>(off -
+                                        fastDiv(off, d, procsMagic_) * d);
+            }
+            case DistKind::BlockCyclic: {
+                const std::uint64_t b = fastDiv(
+                    off, static_cast<std::uint64_t>(block_), blockMagic_);
+                const std::uint64_t d = static_cast<std::uint64_t>(procs_);
+                return static_cast<int>(b - fastDiv(b, d, procsMagic_) * d);
+            }
+            case DistKind::Serial:
+                return 0;
+        }
+        return 0;
+    }
 
     /// Number of indices of [lb, ub] owned by processor `p`.
     [[nodiscard]] std::int64_t localCount(int p) const;
@@ -40,11 +71,33 @@ public:
                                                  std::int64_t last) const;
 
 private:
+    /// floor(n / d) via multiply-high with the round-up magic
+    /// m = floor(2^64 / d) + 1: exact whenever n * d < 2^64 (Granlund &
+    /// Montgomery), which the constructor guarantees before arming a
+    /// magic. magic == 0 means "not armed" — divide the slow way.
+    static std::uint64_t fastDiv(std::uint64_t n, std::uint64_t d,
+                                 std::uint64_t magic) {
+#ifdef __SIZEOF_INT128__
+        if (magic != 0)
+            return static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(n) * magic) >> 64);
+#else
+        (void)magic;
+#endif
+        return d <= 1 ? n : n / d;
+    }
+
+    /// Arm a magic for divisor `d`, or 0 when multiply-high would not
+    /// be exact across this dim's offsets (or d needs no division).
+    [[nodiscard]] std::uint64_t magicFor(std::uint64_t d) const;
+
     DistKind kind_ = DistKind::Serial;
     std::int64_t lb_ = 1;
     std::int64_t ub_ = 1;
     int procs_ = 1;
     std::int64_t block_ = 1;
+    std::uint64_t blockMagic_ = 0;
+    std::uint64_t procsMagic_ = 0;
 };
 
 }  // namespace phpf

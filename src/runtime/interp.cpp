@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/flat_index.h"
 #include "support/diagnostics.h"
 
 namespace phpf {
@@ -68,22 +69,11 @@ double Interpreter::eval(const Expr* e) const {
 }
 
 std::int64_t Interpreter::flatIndexOf(const Expr* arrayRef) const {
-    // Column-major flattening inlined over the subscripts (the hot path
-    // of every array access; building an index vector here allocates).
-    const Symbol& sym = prog_.sym(arrayRef->sym);
-    PHPF_ASSERT(static_cast<int>(arrayRef->args.size()) == sym.rank(),
-                "subscript rank mismatch for " + sym.name);
-    std::int64_t flat = 0;
-    std::int64_t stride = 1;
-    for (int d = 0; d < sym.rank(); ++d) {
-        const std::int64_t v = evalIndex(arrayRef->args[static_cast<size_t>(d)]);
-        const ArrayDim& dim = sym.dims[static_cast<size_t>(d)];
-        PHPF_ASSERT(v >= dim.lb && v <= dim.ub,
-                    "subscript out of bounds for " + sym.name);
-        flat += (v - dim.lb) * stride;
-        stride *= dim.extent();
-    }
-    return flat;
+    // Column-major flattening shared with the bytecode compiler
+    // (runtime/flat_index.h): the layout and the bounds-check messages
+    // exist exactly once.
+    return flatIndexOfRef(prog_, arrayRef,
+                          [this](const Expr* sub) { return evalIndex(sub); });
 }
 
 void Interpreter::execStmt(const Stmt* s) {

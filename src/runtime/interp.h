@@ -35,6 +35,10 @@ public:
     /// SPMD simulator snapshots/restores its oracle wholesale so a
     /// replayed run's accounting stays bit-identical).
     void setStatementsExecuted(std::int64_t n) { executed_ = n; }
+    /// Count one statement executed outside execStmt (the SPMD
+    /// simulator's bytecode engine applies Assign effects directly but
+    /// must keep the oracle's accounting identical to execStmt).
+    void noteStatementExecuted() { ++executed_; }
 
     /// Convenience accessors.
     [[nodiscard]] double scalar(const std::string& name) const;

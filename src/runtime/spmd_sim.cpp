@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <numeric>
 
 #include "ir/printer.h"
 #include "obs/flight_recorder.h"
+#include "runtime/vm.h"
 #include "support/diagnostics.h"
 
 namespace phpf {
@@ -57,6 +59,26 @@ void collectFetchRefs(const Expr* e, std::vector<const Expr*>& out) {
     }
 }
 
+/// Index of the first zero byte in v[0..n), or -1 when every byte is
+/// set. Validity bytes are strictly 0/1, so an 8-byte chunk of valid
+/// lanes compares equal to kAllValid8 — the common fully-valid row is
+/// n/8 compares with no per-byte scan.
+constexpr std::uint64_t kAllValid8 = 0x0101010101010101ull;
+
+inline int firstZeroByte(const char* v, int n) {
+    int c = 0;
+    for (; c + 8 <= n; c += 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, v + c, sizeof chunk);
+        if (chunk == kAllValid8) continue;
+        for (int l = c;; ++l)
+            if (v[l] == 0) return l;
+    }
+    for (; c < n; ++c)
+        if (v[c] == 0) return c;
+    return -1;
+}
+
 /// Pops the back of `v` on scope exit when non-null; keeps the control
 /// stack balanced on every exit path (return, GotoSignal, CrashSignal).
 template <typename V>
@@ -76,11 +98,13 @@ private:
 }  // namespace
 
 SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
-                             int threads, SimRecoveryConfig recovery)
+                             int threads, SimRecoveryConfig recovery,
+                             SimEngine engine, bool relaxedMerge)
     : low_(low), prog_(low.program()), oracle_(prog_),
       procCount_(low.dataMapping().grid().totalProcs()),
       elemBytes_(elemBytes),
-      threads_(resolveThreadCount(threads, procCount_)) {
+      threads_(resolveThreadCount(threads, procCount_)),
+      engine_(engine), relaxed_(relaxedMerge) {
     rcfg_ = std::move(recovery);
     if (rcfg_.faults != nullptr && rcfg_.faults->enabled()) {
         const FaultInjector& inj = *rcfg_.faults;
@@ -96,16 +120,19 @@ SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
     boundaryArmed_ = trackCtrl_ || rcfg_.cancel.armed();
     procStore_.assign(static_cast<size_t>(procCount_), Store(prog_));
     procMetrics_.assign(static_cast<size_t>(procCount_), ProcSimMetrics{});
+    execDelta_.assign(static_cast<size_t>(procCount_), 0);
     if (threads_ > 1)
         pool_ = std::make_unique<LockstepPool>(threads_, "sim-worker");
     workers_.resize(static_cast<size_t>(threads_));
 
     allProcs_.resize(static_cast<size_t>(procCount_));
     std::iota(allProcs_.begin(), allProcs_.end(), 0);
+    singleProcScratch_.assign(1, 0);
     flagsScratch_.assign(static_cast<size_t>(procCount_), 0);
     refFlat_.assign(static_cast<size_t>(prog_.exprCount()), 0);
 
     const size_t nOps = low_.commOps().size();
+    opStamp_.assign(std::max<size_t>(nOps, 1), 0);
     eventsPerOp_.assign(nOps, 0);
     elemsPerOp_.assign(nOps, 0);
     opByRef_.assign(static_cast<size_t>(prog_.exprCount()), nullptr);
@@ -122,7 +149,31 @@ SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
             opCtxVars_[static_cast<size_t>(op.id)].push_back(l->loopVar);
         }
     }
+    combineInit_.assign(nOps, 0.0);
     buildPlans();
+    if (engine_ == SimEngine::Bytecode) {
+        size_t maxSlots = 1;
+        for (const StmtPlan& p : plans_)
+            maxSlots = std::max(maxSlots, p.code.slots.size());
+        slotFlat_.assign(maxSlots, 0);
+        slotRow_.assign(maxSlots, 0);
+        slotElem_.assign(maxSlots, 0);
+        slotMissV_.assign(maxSlots, 0.0);
+        slotMissSrc_.assign(maxSlots, -1);
+        slotMissResolved_.assign(maxSlots, 0);
+        slotAllValid_.assign(maxSlots, 0);
+        const size_t lanes = static_cast<size_t>(procCount_) *
+                             static_cast<size_t>(procStore_[0].totalElems());
+        soa_.assign(lanes, 0.0);
+        soaValid_.assign(lanes, 0);
+        oracleRegs_.assign(static_cast<size_t>(std::max(maxRegs_, 1)), 0.0);
+        // SoA lane banks: one bank of procCount doubles per register,
+        // per worker (a worker's lane chunk never exceeds procCount).
+        for (WorkerScratch& w : workers_)
+            w.regs.assign(static_cast<size_t>(std::max(maxRegs_, 1)) *
+                              static_cast<size_t>(procCount_),
+                          0.0);
+    }
 }
 
 void SpmdSimulator::setTelemetry(obs::MetricRegistry* metrics,
@@ -192,6 +243,80 @@ void SpmdSimulator::buildPlans() {
             case StmtKind::Continue:
                 break;
         }
+        if (engine_ == SimEngine::Bytecode &&
+            (s->kind == StmtKind::Assign || s->kind == StmtKind::If)) {
+            plan.code = bc::compileStmt(prog_, s, plan.exec, plan.unionSrcs,
+                                        bcArena_);
+            vm::validate(plan.code.value,
+                         static_cast<int>(plan.code.slots.size()));
+            maxRegs_ = std::max(maxRegs_, plan.code.value.numRegs);
+            // Source-descriptor forms per fetch slot, so per-phase miss
+            // resolution evaluates a few affine terms instead of the
+            // descriptor's subscript trees.
+            plan.slotOp.resize(plan.code.slots.size(), nullptr);
+            plan.slotSrcForms.resize(plan.code.slots.size());
+            plan.slotSrcSingleton.resize(plan.code.slots.size(), 0);
+            const auto isSingleton = [](const RefDesc& d) {
+                for (const RefDim& dim : d.dims)
+                    if (dim.kind == RefDim::Kind::Replicated) return false;
+                return true;
+            };
+            plan.execSingleton = plan.exec->guard == StmtExec::Guard::OwnerOf &&
+                                 isSingleton(plan.exec->execDesc);
+            for (size_t i = 0; i < plan.code.slots.size(); ++i) {
+                const CommOp* op = opByRef_[static_cast<size_t>(
+                    plan.code.slots[i].ref->id)];
+                plan.slotOp[i] = op;
+                if (op != nullptr) {
+                    plan.slotSrcForms[i] =
+                        bc::compileDescForms(prog_, op->srcDesc, bcArena_);
+                    plan.slotSrcSingleton[i] =
+                        isSingleton(op->srcDesc) ? 1 : 0;
+                }
+            }
+        }
+    });
+    if (engine_ != SimEngine::Bytecode) return;
+    // Lane-uniformity analysis. A symbol is *divergent* when valid
+    // per-processor copies of it may differ from the oracle's value:
+    // reduction accumulators (each processor accumulates privately),
+    // and transitively any symbol assigned from a divergent read. A
+    // phase whose statement is not an accumulation and fetches only
+    // non-divergent symbols computes the oracle's value on every lane
+    // (a valid copy of a non-divergent symbol always equals the oracle,
+    // and a miss resolves from a valid copy), so the per-lane VM run is
+    // redundant — only the communication accounting is.
+    std::vector<char> divergent(prog_.symbols.size(), 0);
+    for (const auto& r : low_.reductions()) {
+        if (r.scalar != kNoSymbol) divergent[static_cast<size_t>(r.scalar)] = 1;
+        if (r.locScalar != kNoSymbol)
+            divergent[static_cast<size_t>(r.locScalar)] = 1;
+        if (r.stmt != nullptr)
+            divergent[static_cast<size_t>(r.stmt->lhs->sym)] = 1;
+        if (r.locStmt != nullptr)
+            divergent[static_cast<size_t>(r.locStmt->lhs->sym)] = 1;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        prog_.forEachStmt([&](const Stmt* s) {
+            if (s->kind != StmtKind::Assign) return;
+            if (divergent[static_cast<size_t>(s->lhs->sym)] != 0) return;
+            for (const Expr* r : plans_[static_cast<size_t>(s->id)].fetchRefs) {
+                if (divergent[static_cast<size_t>(r->sym)] == 0) continue;
+                divergent[static_cast<size_t>(s->lhs->sym)] = 1;
+                changed = true;
+                break;
+            }
+        });
+    }
+    prog_.forEachStmt([&](const Stmt* s) {
+        if (s->kind != StmtKind::Assign && s->kind != StmtKind::If) return;
+        StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
+        bool uniform = !plan.isReductionAcc;
+        for (const Expr* r : plan.fetchRefs)
+            if (divergent[static_cast<size_t>(r->sym)] != 0) uniform = false;
+        plan.laneUniform = uniform;
     });
 }
 
@@ -218,15 +343,69 @@ void SpmdSimulator::evalDescInto(const RefDesc& desc, GridSet& out) const {
     }
 }
 
+void SpmdSimulator::evalDescIntoBc(const RefDesc& desc,
+                                   const std::vector<bc::IndexForm>& forms,
+                                   GridSet& out) const {
+    const ProcGrid& grid = low_.dataMapping().grid();
+    out.coord.assign(static_cast<size_t>(grid.rank()), -1);
+    for (int g = 0; g < grid.rank(); ++g) {
+        const RefDim& dim = desc.dims[static_cast<size_t>(g)];
+        switch (dim.kind) {
+            case RefDim::Kind::Replicated:
+                break;
+            case RefDim::Kind::Fixed:
+                out.coord[static_cast<size_t>(g)] = dim.fixedCoord;
+                break;
+            case RefDim::Kind::Partitioned: {
+                const std::int64_t v = bc::evalIndexForm(
+                    forms[static_cast<size_t>(g)], oracle_);
+                out.coord[static_cast<size_t>(g)] =
+                    dim.dist.ownerOf(v + dim.offset);
+                break;
+            }
+        }
+    }
+}
+
+int SpmdSimulator::singleProcOfBc(const RefDesc& desc,
+                                  const std::vector<bc::IndexForm>& forms) {
+    // Every grid dim is Fixed or Partitioned: compute the one
+    // coordinate vector directly, skipping the GridSet enumeration.
+    const ProcGrid& grid = low_.dataMapping().grid();
+    const int rank = grid.rank();
+    coordsScratch_.resize(static_cast<size_t>(rank));
+    for (int g = 0; g < rank; ++g) {
+        const RefDim& dim = desc.dims[static_cast<size_t>(g)];
+        coordsScratch_[static_cast<size_t>(g)] =
+            dim.kind == RefDim::Kind::Fixed
+                ? dim.fixedCoord
+                : dim.dist.ownerOf(
+                      bc::evalIndexForm(forms[static_cast<size_t>(g)],
+                                        oracle_) +
+                      dim.offset);
+    }
+    return grid.linearize(coordsScratch_);
+}
+
 const std::vector<int>& SpmdSimulator::executorsOf(const Stmt* s) {
     const StmtPlan& plan = plans_[static_cast<size_t>(s->id)];
     const ProcGrid& grid = low_.dataMapping().grid();
+    const bool bcMode = engine_ == SimEngine::Bytecode;
     switch (plan.exec->guard) {
         case StmtExec::Guard::All:
             return allProcs_;
         case StmtExec::Guard::OwnerOf:
+            if (bcMode && plan.execSingleton) {
+                singleProcScratch_[0] =
+                    singleProcOfBc(plan.exec->execDesc, plan.code.execIndex);
+                return singleProcScratch_;
+            }
             execsScratch_.clear();
-            evalDescInto(plan.exec->execDesc, gsScratch_);
+            if (bcMode)
+                evalDescIntoBc(plan.exec->execDesc, plan.code.execIndex,
+                               gsScratch_);
+            else
+                evalDescInto(plan.exec->execDesc, gsScratch_);
             forEachGridProc(gsScratch_, grid, coordsScratch_, [&](int p) {
                 execsScratch_.push_back(p);
                 return true;
@@ -235,8 +414,12 @@ const std::vector<int>& SpmdSimulator::executorsOf(const Stmt* s) {
         case StmtExec::Guard::Union: {
             if (plan.unionSrcs.empty()) return allProcs_;
             std::fill(flagsScratch_.begin(), flagsScratch_.end(), 0);
-            for (const RefDesc* d : plan.unionSrcs) {
-                evalDescInto(*d, gsScratch_);
+            for (size_t i = 0; i < plan.unionSrcs.size(); ++i) {
+                const RefDesc* d = plan.unionSrcs[i];
+                if (bcMode)
+                    evalDescIntoBc(*d, plan.code.unionIndex[i], gsScratch_);
+                else
+                    evalDescInto(*d, gsScratch_);
                 forEachGridProc(gsScratch_, grid, coordsScratch_, [&](int p) {
                     flagsScratch_[static_cast<size_t>(p)] = 1;
                     return true;
@@ -264,10 +447,8 @@ void SpmdSimulator::noteEvent(const CommOp* op) {
     }
 }
 
-double SpmdSimulator::fetchW(WorkerScratch& w, int proc, const Expr* ref) {
-    const std::int64_t flat =
-        ref->kind == ExprKind::ArrayRef ? refFlat_[static_cast<size_t>(ref->id)]
-                                        : 0;
+double SpmdSimulator::fetchW(WorkerScratch& w, int proc, const Expr* ref,
+                             std::int64_t flat) {
     const Store& st = procStore_[static_cast<size_t>(proc)];
     if (st.valid(ref->sym, flat)) return st.get(ref->sym, flat);
     // A copy this processor already fetched earlier in the same phase
@@ -368,22 +549,177 @@ double SpmdSimulator::evalOnW(WorkerScratch& w, int proc, const Expr* e) {
     return 0.0;
 }
 
+void SpmdSimulator::runLanesInto(WorkerScratch& w, const StmtPlan& plan,
+                                 const std::vector<int>& execs, std::int64_t b,
+                                 std::int64_t e) {
+    const bc::StmtCode& code = plan.code;
+    const int lanes = static_cast<int>(e - b);
+    if (lanes <= 0) return;
+    const int* lp = execs.data() + b;
+    const std::int64_t* rows = slotRow_.data();
+    const double* soa = soa_.data();
+    const char* soaValid = soaValid_.data();
+    const char* allValid = slotAllValid_.data();
+    // Dense lane sets (guard All) index procs 0..P-1 in order, so a
+    // fully-valid slot row is one contiguous copy.
+    const bool dense = &execs == &allProcs_;
+    vm::runLanes(
+        code.value, lanes, w.regs.data(), procCount_,
+        [&](double* d, int n, int slot) {
+            // Lane-major SoA: every lane of one slot reads from the
+            // same procCount-wide contiguous row.
+            const std::int64_t row = rows[slot];
+            if (allValid[slot] != 0) {
+                if (dense) {
+                    std::memcpy(d, soa + row + b,
+                                static_cast<size_t>(n) * sizeof(double));
+                } else {
+                    for (int l = 0; l < n; ++l) d[l] = soa[row + lp[l]];
+                }
+                return;
+            }
+            for (int l = 0; l < n; ++l) {
+                const std::int64_t at = row + lp[l];
+                d[l] = soaValid[at] != 0 ? soa[at]
+                                         : missLaneBc(w, lp[l], plan, slot);
+            }
+        });
+    std::copy(w.regs.data(), w.regs.data() + lanes, values_.data() + b);
+}
+
+double SpmdSimulator::missLaneBc(WorkerScratch& w, int proc,
+                                 const StmtPlan& plan, int slot) {
+    const bc::FetchSlot& sl = plan.code.slots[static_cast<size_t>(slot)];
+    const std::int64_t flat = sl.isArray ? slotFlat_[static_cast<size_t>(slot)]
+                                         : 0;
+    // A copy this processor already fetched earlier in the same phase
+    // (a second slot aliasing the same element at runtime).
+    for (const PendingWrite& pw : w.pending)
+        if (pw.proc == proc && pw.sym == sl.sym && pw.flat == flat)
+            return pw.v;
+    PHPF_DASSERT(slotMissResolved_[static_cast<size_t>(slot)] != 0,
+                 "lane miss on a slot the phase pre-resolution skipped");
+    const double v = slotMissV_[static_cast<size_t>(slot)];
+    w.pending.push_back(PendingWrite{proc, sl.sym, flat, v});
+    w.misses.push_back(MissRecord{plan.slotOp[static_cast<size_t>(slot)], proc,
+                                  slotMissSrc_[static_cast<size_t>(slot)]});
+    return v;
+}
+
+void SpmdSimulator::resolveSlotMiss(const StmtPlan& plan, int slot,
+                                    int firstProc) {
+    const bc::FetchSlot& sl = plan.code.slots[static_cast<size_t>(slot)];
+    const CommOp* op = plan.slotOp[static_cast<size_t>(slot)];
+    PHPF_ASSERT(op != nullptr,
+                "processor " + std::to_string(firstProc) +
+                    " reads unavailable data with no communication op: " +
+                    printExpr(prog_, sl.ref) + " (program " + prog_.name + ")");
+    // Owner validity is frozen within a phase (store writes are deferred
+    // to the barrier), so one (value, source) resolution is exact for
+    // every missing lane — the interpreter's per-lane scans would find
+    // the identical holder in the identical order.
+    const std::int64_t row = slotRow_[static_cast<size_t>(slot)];
+    double v = 0.0;
+    int src = -1;
+    if (plan.slotSrcSingleton[static_cast<size_t>(slot)] != 0) {
+        const int p = singleProcOfBc(
+            op->srcDesc, plan.slotSrcForms[static_cast<size_t>(slot)]);
+        if (soaValid_[static_cast<size_t>(row + p)] != 0) {
+            v = soa_[static_cast<size_t>(row + p)];
+            src = p;
+        }
+    } else {
+        const ProcGrid& grid = low_.dataMapping().grid();
+        evalDescIntoBc(op->srcDesc,
+                       plan.slotSrcForms[static_cast<size_t>(slot)],
+                       gsScratch_);
+        forEachGridProc(gsScratch_, grid, coordsScratch_, [&](int p) {
+            if (soaValid_[static_cast<size_t>(row + p)] == 0) return true;
+            v = soa_[static_cast<size_t>(row + p)];
+            src = p;
+            return false;
+        });
+    }
+    PHPF_ASSERT(src >= 0, "no owner holds a valid copy of " +
+                              printExpr(prog_, sl.ref) + " in program " +
+                              prog_.name);
+    slotMissV_[static_cast<size_t>(slot)] = v;
+    slotMissSrc_[static_cast<size_t>(slot)] = src;
+    slotMissResolved_[static_cast<size_t>(slot)] = 1;
+}
+
+void SpmdSimulator::soaLoad() {
+    const std::int64_t total = procStore_[0].totalElems();
+    for (int p = 0; p < procCount_; ++p) {
+        const double* data = procStore_[static_cast<size_t>(p)].dataRaw();
+        const char* valid = procStore_[static_cast<size_t>(p)].validRaw();
+        double* sd = soa_.data() + p;
+        char* sv = soaValid_.data() + p;
+        for (std::int64_t e = 0; e < total; ++e) {
+            sd[e * procCount_] = data[e];
+            sv[e * procCount_] = valid[e];
+        }
+    }
+}
+
+void SpmdSimulator::soaFlush() {
+    const std::int64_t total = procStore_[0].totalElems();
+    for (int p = 0; p < procCount_; ++p) {
+        double* data = procStore_[static_cast<size_t>(p)].dataRaw();
+        char* valid = procStore_[static_cast<size_t>(p)].validRaw();
+        const double* sd = soa_.data() + p;
+        const char* sv = soaValid_.data() + p;
+        for (std::int64_t e = 0; e < total; ++e) {
+            data[e] = sd[e * procCount_];
+            valid[e] = sv[e * procCount_];
+        }
+    }
+}
+
 void SpmdSimulator::phaseWorker(int worker) {
     WorkerScratch& ws = workers_[static_cast<size_t>(worker)];
     try {
         const std::vector<int>& execs = *phaseExecs_;
         const auto [b, e] = LockstepPool::chunkOf(
             static_cast<std::int64_t>(execs.size()), worker, threads_);
-        for (std::int64_t i = b; i < e; ++i)
-            values_[static_cast<size_t>(i)] =
-                evalOnW(ws, execs[static_cast<size_t>(i)], phaseExpr_);
+        if (engine_ == SimEngine::Bytecode) {
+            runLanesInto(ws, *phasePlan_, execs, b, e);
+        } else {
+            for (std::int64_t i = b; i < e; ++i)
+                values_[static_cast<size_t>(i)] =
+                    evalOnW(ws, execs[static_cast<size_t>(i)], phaseExpr_);
+        }
+        if (phaseDirect_ != kNoSymbol) {
+            // Relaxed mode: each executor commits its private reduction
+            // accumulator immediately. Only lanes in [b, e) are written,
+            // so workers never touch the same processor's copy; any
+            // cross-processor read of the accumulator inside the loop
+            // would have tripped the no-communication-op assert in
+            // strict mode as well.
+            if (engine_ == SimEngine::Bytecode) {
+                const std::int64_t row = soaRowOf(phaseDirect_, 0);
+                for (std::int64_t i = b; i < e; ++i) {
+                    const std::int64_t at =
+                        row + execs[static_cast<size_t>(i)];
+                    soa_[static_cast<size_t>(at)] =
+                        values_[static_cast<size_t>(i)];
+                    soaValid_[static_cast<size_t>(at)] = 1;
+                }
+            } else {
+                for (std::int64_t i = b; i < e; ++i)
+                    procStore_[static_cast<size_t>(
+                                   execs[static_cast<size_t>(i)])]
+                        .set(phaseDirect_, 0, values_[static_cast<size_t>(i)]);
+            }
+        }
     } catch (...) {
         ws.error = std::current_exception();
     }
 }
 
 void SpmdSimulator::evalPhase(const StmtPlan& plan,
-                              const std::vector<int>& execs, const Expr* e) {
+                              const std::vector<int>& execs, const Expr* e,
+                              SymbolId directSym) {
     // Telemetry is opt-in (evalHist_ resolved once in setTelemetry);
     // unarmed runs pay a null check, not a clock read. Armed runs
     // sample 1 in kTelemetrySample phases: a phase is microseconds
@@ -398,15 +734,119 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
     // Resolve the flat index of every fetched ArrayRef once on the
     // oracle; subscripts are iteration-dependent but identical on every
     // executor.
-    for (const Expr* r : plan.fetchRefs)
-        if (r->kind == ExprKind::ArrayRef)
-            refFlat_[static_cast<size_t>(r->id)] = oracle_.flatIndexOf(r);
+    const bool bcMode =
+        engine_ == SimEngine::Bytecode && !plan.code.value.empty();
     const size_t ne = execs.size();
+    phaseClean_ = false;
+    if (bcMode) {
+        const std::vector<bc::FetchSlot>& slots = plan.code.slots;
+        const Store& st0 = procStore_[0];
+        const bool dense = &execs == &allProcs_;
+        bool clean = true;
+        for (size_t i = 0; i < slots.size(); ++i) {
+            const std::int64_t flat =
+                slots[i].isArray
+                    ? bc::evalIndexForm(plan.code.slotIndex[i], oracle_)
+                    : 0;
+            const std::int64_t elem = st0.elemIndexOf(slots[i].sym, flat);
+            slotFlat_[i] = flat;
+            slotElem_[i] = elem;
+            slotRow_[i] = elem * procCount_;
+            slotMissResolved_[i] = 0;
+            // Pre-resolve every slot some executor will miss: validity
+            // is frozen for the whole phase, so the resolution is
+            // identical for all lanes, and doing it here (main thread,
+            // before the pool) keeps the workers read-only on shared
+            // state. A slot every executor holds is flagged so the VM
+            // loads it as one contiguous row.
+            const char* vrow = soaValid_.data() + slotRow_[i];
+            char ok = 1;
+            if (dense) {
+                const int miss = firstZeroByte(vrow, procCount_);
+                if (miss >= 0) {
+                    ok = 0;
+                    resolveSlotMiss(plan, static_cast<int>(i), miss);
+                }
+            } else {
+                for (size_t l = 0; l < ne; ++l) {
+                    if (vrow[execs[l]] != 0) continue;
+                    ok = 0;
+                    resolveSlotMiss(plan, static_cast<int>(i), execs[l]);
+                    break;
+                }
+            }
+            slotAllValid_[i] = ok;
+            clean = clean && ok != 0;
+        }
+        phaseClean_ = clean;
+        if (plan.laneUniform) {
+            // Every lane would compute the oracle's value (see
+            // buildPlans): skip the VM run and record just the
+            // communication — the same misses, in the same slot-major
+            // lane order, with the same pending-copy dedup the VM's
+            // fetches would produce. execStmt broadcasts the oracle's
+            // result to the executors.
+            WorkerScratch& w = workers_[0];
+            for (size_t i = 0; i < slots.size(); ++i) {
+                if (slotAllValid_[i] != 0) continue;
+                // Runtime aliasing is an SoA-row equality: an earlier
+                // slot with the same row has the same frozen validity,
+                // so every lane missing here already fetched the
+                // element there (all records pending — nothing new);
+                // with no such slot, no pending copy can match and the
+                // records are straight appends of the resolution.
+                bool dup = false;
+                for (size_t j = 0; j < i; ++j)
+                    if (slotRow_[j] == slotRow_[i]) dup = true;
+                if (dup) continue;
+                const char* vrow = soaValid_.data() + slotRow_[i];
+                const bc::FetchSlot& sl = slots[i];
+                const std::int64_t flat = sl.isArray ? slotFlat_[i] : 0;
+                const double mv = slotMissV_[i];
+                const int src = slotMissSrc_[i];
+                const CommOp* op = plan.slotOp[i];
+                for (size_t l = 0; l < ne; ++l) {
+                    const int p = execs[l];
+                    if (vrow[p] != 0) continue;
+                    w.pending.push_back(PendingWrite{p, sl.sym, flat, mv});
+                    w.misses.push_back(MissRecord{op, p, src});
+                }
+            }
+            if (sampleEval || profEval) {
+                const double us = std::chrono::duration<double, std::micro>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+                if (sampleEval) evalHist_->record(us);
+                if (profEval) profile_->addEvalSample(us);
+            }
+            return;
+        }
+    } else {
+        for (const Expr* r : plan.fetchRefs)
+            if (r->kind == ExprKind::ArrayRef)
+                refFlat_[static_cast<size_t>(r->id)] = oracle_.flatIndexOf(r);
+    }
     values_.resize(ne);
     if (pool_ == nullptr || static_cast<int>(ne) < threads_) {
         WorkerScratch& w = workers_[0];
-        for (size_t i = 0; i < ne; ++i)
-            values_[i] = evalOnW(w, execs[i], e);
+        if (bcMode)
+            runLanesInto(w, plan, execs, 0, static_cast<std::int64_t>(ne));
+        else
+            for (size_t i = 0; i < ne; ++i)
+                values_[i] = evalOnW(w, execs[i], e);
+        if (directSym != kNoSymbol) {
+            if (engine_ == SimEngine::Bytecode) {
+                const std::int64_t row = soaRowOf(directSym, 0);
+                for (size_t i = 0; i < ne; ++i) {
+                    soa_[static_cast<size_t>(row + execs[i])] = values_[i];
+                    soaValid_[static_cast<size_t>(row + execs[i])] = 1;
+                }
+            } else {
+                for (size_t i = 0; i < ne; ++i)
+                    procStore_[static_cast<size_t>(execs[i])].set(directSym, 0,
+                                                                  values_[i]);
+            }
+        }
         if (sampleEval || profEval) {
             const double us = std::chrono::duration<double, std::micro>(
                                   std::chrono::steady_clock::now() - t0)
@@ -418,6 +858,8 @@ void SpmdSimulator::evalPhase(const StmtPlan& plan,
     }
     phaseExecs_ = &execs;
     phaseExpr_ = e;
+    phasePlan_ = &plan;
+    phaseDirect_ = directSym;
     pool_->run(
         [](void* ctx, int worker) {
             static_cast<SpmdSimulator*>(ctx)->phaseWorker(worker);
@@ -448,10 +890,23 @@ void SpmdSimulator::mergeWorkers() {
     const bool profMerge = profile_ != nullptr && profile_->sampleMerge();
     std::chrono::steady_clock::time_point t0;
     if (sampleMerge || profMerge) t0 = std::chrono::steady_clock::now();
+    const bool bcMode = engine_ == SimEngine::Bytecode;
+    // Event-context memo: the oracle's scalars are constant for the
+    // whole merge, so after noteEvent(op) ran once, repeating it for
+    // the same op is a guaranteed duplicate (InternedEventSet::record
+    // returns false) — skip the context rebuild and hash probe.
+    ++mergeStamp_;
     for (WorkerScratch& ws : workers_) {
-        for (const PendingWrite& pw : ws.pending)
-            procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
-                                                         pw.v);
+        for (const PendingWrite& pw : ws.pending) {
+            if (bcMode) {
+                const std::int64_t at = soaRowOf(pw.sym, pw.flat) + pw.proc;
+                soa_[static_cast<size_t>(at)] = pw.v;
+                soaValid_[static_cast<size_t>(at)] = 1;
+            } else {
+                procStore_[static_cast<size_t>(pw.proc)].set(pw.sym, pw.flat,
+                                                             pw.v);
+            }
+        }
         for (const MissRecord& m : ws.misses) {
             // Lossy-network mode: every element transfer rides the
             // reliable transport. Polled here, on the main thread in
@@ -463,7 +918,11 @@ void SpmdSimulator::mergeWorkers() {
             ++procMetrics_[static_cast<size_t>(m.proc)].recvElements;
             ++procMetrics_[static_cast<size_t>(m.src)].sentElements;
             if (profile_ != nullptr) profile_->addElement();
-            noteEvent(m.op);
+            std::uint64_t& stamp = opStamp_[static_cast<size_t>(m.op->id)];
+            if (stamp != mergeStamp_) {
+                noteEvent(m.op);
+                stamp = mergeStamp_;
+            }
         }
         ws.pending.clear();
         ws.misses.clear();
@@ -489,22 +948,82 @@ void SpmdSimulator::execStmt(const Stmt* s) {
                 profile_->beginStmt(s->id);
                 profile_->addExecutors(execs);
             }
-            const std::int64_t flat = s->lhs->kind == ExprKind::ArrayRef
-                                          ? oracle_.flatIndexOf(s->lhs)
-                                          : 0;
-            // Evaluate on every executor against the pre-statement state.
-            evalPhase(plan, execs, s->rhs);
-            mergeWorkers();
-            if (!plan.isReductionAcc) {
-                // Non-executors' copies become stale.
-                for (int p = 0; p < procCount_; ++p)
-                    procStore_[static_cast<size_t>(p)].invalidate(s->lhs->sym,
-                                                                  flat);
+            const bool bcMode = engine_ == SimEngine::Bytecode;
+            if (bcMode && plan.laneUniform && evalHist_ == nullptr &&
+                mergeHist_ == nullptr && profile_ == nullptr &&
+                transport_ == nullptr) {
+                // No sampler needs its tick and no fault schedule is
+                // polled: take the fused uniform path.
+                execUniformBc(s, plan, execs);
+                break;
             }
-            for (size_t i = 0; i < execs.size(); ++i)
-                procStore_[static_cast<size_t>(execs[i])].set(s->lhs->sym,
-                                                              flat, values_[i]);
-            oracle_.execStmt(s);
+            const std::int64_t flat =
+                s->lhs->kind == ExprKind::ArrayRef
+                    ? (bcMode ? bc::evalIndexForm(plan.code.lhsIndex, oracle_)
+                              : oracle_.flatIndexOf(s->lhs))
+                    : 0;
+            // Relaxed mode: a scalar reduction accumulator is committed
+            // by each executor as soon as its lane finishes, skipping
+            // the merge-order barrier below. Safe because the combine
+            // is commutative and nobody else may read the accumulator
+            // mid-loop (no communication op exists for it).
+            const bool direct = relaxed_ && plan.isReductionAcc &&
+                                s->lhs->kind == ExprKind::VarRef;
+            // Evaluate on every executor against the pre-statement state.
+            evalPhase(plan, execs, s->rhs,
+                      direct ? s->lhs->sym : kNoSymbol);
+            if (!phaseClean_ || mergeHist_ != nullptr ||
+                profile_ != nullptr)
+                mergeWorkers();
+            if (bcMode) {
+                // Apply the statement's effect on the oracle through the
+                // same bytecode, so the reference state never pays a
+                // tree walk either. Accounting matches execStmt exactly.
+                const double* od = oracle_.store().dataRaw();
+                const double v = vm::runScalar(
+                    plan.code.value, oracleRegs_.data(),
+                    [&](int slot) { return od[slotElem_[slot]]; });
+                const std::int64_t row = soaRowOf(s->lhs->sym, flat);
+                if (!plan.isReductionAcc)
+                    // Non-executors' copies become stale: one contiguous
+                    // validity-row clear instead of per-store calls.
+                    std::memset(soaValid_.data() + row, 0,
+                                static_cast<size_t>(procCount_));
+                if (plan.laneUniform) {
+                    // Uniform phase: every executor's result is the
+                    // oracle's value (no per-lane values_ were run).
+                    if (&execs == &allProcs_) {
+                        std::fill(soa_.begin() + row,
+                                  soa_.begin() + row + procCount_, v);
+                        std::memset(soaValid_.data() + row, 1,
+                                    static_cast<size_t>(procCount_));
+                    } else {
+                        for (const int p : execs) {
+                            soa_[static_cast<size_t>(row + p)] = v;
+                            soaValid_[static_cast<size_t>(row + p)] = 1;
+                        }
+                    }
+                } else if (!direct) {
+                    for (size_t i = 0; i < execs.size(); ++i) {
+                        soa_[static_cast<size_t>(row + execs[i])] = values_[i];
+                        soaValid_[static_cast<size_t>(row + execs[i])] = 1;
+                    }
+                }
+                oracle_.store().set(s->lhs->sym, flat, v);
+                oracle_.noteStatementExecuted();
+            } else {
+                if (!plan.isReductionAcc) {
+                    // Non-executors' copies become stale.
+                    for (int p = 0; p < procCount_; ++p)
+                        procStore_[static_cast<size_t>(p)].invalidate(
+                            s->lhs->sym, flat);
+                }
+                if (!direct)
+                    for (size_t i = 0; i < execs.size(); ++i)
+                        procStore_[static_cast<size_t>(execs[i])].set(
+                            s->lhs->sym, flat, values_[i]);
+                oracle_.execStmt(s);
+            }
             break;
         }
         case StmtKind::If: {
@@ -518,8 +1037,17 @@ void SpmdSimulator::execStmt(const Stmt* s) {
                 profile_->addExecutors(execs);
             }
             evalPhase(plan, execs, s->cond);  // predicate comm
-            mergeWorkers();
-            const bool taken = oracle_.eval(s->cond) != 0.0;
+            if (!phaseClean_ || mergeHist_ != nullptr ||
+                profile_ != nullptr)
+                mergeWorkers();
+            const bool taken =
+                engine_ == SimEngine::Bytecode
+                    ? vm::runScalar(plan.code.value, oracleRegs_.data(),
+                                    [&](int slot) {
+                                        return oracle_.store().dataRaw()
+                                            [slotElem_[slot]];
+                                    }) != 0.0
+                    : oracle_.eval(s->cond) != 0.0;
             if (trackCtrl_) {
                 CtrlFrame f;
                 f.stmt = s;
@@ -538,6 +1066,17 @@ void SpmdSimulator::execStmt(const Stmt* s) {
             const auto ub = oracle_.evalIndex(s->ub);
             const auto step =
                 s->step != nullptr ? oracle_.evalIndex(s->step) : std::int64_t{1};
+            if (relaxed_) {
+                // Snapshot each commutative accumulator's loop-entry
+                // value: the relaxed Sum combine is the exact delta sum
+                // init + sum_p (v_p - init), which is order-independent
+                // because integer-valued deltas stay exact in doubles.
+                for (const CombinePlan& c :
+                     plans_[static_cast<size_t>(s->id)].combines)
+                    if (relaxedCombinable(c.red->op))
+                        combineInit_[static_cast<size_t>(c.op->id)] =
+                            oracle_.store().get(c.op->ref->sym);
+            }
             if (trackCtrl_) {
                 // Bounds captured as evaluated at loop entry; a resumed
                 // loop iterates exactly as the original would have.
@@ -554,9 +1093,12 @@ void SpmdSimulator::execStmt(const Stmt* s) {
                      iv += step) {
                     if (trackCtrl_) ctrl_.back().iv = iv;
                     oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
-                    for (int p = 0; p < procCount_; ++p)
-                        procStore_[static_cast<size_t>(p)].set(
-                            s->loopVar, 0, static_cast<double>(iv));
+                    if (engine_ == SimEngine::Bytecode)
+                        soaBroadcast(s->loopVar, 0, static_cast<double>(iv));
+                    else
+                        for (int p = 0; p < procCount_; ++p)
+                            procStore_[static_cast<size_t>(p)].set(
+                                s->loopVar, 0, static_cast<double>(iv));
                     execLoopBody(s);
                 }
             }
@@ -568,6 +1110,107 @@ void SpmdSimulator::execStmt(const Stmt* s) {
         case StmtKind::Continue:
             break;
     }
+}
+
+void SpmdSimulator::execUniformBc(const Stmt* s, const StmtPlan& plan,
+                                  const std::vector<int>& execs) {
+    // Slot pre-resolution, identical to evalPhase's bytecode scan.
+    const std::vector<bc::FetchSlot>& slots = plan.code.slots;
+    const Store& st0 = procStore_[0];
+    const bool dense = &execs == &allProcs_;
+    const size_t ne = execs.size();
+    bool clean = true;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const std::int64_t flat =
+            slots[i].isArray
+                ? bc::evalIndexForm(plan.code.slotIndex[i], oracle_)
+                : 0;
+        const std::int64_t elem = st0.elemIndexOf(slots[i].sym, flat);
+        slotElem_[i] = elem;
+        slotRow_[i] = elem * procCount_;
+        slotMissResolved_[i] = 0;
+        const char* vrow = soaValid_.data() + slotRow_[i];
+        char ok = 1;
+        if (dense) {
+            const int miss = firstZeroByte(vrow, procCount_);
+            if (miss >= 0) {
+                ok = 0;
+                resolveSlotMiss(plan, static_cast<int>(i), miss);
+            }
+        } else {
+            for (size_t l = 0; l < ne; ++l) {
+                if (vrow[execs[l]] != 0) continue;
+                ok = 0;
+                resolveSlotMiss(plan, static_cast<int>(i), execs[l]);
+                break;
+            }
+        }
+        slotAllValid_[i] = ok;
+        clean = clean && ok != 0;
+    }
+    if (!clean) {
+        // Apply the misses in place — same slot-major lane order, same
+        // row-equality dedup and same per-merge event memo the deferred
+        // evalPhase + mergeWorkers pair produces (mutating a row here
+        // cannot change a later slot's miss set: an equal row is
+        // dedup-skipped, a different row is untouched).
+        ++mergeStamp_;
+        for (size_t i = 0; i < slots.size(); ++i) {
+            if (slotAllValid_[i] != 0) continue;
+            bool dup = false;
+            for (size_t j = 0; j < i; ++j)
+                if (slotElem_[j] == slotElem_[i]) dup = true;
+            if (dup) continue;
+            const std::int64_t row = slotRow_[i];
+            char* vrow = soaValid_.data() + row;
+            const double mv = slotMissV_[i];
+            const int src = slotMissSrc_[i];
+            const CommOp* op = plan.slotOp[i];
+            const size_t opId = static_cast<size_t>(op->id);
+            for (size_t l = 0; l < ne; ++l) {
+                const int p = execs[l];
+                if (vrow[p] != 0) continue;
+                soa_[static_cast<size_t>(row + p)] = mv;
+                vrow[p] = 1;
+                ++transfers_;
+                ++elemsPerOp_[opId];
+                ++procMetrics_[static_cast<size_t>(p)].recvElements;
+                ++procMetrics_[static_cast<size_t>(src)].sentElements;
+                std::uint64_t& stamp = opStamp_[opId];
+                if (stamp != mergeStamp_) {
+                    noteEvent(op);
+                    stamp = mergeStamp_;
+                }
+            }
+        }
+    }
+    // Every lane computes the oracle's value (lane uniformity): run the
+    // chunk once on the oracle and broadcast.
+    const double* od = oracle_.store().dataRaw();
+    const double v =
+        vm::runScalar(plan.code.value, oracleRegs_.data(),
+                      [&](int slot) { return od[slotElem_[slot]]; });
+    const std::int64_t flat =
+        s->lhs->kind == ExprKind::ArrayRef
+            ? bc::evalIndexForm(plan.code.lhsIndex, oracle_)
+            : 0;
+    const std::int64_t row = soaRowOf(s->lhs->sym, flat);
+    if (dense) {
+        std::fill(soa_.begin() + row, soa_.begin() + row + procCount_, v);
+        std::memset(soaValid_.data() + row, 1,
+                    static_cast<size_t>(procCount_));
+    } else {
+        // Non-executors' copies become stale (lane-uniform statements
+        // are never reduction accumulations).
+        std::memset(soaValid_.data() + row, 0,
+                    static_cast<size_t>(procCount_));
+        for (const int p : execs) {
+            soa_[static_cast<size_t>(row + p)] = v;
+            soaValid_[static_cast<size_t>(row + p)] = 1;
+        }
+    }
+    oracle_.store().set(s->lhs->sym, flat, v);
+    oracle_.noteStatementExecuted();
 }
 
 void SpmdSimulator::execLoopBody(const Stmt* s) {
@@ -598,13 +1241,26 @@ void SpmdSimulator::runCombines(const Stmt* s) {
         // The combine is a global communication event; it rides the
         // reliable transport like any other transfer.
         if (transport_ != nullptr) transport_->deliver("reduction combine");
-        const double v = oracle_.eval(op.ref);
-        for (int p = 0; p < procCount_; ++p)
-            procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
+        const bool relaxedOp = relaxed_ && relaxedCombinable(c.red->op);
+        const double v =
+            relaxedOp ? combineRelaxed(c) : oracle_.eval(op.ref);
+        // In relaxed mode the combined value is defined by the worker
+        // copies, not the oracle's sequential accumulation; write it
+        // back so the reference state agrees with the broadcast.
+        if (relaxedOp) oracle_.store().set(op.ref->sym, 0, v);
+        if (engine_ == SimEngine::Bytecode)
+            soaBroadcast(op.ref->sym, 0, v);
+        else
+            for (int p = 0; p < procCount_; ++p)
+                procStore_[static_cast<size_t>(p)].set(op.ref->sym, 0, v);
         if (c.red->locScalar != kNoSymbol) {
             const double lv = oracle_.store().get(c.red->locScalar);
-            for (int p = 0; p < procCount_; ++p)
-                procStore_[static_cast<size_t>(p)].set(c.red->locScalar, 0, lv);
+            if (engine_ == SimEngine::Bytecode)
+                soaBroadcast(c.red->locScalar, 0, lv);
+            else
+                for (int p = 0; p < procCount_; ++p)
+                    procStore_[static_cast<size_t>(p)].set(c.red->locScalar, 0,
+                                                           lv);
         }
         noteEvent(&op);
         ++transfers_;
@@ -614,6 +1270,65 @@ void SpmdSimulator::runCombines(const Stmt* s) {
         for (int p = 0; p < procCount_; ++p)
             ++procMetrics_[static_cast<size_t>(p)].recvElements;
     }
+}
+
+double SpmdSimulator::combineRelaxed(const CombinePlan& c) const {
+    const SymbolId s = c.op->ref->sym;
+    const bool bcMode = engine_ == SimEngine::Bytecode;
+    const std::int64_t row = bcMode ? soaRowOf(s, 0) : 0;
+    const auto procVal = [&](int p) {
+        return bcMode ? soa_[static_cast<size_t>(row + p)]
+                      : procStore_[static_cast<size_t>(p)].get(s);
+    };
+    // Only VALID copies participate: a processor whose copy was
+    // invalidated (e.g. it did not execute the accumulator's reset
+    // assignment) still holds the value from a PREVIOUS reduction nest,
+    // not this nest's loop-entry value — combining it would double-count
+    // history. Executors always hold valid copies (the direct commit
+    // marks them), so at least one copy participates.
+    const auto procValid = [&](int p) {
+        return bcMode ? soaValid_[static_cast<size_t>(row + p)] != 0
+                      : procStore_[static_cast<size_t>(p)].valid(s, 0);
+    };
+    switch (c.red->op) {
+        case ReductionInfo::Op::Sum: {
+            // Delta sum over per-processor accumulator copies. A valid
+            // copy on a processor that never executed the reduction
+            // statement is exactly the loop-entry value, so its delta
+            // is exactly 0.0 and contributes nothing.
+            const double init = combineInit_[static_cast<size_t>(c.op->id)];
+            double v = init;
+            for (int p = 0; p < procCount_; ++p)
+                if (procValid(p)) v += procVal(p) - init;
+            return v;
+        }
+        case ReductionInfo::Op::Max: {
+            bool seen = false;
+            double v = 0.0;
+            for (int p = 0; p < procCount_; ++p) {
+                if (!procValid(p)) continue;
+                v = seen ? std::max(v, procVal(p)) : procVal(p);
+                seen = true;
+            }
+            PHPF_ASSERT(seen, "relaxed Max combine with no valid copy");
+            return v;
+        }
+        case ReductionInfo::Op::Min: {
+            bool seen = false;
+            double v = 0.0;
+            for (int p = 0; p < procCount_; ++p) {
+                if (!procValid(p)) continue;
+                v = seen ? std::min(v, procVal(p)) : procVal(p);
+                seen = true;
+            }
+            PHPF_ASSERT(seen, "relaxed Min combine with no valid copy");
+            return v;
+        }
+        default:
+            break;
+    }
+    PHPF_ASSERT(false, "combineRelaxed on non-commutative reduction");
+    return 0.0;
 }
 
 void SpmdSimulator::execBlock(const std::vector<Stmt*>& block) {
@@ -658,6 +1373,11 @@ void SpmdSimulator::boundary(const Stmt* s) {
 void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
     std::chrono::steady_clock::time_point t0;
     if (ckptHist_ != nullptr) t0 = std::chrono::steady_clock::now();
+    // The SoA banks are authoritative mid-run; transcribe them back so
+    // the checkpoint's Store copies (and a later restore) see them.
+    // Same for the guard-accounting deltas.
+    if (engine_ == SimEngine::Bytecode) soaFlush();
+    flushAccounting();
     std::vector<CtrlFrame> path = ctrl_;
     if (boundaryStmt != nullptr) {
         // The boundary statement has not executed yet (the hook runs
@@ -669,7 +1389,7 @@ void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
     ckpt_ = std::make_unique<Checkpoint>(Checkpoint{
         procStore_, oracle_.store(), oracle_.statementsExecuted(),
         procMetrics_, transfers_, procStmts_, instances_, events_,
-        eventsPerOp_, elemsPerOp_, std::move(path),
+        eventsPerOp_, elemsPerOp_, combineInit_, std::move(path),
         profile_ != nullptr
             ? std::make_unique<obs::StmtProfile>(*profile_)
             : nullptr});
@@ -698,9 +1418,15 @@ void SpmdSimulator::restoreCheckpoint() {
     instances_ = ck.instances;
     events_ = ck.events;
     eventsPerOp_ = ck.eventsPerOp;
+    combineInit_ = ck.combineInit;
     elemsPerOp_ = ck.elemsPerOp;
     if (profile_ != nullptr && ck.profile != nullptr)
         *profile_ = *ck.profile;
+    // Accounting since the checkpoint is rolled back with the metrics.
+    std::fill(execDelta_.begin(), execDelta_.end(), 0);
+    accountedInstances_ = 0;
+    denseAccounted_ = 0;
+    if (engine_ == SimEngine::Bytecode) soaLoad();
     // The control stack is rebuilt by the resume navigation; worker
     // scratch holds no state at a statement boundary, but clear it
     // defensively.
@@ -789,9 +1515,12 @@ void SpmdSimulator::resumeDo(const CtrlFrame& f, size_t depth) {
                 continue;
             }
             oracle_.store().set(s->loopVar, 0, static_cast<double>(iv));
-            for (int p = 0; p < procCount_; ++p)
-                procStore_[static_cast<size_t>(p)].set(
-                    s->loopVar, 0, static_cast<double>(iv));
+            if (engine_ == SimEngine::Bytecode)
+                soaBroadcast(s->loopVar, 0, static_cast<double>(iv));
+            else
+                for (int p = 0; p < procCount_; ++p)
+                    procStore_[static_cast<size_t>(p)].set(
+                        s->loopVar, 0, static_cast<double>(iv));
             execLoopBody(s);
         }
     }
@@ -838,31 +1567,47 @@ void SpmdSimulator::run() {
     instances_ = 0;
     ctrl_.clear();
     ckpt_.reset();
+    // Bytecode engine: the lane-major SoA banks become the authoritative
+    // per-processor state for the whole run; procStore_ is transcribed
+    // back at checkpoints and at run end (soaFlush), so the external
+    // Store-based interface is unchanged.
+    if (engine_ == SimEngine::Bytecode) soaLoad();
     // With crash recovery armed, take the initial checkpoint right after
     // initial distribution — a crash before the first periodic one
     // replays from the start of the program.
     if (crashSite_ != nullptr) takeCheckpoint(nullptr);
     bool resuming = false;
-    for (;;) {
-        try {
-            if (resuming && !ckpt_->path.empty())
-                resumeInto(prog_.top, 0);
-            else
-                execBlock(prog_.top);
-            break;
-        } catch (CrashSignal&) {
-            ++recoveries_;
-            if (recoveries_ > rcfg_.maxRecoveries)
-                throw SimFault(
-                    faultsite::kProcCrash,
-                    "recovery budget exhausted (" +
-                        std::to_string(rcfg_.maxRecoveries) +
-                        " recoveries; " + std::to_string(checkpointsTaken_) +
-                        " checkpoints taken)");
-            restoreCheckpoint();
-            resuming = true;
+    try {
+        for (;;) {
+            try {
+                if (resuming && !ckpt_->path.empty())
+                    resumeInto(prog_.top, 0);
+                else
+                    execBlock(prog_.top);
+                break;
+            } catch (CrashSignal&) {
+                ++recoveries_;
+                if (recoveries_ > rcfg_.maxRecoveries)
+                    throw SimFault(
+                        faultsite::kProcCrash,
+                        "recovery budget exhausted (" +
+                            std::to_string(rcfg_.maxRecoveries) +
+                            " recoveries; " +
+                            std::to_string(checkpointsTaken_) +
+                            " checkpoints taken)");
+                restoreCheckpoint();
+                resuming = true;
+            }
         }
+    } catch (...) {
+        // A SimFault escaping mid-run must still leave procStore_ and
+        // the per-proc metrics coherent for post-mortem inspection.
+        if (engine_ == SimEngine::Bytecode) soaFlush();
+        flushAccounting();
+        throw;
     }
+    if (engine_ == SimEngine::Bytecode) soaFlush();
+    flushAccounting();
     wallSec_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();
@@ -912,12 +1657,40 @@ void SpmdSimulator::accountExecutors(const std::vector<int>& execs) {
     // Guard accounting: processors in `execs` pass their computation-
     // partitioning guard for this statement instance, everyone else
     // evaluates the guard and skips.
-    for (ProcSimMetrics& m : procMetrics_) ++m.stmtsSkipped;
-    for (const int p : execs) {
-        ProcSimMetrics& m = procMetrics_[static_cast<size_t>(p)];
-        ++m.stmtsExecuted;
-        --m.stmtsSkipped;
+    if (engine_ != SimEngine::Bytecode) {
+        for (ProcSimMetrics& m : procMetrics_) ++m.stmtsSkipped;
+        for (const int p : execs) {
+            ProcSimMetrics& m = procMetrics_[static_cast<size_t>(p)];
+            ++m.stmtsExecuted;
+            --m.stmtsSkipped;
+        }
+        return;
     }
+    // Bytecode engine: skipped = instances - executed, so only the
+    // executed counts (dense int64 array, one cache line for typical
+    // proc counts — or a single counter for guard-All instances) are
+    // touched per instance; flushAccounting materializes the
+    // ProcSimMetrics view at run/checkpoint boundaries.
+    ++accountedInstances_;
+    if (&execs == &allProcs_) {
+        ++denseAccounted_;
+        return;
+    }
+    for (const int p : execs) ++execDelta_[static_cast<size_t>(p)];
+}
+
+void SpmdSimulator::flushAccounting() {
+    if (accountedInstances_ == 0) return;
+    for (int p = 0; p < procCount_; ++p) {
+        ProcSimMetrics& m = procMetrics_[static_cast<size_t>(p)];
+        const std::int64_t executed =
+            denseAccounted_ + execDelta_[static_cast<size_t>(p)];
+        m.stmtsExecuted += executed;
+        m.stmtsSkipped += accountedInstances_ - executed;
+        execDelta_[static_cast<size_t>(p)] = 0;
+    }
+    accountedInstances_ = 0;
+    denseAccounted_ = 0;
 }
 
 double SpmdSimulator::imbalanceRatio() const {

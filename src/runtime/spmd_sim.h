@@ -1,14 +1,18 @@
 #pragma once
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 
 #include "obs/concurrent_trace.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "runtime/bytecode.h"
+#include "runtime/engine.h"
 #include "runtime/interp.h"
 #include "runtime/reliable_transport.h"
 #include "spmd/lowering.h"
+#include "support/arena.h"
 #include "support/cancellation.h"
 #include "support/fault.h"
 #include "support/interned_events.h"
@@ -85,8 +89,24 @@ public:
     /// is the lockstep worker count: 0 means auto (PHPF_SIM_THREADS,
     /// else hardware_concurrency), always clamped to the processor
     /// count. Results are independent of the value.
+    ///
+    /// `engine` picks the eval-phase implementation: the tree-walking
+    /// interpreter or the register-bytecode VM (default). Both produce
+    /// bit-identical results AND metrics; every other phase (lockstep
+    /// merge, checkpoints, fault injection, profiling) is shared code.
+    ///
+    /// `relaxedMerge` opts into combining commutative reductions
+    /// (sum/max/min) from the per-processor partial accumulators in
+    /// linear processor order instead of broadcasting the oracle's
+    /// sequentially-ordered value, and lets reduction-accumulate
+    /// statements write their private accumulator in-phase instead of
+    /// through the ordered merge barrier. Max/min and integer sums stay
+    /// exact; floating-point sums may differ from the oracle by
+    /// reassociation. Still deterministic for any thread count.
     explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8,
-                           int threads = 1, SimRecoveryConfig recovery = {});
+                           int threads = 1, SimRecoveryConfig recovery = {},
+                           SimEngine engine = SimEngine::Bytecode,
+                           bool relaxedMerge = false);
 
     /// Throws SimFault when injected faults exhaust the recovery budget
     /// or the recovery cancel token fires; any other outcome (including
@@ -129,6 +149,10 @@ public:
     [[nodiscard]] int procCount() const { return procCount_; }
     /// Lockstep worker threads the simulation runs on (resolved).
     [[nodiscard]] int threads() const { return threads_; }
+    /// Eval-phase engine of this simulator.
+    [[nodiscard]] SimEngine engine() const { return engine_; }
+    /// True when the relaxed commutative reduction merge is active.
+    [[nodiscard]] bool relaxedMerge() const { return relaxed_; }
     /// Wall-clock seconds of the last run() (initial distribution
     /// included).
     [[nodiscard]] double wallSec() const { return wallSec_; }
@@ -238,6 +262,9 @@ private:
         InternedEventSet events;
         std::vector<std::int64_t> eventsPerOp;
         std::vector<std::int64_t> elemsPerOp;
+        /// Relaxed-merge loop-entry accumulator snapshots (by CommOp
+        /// id), so a recovered relaxed run replays identically.
+        std::vector<double> combineInit;
         /// Enclosing Do/If frames + the boundary statement last; empty
         /// = start of the program.
         std::vector<CtrlFrame> path;
@@ -268,6 +295,30 @@ private:
         /// rhs/cond; subscripts resolve on the oracle).
         std::vector<const Expr*> fetchRefs;
         std::vector<CombinePlan> combines;  ///< Do: loop-end combines
+        /// Bytecode engine: compiled guard subscripts, index forms, and
+        /// value chunk of this statement (empty under SimEngine::Interp).
+        bc::StmtCode code;
+        /// Bytecode engine, per fetch slot: the covering communication
+        /// op (null when the slot's data is always local) and its
+        /// compiled source-descriptor subscript forms, so per-phase miss
+        /// resolution never walks a subscript tree.
+        std::vector<const CommOp*> slotOp;
+        std::vector<std::vector<bc::IndexForm>> slotSrcForms;
+        /// Bytecode engine: the OwnerOf executor descriptor pins every
+        /// grid dimension (no Replicated dims), so the executor set is
+        /// one processor computed directly — no grid-set enumeration.
+        bool execSingleton = false;
+        /// Per fetch slot: the comm op's source descriptor is a
+        /// singleton (same condition as execSingleton).
+        std::vector<char> slotSrcSingleton;
+        /// Bytecode engine: every lane provably computes the oracle's
+        /// value — the statement is not a reduction accumulation and no
+        /// fetched symbol is divergent (per-processor copies of every
+        /// read symbol equal the oracle whenever valid). Such phases
+        /// skip the per-lane VM run: misses are recorded for the
+        /// communication accounting, and the oracle's scalar result is
+        /// broadcast to the executors.
+        bool laneUniform = false;
     };
 
     /// A fetched-copy store write deferred to the end of the phase.
@@ -291,6 +342,9 @@ private:
         std::vector<MissRecord> misses;
         GridSet gs;               ///< owner-set scratch for fetches
         std::vector<int> coords;  ///< grid-iteration scratch
+        /// Bytecode engine: SoA register banks, numRegs x procCount
+        /// doubles (lane stride is the processor count).
+        std::vector<double> regs;
         std::exception_ptr error;
     };
 
@@ -299,6 +353,16 @@ private:
     /// execBlock starting at `start` (resume + goto continuation).
     void execBlockFrom(const std::vector<Stmt*>& block, size_t start);
     void execStmt(const Stmt* s);
+    /// Bytecode engine, lane-uniform Assign with telemetry, profiler and
+    /// transport all unarmed: the fused fast path. One pass resolves the
+    /// fetch slots, applies any misses in place (same slot-major lane
+    /// order and per-merge event memo as evalPhase + mergeWorkers), runs
+    /// the oracle chunk once and broadcasts the result — no deferred
+    /// record vectors, no second slot walk. Any armed observer falls
+    /// back to the general path, which keeps its sampling ticks; the
+    /// two paths produce identical state, metrics and events.
+    void execUniformBc(const Stmt* s, const StmtPlan& plan,
+                       const std::vector<int>& execs);
     /// One iteration of Do statement `s`'s body, with the forward-goto
     /// continuation handling.
     void execLoopBody(const Stmt* s);
@@ -321,10 +385,51 @@ private:
     [[nodiscard]] const std::vector<int>& executorsOf(const Stmt* s);
     /// Evaluate `e` on every executor against the frozen pre-statement
     /// state, filling values_; parallel when the pool is active and the
-    /// executor set is wide enough.
+    /// executor set is wide enough. `directSym` != kNoSymbol (relaxed
+    /// merge, reduction accumulators only) additionally writes each
+    /// executor's result straight to its private accumulator copy,
+    /// skipping the ordered post-merge write loop.
     void evalPhase(const StmtPlan& plan, const std::vector<int>& execs,
-                   const Expr* e);
+                   const Expr* e, SymbolId directSym = kNoSymbol);
     void phaseWorker(int worker);
+    /// Bytecode engine: run the phase chunk over lanes [b, e) of the
+    /// executor set on `w`'s register banks, filling values_.
+    void runLanesInto(WorkerScratch& w, const StmtPlan& plan,
+                      const std::vector<int>& execs, std::int64_t b,
+                      std::int64_t e);
+    /// Bytecode engine: one lane's fetch of a slot its processor does
+    /// not hold — pending-copy check, then the per-phase resolved
+    /// (value, source) with the transfer recorded. Out of line: cold
+    /// next to the contiguous SoA fast path.
+    double missLaneBc(WorkerScratch& w, int proc, const StmtPlan& plan,
+                      int slot);
+    /// Bytecode engine: resolve slot's miss once per phase (owner
+    /// validity is frozen within a phase, so every missing lane gets the
+    /// identical value and source processor). Main thread only, before
+    /// the pool runs — parallel workers read the memo, never write it.
+    void resolveSlotMiss(const StmtPlan& plan, int slot, int firstProc);
+    /// Transcribe procStore_ into the lane-major SoA banks / back. The
+    /// banks are authoritative between run() start and end and across
+    /// checkpoint boundaries; procStore_ stays the external interface
+    /// (checkpoints, valueOn, maxErrorVsOracle).
+    void soaLoad();
+    void soaFlush();
+    /// SoA row base (element * procCount) of (sym, flat); bounds-checked
+    /// through Store::elemIndexOf like any store access.
+    [[nodiscard]] std::int64_t soaRowOf(SymbolId sym,
+                                        std::int64_t flat) const {
+        return procStore_[0].elemIndexOf(sym, flat) * procCount_;
+    }
+    /// Write `v` valid to every processor's copy of scalar/element
+    /// (sym, flat) in the SoA banks (loop-variable and combine
+    /// broadcasts).
+    void soaBroadcast(SymbolId sym, std::int64_t flat, double v) {
+        const std::int64_t row = soaRowOf(sym, flat);
+        std::fill(soa_.begin() + row, soa_.begin() + row + procCount_, v);
+        std::fill(soaValid_.begin() + row,
+                  soaValid_.begin() + row + procCount_,
+                  static_cast<char>(1));
+    }
     /// Apply deferred store writes and account the recorded transfers,
     /// workers in index order (deterministic for any thread count).
     void mergeWorkers();
@@ -332,13 +437,45 @@ private:
     /// any data the processor does not hold.
     double evalOnW(WorkerScratch& w, int proc, const Expr* e);
     /// Ensure `proc` holds the value of reference `ref`; fetch from the
-    /// owner through the covering comm op otherwise.
-    double fetchW(WorkerScratch& w, int proc, const Expr* ref);
+    /// owner through the covering comm op otherwise. `flat` is the
+    /// element's resolved flat index (0 for scalars).
+    double fetchW(WorkerScratch& w, int proc, const Expr* ref,
+                  std::int64_t flat);
+    double fetchW(WorkerScratch& w, int proc, const Expr* ref) {
+        return fetchW(w, proc, ref,
+                      ref->kind == ExprKind::ArrayRef
+                          ? refFlat_[static_cast<size_t>(ref->id)]
+                          : 0);
+    }
     /// Account one element transfer's message event (main thread).
     void noteEvent(const CommOp* op);
     /// Per-proc executed/skipped accounting for one statement instance.
+    /// Accumulates into flat delta counters (one int per processor, not
+    /// a ProcSimMetrics sweep); flushAccounting materializes them.
     void accountExecutors(const std::vector<int>& execs);
+    /// Fold the executed/skipped deltas into procMetrics_. Called
+    /// wherever procMetrics_ must be externally coherent: checkpoint
+    /// capture, run end (normal and fault exits).
+    void flushAccounting();
+    /// Bytecode engine: the single processor of a fully-pinned
+    /// descriptor (execSingleton / slotSrcSingleton plans).
+    [[nodiscard]] int singleProcOfBc(const RefDesc& desc,
+                                     const std::vector<bc::IndexForm>& forms);
     void evalDescInto(const RefDesc& desc, GridSet& out) const;
+    /// Bytecode engine: evalDescInto through precompiled subscript
+    /// forms (one per grid dim, only Partitioned dims present).
+    void evalDescIntoBc(const RefDesc& desc,
+                        const std::vector<bc::IndexForm>& forms,
+                        GridSet& out) const;
+    /// Relaxed merge: combine one reduction from the per-processor
+    /// partial accumulators in linear processor order.
+    [[nodiscard]] double combineRelaxed(const CombinePlan& c) const;
+    /// True when `op` may combine relaxed (commutative, and exact for
+    /// max/min and integer sums).
+    [[nodiscard]] static bool relaxedCombinable(ReductionInfo::Op op) {
+        return op == ReductionInfo::Op::Sum || op == ReductionInfo::Op::Max ||
+               op == ReductionInfo::Op::Min;
+    }
 
     const SpmdLowering& low_;
     const Program& prog_;
@@ -346,6 +483,8 @@ private:
     int procCount_;
     int elemBytes_;
     int threads_;
+    SimEngine engine_;
+    bool relaxed_;
     std::unique_ptr<LockstepPool> pool_;
     std::vector<Store> procStore_;
     std::vector<ProcSimMetrics> procMetrics_;
@@ -361,6 +500,10 @@ private:
     std::vector<const CommOp*> opByRef_;        ///< by Expr::id
     std::vector<std::vector<SymbolId>> opCtxVars_;  ///< by CommOp::id
     std::vector<int> allProcs_;
+    /// Bytecode compile-side IR (affine term lists); owns nothing the
+    /// compiled StmtCodes point at — safe to keep for arena statistics.
+    Arena bcArena_;
+    int maxRegs_ = 0;  ///< widest chunk register file across statements
 
     // --- per-instance scratch (main thread; no per-statement allocs) ---
     std::vector<int> execsScratch_;
@@ -371,10 +514,59 @@ private:
     std::vector<std::int64_t> refFlat_;  ///< by Expr::id, per instance
     std::vector<std::int64_t> ctxScratch_;
     std::vector<WorkerScratch> workers_;
+    /// Bytecode engine: per-instance flat index of each fetch slot
+    /// (resolved once on the oracle, like refFlat_).
+    std::vector<std::int64_t> slotFlat_;
+    std::vector<double> oracleRegs_;  ///< scalar VM register scratch
+    /// Bytecode engine: lane-major SoA state. Element e of processor p
+    /// lives at [e * procCount + p] (e = Store::elemIndexOf), so one
+    /// fetch reads procCount contiguous lanes and invalidating every
+    /// copy of an element is a procCount-byte memset. Authoritative
+    /// while run() executes; transcribed from/to procStore_ at run and
+    /// checkpoint boundaries (soaLoad/soaFlush).
+    std::vector<double> soa_;
+    std::vector<char> soaValid_;
+    /// Per-phase slot scratch: SoA row base / store element index of
+    /// each fetch slot, and the once-per-phase miss memo (resolved
+    /// value + source processor).
+    std::vector<std::int64_t> slotRow_;
+    std::vector<std::int64_t> slotElem_;
+    std::vector<double> slotMissV_;
+    std::vector<int> slotMissSrc_;
+    std::vector<char> slotMissResolved_;
+    /// Per-phase: every executor lane of the slot held a valid copy at
+    /// the pre-scan (validity is frozen within the phase), so the VM
+    /// loads the slot with one contiguous row copy.
+    std::vector<char> slotAllValid_;
+    /// Guard-accounting deltas since the last flushAccounting(): number
+    /// of accounted statement instances, how many of those executed on
+    /// every processor (guard All — one counter, no per-proc sweep),
+    /// and per-processor executed counts for the rest
+    /// (skipped = instances - denseAccounted - executed).
+    std::int64_t accountedInstances_ = 0;
+    std::int64_t denseAccounted_ = 0;
+    std::vector<std::int64_t> execDelta_;
+    /// executorsOf scratch for singleton owner sets (always size 1).
+    std::vector<int> singleProcScratch_;
+    /// Per-merge noteEvent memo: an op whose stamp equals the current
+    /// merge's stamp already recorded its event this merge (the event
+    /// context is frozen for the whole merge, so a repeat is a
+    /// guaranteed duplicate).
+    std::vector<std::uint64_t> opStamp_;
+    std::uint64_t mergeStamp_ = 0;
+    /// Set by evalPhase: the bytecode slot pre-scan found every executor
+    /// valid on every slot, so no worker can have recorded a pending
+    /// write or miss — the merge is a provable no-op and execStmt skips
+    /// it when no sampler needs its tick.
+    bool phaseClean_ = false;
+    /// Relaxed merge: loop-entry accumulator snapshot by CommOp id.
+    std::vector<double> combineInit_;
 
     // --- current phase (set by evalPhase, read by workers) ---
     const std::vector<int>* phaseExecs_ = nullptr;
     const Expr* phaseExpr_ = nullptr;
+    const StmtPlan* phasePlan_ = nullptr;
+    SymbolId phaseDirect_ = kNoSymbol;  ///< relaxed in-phase write target
 
     // --- fault injection & recovery (all null/false when disabled) ---
     SimRecoveryConfig rcfg_;

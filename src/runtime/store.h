@@ -57,6 +57,26 @@ public:
         return size_[static_cast<size_t>(s)];
     }
 
+    /// Linear element index of (s, flat) in the flat data block. The
+    /// bytecode engine's SoA lane banks address per-processor state by
+    /// this index; it bounds-checks exactly like get/set, so an
+    /// out-of-range subscript trips the same symbol-named assertion.
+    [[nodiscard]] std::int64_t elemIndexOf(SymbolId s,
+                                           std::int64_t flat = 0) const {
+        checkFlat(s, flat);
+        return offset_[static_cast<size_t>(s)] + flat;
+    }
+    /// Total elements across every symbol (the data block's length).
+    [[nodiscard]] std::int64_t totalElems() const {
+        return static_cast<std::int64_t>(data_.size());
+    }
+    /// Raw blocks for bulk transcription (SoA load/flush); indexed by
+    /// elemIndexOf.
+    [[nodiscard]] const double* dataRaw() const { return data_.data(); }
+    [[nodiscard]] double* dataRaw() { return data_.data(); }
+    [[nodiscard]] const char* validRaw() const { return valid_.data(); }
+    [[nodiscard]] char* validRaw() { return valid_.data(); }
+
 private:
     void checkFlat([[maybe_unused]] SymbolId s,
                    [[maybe_unused]] std::int64_t flat) const {

@@ -1,0 +1,37 @@
+#include "runtime/vm.h"
+
+#include "support/diagnostics.h"
+
+namespace phpf::vm {
+
+void validate(const bc::Chunk& ch, int slotCount) {
+    for (const bc::Inst& in : ch.code) {
+        PHPF_ASSERT(in.a < ch.numRegs, "bytecode dest register out of range");
+        switch (in.op) {
+            case bc::Op::Const:
+                PHPF_ASSERT(in.b < ch.consts.size(),
+                            "bytecode constant index out of range");
+                break;
+            case bc::Op::Fetch:
+                PHPF_ASSERT(in.b < slotCount,
+                            "bytecode fetch slot out of range");
+                break;
+            case bc::Op::Neg:
+            case bc::Op::Not:
+            case bc::Op::Abs:
+            case bc::Op::Sqrt:
+            case bc::Op::Exp:
+                PHPF_ASSERT(in.b < ch.numRegs,
+                            "bytecode operand register out of range");
+                break;
+            default:
+                PHPF_ASSERT(in.b < ch.numRegs && in.c < ch.numRegs,
+                            "bytecode operand register out of range");
+                break;
+        }
+    }
+    PHPF_ASSERT(ch.code.empty() || ch.numRegs >= 1,
+                "bytecode chunk without registers");
+}
+
+}  // namespace phpf::vm

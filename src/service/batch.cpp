@@ -99,6 +99,14 @@ bool parseOptions(const obs::Json& o, BatchJob* job, std::string* err) {
             job->target.costModel.elemBytes = static_cast<int>(v.intValue());
         else if (key == "combine_messages")
             job->target.costModel.combineMessages = v.boolValue();
+        else if (key == "sim_engine") {
+            if (!parseSimEngine(v.stringValue(), &job->passes.simEngine)) {
+                *err = "bad sim_engine '" + v.stringValue() +
+                       "' (want interp|bytecode)";
+                return false;
+            }
+        } else if (key == "relaxed_merge")
+            job->passes.relaxedMerge = v.boolValue();
         else {
             *err = "unknown option '" + key + "'";
             return false;

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace phpf {
+
+/// Chunked bump allocator for compile-side IR: allocation is a pointer
+/// bump, deallocation is dropping the whole arena. The bytecode
+/// compiler builds its per-statement scratch trees (affine-term lists,
+/// linearization nodes) here so compiling a program does one malloc per
+/// chunk instead of one per node, and the nodes stay trivially
+/// destructible (no destructors run — allocate only trivially
+/// destructible types).
+///
+/// Not thread-safe; each compiler owns its own arena.
+class Arena {
+public:
+    static constexpr size_t kDefaultChunk = 16 * 1024;
+
+    explicit Arena(size_t chunkBytes = kDefaultChunk)
+        : chunkBytes_(chunkBytes) {}
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&&) = default;
+    Arena& operator=(Arena&&) = default;
+
+    /// Uninitialized storage for `n` bytes at `align`. Requests larger
+    /// than the chunk size get a dedicated chunk.
+    void* allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+        std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cur_);
+        p = (p + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+        if (p + n > reinterpret_cast<std::uintptr_t>(end_)) {
+            newChunk(n + align);
+            p = reinterpret_cast<std::uintptr_t>(cur_);
+            p = (p + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+        }
+        cur_ = reinterpret_cast<char*>(p + n);
+        used_ += n;
+        return reinterpret_cast<void*>(p);
+    }
+
+    /// Construct a `T` in the arena. T must be trivially destructible
+    /// (its destructor will never run).
+    template <typename T, typename... Args>
+    T* make(Args&&... args) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-allocated types never run destructors");
+        return ::new (allocate(sizeof(T), alignof(T)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /// An uninitialized array of `n` `T`s.
+    template <typename T>
+    T* makeArray(size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-allocated types never run destructors");
+        return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /// Bytes handed out so far (diagnostic; excludes alignment padding).
+    [[nodiscard]] size_t bytesAllocated() const { return used_; }
+    /// Chunks owned (diagnostic: how often the arena had to grow).
+    [[nodiscard]] size_t chunkCount() const { return chunks_.size(); }
+
+    /// Drop every allocation but keep the first chunk for reuse.
+    void reset() {
+        if (chunks_.size() > 1) chunks_.resize(1);
+        used_ = 0;
+        if (!chunks_.empty()) {
+            cur_ = chunks_.front().get();
+            end_ = cur_ + firstChunkSize_;
+        } else {
+            cur_ = end_ = nullptr;
+        }
+    }
+
+private:
+    void newChunk(size_t atLeast) {
+        const size_t size = atLeast > chunkBytes_ ? atLeast : chunkBytes_;
+        chunks_.push_back(std::unique_ptr<char[]>(new char[size]));
+        cur_ = chunks_.back().get();
+        end_ = cur_ + size;
+        if (chunks_.size() == 1) firstChunkSize_ = size;
+    }
+
+    size_t chunkBytes_;
+    size_t firstChunkSize_ = 0;
+    size_t used_ = 0;
+    char* cur_ = nullptr;
+    char* end_ = nullptr;
+    std::vector<std::unique_ptr<char[]>> chunks_;
+};
+
+}  // namespace phpf

@@ -160,6 +160,32 @@ TEST(Fingerprint, CostModelAndMappingVariantsSplitTheKey) {
     EXPECT_NE(service::canonicalOptionsKey(base, noInduction), baseKey);
 }
 
+TEST(Fingerprint, SimEngineAndRelaxedMergeSplitTheKey) {
+    // The engine and the relaxed-merge mode are artifact identity:
+    // a cached interp artifact must not satisfy a bytecode request, and
+    // relaxed merges are numerically distinct for float SUM reductions.
+    // Near-miss: every other field equal, exactly one flag flipped.
+    TargetConfig base;
+    base.gridExtents = {4};
+    PassOptions p;
+    p.simEngine = SimEngine::Bytecode;
+    const std::string baseKey = service::canonicalOptionsKey(base, p);
+
+    PassOptions interp = p;
+    interp.simEngine = SimEngine::Interp;
+    EXPECT_NE(service::canonicalOptionsKey(base, interp), baseKey);
+
+    PassOptions relaxed = p;
+    relaxed.relaxedMerge = true;
+    EXPECT_NE(service::canonicalOptionsKey(base, relaxed), baseKey);
+
+    // ...while simThreads still must not split on top of either flag.
+    PassOptions threaded = relaxed;
+    threaded.simThreads = 8;
+    EXPECT_EQ(service::canonicalOptionsKey(base, threaded),
+              service::canonicalOptionsKey(base, relaxed));
+}
+
 TEST(Fingerprint, DifferentProgramsSplitTheFingerprint) {
     Program a = programs::fig1(16);
     a.finalize();
