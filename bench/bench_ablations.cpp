@@ -23,10 +23,11 @@ void ablateInductionRewrite() {
     std::printf("--- ablation 1: induction rewriting (Fig. 1, P = 8) ---\n");
     for (bool rewrite : {false, true}) {
         Program p = programs::fig1(256);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {8};
-        opts.rewriteInduction = rewrite;
-        Compilation c = Compiler::compile(p, opts);
+        passes.rewriteInduction = rewrite;
+        Compilation c = Compiler::compile(p, opts, passes);
         const CostBreakdown cb = c.predictCost();
         std::printf("rewriteInduction=%d  total=%.6fs comm=%.6fs "
                     "(m %s)\n",
@@ -62,10 +63,11 @@ end
 )";
     for (bool autoPriv : {false, true}) {
         Program p = parseProgramOrDie(source);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {2, 2};
-        opts.mapping.autoArrayPrivatization = autoPriv;
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping.autoArrayPrivatization = autoPriv;
+        Compilation c = Compiler::compile(p, opts, passes);
         const CostBreakdown cb = c.predictCost();
         std::printf("autoArrayPrivatization=%d  total=%.4fs comm=%.4fs "
                     "arrays privatized=%zu\n",
@@ -80,7 +82,7 @@ void ablateLatency() {
                 "P=16, selected alignment) ---\n");
     for (double alphaUs : {5.0, 40.0, 320.0}) {
         Program p = programs::tomcatv(513, 100);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {16};
         opts.costModel.alphaSec = alphaUs * 1e-6;
         Compilation c = Compiler::compile(p, opts);
@@ -98,7 +100,7 @@ void ablateScalarExpansion() {
     // Privatized original.
     {
         Program p = programs::fig1(256);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {8};
         Compilation c = Compiler::compile(p, opts);
         std::printf("privatization:     total=%.6fs (no extra storage)\n",
@@ -107,15 +109,16 @@ void ablateScalarExpansion() {
     // Expanded program compiled with privatization off.
     {
         Program p = programs::fig1(256);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {8};
         Compilation c = Compiler::compile(p, opts);
         const int n = expandAlignedScalars(p, c.ssa(), c.dataMapping(),
                                            c.mappingPass().decisions());
-        CompilerOptions noPriv;
+        TargetConfig noPriv;
+        PassOptions noPrivPasses;
         noPriv.gridExtents = {8};
-        noPriv.mapping.privatization = false;
-        Compilation ce = Compiler::compile(p, noPriv);
+        noPrivPasses.mapping.privatization = false;
+        Compilation ce = Compiler::compile(p, noPriv, noPrivPasses);
         std::printf("scalar expansion:  total=%.6fs (%d scalars -> O(n) "
                     "arrays)\n",
                     ce.predictCost().totalSec(), n);
@@ -123,10 +126,11 @@ void ablateScalarExpansion() {
     // Neither.
     {
         Program p = programs::fig1(256);
-        CompilerOptions noPriv;
+        TargetConfig noPriv;
+        PassOptions noPrivPasses;
         noPriv.gridExtents = {8};
-        noPriv.mapping.privatization = false;
-        Compilation c = Compiler::compile(p, noPriv);
+        noPrivPasses.mapping.privatization = false;
+        Compilation c = Compiler::compile(p, noPriv, noPrivPasses);
         std::printf("neither:           total=%.6fs (replication)\n\n",
                     c.predictCost().totalSec());
     }
@@ -135,10 +139,11 @@ void ablateScalarExpansion() {
 void BM_AblationCompile(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig1(256);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {8};
-        opts.rewriteInduction = state.range(0) != 0;
-        benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
+        passes.rewriteInduction = state.range(0) != 0;
+        benchmark::DoNotOptimize(Compiler::compile(p, opts, passes).predictCost());
     }
 }
 BENCHMARK(BM_AblationCompile)->Arg(0)->Arg(1);

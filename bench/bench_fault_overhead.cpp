@@ -106,7 +106,7 @@ void measure(const Compilation& c, const FaultInjector& idle, int reps,
 
 void printTable() {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
 
@@ -155,7 +155,7 @@ void printTable() {
 
 void BM_SimFaultLayerDisabled(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {
@@ -166,7 +166,7 @@ void BM_SimFaultLayerDisabled(benchmark::State& state) {
 
 void BM_SimFaultLayerArmedIdle(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector idle;

@@ -45,7 +45,7 @@ void show() {
 void BM_Fig1Compile(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig1(64);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
     }
@@ -55,7 +55,7 @@ BENCHMARK(BM_Fig1Compile);
 void BM_Fig1Simulate(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig1(24);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [](Interpreter& o) {

@@ -39,7 +39,7 @@ void show() {
 void BM_Fig2Compile(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig2(64);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
     }

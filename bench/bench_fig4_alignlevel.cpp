@@ -17,7 +17,7 @@ using namespace phpf::bench;
 void show() {
     std::printf("=== Figure 4: AlignLevel for array references ===\n\n");
     Program p = programs::fig4(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     std::printf("%s\n", printProgram(p).c_str());
@@ -43,7 +43,7 @@ void show() {
 
 void BM_Fig4AffineAnalysis(benchmark::State& state) {
     Program p = programs::fig4(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     AffineAnalyzer aff(p, &c.ssa());

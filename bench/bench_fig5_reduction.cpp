@@ -36,7 +36,7 @@ void show() {
 void BM_Fig5Simulate(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig5(12);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {2, 2};
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [](Interpreter& o) {

@@ -41,7 +41,7 @@ void show() {
 void BM_Fig6Compile(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig6(16, 16, 16);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {2, 2};
         benchmark::DoNotOptimize(Compiler::compile(p, opts).predictCost());
     }

@@ -37,7 +37,7 @@ void show() {
 void BM_Fig7Simulate(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::fig7(16);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [](Interpreter& o) {

@@ -13,10 +13,11 @@ namespace phpf::bench {
 inline Compilation showFigure(Program& p, std::vector<int> grid,
                               MappingOptions mapping = {},
                               bool printSource = true) {
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = std::move(grid);
-    opts.mapping = mapping;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping = mapping;
+    Compilation c = Compiler::compile(p, opts, passes);
     if (printSource) std::printf("%s\n", printProgram(p).c_str());
     std::printf("%s\n", c.report().c_str());
     std::printf("%s\n", c.lowering().dump().c_str());

@@ -47,7 +47,7 @@ const std::vector<Kernel>& kernels() {
 
 obs::CalibrationReport calibrate(const Kernel& k) {
     Program p = k.make();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = k.grid;
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;

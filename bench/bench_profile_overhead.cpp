@@ -115,7 +115,7 @@ void measure(const Compilation& c, int reps, double* disabledSec,
 
 void printTable() {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
 
@@ -160,7 +160,7 @@ void printTable() {
 
 void BM_SimProfileDisabled(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {
@@ -171,7 +171,7 @@ void BM_SimProfileDisabled(benchmark::State& state) {
 
 void BM_SimProfileArmed(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {

@@ -126,10 +126,11 @@ void requireIdentical(const SimResult& interp, const SimResult& bc) {
 
 int main() {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {kProcs};
-    opts.mapping.privatization = false;  // Replication level
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.privatization = false;  // Replication level
+    Compilation c = Compiler::compile(p, opts, passes);
 
     // Interleave the engines' reps round-robin: a scheduler-noise epoch
     // then inflates adjacent reps of EVERY engine instead of one

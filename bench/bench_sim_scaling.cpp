@@ -39,10 +39,11 @@ void seedTomcatv(Interpreter& o) {
 }
 
 Compilation compileWorkload(Program& p) {
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {16};
-    opts.mapping.privatization = false;  // Replication level
-    return Compiler::compile(p, opts);
+    passes.mapping.privatization = false;  // Replication level
+    return Compiler::compile(p, opts, passes);
 }
 
 struct SimResult {

@@ -60,10 +60,11 @@ void BM_CompileTomcatv(benchmark::State& state) {
     const int variant = static_cast<int>(state.range(0));
     for (auto _ : state) {
         Program p = programs::tomcatv(kN, kIters);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {16};
-        opts.mapping = variantOpts(variant);
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping = variantOpts(variant);
+        Compilation c = Compiler::compile(p, opts, passes);
         benchmark::DoNotOptimize(c.lowering().commOps().size());
     }
 }
@@ -71,7 +72,7 @@ BENCHMARK(BM_CompileTomcatv)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_PredictCostTomcatv(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {16};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {

@@ -45,7 +45,7 @@ void printTable() {
 void BM_CompileDgefa(benchmark::State& state) {
     for (auto _ : state) {
         Program p = programs::dgefa(kN);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {16};
         Compilation c = Compiler::compile(p, opts);
         benchmark::DoNotOptimize(c.lowering().commOps().size());
@@ -55,7 +55,7 @@ BENCHMARK(BM_CompileDgefa);
 
 void BM_PredictCostDgefa(benchmark::State& state) {
     Program p = programs::dgefa(kN);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {16};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {

@@ -67,7 +67,7 @@ void BM_CompileAppsp(benchmark::State& state) {
     const bool oneD = state.range(0) != 0;
     for (auto _ : state) {
         Program p = programs::appsp(kN, kN, kN, kIters, oneD);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = oneD ? std::vector<int>{16} : std::vector<int>{4, 4};
         Compilation c = Compiler::compile(p, opts);
         benchmark::DoNotOptimize(c.lowering().commOps().size());

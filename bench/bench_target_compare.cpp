@@ -1,0 +1,97 @@
+// Backend decision tables: the paper's three kernels priced under both
+// execution targets from ONE compilation each (the lowering structure
+// is target-independent, so cross-pricing via predictCostFor is exactly
+// what a dedicated recompile would predict — test_target.cpp holds that
+// equality). Columns are the predicted execution times of the
+// message-passing SP2 model and the same-era shared-memory SMP model;
+// the winner flips where barrier+coherence overhead crosses message
+// latency, which is the run report's "which target wins" decision.
+//
+// The emitted rows are deterministic model outputs, so they are gated
+// against bench/baselines/BENCH_target_compare.json by
+// scripts/compare_bench.py in CI.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "target/target.h"
+
+namespace {
+
+using namespace phpf;
+using namespace phpf::bench;
+
+/// Price one kernel compilation under both machine models.
+struct TargetRow {
+    double mpSec;
+    double shmSec;
+};
+
+TargetRow priceBoth(Program& p, std::vector<int> grid,
+                    MappingOptions mapping) {
+    TargetConfig target;
+    target.gridExtents = std::move(grid);
+    PassOptions passes;
+    passes.mapping = mapping;
+    Compilation c = Compiler::compile(p, target, passes);
+    return {c.predictCostFor(TargetKind::MessagePassing).totalSec(),
+            c.predictCostFor(TargetKind::SharedMemory).totalSec()};
+}
+
+void printTable(const char* title, const std::function<Program()>& build,
+                const std::vector<std::vector<int>>& grids,
+                MappingOptions mapping = {}) {
+    printHeader(title, {"MP", "SHM"});
+    for (const std::vector<int>& grid : grids) {
+        int procs = 1;
+        for (int e : grid) procs *= e;
+        Program p = build();
+        const TargetRow r = priceBoth(p, grid, mapping);
+        printRow(procs, {r.mpSec, r.shmSec});
+    }
+    std::printf("\n");
+}
+
+void printTables() {
+    printTable(
+        "Target compare: TOMCATV  ((*,block), n = 513) — predicted "
+        "execution time (sec)",
+        [] { return programs::tomcatv(513, 5); },
+        {{1}, {2}, {4}, {8}, {16}});
+    printTable(
+        "Target compare: DGEFA  ((*,cyclic), n = 1000) — predicted "
+        "execution time (sec)",
+        [] { return programs::dgefa(1000); },
+        {{1}, {2}, {4}, {8}, {16}});
+    MappingOptions partial;
+    partial.arrayPrivatization = true;
+    partial.partialPrivatization = true;
+    printTable(
+        "Target compare: APPSP  (2-D, partial priv, n = 64, niter = 50) "
+        "— predicted execution time (sec)",
+        [] { return programs::appsp(64, 64, 64, 50, /*oneD=*/false); },
+        {{2, 1}, {2, 2}, {4, 2}, {4, 4}}, partial);
+}
+
+void BM_CrossPriceTomcatv(benchmark::State& state) {
+    Program p = programs::tomcatv(513, 5);
+    TargetConfig conf;
+    conf.gridExtents = {8};
+    Compilation c = Compiler::compile(p, conf);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.predictCostFor(TargetKind::MessagePassing).totalSec());
+        benchmark::DoNotOptimize(
+            c.predictCostFor(TargetKind::SharedMemory).totalSec());
+    }
+}
+BENCHMARK(BM_CrossPriceTomcatv);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    printTables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -104,7 +104,7 @@ void measure(const Compilation& c, obs::MetricRegistry& reg,
 
 void printTable() {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
 
@@ -149,7 +149,7 @@ void printTable() {
 
 void BM_SimTelemetryDisabled(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     for (auto _ : state) {
@@ -160,7 +160,7 @@ void BM_SimTelemetryDisabled(benchmark::State& state) {
 
 void BM_SimTelemetryArmed(benchmark::State& state) {
     Program p = programs::tomcatv(kN, kIters);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c = Compiler::compile(p, opts);
     obs::MetricRegistry reg;

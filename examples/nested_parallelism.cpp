@@ -22,7 +22,7 @@ int main() {
     Program p = programs::fig6(n, n, n);
     std::printf("--- source (Fig. 6) ---\n%s\n", printProgram(p).c_str());
 
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     std::printf("--- decisions with partial privatization ---\n%s\n",
@@ -46,10 +46,11 @@ int main() {
 
     // --- 3. Ablate: without partial privatization c is replicated. --
     Program q = programs::fig6(n, n, n);
-    CompilerOptions o2;
+    TargetConfig o2;
+    PassOptions po2;
     o2.gridExtents = {2, 2};
-    o2.mapping.partialPrivatization = false;
-    Compilation c2 = Compiler::compile(q, o2);
+    po2.mapping.partialPrivatization = false;
+    Compilation c2 = Compiler::compile(q, o2, po2);
     auto sim2 = c2.simulate({.seed = seed});
     std::printf("c replicated:          %lld message events, max error on "
                 "rsd = %g\n",

@@ -105,6 +105,9 @@ void usage() {
                  "[--no-sim]\n"
                  "             [--sim-threads=N]  (0 = auto: "
                  "PHPF_SIM_THREADS, else hardware)\n"
+                 "             [--target=mp|shm]  (mp = SP2 message "
+                 "passing, default;\n"
+                 "              shm = shared-memory OpenMP-style SMP)\n"
                  "             [--sim-engine=interp|bytecode]  (default "
                  "bytecode; bit-identical)\n"
                  "             [--relaxed-merge]  (commutative reduction "
@@ -214,8 +217,9 @@ int main(int argc, char** argv) {
     bool doReport = false, doLower = false, doCost = false, doSpmd = false;
     bool runSim = true;
     int simThreads = 0;
-    SimEngine simEngine = SimEngine::Bytecode;
-    bool relaxedMerge = false;
+    // Every which-implementation choice funnels through the one
+    // enum-backed selection block (driver/options.h).
+    ExecSelection selection;
     std::string reportFile, traceFile;
     MappingOptions mapping;
     std::string batchFile;
@@ -268,8 +272,14 @@ int main(int argc, char** argv) {
         else if (arg == "--no-sim") runSim = false;
         else if (startsWith(arg, "--sim-threads="))
             simThreads = std::stoi(arg.substr(14));
-        else if (startsWith(arg, "--sim-engine=")) {
-            if (!parseSimEngine(arg.substr(13), &simEngine)) {
+        else if (startsWith(arg, "--target=")) {
+            if (!parseExecSelection("target", arg.substr(9), &selection)) {
+                std::fprintf(stderr, "phpfc: bad --target '%s' (want mp|shm)\n",
+                             arg.substr(9).c_str());
+                return 2;
+            }
+        } else if (startsWith(arg, "--sim-engine=")) {
+            if (!parseExecSelection("engine", arg.substr(13), &selection)) {
                 std::fprintf(stderr,
                              "phpfc: bad --sim-engine '%s' "
                              "(want interp|bytecode)\n",
@@ -277,7 +287,7 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg == "--relaxed-merge")
-            relaxedMerge = true;
+            selection.relaxedMerge = true;
         else if (arg == "--lower") doLower = true;
         else if (arg == "--cost") doCost = true;
         else if (arg == "--spmd") doSpmd = true;
@@ -370,22 +380,21 @@ int main(int argc, char** argv) {
     PassOptions passes;
     passes.mapping = mapping;
     passes.simThreads = simThreads;
-    passes.simEngine = simEngine;
-    passes.relaxedMerge = relaxedMerge;
+    selection.applyTo(&target, &passes);
     CompileSession session;
     session.tracer = tracer;
     session.diags = &diags;
     Compilation c = Compiler::compile(p, target, passes, std::move(session));
 
-    std::printf("compiled '%s' for grid %s\n", p.name.c_str(),
-                ProcGrid(grid).str().c_str());
+    const Target& backend = c.compileTarget();
+    std::printf("compiled '%s' for grid %s, target %s\n", p.name.c_str(),
+                ProcGrid(grid).str().c_str(), backend.name());
     if (doReport) std::printf("\n%s", c.report().c_str());
     if (doLower) std::printf("\n%s", c.lowering().dump().c_str());
-    if (doSpmd) std::printf("\n%s", emitSpmdText(c.lowering()).c_str());
+    if (doSpmd) std::printf("\n%s", backend.emitText(c.lowering()).c_str());
     if (doCost) {
-        const CostReport report =
-            buildCostReport(c.lowering(), target.costModel);
-        std::printf("\npredicted execution on the SP2 model:\n%s",
+        const CostReport report = backend.costReport(c.lowering(), target);
+        std::printf("\npredicted execution (%s):\n%s", backend.displayName(),
                     report.str(p).c_str());
     }
 

@@ -19,7 +19,7 @@ int main() {
 
     // --- 1. Compile and show the reduction mapping. -----------------
     Program p = programs::dgefa(n);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     std::printf("--- mapping decisions (P = 4, (*,cyclic)) ---\n%s\n",
@@ -58,10 +58,11 @@ int main() {
     // --- 4. Compare the two compiler variants' message counts. ------
     for (bool align : {false, true}) {
         Program q = programs::dgefa(n);
-        CompilerOptions o;
+        TargetConfig o;
+        PassOptions po;
         o.gridExtents = {4};
-        o.mapping.reductionAlignment = align;
-        Compilation cc = Compiler::compile(q, o);
+        po.mapping.reductionAlignment = align;
+        Compilation cc = Compiler::compile(q, o, po);
         auto s = cc.simulate({.seed = seed});
         std::printf("reductionAlignment=%d: %lld message events, "
                     "%lld element transfers, max error %g\n",

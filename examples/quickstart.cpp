@@ -37,7 +37,7 @@ int main() {
     std::printf("--- source ---\n%s\n", printProgram(p).c_str());
 
     // --- 2. Compile for a 4-processor machine. ----------------------
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
 

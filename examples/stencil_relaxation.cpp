@@ -61,9 +61,10 @@ int main() {
         Program p = parseProgramOrDie(kSource);
         std::printf("--- source ---\n%s\n", printProgram(p).c_str());
 
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {8};
-        Compilation c = Compiler::compile(p, opts);
+        Compilation c = Compiler::compile(p, opts, passes);
         std::printf("--- selected-alignment decisions (P = 8) ---\n%s\n",
                     c.report().c_str());
     }
@@ -75,10 +76,11 @@ int main() {
         std::printf("%-6d", procs);
         for (int v = 0; v < 3; ++v) {
             Program p = parseProgramOrDie(kSource);
-            CompilerOptions opts;
+            TargetConfig opts;
+            PassOptions passes;
             opts.gridExtents = {procs};
-            opts.mapping = variantOpts(v);
-            Compilation c = Compiler::compile(p, opts);
+            passes.mapping = variantOpts(v);
+            Compilation c = Compiler::compile(p, opts, passes);
             std::printf(" %-19.4f", c.predictCost().totalSec());
         }
         std::printf("\n");

@@ -58,4 +58,60 @@ struct CostModel {
     [[nodiscard]] double compute(double flops) const { return flops * flopSec; }
 };
 
+/// Shared-memory (OpenMP-style) cost model of the SharedMemoryTarget:
+/// the same-era SMP alternative to the SP2 — think a bus-based
+/// PowerPC SMP node with the SP2's per-processor flop rate, so the
+/// target comparison isolates the communication architecture, not the
+/// CPU generation. There is no transfer phase and no per-message α;
+/// instead the cost is dominated by
+///   - barrier time at every synchronization point (a would-be message
+///     becomes "producers reach the barrier, consumers read shared
+///     lines"),
+///   - combiner-tree stages for reductions (log2(P) lock/cache-line
+///     handoffs instead of log2(P) messages), and
+///   - coherence traffic: every shared line a consumer touches is one
+///     line transfer, with a false-sharing penalty when many threads
+///     pull a line that holds less than a line's worth of payload
+///     (the privatized-copy analogue of the paper's replicated arrays
+///     avoids exactly this traffic).
+struct ShmCostModel {
+    double barrierSec = 10e-6;        ///< all-threads barrier (centralized)
+    double combineStageSec = 1.5e-6;  ///< one combiner-tree stage
+    double lineSec = 0.5e-6;          ///< coherence transfer of one line
+    double sharedBwSecPerByte = 1.0 / 200e6;  ///< shared-bus copy bandwidth
+    int cacheLineBytes = 64;
+
+    /// One synchronization point: producers reach the barrier before
+    /// consumers may read what they wrote.
+    [[nodiscard]] double barrier() const { return barrierSec; }
+    /// Consumer-side read of `bytes` of another thread's data: line
+    /// transfers plus the bus volume. `readers` > 1 models contention —
+    /// concurrent pulls of the same lines serialize on the bus
+    /// logarithmically (snoop/queueing), not linearly.
+    [[nodiscard]] double sharedRead(double bytes, int readers = 1) const {
+        const double lines =
+            std::ceil(bytes / static_cast<double>(cacheLineBytes));
+        const double contention =
+            readers > 1
+                ? 1.0 + std::ceil(std::log2(static_cast<double>(readers)))
+                : 1.0;
+        return lines * lineSec * contention + bytes * sharedBwSecPerByte;
+    }
+    /// False-sharing penalty: `readers` threads each pulling a line that
+    /// carries under one line of payload (an element-sized shared
+    /// scalar ping-pongs its whole line around the machine).
+    [[nodiscard]] double falseSharing(double bytes, int readers) const {
+        if (bytes >= static_cast<double>(cacheLineBytes) || readers <= 1)
+            return 0.0;
+        return static_cast<double>(readers) * lineSec;
+    }
+    /// Combiner tree across `procs` thread-private partial results.
+    [[nodiscard]] double combine(int procs) const {
+        if (procs <= 1) return 0.0;
+        return barrierSec +
+               std::ceil(std::log2(static_cast<double>(procs))) *
+                   (combineStageSec + lineSec);
+    }
+};
+
 }  // namespace phpf

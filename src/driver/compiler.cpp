@@ -25,7 +25,7 @@ std::unique_ptr<SpmdSimulator> Compilation::simulate(
     const bool relaxed = req.relaxedMerge.value_or(passes_.relaxedMerge);
     auto sim = std::make_unique<SpmdSimulator>(*lowering_, elemBytes, threads,
                                                std::move(recovery), engine,
-                                               relaxed);
+                                               relaxed, target_.targetKind);
     sim->setTelemetry(req.metrics, req.ctracer);
     if (req.profile) sim->enableProfiling();
     if (req.seed) req.seed(sim->oracle());
@@ -147,17 +147,21 @@ bool CompilePipeline::step() {
             next_ = CompileStage::MappingPass;
             break;
         case CompileStage::MappingPass:
+            // DetermineMapping consults the target's cost hooks for its
+            // decision-log pricing; the decisions themselves are
+            // structural and target-independent.
             c_.mappingPass_ = std::make_unique<MappingPass>(
                 prog_, *c_.ssa_, *c_.dataMapping_, c_.passes_.mapping,
-                c_.target_.costModel);
+                c_.target_.costModel,
+                targetFor(c_.target_.targetKind).mappingHooks(c_.target_));
             c_.mappingPass_->run();
             next_ = CompileStage::SpmdLowering;
             break;
         case CompileStage::SpmdLowering:
-            c_.lowering_ = std::make_unique<SpmdLowering>(
-                prog_, *c_.ssa_, *c_.dataMapping_, c_.mappingPass_->decisions(),
-                c_.mappingPass_->reductions());
-            c_.lowering_->run();
+            c_.lowering_ = targetFor(c_.target_.targetKind)
+                               .lower(prog_, *c_.ssa_, *c_.dataMapping_,
+                                      c_.mappingPass_->decisions(),
+                                      c_.mappingPass_->reductions());
             next_ = CompileStage::Done;
             break;
         case CompileStage::Done:
@@ -194,10 +198,6 @@ Compilation Compiler::compile(Program& p, const TargetConfig& target,
     CompilePipeline pipe(p, target, passes, std::move(session));
     pipe.run();
     return std::move(pipe).take();
-}
-
-Compilation Compiler::compile(Program& p, CompilerOptions opts) {
-    return compile(p, opts.target(), opts.passes(), opts.session());
 }
 
 }  // namespace phpf

@@ -14,6 +14,7 @@
 #include "runtime/spmd_sim.h"
 #include "spmd/cost_eval.h"
 #include "support/diagnostics.h"
+#include "target/target.h"
 
 namespace phpf {
 
@@ -120,10 +121,20 @@ public:
     /// artifacts use this to stay valid after the request scope dies.
     void adoptProgram(std::unique_ptr<Program> p);
 
-    /// Analytic performance prediction on the modelled machine.
+    /// The backend this compilation was lowered for.
+    [[nodiscard]] const Target& compileTarget() const {
+        return targetFor(target_.targetKind);
+    }
+    /// Analytic performance prediction on the compiled target's machine.
     [[nodiscard]] CostBreakdown predictCost() const {
-        CostEvaluator eval(*lowering_, target_.costModel);
-        return eval.evaluate();
+        return compileTarget().predictCost(*lowering_, target_);
+    }
+    /// Cross-target prediction: price THIS lowering under `kind`'s
+    /// machine model. The lowering structure is target-independent, so
+    /// this is what the run report's "which target wins" comparison
+    /// evaluates — no second compilation needed.
+    [[nodiscard]] CostBreakdown predictCostFor(TargetKind kind) const {
+        return targetFor(kind).predictCost(*lowering_, target_);
     }
     /// Functional SPMD simulation (small problem sizes): returns the
     /// simulator after a full run. Seed inputs, override the thread
@@ -238,9 +249,6 @@ public:
                                              const TargetConfig& target,
                                              const PassOptions& passes = {},
                                              CompileSession session = {});
-    /// Deprecated: flat-options overload kept for existing call sites;
-    /// forwards tracer/diags into a CompileSession.
-    [[nodiscard]] static Compilation compile(Program& p, CompilerOptions opts);
 };
 
 }  // namespace phpf

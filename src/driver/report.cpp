@@ -4,6 +4,8 @@
 // decision records (privatize), the analytic cost prediction (spmd),
 // simulation metrics (runtime), and collected diagnostics (support).
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "driver/compiler.h"
@@ -29,6 +31,11 @@ const char* severityName(DiagSeverity s) {
 
 obs::Json optionsJson(const TargetConfig& t, const PassOptions& po) {
     obs::Json j = obs::Json::object();
+    j.set("target", targetKindName(t.targetKind));
+    j.set("engine", simEngineName(po.simEngine));
+    j.set("relaxed_merge", po.relaxedMerge);
+    j.set("selection",
+          printExecSelection(ExecSelection::selectionOf(t, po)));
     j.set("privatization", po.mapping.privatization);
     j.set("align_policy",
           po.mapping.alignPolicy == MappingOptions::AlignPolicy::Selected
@@ -62,6 +69,7 @@ obs::Json passesJson(const obs::Tracer& tracer) {
 
 obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
     obs::Json j = obs::Json::object();
+    j.set("target", targetKindName(sim.targetKind()));
     j.set("proc_count", sim.procCount());
     j.set("threads", sim.threads());
     j.set("engine", simEngineName(sim.engine()));
@@ -69,6 +77,8 @@ obs::Json simulationJson(const SpmdSimulator& sim, const SpmdLowering& low) {
     j.set("wall_sec", sim.wallSec());
     j.set("parallel_speedup_est", sim.parallelSpeedupEst());
     j.set("message_events", sim.messageEvents());
+    if (sim.targetKind() == TargetKind::SharedMemory)
+        j.set("barrier_events", sim.barrierEvents());
     j.set("element_transfers", sim.elementTransfers());
     j.set("bytes_moved", sim.bytesMoved());
     j.set("elem_bytes", sim.elemBytes());
@@ -154,6 +164,8 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
 
     root.set("decisions", mappingPass_->decisionLog().toJson());
 
+    root.set("target", compileTarget().describe(target_));
+
     {
         const CostBreakdown cb = predictCost();
         obs::Json cj = obs::Json::object();
@@ -163,6 +175,55 @@ obs::Json Compilation::buildRunReport(const SpmdSimulator* sim) const {
         cj.set("message_events", cb.messageEvents);
         cj.set("comm_bytes", cb.commBytes);
         root.set("cost_prediction", std::move(cj));
+    }
+
+    {
+        // The decision layer: price the SAME lowering under every
+        // backend's machine model and record which target wins for this
+        // kernel at this grid size. Cross-pricing is sound because the
+        // lowering structure is target-independent (Target::lower); the
+        // sync-event counts differ from a dedicated recompile only in
+        // interpretation, not in number.
+        obs::Json cmp = obs::Json::object();
+        auto breakdownJson = [](const CostBreakdown& cb) {
+            obs::Json cj = obs::Json::object();
+            cj.set("compute_sec", cb.computeSec);
+            cj.set("comm_sec", cb.commSec);
+            cj.set("total_sec", cb.totalSec());
+            cj.set("sync_events", cb.messageEvents);
+            cj.set("comm_bytes", cb.commBytes);
+            return cj;
+        };
+        const CostBreakdown mp = predictCostFor(TargetKind::MessagePassing);
+        const CostBreakdown shm = predictCostFor(TargetKind::SharedMemory);
+        cmp.set("mp", breakdownJson(mp));
+        cmp.set("shm", breakdownJson(shm));
+        const TargetKind winner = shm.totalSec() < mp.totalSec()
+                                      ? TargetKind::SharedMemory
+                                      : TargetKind::MessagePassing;
+        const double slower = std::max(mp.totalSec(), shm.totalSec());
+        const double faster = std::min(mp.totalSec(), shm.totalSec());
+        obs::Json decision = obs::Json::object();
+        decision.set("winner", targetKindName(winner));
+        decision.set("compiled_for", targetKindName(target_.targetKind));
+        decision.set("speedup", faster > 0.0 ? slower / faster : 1.0);
+        decision.set("procs", dataMapping_->grid().totalProcs());
+        {
+            char why[256];
+            std::snprintf(
+                why, sizeof why,
+                "%s wins at P=%d: mp %.6fs (comm %.6fs) vs shm %.6fs "
+                "(comm %.6fs); compute is target-independent, the gap is "
+                "%s",
+                targetKindName(winner), dataMapping_->grid().totalProcs(),
+                mp.totalSec(), mp.commSec, shm.totalSec(), shm.commSec,
+                winner == TargetKind::SharedMemory
+                    ? "message latency the SMP's barriers/coherence avoid"
+                    : "barrier/coherence overhead exceeding message costs");
+            decision.set("rationale", why);
+        }
+        cmp.set("decision", std::move(decision));
+        root.set("target_comparison", std::move(cmp));
     }
 
     {

@@ -13,8 +13,10 @@
 namespace phpf {
 
 MappingPass::MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
-                         MappingOptions opts, CostModel costModel)
-    : prog_(p), ssa_(ssa), dm_(dm), opts_(opts), cm_(costModel), aff_(p, &ssa) {
+                         MappingOptions opts, CostModel costModel,
+                         MappingCostHooks hooks)
+    : prog_(p), ssa_(ssa), dm_(dm), opts_(opts), cm_(costModel),
+      hooks_(std::move(hooks)), aff_(p, &ssa) {
     visited_.assign(ssa.defs().size(), 0);
     inProgress_.assign(ssa.defs().size(), 0);
 }
@@ -794,7 +796,24 @@ double MappingPass::alignedCandidateCost(int score) const {
     // and needs no communication of its own. Score 1: the target pins
     // the value to a fixed owner — one element message per iteration of
     // the privatization loop.
-    return score >= 2 ? 0.0 : cm_.message(static_cast<double>(cm_.elemBytes));
+    return score >= 2
+               ? 0.0
+               : priceElementMessage(static_cast<double>(cm_.elemBytes));
+}
+
+double MappingPass::priceElementMessage(double bytes) const {
+    return hooks_.elementMessage ? hooks_.elementMessage(bytes)
+                                 : cm_.message(bytes);
+}
+
+double MappingPass::priceReduceCombine(int procs, double bytes) const {
+    return hooks_.reduceCombine ? hooks_.reduceCombine(procs, bytes)
+                                : cm_.reduce(procs, bytes);
+}
+
+double MappingPass::priceBroadcast(int procs, double bytes) const {
+    return hooks_.broadcast ? hooks_.broadcast(procs, bytes)
+                            : cm_.broadcast(procs, bytes);
 }
 
 void MappingPass::buildScalarDecisionRecords() {
@@ -836,12 +855,12 @@ void MappingPass::buildScalarDecisionRecords() {
             const bool aligned = dec->kind == ScalarMapKind::Aligned;
             rec.alternatives.push_back(
                 {"reduction-aligned", aligned, aligned,
-                 cm_.reduce(procs, static_cast<double>(cm_.elemBytes)),
+                 priceReduceCombine(procs, static_cast<double>(cm_.elemBytes)),
                  rec.alignTarget,
                  aligned ? "one combine per nest exit" : "alignment invalid"});
             rec.alternatives.push_back(
                 {"replicated", true, !aligned,
-                 cm_.broadcast(procs, static_cast<double>(cm_.elemBytes)),
+                 priceBroadcast(procs, static_cast<double>(cm_.elemBytes)),
                  "", "result broadcast to every processor"});
             decisionLog_.add(std::move(rec));
             continue;
@@ -919,8 +938,9 @@ void MappingPass::buildScalarDecisionRecords() {
         repl.chosen = rec.chosen == "replicated";
         // Replication broadcasts every partitioned rhs operand so all
         // processors can compute the value (the Table 1 penalty).
-        repl.costSec = static_cast<double>(alt.partitionedRhsRefs) *
-                       cm_.broadcast(procs, static_cast<double>(cm_.elemBytes));
+        repl.costSec =
+            static_cast<double>(alt.partitionedRhsRefs) *
+            priceBroadcast(procs, static_cast<double>(cm_.elemBytes));
         if (alt.partitionedRhsRefs > 0)
             repl.note = std::to_string(alt.partitionedRhsRefs) +
                         " partitioned rhs operand(s) broadcast per iteration";

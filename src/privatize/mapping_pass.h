@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,26 @@
 #include "obs/decision_log.h"
 
 namespace phpf {
+
+/// Target-specific pricing of the mapping alternatives recorded in the
+/// decision log (DetermineMapping consults these when it annotates a
+/// DecisionRecord's rejected alternatives). The hooks price, they do
+/// not decide: the Fig. 3 mapping algorithm itself is structural and
+/// target-independent, which is what guarantees every target compiles
+/// and simulates the identical kernel. Unset members fall back to the
+/// message-passing CostModel formulas the log has always used, so a
+/// default-constructed hooks struct is bit-identical to the
+/// pre-Target-interface behaviour. Targets supply theirs via
+/// Target::mappingHooks() (src/target/target.h).
+struct MappingCostHooks {
+    /// Per-iteration move of one fixed-owner element to its consumer
+    /// (the score-1 alignment alternative).
+    std::function<double(double bytes)> elementMessage;
+    /// Global combine of a reduction result across `procs`.
+    std::function<double(int procs, double bytes)> reduceCombine;
+    /// One value made visible on all `procs` (the replication penalty).
+    std::function<double(int procs, double bytes)> broadcast;
+};
 
 /// Compiler options selecting between the paper's evaluated variants.
 struct MappingOptions {
@@ -46,7 +67,8 @@ struct MappingOptions {
 class MappingPass {
 public:
     MappingPass(Program& p, const SsaForm& ssa, const DataMapping& dm,
-                MappingOptions opts = {}, CostModel costModel = {});
+                MappingOptions opts = {}, CostModel costModel = {},
+                MappingCostHooks hooks = {});
 
     void run();
 
@@ -120,6 +142,10 @@ private:
     /// given selection score (2 = moves with the iteration, 1 = fixed
     /// owner, i.e. one element message per iteration).
     [[nodiscard]] double alignedCandidateCost(int score) const;
+    /// Hook-or-default pricing for the decision log (MappingCostHooks).
+    [[nodiscard]] double priceElementMessage(double bytes) const;
+    [[nodiscard]] double priceReduceCombine(int procs, double bytes) const;
+    [[nodiscard]] double priceBroadcast(int procs, double bytes) const;
     [[nodiscard]] RefDescriber describer() const {
         return RefDescriber(prog_, dm_, &ssa_, &decisions_, aff_);
     }
@@ -129,6 +155,7 @@ private:
     const DataMapping& dm_;
     MappingOptions opts_;
     CostModel cm_;
+    MappingCostHooks hooks_;
     AffineAnalyzer aff_;
     std::vector<ReductionInfo> reductions_;
     MappingDecisions decisions_;

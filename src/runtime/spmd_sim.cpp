@@ -99,18 +99,22 @@ private:
 
 SpmdSimulator::SpmdSimulator(const SpmdLowering& low, int elemBytes,
                              int threads, SimRecoveryConfig recovery,
-                             SimEngine engine, bool relaxedMerge)
+                             SimEngine engine, bool relaxedMerge,
+                             TargetKind targetKind)
     : low_(low), prog_(low.program()), oracle_(prog_),
       procCount_(low.dataMapping().grid().totalProcs()),
       elemBytes_(elemBytes),
       threads_(resolveThreadCount(threads, procCount_)),
-      engine_(engine), relaxed_(relaxedMerge) {
+      engine_(engine), relaxed_(relaxedMerge), targetKind_(targetKind) {
     rcfg_ = std::move(recovery);
     if (rcfg_.faults != nullptr && rcfg_.faults->enabled()) {
         const FaultInjector& inj = *rcfg_.faults;
-        if (inj.find(faultsite::kNetDrop) != nullptr ||
-            inj.find(faultsite::kNetDup) != nullptr ||
-            inj.find(faultsite::kNetDelay) != nullptr)
+        // No network inside one SMP node: the net.* sites stay unarmed
+        // under the shared-memory target (proc.crash still applies).
+        if (targetKind_ != TargetKind::SharedMemory &&
+            (inj.find(faultsite::kNetDrop) != nullptr ||
+             inj.find(faultsite::kNetDup) != nullptr ||
+             inj.find(faultsite::kNetDelay) != nullptr))
             transport_ =
                 std::make_unique<ReliableTransport>(inj, rcfg_.transport);
         crashSite_ = inj.find(faultsite::kProcCrash);
@@ -443,6 +447,9 @@ void SpmdSimulator::noteEvent(const CommOp* op) {
             static_cast<std::int64_t>(oracle_.store().get(v)));
     if (events_.record(op->id, ctxScratch_)) {
         ++eventsPerOp_[static_cast<size_t>(op->id)];
+        // Shared memory: each distinct sync event is one barrier epoch
+        // (producers reach the barrier, consumers read the lines).
+        if (targetKind_ == TargetKind::SharedMemory) ++barrierEvents_;
         if (profile_ != nullptr) profile_->addEvent();
     }
 }
@@ -1389,7 +1396,8 @@ void SpmdSimulator::takeCheckpoint(const Stmt* boundaryStmt) {
     ckpt_ = std::make_unique<Checkpoint>(Checkpoint{
         procStore_, oracle_.store(), oracle_.statementsExecuted(),
         procMetrics_, transfers_, procStmts_, instances_, events_,
-        eventsPerOp_, elemsPerOp_, combineInit_, std::move(path),
+        eventsPerOp_, elemsPerOp_, barrierEvents_, combineInit_,
+        std::move(path),
         profile_ != nullptr
             ? std::make_unique<obs::StmtProfile>(*profile_)
             : nullptr});
@@ -1420,6 +1428,7 @@ void SpmdSimulator::restoreCheckpoint() {
     eventsPerOp_ = ck.eventsPerOp;
     combineInit_ = ck.combineInit;
     elemsPerOp_ = ck.elemsPerOp;
+    barrierEvents_ = ck.barrierEvents;
     if (profile_ != nullptr && ck.profile != nullptr)
         *profile_ = *ck.profile;
     // Accounting since the checkpoint is rolled back with the metrics.

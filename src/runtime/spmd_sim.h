@@ -13,6 +13,7 @@
 #include "runtime/reliable_transport.h"
 #include "spmd/lowering.h"
 #include "support/arena.h"
+#include "target/target_kind.h"
 #include "support/cancellation.h"
 #include "support/fault.h"
 #include "support/interned_events.h"
@@ -103,10 +104,20 @@ public:
     /// through the ordered merge barrier. Max/min and integer sums stay
     /// exact; floating-point sums may differ from the oracle by
     /// reassociation. Still deterministic for any thread count.
+    /// `targetKind` selects the machine the accounting describes.
+    /// Functional semantics are target-independent (the same lowering
+    /// executes; a shared-memory "coherence read" moves the same value a
+    /// message-passing "transfer" does), so results are bit-identical
+    /// across targets. Under SharedMemory the simulator additionally
+    /// counts barrier epochs (each vectorized sync event is one
+    /// producers-then-consumers barrier on the lockstep pool) and does
+    /// not arm the lossy-network transport — there is no network inside
+    /// one SMP node (proc.crash recovery still applies).
     explicit SpmdSimulator(const SpmdLowering& low, int elemBytes = 8,
                            int threads = 1, SimRecoveryConfig recovery = {},
                            SimEngine engine = SimEngine::Bytecode,
-                           bool relaxedMerge = false);
+                           bool relaxedMerge = false,
+                           TargetKind targetKind = TargetKind::MessagePassing);
 
     /// Throws SimFault when injected faults exhaust the recovery budget
     /// or the recovery cancel token fires; any other outcome (including
@@ -169,6 +180,13 @@ public:
         const double est = workerBusySec() / wallSec_;
         return est < 1.0 ? 1.0 : est;
     }
+
+    /// Machine model this run's accounting describes.
+    [[nodiscard]] TargetKind targetKind() const { return targetKind_; }
+    /// Shared-memory target only: barrier epochs executed (one per
+    /// distinct vectorized sync event, reduction combiner trees
+    /// included). Always 0 under MessagePassing.
+    [[nodiscard]] std::int64_t barrierEvents() const { return barrierEvents_; }
 
     /// Vectorized message events (see class comment).
     [[nodiscard]] std::int64_t messageEvents() const { return events_.size(); }
@@ -262,6 +280,7 @@ private:
         InternedEventSet events;
         std::vector<std::int64_t> eventsPerOp;
         std::vector<std::int64_t> elemsPerOp;
+        std::int64_t barrierEvents = 0;
         /// Relaxed-merge loop-entry accumulator snapshots (by CommOp
         /// id), so a recovered relaxed run replays identically.
         std::vector<double> combineInit;
@@ -485,6 +504,8 @@ private:
     int threads_;
     SimEngine engine_;
     bool relaxed_;
+    TargetKind targetKind_;
+    std::int64_t barrierEvents_ = 0;  ///< shm only; see barrierEvents()
     std::unique_ptr<LockstepPool> pool_;
     std::vector<Store> procStore_;
     std::vector<ProcSimMetrics> procMetrics_;

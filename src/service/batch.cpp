@@ -107,7 +107,13 @@ bool parseOptions(const obs::Json& o, BatchJob* job, std::string* err) {
             }
         } else if (key == "relaxed_merge")
             job->passes.relaxedMerge = v.boolValue();
-        else {
+        else if (key == "target") {
+            if (!parseTargetKind(v.stringValue(),
+                                 &job->target.targetKind)) {
+                *err = "bad target '" + v.stringValue() + "' (want mp|shm)";
+                return false;
+            }
+        } else {
             *err = "unknown option '" + key + "'";
             return false;
         }

@@ -276,7 +276,10 @@ CompileResult CompileService::runJob(const CompileRequest& req,
         artifact->key = key;
         Compilation c = std::move(pipe).take();
         artifact->programName = c.program().name;
-        artifact->spmdText = emitSpmdText(c.lowering());
+        // Emission goes through the request's Target so a cached shm
+        // artifact carries shm text — artifacts are self-contained
+        // per-target (the key already leads with the target kind).
+        artifact->spmdText = c.compileTarget().emitText(c.lowering());
         artifact->decisionReport = c.report();
         artifact->cost = c.predictCost();
         // Profiled requests run the embedded simulation here, on the

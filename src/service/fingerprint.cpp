@@ -44,6 +44,21 @@ std::string canonicalOptionsKey(const TargetConfig& target,
                                 const PassOptions& passes) {
     std::string k;
     k.reserve(256);
+    // The target kind leads the key: mp and shm artifacts differ in
+    // predicted tables, emitted text, and simulation accounting, so
+    // they must never share a cache entry. The shared-memory machine
+    // parameters join the key only under shm — an mp request's identity
+    // must not depend on a model it never consults.
+    k += "target=";
+    k += targetKindName(target.targetKind);
+    k += ';';
+    if (target.targetKind == TargetKind::SharedMemory) {
+        appendDouble(k, "shm_barrier", target.shmModel.barrierSec);
+        appendDouble(k, "shm_stage", target.shmModel.combineStageSec);
+        appendDouble(k, "shm_line", target.shmModel.lineSec);
+        appendDouble(k, "shm_bw", target.shmModel.sharedBwSecPerByte);
+        appendInt(k, "shm_line_bytes", target.shmModel.cacheLineBytes);
+    }
     k += "grid=";
     for (size_t i = 0; i < target.gridExtents.size(); ++i) {
         if (i > 0) k += 'x';

@@ -21,10 +21,14 @@ namespace phpf::service {
 /// Canonical, order-stable text form of a request's compile-relevant
 /// options: every field of TargetConfig and PassOptions spelled out
 /// explicitly in a fixed order, so defaulted and explicitly-set
-/// requests produce identical keys. PassOptions::simThreads is
-/// deliberately EXCLUDED — it changes only how fast the simulator runs,
-/// never any compilation result or metric, so requests differing only
-/// in simThreads must share one cache entry.
+/// requests produce identical keys. The key leads with the target kind
+/// (mp/shm artifacts never share an entry) and includes the
+/// shared-memory machine parameters only under shm — an mp request's
+/// identity must not depend on a model it never consults.
+/// PassOptions::simThreads is deliberately EXCLUDED — it changes only
+/// how fast the simulator runs, never any compilation result or
+/// metric, so requests differing only in simThreads must share one
+/// cache entry.
 [[nodiscard]] std::string canonicalOptionsKey(const TargetConfig& target,
                                               const PassOptions& passes);
 

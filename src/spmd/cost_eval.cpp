@@ -8,8 +8,10 @@
 
 namespace phpf {
 
-CostEvaluator::CostEvaluator(const SpmdLowering& low, const CostModel& cm)
-    : low_(low), cm_(cm), prog_(low.program()), aff_(prog_, &low.ssa()) {
+CostEvaluator::CostEvaluator(const SpmdLowering& low, const CostModel& cm,
+                             const ShmCostModel* shm)
+    : low_(low), cm_(cm), shm_(shm), prog_(low.program()),
+      aff_(prog_, &low.ssa()) {
     for (const CommOp& op : low_.commOps()) {
         if (op.placementLevel == 0) {
             topOps_.push_back(&op);
@@ -189,7 +191,12 @@ void CostEvaluator::chargeOpsAt(const std::vector<const CommOp*>& ops,
             for (int g : op->combineGridDims)
                 procs *= low_.dataMapping().grid().extent(g);
             if (procs > 1) {
-                const double sec = cm_.reduce(procs, cm_.elemBytes);
+                // Shared memory: the combine is a barrier plus log2(P)
+                // combiner-tree stages over thread-private partials, not
+                // log2(P) messages.
+                const double sec = shm_ != nullptr
+                                       ? shm_->combine(procs)
+                                       : cm_.reduce(procs, cm_.elemBytes);
                 out.totals.commSec += sec;
                 out.totals.messageEvents += 1;
                 out.totals.commBytes += cm_.elemBytes;
@@ -381,6 +388,25 @@ CostEvaluator::OpCharge CostEvaluator::computeOpCharge(const CommOp& op,
             }
             break;
         }
+    }
+    if (shm_ != nullptr) {
+        // Shared memory: the volume (`bytes`, shift boundary fractions
+        // included) is target-independent — what changes is how moving
+        // it costs. There is no per-message α; the op becomes "producers
+        // reach a barrier, consumers pull the lines": one barrier, a
+        // coherence read with bus contention when many threads pull the
+        // same data, and a false-sharing penalty on sub-line payloads.
+        const ShmCostModel& sm = *shm_;
+        const bool manyReaders = op.req.overall == CommPattern::Broadcast ||
+                                 op.req.overall == CommPattern::AllGather ||
+                                 op.req.overall == CommPattern::General;
+        const int readers = manyReaders ? patternProcs : 1;
+        // A moved line always has at least producer + consumer touching
+        // it, so sub-line payloads ping-pong between ≥ 2 sharers.
+        const int sharers = manyReaders ? patternProcs : 2;
+        cost = sm.barrier() + sm.sharedRead(bytes, readers) +
+               sm.falseSharing(bytes, sharers);
+        latency = sm.barrier();
     }
     charge.valid = true;
     charge.cost = cost;

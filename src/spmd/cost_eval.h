@@ -38,7 +38,15 @@ struct DetailedCost {
 /// of the paper's wall-clock SP2 measurements.
 class CostEvaluator {
 public:
-    CostEvaluator(const SpmdLowering& low, const CostModel& cm);
+    /// `shm` non-null switches communication charging to the
+    /// shared-memory machine model: comm ops price as barrier +
+    /// coherence reads (+ false sharing) and reduction combines as
+    /// combiner trees, while the loop-walking / trip-count / volume
+    /// machinery — and the compute charge, same-era CPUs — stay the
+    /// target-independent code path. Null (the default) is the exact
+    /// pre-Target message-passing evaluation, bit for bit.
+    CostEvaluator(const SpmdLowering& low, const CostModel& cm,
+                  const ShmCostModel* shm = nullptr);
 
     [[nodiscard]] CostBreakdown evaluate();
     /// Same evaluation with per-statement / per-op attribution.
@@ -80,6 +88,7 @@ private:
 
     const SpmdLowering& low_;
     const CostModel& cm_;
+    const ShmCostModel* shm_ = nullptr;  ///< non-null: shared-memory charging
     const Program& prog_;
     AffineAnalyzer aff_;
 

@@ -7,8 +7,9 @@
 
 namespace phpf {
 
-CostReport buildCostReport(const SpmdLowering& low, const CostModel& cm) {
-    CostEvaluator eval(low, cm);
+CostReport buildCostReport(const SpmdLowering& low, const CostModel& cm,
+                           const ShmCostModel* shm) {
+    CostEvaluator eval(low, cm, shm);
     const DetailedCost detail = eval.evaluateDetailed();
 
     CostReport report;

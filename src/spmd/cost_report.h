@@ -26,8 +26,11 @@ struct CostReport {
 };
 
 /// Evaluate the lowered program and attribute cost per statement and
-/// per communication op.
+/// per communication op. `shm` non-null prices communication with the
+/// shared-memory model (CostEvaluator's shm mode); null is the exact
+/// message-passing attribution.
 [[nodiscard]] CostReport buildCostReport(const SpmdLowering& low,
-                                         const CostModel& cm);
+                                         const CostModel& cm,
+                                         const ShmCostModel* shm = nullptr);
 
 }  // namespace phpf

@@ -1,0 +1,84 @@
+#include "spmd/spmd_text.h"
+#include "target/target.h"
+
+namespace phpf {
+namespace target_detail {
+
+namespace {
+
+/// The paper's evaluated backend: distributed-memory SPMD on the SP2
+/// model. This class is a straight port of the pre-Target code paths —
+/// CostEvaluator with the SP2 CostModel, emitSpmdText, and the
+/// CostModel-based decision-log pricing — so everything it produces is
+/// bit-identical to the pre-refactor compiler.
+class MessagePassingTarget final : public Target {
+public:
+    [[nodiscard]] TargetKind kind() const override {
+        return TargetKind::MessagePassing;
+    }
+    [[nodiscard]] const char* displayName() const override {
+        return "message passing (SP2 distributed memory)";
+    }
+
+    [[nodiscard]] MappingCostHooks mappingHooks(
+        const TargetConfig& config) const override {
+        // Explicit hooks, but the exact CostModel formulas MappingPass
+        // defaults to — the log's costs stay bit-identical.
+        const CostModel cm = config.costModel;
+        MappingCostHooks hooks;
+        hooks.elementMessage = [cm](double bytes) { return cm.message(bytes); };
+        hooks.reduceCombine = [cm](int procs, double bytes) {
+            return cm.reduce(procs, bytes);
+        };
+        hooks.broadcast = [cm](int procs, double bytes) {
+            return cm.broadcast(procs, bytes);
+        };
+        return hooks;
+    }
+
+    [[nodiscard]] CostBreakdown predictCost(
+        const SpmdLowering& low, const TargetConfig& config) const override {
+        CostEvaluator eval(low, config.costModel);
+        return eval.evaluate();
+    }
+
+    [[nodiscard]] DetailedCost predictDetailed(
+        const SpmdLowering& low, const TargetConfig& config) const override {
+        CostEvaluator eval(low, config.costModel);
+        return eval.evaluateDetailed();
+    }
+
+    [[nodiscard]] CostReport costReport(
+        const SpmdLowering& low, const TargetConfig& config) const override {
+        return buildCostReport(low, config.costModel);
+    }
+
+    [[nodiscard]] std::string emitText(
+        const SpmdLowering& low) const override {
+        return emitSpmdText(low);
+    }
+
+    [[nodiscard]] obs::Json describe(
+        const TargetConfig& config) const override {
+        const CostModel& cm = config.costModel;
+        obs::Json j = obs::Json::object();
+        j.set("kind", name());
+        j.set("display", displayName());
+        j.set("alpha_sec", cm.alphaSec);
+        j.set("beta_sec_per_byte", cm.betaSecPerByte);
+        j.set("flop_sec", cm.flopSec);
+        j.set("elem_bytes", cm.elemBytes);
+        j.set("combine_messages", cm.combineMessages);
+        return j;
+    }
+};
+
+}  // namespace
+
+const Target& messagePassingTarget() {
+    static const MessagePassingTarget t;
+    return t;
+}
+
+}  // namespace target_detail
+}  // namespace phpf

@@ -1,0 +1,32 @@
+#include "target/target.h"
+
+namespace phpf {
+
+namespace target_detail {
+// Defined in message_passing.cpp / shared_memory.cpp.
+const Target& messagePassingTarget();
+const Target& sharedMemoryTarget();
+}  // namespace target_detail
+
+std::unique_ptr<SpmdLowering> Target::lower(
+    Program& p, const SsaForm& ssa, const DataMapping& dm,
+    const MappingDecisions& decisions,
+    const std::vector<ReductionInfo>& reductions) const {
+    // Both built-in targets share the guard/comm-op lowering: a placed
+    // comm op reads as "vectorized message" under mp and as "sync epoch
+    // + coherence read" under shm, but the set of points where data
+    // must become visible to another processor is the same machine-
+    // independent fact about the program.
+    auto low = std::make_unique<SpmdLowering>(p, ssa, dm, decisions,
+                                              reductions);
+    low->run();
+    return low;
+}
+
+const Target& targetFor(TargetKind kind) {
+    return kind == TargetKind::SharedMemory
+               ? target_detail::sharedMemoryTarget()
+               : target_detail::messagePassingTarget();
+}
+
+}  // namespace phpf

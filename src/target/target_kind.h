@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace phpf {
+
+/// What machine model the compilation lowers FOR. The kind selects a
+/// Target implementation (src/target/target.h) that owns lowering, cost
+/// modeling, and SPMD-text/report emission; it is part of the artifact
+/// identity (the service fingerprints it) because the same kernel
+/// produces different predicted tables, different emitted text, and
+/// different simulation accounting per target.
+enum class TargetKind : std::uint8_t {
+    /// Message-passing SPMD on the distributed-memory SP2 model of the
+    /// paper's evaluation: privatized variables are per-processor
+    /// copies, cross-processor reads are explicit placed messages, and
+    /// reductions combine via log2(P) message stages.
+    MessagePassing,
+    /// Shared-memory (OpenMP-style) threads on one SMP node: privatized
+    /// variables are threadprivate copies, remote reads are coherence
+    /// traffic on shared lines (no transfer phase), and reductions
+    /// combine through an unordered combiner tree between barriers.
+    SharedMemory,
+};
+
+/// Stable short name: "mp" | "shm" (the CLI/jobs-file/report spelling).
+[[nodiscard]] inline const char* targetKindName(TargetKind k) {
+    return k == TargetKind::SharedMemory ? "shm" : "mp";
+}
+
+/// Parses "mp" | "shm"; returns false (and leaves `out` untouched) on
+/// anything else.
+[[nodiscard]] inline bool parseTargetKind(std::string_view s,
+                                          TargetKind* out) {
+    if (s == "mp") {
+        *out = TargetKind::MessagePassing;
+        return true;
+    }
+    if (s == "shm") {
+        *out = TargetKind::SharedMemory;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace phpf

@@ -18,7 +18,7 @@ void seedAdi(Interpreter& o, std::int64_t n) {
 
 TEST(Adi, XSweepIsLocalYSweepCommunicates) {
     Program p = programs::adi(32, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     // Exactly one array comm op: du(i,j-1) in the y sweep. The x sweep's
@@ -38,7 +38,7 @@ TEST(Adi, XSweepIsLocalYSweepCommunicates) {
 
 TEST(Adi, UpdateScalarPrivatizedAndAligned) {
     Program p = programs::adi(32, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const SymbolId tmp = p.findSymbol("tmp");
@@ -59,7 +59,7 @@ TEST(Adi, UpdateScalarPrivatizedAndAligned) {
 TEST(Adi, SpmdMatchesSequential) {
     for (auto grid : {std::vector<int>{1}, {3}, {4}}) {
         Program p = programs::adi(12, 2);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = grid;
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [](Interpreter& o) { seedAdi(o, 12); }});
@@ -77,7 +77,7 @@ TEST(Adi, PipelineCommScalesWithBoundaries) {
     double prevComm = -1.0;
     for (int procs : {2, 4, 8}) {
         Program p = programs::adi(64, 4);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {procs};
         const CostBreakdown cb = Compiler::compile(p, opts).predictCost();
         if (prevComm >= 0.0) EXPECT_GE(cb.commSec, prevComm * 0.99);

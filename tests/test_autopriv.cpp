@@ -58,10 +58,11 @@ TEST(AutoPriv, DetectsFig6WorkArray) {
 
 TEST(AutoPriv, MappingPassUsesDetection) {
     Program p = fig6NoDirective(12);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {2, 2};
-    opts.mapping.autoArrayPrivatization = true;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.autoArrayPrivatization = true;
+    Compilation c = Compiler::compile(p, opts, passes);
     const auto& arrays = c.mappingPass().decisions().arrays();
     ASSERT_EQ(arrays.size(), 1u);
     EXPECT_EQ(arrays[0].kind, ArrayPrivDecision::Kind::Partial)
@@ -70,7 +71,7 @@ TEST(AutoPriv, MappingPassUsesDetection) {
 
 TEST(AutoPriv, OffByDefault) {
     Program p = fig6NoDirective(12);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     EXPECT_TRUE(c.mappingPass().decisions().arrays().empty());
@@ -78,10 +79,11 @@ TEST(AutoPriv, OffByDefault) {
 
 TEST(AutoPriv, SemanticsPreservedUnderAutoPrivatization) {
     Program p = fig6NoDirective(10);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {2, 2};
-    opts.mapping.autoArrayPrivatization = true;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.autoArrayPrivatization = true;
+    Compilation c = Compiler::compile(p, opts, passes);
     auto sim = c.simulate({.seed = [](Interpreter& o) {
         for (std::int64_t m = 1; m <= 5; ++m)
             for (std::int64_t i = 1; i <= 10; ++i)

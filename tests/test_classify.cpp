@@ -160,7 +160,7 @@ TEST(Placement, ScalarDefInLoopPinsPlacement) {
     // Fig. 1: x defined inside the i loop, read at D(m) = x/z — the
     // message for x cannot leave the loop.
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     bool sawYComm = false;
@@ -178,7 +178,7 @@ TEST(Placement, StoreToSameArrayConstrains) {
     // TOMCATV: x written in the update nest; stencil reads of x can only
     // hoist to the iter loop (level 1), not fully out.
     Program p = programs::tomcatv(32, 3);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     ASSERT_FALSE(c.lowering().commOps().empty());
@@ -192,7 +192,7 @@ TEST(Placement, DisjointColumnStoreDoesNotConstrain) {
     // DGEFA: the update writes columns j >= k+1; reading column k can
     // hoist to the k loop even though both touch A.
     Program p = programs::dgefa(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     for (const CommOp& op : c.lowering().commOps()) {
@@ -204,7 +204,7 @@ TEST(Placement, DisjointColumnStoreDoesNotConstrain) {
 TEST(Placement, NonIndexSubscriptPinsToItsDef) {
     // Fig. 2: G(q,i) with q computed per iteration: placement level 1.
     Program p = programs::fig2(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     bool sawG = false;

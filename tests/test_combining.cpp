@@ -8,11 +8,12 @@ namespace {
 
 CostBreakdown costWith(Program& p, std::vector<int> grid, bool combine,
                        MappingOptions mapping = {}) {
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = std::move(grid);
-    opts.mapping = mapping;
+    passes.mapping = mapping;
     opts.costModel.combineMessages = combine;
-    return Compiler::compile(p, opts).predictCost();
+    return Compiler::compile(p, opts, passes).predictCost();
 }
 
 TEST(MessageCombining, NeverIncreasesCommCost) {

@@ -8,10 +8,11 @@ namespace phpf {
 namespace {
 
 CostBreakdown costOf(Program& p, std::vector<int> grid, MappingOptions m = {}) {
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = std::move(grid);
-    opts.mapping = m;
-    return Compiler::compile(p, opts).predictCost();
+    passes.mapping = m;
+    return Compiler::compile(p, opts, passes).predictCost();
 }
 
 TEST(Cost, SingleProcessorHasNoComm) {
@@ -126,7 +127,7 @@ TEST(Cost, VectorizedShiftBeatsPerIterationMessages) {
 
 TEST(Cost, ReductionCombineChargedPerOuterIteration) {
     Program p = programs::fig5(64);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     bool sawCombine = false;
@@ -144,13 +145,13 @@ TEST(Cost, ReductionCombineChargedPerOuterIteration) {
 
 TEST(Cost, HigherLatencyRaisesCommOnly) {
     Program p1 = programs::tomcatv(64, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {8};
     Compilation c1 = Compiler::compile(p1, opts);
     const CostBreakdown base = c1.predictCost();
 
     Program p2 = programs::tomcatv(64, 2);
-    CompilerOptions opts2 = opts;
+    TargetConfig opts2 = opts;
     opts2.costModel.alphaSec *= 10.0;
     Compilation c2 = Compiler::compile(p2, opts2);
     const CostBreakdown slow = c2.predictCost();

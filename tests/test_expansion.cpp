@@ -11,7 +11,7 @@ namespace {
 
 TEST(Expansion, ExpandsFig1Scalars) {
     Program p = programs::fig1(24);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const int n = expandAlignedScalars(p, c.ssa(), c.dataMapping(),
@@ -32,7 +32,7 @@ TEST(Expansion, PreservesSemantics) {
     Program original = programs::fig1(24);
     Program expanded = programs::fig1(24);
     {
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(expanded, opts);
         ASSERT_GT(expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
@@ -66,24 +66,25 @@ TEST(Expansion, ExpandedProgramParallelizesWithoutPrivatization) {
     // storage dependence is gone.
     Program expanded = programs::fig1(64);
     {
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {8};
         Compilation c = Compiler::compile(expanded, opts);
         expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
                              c.mappingPass().decisions());
     }
-    CompilerOptions noPriv;
+    TargetConfig noPriv;
+    PassOptions noPrivPasses;
     noPriv.gridExtents = {8};
-    noPriv.mapping.privatization = false;
-    Compilation ce = Compiler::compile(expanded, noPriv);
+    noPrivPasses.mapping.privatization = false;
+    Compilation ce = Compiler::compile(expanded, noPriv, noPrivPasses);
     const double expandedCost = ce.predictCost().totalSec();
 
     Program plain = programs::fig1(64);
-    Compilation cp = Compiler::compile(plain, noPriv);
+    Compilation cp = Compiler::compile(plain, noPriv, noPrivPasses);
     const double plainCost = cp.predictCost().totalSec();
 
     Program priv = programs::fig1(64);
-    CompilerOptions withPriv;
+    TargetConfig withPriv;
     withPriv.gridExtents = {8};
     Compilation cv = Compiler::compile(priv, withPriv);
     const double privCost = cv.predictCost().totalSec();
@@ -96,13 +97,13 @@ TEST(Expansion, ExpandedProgramParallelizesWithoutPrivatization) {
 TEST(Expansion, SpmdSemanticsPreservedAfterExpansion) {
     Program expanded = programs::fig1(24);
     {
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         Compilation c = Compiler::compile(expanded, opts);
         expandAlignedScalars(expanded, c.ssa(), c.dataMapping(),
                              c.mappingPass().decisions());
     }
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(expanded, opts);
     auto sim = c.simulate({.seed = [](Interpreter& o) {

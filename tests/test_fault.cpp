@@ -276,7 +276,7 @@ void checkRecoveredRunIdentical(Program& p, const std::vector<int>& grid,
                                 const std::vector<std::string>& outputs,
                                 const std::string& spec,
                                 bool expectRecoveries) {
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = grid;
     Compilation c = Compiler::compile(p, opts);
 
@@ -354,7 +354,7 @@ TEST(SimRecovery, LossyNetworkRecoveryBitIdentical) {
 
 TEST(SimRecovery, TransportStatsStaySeparateFromSimMetrics) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector inj;
@@ -379,7 +379,7 @@ TEST(SimRecovery, TransportStatsStaySeparateFromSimMetrics) {
 
 TEST(SimRecovery, DeadNetworkSurfacesAsSimFault) {
     Program p = programs::fig1(24);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector inj;
@@ -397,7 +397,7 @@ TEST(SimRecovery, DeadNetworkSurfacesAsSimFault) {
 
 TEST(SimRecovery, RecoveryBudgetExhaustionIsTyped) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector inj;
@@ -417,7 +417,7 @@ TEST(SimRecovery, RecoveryBudgetExhaustionIsTyped) {
 
 TEST(SimRecovery, PeriodicCheckpointsWithoutFaultsChangeNothing) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest plain;
@@ -438,7 +438,7 @@ TEST(SimRecovery, PeriodicCheckpointsWithoutFaultsChangeNothing) {
 
 TEST(SimCancel, CancelledTokenStopsSimulationCleanly) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     CancelSource src;
@@ -715,7 +715,7 @@ const FaultInjector* smokeInjector(FaultInjector* local) {
 
 TEST(FaultSmoke, RecoveredTomcatvMatchesFaultFree) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest plain;

@@ -10,7 +10,7 @@ namespace {
 // choose exactly the mappings Section 2.1 derives.
 TEST(Fig1, SelectedAlignmentMatchesPaper) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
 
@@ -65,10 +65,11 @@ TEST(Fig1, SelectedAlignmentMatchesPaper) {
 TEST(Fig1, SpmdSimulationMatchesOracle) {
     for (bool privatize : {false, true}) {
         Program p = programs::fig1(24);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {4};
-        opts.mapping.privatization = privatize;
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping.privatization = privatize;
+        Compilation c = Compiler::compile(p, opts, passes);
 
         auto sim = c.simulate({.seed = [](Interpreter& oracle) {
             for (std::int64_t i = 1; i <= 24; ++i) {
@@ -87,13 +88,14 @@ TEST(Fig1, SpmdSimulationMatchesOracle) {
 
 TEST(Fig1, SelectedBeatsReplicationInPredictedCost) {
     Program p1 = programs::fig1(64);
-    CompilerOptions repl;
+    TargetConfig repl;
+    PassOptions replPasses;
     repl.gridExtents = {8};
-    repl.mapping.privatization = false;
-    const double replCost = Compiler::compile(p1, repl).predictCost().totalSec();
+    replPasses.mapping.privatization = false;
+    const double replCost = Compiler::compile(p1, repl, replPasses).predictCost().totalSec();
 
     Program p2 = programs::fig1(64);
-    CompilerOptions sel;
+    TargetConfig sel;
     sel.gridExtents = {8};
     const double selCost = Compiler::compile(p2, sel).predictCost().totalSec();
 

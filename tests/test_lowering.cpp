@@ -21,7 +21,7 @@ Stmt* findAssign(Program& p, const std::string& lhsName, int occurrence = 0) {
 
 TEST(Lowering, OwnerComputesGuardForDistributedLhs) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "A");
@@ -32,10 +32,11 @@ TEST(Lowering, OwnerComputesGuardForDistributedLhs) {
 
 TEST(Lowering, ReplicatedScalarGetsAllGuard) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {4};
-    opts.mapping.privatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.privatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     Stmt* s = findAssign(p, "x");
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(c.lowering().execOf(s).guard, StmtExec::Guard::All);
@@ -43,7 +44,7 @@ TEST(Lowering, ReplicatedScalarGetsAllGuard) {
 
 TEST(Lowering, AlignedScalarGetsOwnerGuard) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "x");
@@ -53,7 +54,7 @@ TEST(Lowering, AlignedScalarGetsOwnerGuard) {
 
 TEST(Lowering, NoAlignPrivatizedGetsUnionGuard) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "z");
@@ -66,7 +67,7 @@ TEST(Lowering, NoAlignPrivatizedGetsUnionGuard) {
 TEST(Lowering, CommOpsOnlyWhereNeeded) {
     // Fig. 7 is fully aligned: no comm ops at all.
     Program p = programs::fig7(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     EXPECT_TRUE(c.lowering().commOps().empty());
@@ -74,7 +75,7 @@ TEST(Lowering, CommOpsOnlyWhereNeeded) {
 
 TEST(Lowering, OpsAtReturnsConsumingStatement) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* s = findAssign(p, "x");  // x = B(i) + C(i): two hoisted shifts
@@ -89,7 +90,7 @@ TEST(Lowering, OpsAtReturnsConsumingStatement) {
 
 TEST(Lowering, DumpMentionsGuardsAndOps) {
     Program p = programs::fig1(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const std::string d = c.lowering().dump();
@@ -100,7 +101,7 @@ TEST(Lowering, DumpMentionsGuardsAndOps) {
 
 TEST(Lowering, PartialPrivWriteExecutesOnOwnCopy) {
     Program p = programs::fig6(12, 12, 12);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     Stmt* cWrite = findAssign(p, "c");
@@ -116,7 +117,7 @@ TEST(Lowering, PartialPrivWriteExecutesOnOwnCopy) {
 
 TEST(Lowering, ReductionAccumulationPartitionedByTarget) {
     Program p = programs::fig5(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     Stmt* acc = findAssign(p, "s", 1);
@@ -135,14 +136,14 @@ TEST(Lowering, ReductionAccumulationPartitionedByTarget) {
 TEST(Lowering, ReductionCombineEmittedOnlyWhenDimsSpanned) {
     // DGEFA's maxloc spans no grid dim (serial row dim): no combine op.
     Program p = programs::dgefa(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     for (const CommOp& op : c.lowering().commOps())
         EXPECT_FALSE(op.isReductionCombine);
     // Fig. 5 spans grid dim 1: combine op present.
     Program q = programs::fig5(16);
-    CompilerOptions opts2;
+    TargetConfig opts2;
     opts2.gridExtents = {2, 2};
     Compilation c2 = Compiler::compile(q, opts2);
     bool combine = false;

@@ -10,7 +10,7 @@ namespace {
 
 TEST(CostReport, AttributionSumsToTotals) {
     Program p = programs::tomcatv(32, 3);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const CostReport report = buildCostReport(c.lowering(), opts.costModel);
@@ -27,7 +27,7 @@ TEST(CostReport, AttributionSumsToTotals) {
 
 TEST(CostReport, RendersTopItems) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const CostReport report = buildCostReport(c.lowering(), opts.costModel);
@@ -95,13 +95,14 @@ end)");
 TEST(Options, VariantSwitchesAreIndependent) {
     // Flipping one option must not disturb unrelated decisions.
     Program base = programs::dgefa(16);
-    CompilerOptions o1;
+    TargetConfig o1;
     o1.gridExtents = {4};
     Compilation c1 = Compiler::compile(base, o1);
     Program other = programs::dgefa(16);
-    CompilerOptions o2 = o1;
-    o2.mapping.controlFlowPrivatization = false;  // unrelated to tmp
-    Compilation c2 = Compiler::compile(other, o2);
+    TargetConfig o2 = o1;
+    PassOptions po2;
+    po2.mapping.controlFlowPrivatization = false;  // unrelated to tmp
+    Compilation c2 = Compiler::compile(other, o2, po2);
 
     auto tmpDecision = [](Compilation& c) {
         const SymbolId sym = c.program().findSymbol("tmp");
@@ -123,7 +124,7 @@ TEST(Options, GridRankOneCollapsesTwoDimPrograms) {
     // A (block,block) program on a rank-1 grid folds the second dim to
     // serial rather than failing.
     Program p = programs::fig5(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ArrayMap& m = c.dataMapping().mapOf(p.findSymbol("A"));

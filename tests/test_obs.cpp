@@ -153,7 +153,7 @@ class ObsFig1 : public ::testing::Test {
 protected:
     void SetUp() override {
         program_ = programs::fig1(32);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {4};
         compilation_ =
             std::make_unique<Compilation>(Compiler::compile(program_, opts));
@@ -242,11 +242,12 @@ TEST_F(ObsFig1, DecisionsSerializeWithNullCostForInfeasible) {
 TEST(ObsReport, RunReportRoundTripsThroughJson) {
     Program p = programs::fig1(32);
     DiagEngine diags;
-    CompilerOptions opts;
+    TargetConfig opts;
+    CompileSession session;
     opts.gridExtents = {4};
-    opts.tracer = std::make_shared<obs::Tracer>();
-    opts.diags = &diags;
-    Compilation c = Compiler::compile(p, opts);
+    session.tracer = std::make_shared<obs::Tracer>();
+    session.diags = &diags;
+    Compilation c = Compiler::compile(p, opts, PassOptions{}, session);
     auto sim = c.simulate();
 
     std::string err;
@@ -292,7 +293,7 @@ TEST(ObsReport, RunReportRoundTripsThroughJson) {
 
 TEST(ObsReport, SimulatorUsesConfiguredElementSize) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     opts.costModel.elemBytes = 4;
     Compilation c = Compiler::compile(p, opts);
@@ -304,14 +305,15 @@ TEST(ObsReport, SimulatorUsesConfiguredElementSize) {
 
 TEST(ObsReport, ChromeTraceIsValidAndLoadsSpans) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
+    CompileSession session;
     opts.gridExtents = {4};
-    opts.tracer = std::make_shared<obs::Tracer>();
-    Compilation c = Compiler::compile(p, opts);
+    session.tracer = std::make_shared<obs::Tracer>();
+    Compilation c = Compiler::compile(p, opts, PassOptions{}, session);
 
     std::string err;
     const obs::Json t =
-        obs::Json::parse(obs::buildChromeTrace(*opts.tracer, "phpf test").dump(), &err);
+        obs::Json::parse(obs::buildChromeTrace(*session.tracer, "phpf test").dump(), &err);
     ASSERT_TRUE(err.empty()) << err;
     ASSERT_TRUE(t.at("traceEvents").isArray());
     ASSERT_GE(t.at("traceEvents").size(), 2u);

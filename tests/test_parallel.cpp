@@ -218,10 +218,11 @@ void checkDeterminism(Program& p, const MappingOptions& mapping,
                       const std::vector<int>& grid,
                       const std::function<void(Interpreter&)>& seed,
                       const std::vector<std::string>& outputs) {
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = grid;
-    opts.mapping = mapping;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping = mapping;
+    Compilation c = Compiler::compile(p, opts, passes);
     const SimSnapshot base = snapshotAt(c, seed, outputs, 1);
     for (const double err : base.errors) EXPECT_EQ(err, 0.0);
     for (const int t : {2, 4})

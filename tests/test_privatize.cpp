@@ -85,7 +85,7 @@ TEST(Privatize, LoopBoundUseForcesReplication) {
                  [&] { b.assign(b.ref(A, {b.idx(j)}), b.lit(1.0)); });
     });
     Program p = b.finish();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* m0 = decisionFor(c, "m");
@@ -106,7 +106,7 @@ TEST(Privatize, LiveOutScalarNotPrivatized) {
     });
     b.assign(b.idx(y), b.idx(x));  // x live after the loop
     Program p = b.finish();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* x0 = decisionFor(c, "x");
@@ -116,10 +116,11 @@ TEST(Privatize, LiveOutScalarNotPrivatized) {
 
 TEST(Privatize, PrivatizationDisabledKeepsEverythingReplicated) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {4};
-    opts.mapping.privatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.privatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     for (const auto& [defId, dec] : c.mappingPass().decisions().scalars()) {
         (void)defId;
         EXPECT_EQ(dec.kind, ScalarMapKind::Replicated);
@@ -129,7 +130,7 @@ TEST(Privatize, PrivatizationDisabledKeepsEverythingReplicated) {
 TEST(Privatize, ConsumerPreferredOverProducerWhenHoistable) {
     // Fig. 1's x: consumer D(i+1) chosen because B/C shifts hoist.
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* x = decisionFor(c, "x");
@@ -140,7 +141,7 @@ TEST(Privatize, ConsumerPreferredOverProducerWhenHoistable) {
 
 TEST(Privatize, ProducerChosenWhenConsumerCausesInnerComm) {
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* y = decisionFor(c, "y");
@@ -166,7 +167,7 @@ TEST(Privatize, GroupConsistency) {
         b.assign(b.ref(A, {b.idx(i)}), b.idx(w));
     });
     Program p = b.finish();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* d0 = decisionFor(c, "w", 0);
@@ -185,7 +186,7 @@ TEST(Privatize, GroupConsistency) {
 
 TEST(PrivatizeReduction, Fig5MappingReplicatesReductionDim) {
     Program p = programs::fig5(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     const ScalarMapDecision* s = decisionFor(c, "s", 1);  // accumulation
@@ -199,7 +200,7 @@ TEST(PrivatizeReduction, Fig5MappingReplicatesReductionDim) {
 
 TEST(PrivatizeReduction, DgefaMaxlocConfinedToColumnOwner) {
     Program p = programs::dgefa(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     for (const char* name : {"t", "l"}) {
@@ -215,10 +216,11 @@ TEST(PrivatizeReduction, DgefaMaxlocConfinedToColumnOwner) {
 
 TEST(PrivatizeReduction, DisabledFallsBackToReplication) {
     Program p = programs::fig5(32);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {2, 2};
-    opts.mapping.reductionAlignment = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.reductionAlignment = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     const ScalarMapDecision* s = decisionFor(c, "s", 1);
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(s->kind, ScalarMapKind::Replicated);
@@ -231,7 +233,7 @@ TEST(PrivatizeReduction, DisabledFallsBackToReplication) {
 
 TEST(PrivatizeArray, Fig6FullFailsPartialSucceeds) {
     Program p = programs::fig6(16, 16, 16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     const auto& arrays = c.mappingPass().decisions().arrays();
@@ -252,7 +254,7 @@ TEST(PrivatizeArray, OneDimGridFullPrivatization) {
     // On a 1-D grid (distribution over k only) full privatization of c
     // is valid: the target's only partitioned subscript is k.
     Program p = programs::appsp(16, 16, 16, 2, /*oneD=*/true);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const auto& arrays = c.mappingPass().decisions().arrays();
@@ -263,10 +265,11 @@ TEST(PrivatizeArray, OneDimGridFullPrivatization) {
 
 TEST(PrivatizeArray, DisabledMeansReplicated) {
     Program p = programs::fig6(16, 16, 16);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {2, 2};
-    opts.mapping.arrayPrivatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.arrayPrivatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     ASSERT_EQ(c.mappingPass().decisions().arrays().size(), 1u);
     EXPECT_EQ(c.mappingPass().decisions().arrays()[0].kind,
               ArrayPrivDecision::Kind::Replicated);
@@ -274,10 +277,11 @@ TEST(PrivatizeArray, DisabledMeansReplicated) {
 
 TEST(PrivatizeArray, PartialDisabledMeansReplicatedOn2D) {
     Program p = programs::fig6(16, 16, 16);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {2, 2};
-    opts.mapping.partialPrivatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.partialPrivatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     ASSERT_EQ(c.mappingPass().decisions().arrays().size(), 1u);
     EXPECT_EQ(c.mappingPass().decisions().arrays()[0].kind,
               ArrayPrivDecision::Kind::Replicated);
@@ -289,7 +293,7 @@ TEST(PrivatizeArray, PartialDisabledMeansReplicatedOn2D) {
 
 TEST(PrivatizeControlFlow, Fig7AllStatementsPrivatized) {
     Program p = programs::fig7(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     p.forEachStmt([&](const Stmt* s) {
@@ -312,7 +316,7 @@ TEST(PrivatizeControlFlow, GotoLeavingLoopNotPrivatized) {
     });
     b.continueStmt(200);
     Program p = b.finish();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     p.forEachStmt([&](const Stmt* s) {
@@ -324,10 +328,11 @@ TEST(PrivatizeControlFlow, GotoLeavingLoopNotPrivatized) {
 
 TEST(PrivatizeControlFlow, DisabledExecutesOnAll) {
     Program p = programs::fig7(32);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {4};
-    opts.mapping.controlFlowPrivatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.controlFlowPrivatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     bool sawBroadcast = false;
     for (const CommOp& op : c.lowering().commOps())
         if (op.atStmt->kind == StmtKind::If) sawBroadcast = true;

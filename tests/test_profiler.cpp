@@ -76,7 +76,7 @@ ProfiledRun runProfiled(const std::function<Program()>& make, int threads,
                         const char* faults = nullptr,
                         int checkpointEvery = 0) {
     Program p = make();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector inj;
@@ -192,7 +192,7 @@ TEST(ProfilerTotals, ExecutedStatementsExistAndSamplesAccrue) {
 
 TEST(ProfilerTotals, ProfilingIsOffByDefault) {
     Program p = programs::fig1(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     auto sim = c.simulate(SimulationRequest{});
@@ -297,7 +297,7 @@ TEST(ProfileJson, SkipsStatementsThatNeverExecuted) {
 
 TEST(ProfileJson, QuantileSectionPresentOnLiveProfile) {
     Program p = programs::tomcatv(12, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -318,7 +318,7 @@ TEST(ProfileJson, QuantileSectionPresentOnLiveProfile) {
 
 TEST(FoldedStacks, EveryLineIsFramesSpaceInteger) {
     Program p = programs::tomcatv(12, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -352,7 +352,7 @@ TEST(FoldedStacks, EveryLineIsFramesSpaceInteger) {
 TEST(FoldedStacks, FramesSanitizeControlAndSeparatorChars) {
     Program p = programs::fig1(16);
     p.name = "bad;name\nwith\ttabs";
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -376,7 +376,7 @@ TEST(FoldedStacks, FramesSanitizeControlAndSeparatorChars) {
 
 TEST(ProfilerMetrics, StmtSelfTimeSeriesReachesPrometheus) {
     Program p = programs::tomcatv(12, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -399,7 +399,7 @@ TEST(ProfilerMetrics, StmtSelfTimeSeriesReachesPrometheus) {
 
 CalibrationReport calibrationOf(const std::function<Program()>& make) {
     Program p = make();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -412,7 +412,7 @@ CalibrationReport calibrationOf(const std::function<Program()>& make) {
 
 TEST(Calibration, JoinsEveryDecisionRecord) {
     Program p = programs::tomcatv(12, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -534,7 +534,7 @@ TEST(Calibration, ExportToRegistersModelErrorSeries) {
 
 TEST(RunReportV3, ProfiledRunCarriesProfileAndCalibrationSections) {
     Program p = programs::tomcatv(12, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     SimulationRequest req;
@@ -554,7 +554,7 @@ TEST(RunReportV3, ProfiledRunCarriesProfileAndCalibrationSections) {
 
 TEST(RunReportV3, UnprofiledRunOmitsTheSections) {
     Program p = programs::fig1(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     auto sim = c.simulate(SimulationRequest{});

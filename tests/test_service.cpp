@@ -186,6 +186,32 @@ TEST(Fingerprint, SimEngineAndRelaxedMergeSplitTheKey) {
               service::canonicalOptionsKey(base, relaxed));
 }
 
+TEST(Fingerprint, TargetKindSplitsTheKey) {
+    // Identical program/options differing ONLY in the target kind must
+    // produce distinct keys: mp and shm artifacts differ in emitted
+    // text, predicted tables, and simulation accounting.
+    TargetConfig mp;
+    mp.gridExtents = {4};
+    TargetConfig shm = mp;
+    shm.targetKind = TargetKind::SharedMemory;
+    PassOptions p;
+    EXPECT_NE(service::canonicalOptionsKey(mp, p),
+              service::canonicalOptionsKey(shm, p));
+
+    // The shared-memory machine parameters are part of shm identity...
+    TargetConfig slowBarrier = shm;
+    slowBarrier.shmModel.barrierSec *= 2.0;
+    EXPECT_NE(service::canonicalOptionsKey(slowBarrier, p),
+              service::canonicalOptionsKey(shm, p));
+
+    // ...but an mp request's key must NOT depend on a model it never
+    // consults — tweaking shmModel under mp must not split the entry.
+    TargetConfig mpTweaked = mp;
+    mpTweaked.shmModel.barrierSec *= 2.0;
+    EXPECT_EQ(service::canonicalOptionsKey(mpTweaked, p),
+              service::canonicalOptionsKey(mp, p));
+}
+
 TEST(Fingerprint, DifferentProgramsSplitTheFingerprint) {
     Program a = programs::fig1(16);
     a.finalize();
@@ -533,6 +559,53 @@ TEST(CompileService, CachedEqualsFreshForEveryTableVariant) {
                   directSim->elementTransfers());
         EXPECT_EQ(cachedSim->bytesMoved(), directSim->bytesMoved());
     }
+}
+
+TEST(CompileService, SharedMemoryArtifactReplaysBitIdentically) {
+    // A cached shm artifact must replay bit-identically cold vs warm:
+    // same emitted text, same decision records, the same cost doubles,
+    // and a warm simulate() reproducing every metric (barrier epochs
+    // included) of the cold run.
+    CompileService svc;
+    CompileRequest req;
+    req.name = "shm/tomcatv";
+    req.build = [] { return programs::tomcatv(65, 5); };
+    req.target.gridExtents = {4};
+    req.target.targetKind = TargetKind::SharedMemory;
+
+    const CompileResult cold = svc.compile(req);
+    ASSERT_EQ(cold.status, CompileStatus::Ok) << cold.error;
+    ASSERT_FALSE(cold.cacheHit);
+    const CompileResult warm = svc.compile(req);
+    ASSERT_EQ(warm.status, CompileStatus::Ok);
+    ASSERT_TRUE(warm.cacheHit);
+    EXPECT_EQ(cold.artifact.get(), warm.artifact.get());
+
+    // The cached artifact carries the shm emission, not mp send/recv.
+    EXPECT_NE(cold.artifact->spmdText.find("!$omp parallel"),
+              std::string::npos);
+
+    // Cold vs warm vs a fresh direct compile: bit-identical.
+    Program fresh = req.build();
+    Compilation direct = Compiler::compile(fresh, req.target, req.passes);
+    EXPECT_EQ(warm.artifact->spmdText,
+              direct.compileTarget().emitText(direct.lowering()));
+    EXPECT_EQ(warm.artifact->decisionReport, direct.report());
+    const CostBreakdown directCost = direct.predictCost();
+    EXPECT_EQ(warm.artifact->cost.computeSec, directCost.computeSec);
+    EXPECT_EQ(warm.artifact->cost.commSec, directCost.commSec);
+    EXPECT_EQ(warm.artifact->cost.messageEvents, directCost.messageEvents);
+    EXPECT_EQ(warm.artifact->cost.commBytes, directCost.commBytes);
+
+    // Warm simulation replays the cold run's metrics exactly.
+    auto coldSim = direct.simulate({.threads = 1});
+    auto warmSim = warm.artifact->compilation->simulate({.threads = 1});
+    EXPECT_EQ(warmSim->targetKind(), TargetKind::SharedMemory);
+    EXPECT_EQ(warmSim->barrierEvents(), coldSim->barrierEvents());
+    EXPECT_GT(warmSim->barrierEvents(), 0);
+    EXPECT_EQ(warmSim->messageEvents(), coldSim->messageEvents());
+    EXPECT_EQ(warmSim->elementTransfers(), coldSim->elementTransfers());
+    EXPECT_EQ(warmSim->bytesMoved(), coldSim->bytesMoved());
 }
 
 // ---------------------------------------------------------------------

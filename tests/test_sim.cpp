@@ -150,10 +150,11 @@ TEST_P(SemanticsPreservationTest, SpmdMatchesSequential) {
     // 2-D programs need 2-D-compatible seeds; every program works on any
     // grid shape (unmapped grid dims mean replication).
     Program p = makeProgram(programId);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = grid;
-    opts.mapping = variantOptions(variant);
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping = variantOptions(variant);
+    Compilation c = Compiler::compile(p, opts, passes);
     auto sim = c.simulate({.seed = 
         [&](Interpreter& o) { seedProgram(programId, o); }});
     for (const char* out : outputsOf(programId)) {
@@ -175,7 +176,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SimMessages, SingleProcessorNeverCommunicates) {
     for (int id : {0, 2, 4, 5}) {
         Program p = makeProgram(id);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {1};
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(id, o); }});
@@ -188,10 +189,11 @@ TEST(SimMessages, SelectedAlignmentMovesFewerElementsThanReplication) {
         std::int64_t transfers[2];
         for (int v : {0, 2}) {
             Program p = makeProgram(id);
-            CompilerOptions opts;
+            TargetConfig opts;
+            PassOptions passes;
             opts.gridExtents = {4};
-            opts.mapping = variantOptions(v);
-            Compilation c = Compiler::compile(p, opts);
+            passes.mapping = variantOptions(v);
+            Compilation c = Compiler::compile(p, opts, passes);
             auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(id, o); }});
             transfers[v == 0 ? 0 : 1] = sim->elementTransfers();
         }
@@ -203,10 +205,11 @@ TEST(SimMessages, ReductionAlignmentReducesTraffic) {
     std::int64_t transfers[2];
     for (bool align : {false, true}) {
         Program p = makeProgram(5);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {4};
-        opts.mapping.reductionAlignment = align;
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping.reductionAlignment = align;
+        Compilation c = Compiler::compile(p, opts, passes);
         auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(5, o); }});
         transfers[align ? 1 : 0] = sim->elementTransfers();
     }
@@ -215,7 +218,7 @@ TEST(SimMessages, ReductionAlignmentReducesTraffic) {
 
 TEST(SimMessages, EventCountsMatchAnalyticOnFig1) {
     Program p = programs::fig1(24);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const CostBreakdown analytic = c.predictCost();
@@ -233,10 +236,11 @@ TEST(SimMessages, ControlFlowPrivatizationEliminatesPredicateTraffic) {
     std::int64_t transfers[2];
     for (bool cf : {false, true}) {
         Program p = makeProgram(4);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {4};
-        opts.mapping.controlFlowPrivatization = cf;
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping.controlFlowPrivatization = cf;
+        Compilation c = Compiler::compile(p, opts, passes);
         auto sim = c.simulate({.seed = [&](Interpreter& o) { seedProgram(4, o); }});
         transfers[cf ? 1 : 0] = sim->elementTransfers();
     }

@@ -20,7 +20,7 @@ void seedDgefa(Interpreter& o, std::int64_t n) {
 TEST(SimConsistency, DgefaLargerFactorizationAcrossGrids) {
     for (int procs : {2, 5, 8}) {
         Program p = programs::dgefa(16);
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = {procs};
         Compilation c = Compiler::compile(p, opts);
         auto sim = c.simulate({.seed = [](Interpreter& o) { seedDgefa(o, 16); }});
@@ -44,7 +44,7 @@ TEST(SimConsistency, SimulatedEventsNeverExceedAnalytic) {
                 default: return programs::fig6(10, 10, 10);
             }
         }();
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = grid;
         Compilation c = Compiler::compile(p, opts);
         const CostBreakdown analytic = c.predictCost();
@@ -101,10 +101,11 @@ TEST(SimConsistency, PartialPrivatizationMovesFewerElements) {
     std::int64_t transfers[2];
     for (bool partial : {false, true}) {
         Program p = programs::fig6(10, 10, 10);
-        CompilerOptions opts;
+        TargetConfig opts;
+        PassOptions passes;
         opts.gridExtents = {2, 2};
-        opts.mapping.partialPrivatization = partial;
-        Compilation c = Compiler::compile(p, opts);
+        passes.mapping.partialPrivatization = partial;
+        Compilation c = Compiler::compile(p, opts, passes);
         auto sim = c.simulate({.seed = [](Interpreter& o) {
             for (std::int64_t m = 1; m <= 5; ++m)
                 for (std::int64_t i = 1; i <= 10; ++i)
@@ -121,7 +122,7 @@ TEST(SimConsistency, PartialPrivatizationMovesFewerElements) {
 
 TEST(SimConsistency, PerOpEventAccounting) {
     Program p = programs::fig1(24);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     auto sim = c.simulate({.seed = [](Interpreter& o) {

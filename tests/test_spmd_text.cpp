@@ -26,7 +26,7 @@ Program uniformStencil(std::int64_t n) {
 
 TEST(LocalBounds, UniformOwnerLoopIsShrinkable) {
     Program p = uniformStencil(64);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* loop = p.top[0];
@@ -50,7 +50,7 @@ TEST(LocalBounds, UniformOwnerLoopIsShrinkable) {
 TEST(LocalBounds, MixedOwnersAreNotShrinkable) {
     // Fig. 1 mixes owner(A(i)), owner(A(i+1)) and owner(D(i+1)).
     Program p = programs::fig1(32);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     Stmt* loop = nullptr;
@@ -62,10 +62,11 @@ TEST(LocalBounds, MixedOwnersAreNotShrinkable) {
 
 TEST(LocalBounds, ReplicatedStatementBlocksShrinking) {
     Program p = uniformStencil(64);
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     opts.gridExtents = {4};
-    opts.mapping.privatization = false;
-    Compilation c = Compiler::compile(p, opts);
+    passes.mapping.privatization = false;
+    Compilation c = Compiler::compile(p, opts, passes);
     // With a single owner-computes stmt the loop still shrinks even
     // without privatization (no scalars here); now check a replicated
     // statement variant.
@@ -79,7 +80,7 @@ TEST(LocalBounds, ReplicatedStatementBlocksShrinking) {
         b.assign(b.ref(A, {b.idx(i)}), b.ref(R, {b.idx(i)}));
     });
     Program q = b.finish();
-    Compilation c2 = Compiler::compile(q, opts);
+    Compilation c2 = Compiler::compile(q, opts, passes);
     EXPECT_FALSE(analyzeShrink(c2.lowering(), q.top[0]).shrinkable);
 }
 
@@ -91,7 +92,7 @@ TEST(LocalBounds, CyclicDistributionNotShrunk) {
     b.doLoop(i, b.lit(std::int64_t{1}), b.lit(std::int64_t{32}),
              [&] { b.assign(b.ref(A, {b.idx(i)}), b.lit(1.0)); });
     Program p = b.finish();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     EXPECT_FALSE(analyzeShrink(c.lowering(), p.top[0]).shrinkable);
@@ -99,7 +100,7 @@ TEST(LocalBounds, CyclicDistributionNotShrunk) {
 
 TEST(SpmdText, ShowsGuardsShrinkingAndComm) {
     Program p = uniformStencil(64);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const std::string text = emitSpmdText(c.lowering());
@@ -110,7 +111,7 @@ TEST(SpmdText, ShowsGuardsShrinkingAndComm) {
 
 TEST(SpmdText, ShowsReductionCombine) {
     Program p = programs::fig5(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     const std::string text = emitSpmdText(c.lowering());
@@ -119,7 +120,7 @@ TEST(SpmdText, ShowsReductionCombine) {
 
 TEST(SpmdText, Fig7ShowsPrivatizedControlFlow) {
     Program p = programs::fig7(16);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     const std::string text = emitSpmdText(c.lowering());

@@ -345,7 +345,7 @@ struct SimTraceShape {
 
 SimTraceShape simShape(int threads) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     ConcurrentTracer ct;
@@ -392,7 +392,7 @@ TEST(TelemetrySimSpans, TraceShapeIsDeterministicAcrossRepeats) {
 
 TEST(TelemetrySimSpans, PhaseHistogramsFillWhenTelemetryIsSet) {
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     MetricRegistry reg;
@@ -544,7 +544,7 @@ TEST(TelemetryFlightRecorder, InjectedProcCrashLeavesFaultEventsInTheRing) {
     fr.setEnabled(true);
 
     Program p = programs::tomcatv(10, 2);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {4};
     Compilation c = Compiler::compile(p, opts);
     FaultInjector inj;

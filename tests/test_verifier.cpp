@@ -28,22 +28,23 @@ TEST_P(VerifierSweepTest, CompilationVerifiesClean) {
             default: return programs::adi(12, 2);
         }
     }();
-    CompilerOptions opts;
+    TargetConfig opts;
+    PassOptions passes;
     const std::vector<std::vector<int>> grids{{1}, {4}, {2, 2}, {3, 2}};
     opts.gridExtents = grids[static_cast<size_t>(gridId)];
     switch (variant) {
         case 1:
-            opts.mapping.alignPolicy = MappingOptions::AlignPolicy::ProducerOnly;
+            passes.mapping.alignPolicy = MappingOptions::AlignPolicy::ProducerOnly;
             break;
-        case 2: opts.mapping.privatization = false; break;
+        case 2: passes.mapping.privatization = false; break;
         case 3:
-            opts.mapping.reductionAlignment = false;
-            opts.mapping.partialPrivatization = false;
+            passes.mapping.reductionAlignment = false;
+            passes.mapping.partialPrivatization = false;
             break;
-        case 4: opts.mapping.autoArrayPrivatization = true; break;
+        case 4: passes.mapping.autoArrayPrivatization = true; break;
         default: break;
     }
-    Compilation c = Compiler::compile(p, opts);
+    Compilation c = Compiler::compile(p, opts, passes);
     const auto issues = verifyCompilation(c);
     EXPECT_TRUE(issues.empty()) << [&] {
         std::string all = "program " + p.name + ":";

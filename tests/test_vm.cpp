@@ -306,7 +306,7 @@ std::vector<Kernel> kernels() {
 TEST(VmDifferential, EnginesBitIdenticalAcrossKernelsAndThreadCounts) {
     for (const Kernel& k : kernels()) {
         Program p = k.build();
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = k.grid;
         Compilation c = Compiler::compile(p, opts);
         for (const int threads : {1, 2, 4}) {
@@ -334,7 +334,7 @@ TEST(VmDifferential, EnginesBitIdenticalAcrossKernelsAndThreadCounts) {
 TEST(VmDifferential, ProfilerCountsIdenticalAcrossEngines) {
     for (const Kernel& k : kernels()) {
         Program p = k.build();
-        CompilerOptions opts;
+        TargetConfig opts;
         opts.gridExtents = k.grid;
         Compilation c = Compiler::compile(p, opts);
         auto interp = c.simulate({.threads = 1,
@@ -375,7 +375,7 @@ TEST(VmDifferential, CrashReplayBitIdenticalOnEitherEngine) {
                 ks.begin(), ks.end(),
                 [&](const Kernel& c) { return std::string(c.name) == which; });
             Program p = k.build();
-            CompilerOptions opts;
+            TargetConfig opts;
             opts.gridExtents = k.grid;
             Compilation c = Compiler::compile(p, opts);
             auto plain =
@@ -406,7 +406,7 @@ TEST(RelaxedMerge, IntegerSumsStayExactWithIdenticalCountMetrics) {
     // fig5: s = sum over A(i,j); integer seeds keep every partial sum
     // integral, so the relaxed reassociation is exact.
     Program p = programs::fig5(12);
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = {2, 2};
     Compilation c = Compiler::compile(p, opts);
     const auto seed = [](Interpreter& o) {
@@ -439,7 +439,7 @@ TEST(RelaxedMerge, MaxLocReductionsStayExact) {
         ks.begin(), ks.end(),
         [](const Kernel& c) { return std::string(c.name) == "dgefa"; });
     Program p = k.build();
-    CompilerOptions opts;
+    TargetConfig opts;
     opts.gridExtents = k.grid;
     Compilation c = Compiler::compile(p, opts);
     auto strict = c.simulate({.threads = 1, .seed = k.seed,
