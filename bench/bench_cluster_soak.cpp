@@ -1,0 +1,338 @@
+// Chaos soak of the distributed compile farm (src/cluster): a
+// coordinator routes >= 1000 mixed hot/cold compile requests across 4
+// REAL worker processes (fork, own sockets, own caches) while one
+// worker takes a real SIGKILL mid-run.
+//
+// Workload: 1000 requests over 64 unique fig1 variants — a 24-variant
+// hot pool (repeated ~40x each) interleaved with 40 cold one-shot
+// variants. The coordinator's local tier is deliberately tiny (16
+// entries, 64 uniques) so repeats spill into the peer-fetch tier
+// instead of being shadowed by the local LRU.
+//
+// Hard gates (exit 1, so CI fails on the bench itself):
+//   - completion: every job ok, none failed, none lost to the kill;
+//   - exactly-once: the emission guard never saw a duplicate AND the
+//     journal holds exactly one row per job name;
+//   - bit-identity: every row's artifact content hash equals the hash
+//     of the same request compiled by a single in-process
+//     CompileService — the distributed farm must be indistinguishable
+//     from one process in results;
+//   - the kill really happened (ring shrank 4 -> 3) and the two-tier
+//     cache really worked (nonzero local AND peer hits);
+//   - the live Prometheus endpoint serves the coordinator's request
+//     quantiles and tier counters (the same scrape CI performs).
+//
+// The report row feeds bench/baselines/BENCH_cluster_soak.json. The
+// committed p99_ms baseline is a deliberately generous ceiling rather
+// than a measurement (absolute latency on shared CI is noisy); the
+// two_tier_miss_rate_pct column is workload-determined and tight.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/cluster_batch.h"
+#include "cluster/coordinator.h"
+#include "cluster/http_client.h"
+#include "cluster/wire.h"
+#include "cluster/worker.h"
+#include "obs/json.h"
+#include "service/batch.h"
+#include "service/http_exposition.h"
+
+namespace {
+
+using namespace phpf;
+
+constexpr int kWorkers = 4;
+constexpr int kJobs = 1000;
+constexpr int kHotVariants = 24;
+constexpr int kColdEvery = 25;  // every 25th request is a cold unique
+constexpr std::int64_t kKillAfterRequests = 250;
+
+/// Problem size of request `i`: hot pool below 64, cold uniques above.
+std::int64_t variantN(int i) {
+    if (i % kColdEvery == kColdEvery - 1)
+        return 64 + 2 * (i / kColdEvery);
+    return 8 + 2 * (i % kHotVariants);
+}
+
+service::BatchJob jobAt(int i) {
+    service::BatchJob job;
+    job.name = "job-" + std::to_string(i);
+    job.program = "fig1";
+    job.n = variantN(i);
+    job.target.gridExtents = {4};
+    return job;
+}
+
+/// First sample value of `name` in a Prometheus text page (NaN = absent).
+double scrape(const std::string& page, const std::string& name) {
+    const std::string needle = name + " ";
+    for (size_t pos = 0; (pos = page.find(needle, pos)) != std::string::npos;
+         ++pos) {
+        if (pos != 0 && page[pos - 1] != '\n') continue;
+        return std::strtod(page.c_str() + pos + needle.size(), nullptr);
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+struct Farm {
+    std::vector<pid_t> pids;
+    std::vector<int> ports;
+
+    void killAll() {
+        for (pid_t p : pids)
+            if (p > 0) ::kill(p, SIGKILL);
+        for (pid_t p : pids)
+            if (p > 0) ::waitpid(p, nullptr, 0);
+        pids.clear();
+    }
+};
+
+Farm* g_farm = nullptr;
+
+[[noreturn]] void fail(const char* what) {
+    std::fprintf(stderr, "bench_cluster_soak: FAIL: %s\n", what);
+    if (g_farm != nullptr) g_farm->killAll();
+    std::exit(1);
+}
+
+/// Fork one worker subprocess (no exec — the bench binary IS the
+/// worker image). The child reports its ephemeral port over a pipe and
+/// serves until /quitquitquit; the only threads at fork time are the
+/// child's own, created after the fork.
+void forkWorker(Farm* farm, int index) {
+    int fds[2];
+    if (::pipe(fds) != 0) fail("pipe");
+    const pid_t pid = ::fork();
+    if (pid < 0) fail("fork");
+    if (pid == 0) {
+        ::close(fds[0]);
+        cluster::WorkerConfig wc;
+        wc.id = "soak-w" + std::to_string(index);
+        wc.service.workers = 2;
+        wc.service.cacheCapacity = 256;  // holds every unique variant
+        cluster::Worker worker(wc);
+        std::string err;
+        if (!worker.start(&err)) {
+            std::fprintf(stderr, "bench_cluster_soak: worker: %s\n",
+                         err.c_str());
+            ::_exit(2);
+        }
+        char line[32];
+        const int len =
+            std::snprintf(line, sizeof line, "%d\n", worker.port());
+        if (::write(fds[1], line, static_cast<size_t>(len)) != len) ::_exit(2);
+        ::close(fds[1]);
+        while (!worker.quitRequested())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        worker.stop();
+        ::_exit(0);
+    }
+    ::close(fds[1]);
+    std::string text;
+    char c;
+    while (::read(fds[0], &c, 1) == 1 && c != '\n') text.push_back(c);
+    ::close(fds[0]);
+    const int port = std::atoi(text.c_str());
+    if (port <= 0) fail("worker did not report a port");
+    farm->pids.push_back(pid);
+    farm->ports.push_back(port);
+}
+
+}  // namespace
+
+int main() {
+    // Workers fork FIRST: the parent is still single-threaded, so the
+    // children never inherit a half-held lock.
+    Farm farm;
+    g_farm = &farm;
+    for (int i = 0; i < kWorkers; ++i) forkWorker(&farm, i);
+
+    cluster::CoordinatorConfig cc;
+    cc.cacheCapacity = 16;  // << 64 uniques: force the peer tier
+    cluster::Coordinator coord(cc);
+    for (int port : farm.ports) {
+        std::string err;
+        if (!coord.addWorker("127.0.0.1:" + std::to_string(port), &err)) {
+            std::fprintf(stderr, "bench_cluster_soak: join: %s\n",
+                         err.c_str());
+            fail("worker failed to join the ring");
+        }
+    }
+
+    // The live Prometheus endpoint CI scrapes — the same exposition
+    // path phpfc --coordinator --serve-metrics uses.
+    service::MetricsHttpServer server(0);
+    server.addRegistry("phpf", &coord.metrics());
+    {
+        std::string err;
+        if (!server.start(&err)) fail("metrics server failed to start");
+    }
+
+    service::BatchSpec spec;
+    for (int i = 0; i < kJobs; ++i) spec.jobs.push_back(jobAt(i));
+
+    const std::string journalPath = "bench_cluster_soak.journal.jsonl";
+    std::remove(journalPath.c_str());
+
+    // The chaos: a REAL kill -9 of one worker once the batch is
+    // demonstrably mid-flight (sockets reset, no flushes, no goodbyes).
+    const int victim = 1;
+    std::thread killer([&] {
+        while (coord.metrics().counterValue("cluster.coord.requests") <
+               kKillAfterRequests)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ::kill(farm.pids[victim], SIGKILL);
+        ::waitpid(farm.pids[victim], nullptr, 0);
+        farm.pids[victim] = -1;
+    });
+
+    cluster::ClusterBatchOptions opts;
+    opts.journalPath = journalPath;
+    std::ostringstream rows;
+    const cluster::ClusterBatchOutcome outcome =
+        cluster::runClusterBatch(coord, spec, rows, opts);
+    killer.join();
+
+    std::printf(
+        "soak: %d job(s), %d ok, %d failed, %d local / %d peer / %d worker "
+        "hit(s), %d compiled, %d stolen, %d requeued, exactly-once=%s, "
+        "%.3f s, ring %zu/%d alive\n",
+        outcome.jobs, outcome.ok, outcome.failed, outcome.localHits,
+        outcome.peerHits, outcome.workerHits, outcome.compiles,
+        outcome.steals, outcome.requeues, outcome.exactlyOnce ? "yes" : "NO",
+        outcome.wallSec, coord.workerCount(), kWorkers);
+
+    // Gate 1: completion + the kill really bit + the tiers really ran.
+    if (outcome.jobs != kJobs || outcome.ok != kJobs || outcome.failed != 0)
+        fail("not every job completed ok");
+    if (!outcome.exactlyOnce) fail("emission guard saw a duplicate");
+    if (coord.workerCount() != kWorkers - 1)
+        fail("the killed worker is still on the ring");
+    if (outcome.localHits <= 0 || outcome.peerHits <= 0)
+        fail("a cache tier was never exercised");
+
+    // Gate 2: exactly-once from the journal — one row per job name.
+    {
+        std::ifstream in(journalPath);
+        if (!in) fail("journal missing");
+        std::set<std::string> names;
+        std::string line;
+        int n = 0;
+        while (std::getline(in, line)) {
+            if (line.empty()) continue;
+            std::string err;
+            const obs::Json j = obs::Json::parse(line, &err);
+            if (!err.empty()) fail("journal row is not JSON");
+            names.insert(j.at("job").stringValue());
+            ++n;
+        }
+        if (n != kJobs || static_cast<int>(names.size()) != kJobs)
+            fail("journal rows are not exactly-once");
+    }
+
+    // Gate 3: bit-identity against one in-process CompileService — the
+    // reference single-process run of every unique variant.
+    {
+        service::CompileService svc;
+        std::map<std::int64_t, std::string> hashByN;
+        for (int i = 0; i < kJobs; ++i) {
+            const std::int64_t n = variantN(i);
+            if (hashByN.count(n) != 0) continue;
+            service::CompileRequest req;
+            std::string err;
+            if (!service::requestOfJob(jobAt(i), &req, &err))
+                fail("reference requestOfJob");
+            const service::CompileResult r = svc.compile(req);
+            if (r.status != service::CompileStatus::Ok || !r.artifact)
+                fail("reference compile failed");
+            hashByN[n] =
+                cluster::WireArtifact::fromArtifact(*r.artifact).contentHash();
+        }
+        std::istringstream in(rows.str());
+        std::string line;
+        int checked = 0;
+        while (std::getline(in, line)) {
+            std::string err;
+            const obs::Json j = obs::Json::parse(line, &err);
+            if (!err.empty()) fail("batch row is not JSON");
+            if (j.find("summary") != nullptr) continue;
+            const int i = std::atoi(j.at("job").stringValue().c_str() + 4);
+            if (j.at("content_hash").stringValue() != hashByN[variantN(i)])
+                fail("cluster artifact differs from single-process compile");
+            ++checked;
+        }
+        if (checked != kJobs) fail("row count mismatch");
+    }
+
+    // Gate 4: the live scrape CI performs — request quantiles and tier
+    // counters on the Prometheus page.
+    const cluster::HttpResult m =
+        cluster::httpGet("127.0.0.1", server.port(), "/metrics", 5000);
+    if (!m.ok || m.status != 200) fail("live /metrics scrape failed");
+    const double p99Us =
+        scrape(m.body, "phpf_cluster_coord_request_us{quantile=\"0.99\"}");
+    const double requests =
+        scrape(m.body, "phpf_cluster_coord_requests_total");
+    const double compiles =
+        scrape(m.body, "phpf_cluster_coord_compiles_total");
+    const double localHits =
+        scrape(m.body, "phpf_cluster_coord_local_hits_total");
+    const double peerHits =
+        scrape(m.body, "phpf_cluster_coord_peer_hits_total");
+    if (!(p99Us >= 0) || !(requests >= kJobs)) fail("scrape missing series");
+    if (!(localHits > 0) || !(peerHits > 0))
+        fail("scraped tier counters are zero");
+    server.stop();
+
+    const double missRatePct = 100.0 * compiles / requests;
+    const double localRatePct = 100.0 * localHits / requests;
+    const double peerRatePct = 100.0 * peerHits / requests;
+    std::printf("soak: p99 %.2f ms, miss %.1f%%, local %.1f%%, peer %.1f%%\n",
+                p99Us / 1000.0, missRatePct, localRatePct, peerRatePct);
+
+    bench::printHeader("Cluster soak: 1000 mixed requests, 4 workers, one "
+                       "SIGKILL mid-run",
+                       {"p99_ms", "two_tier_miss_rate_pct",
+                        "local_hit_rate_pct", "peer_hit_rate_pct",
+                        "wall_sec"});
+    bench::printRow(kWorkers, {p99Us / 1000.0, missRatePct, localRatePct,
+                               peerRatePct, outcome.wallSec});
+
+    // Orderly shutdown of the survivors, then reap.
+    for (size_t i = 0; i < farm.ports.size(); ++i) {
+        if (farm.pids[i] <= 0) continue;
+        (void)cluster::httpGet("127.0.0.1", farm.ports[i], "/quitquitquit",
+                               2000);
+    }
+    for (pid_t& p : farm.pids) {
+        if (p <= 0) continue;
+        for (int spin = 0; spin < 200; ++spin) {
+            if (::waitpid(p, nullptr, WNOHANG) == p) {
+                p = -1;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    farm.killAll();  // SIGKILL any straggler, reap the rest
+    std::remove(journalPath.c_str());
+    std::printf("bench_cluster_soak: PASS\n");
+    return 0;
+}

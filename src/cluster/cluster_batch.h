@@ -1,0 +1,73 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/coordinator.h"
+#include "service/batch.h"
+
+namespace phpf::cluster {
+
+/// Crash-safety and scheduling knobs of one runClusterBatch().
+struct ClusterBatchOptions {
+    /// Append every completed job row to this JSONL file, flushed
+    /// before the next row is emitted — the same journal contract as
+    /// service::runBatch, so a killed coordinator leaves a valid record
+    /// of everything that finished. Empty disables journaling.
+    std::string journalPath;
+    /// Skip jobs already journaled by a previous (killed) run: kill +
+    /// --resume completes the batch with every job emitted exactly
+    /// once.
+    bool resume = false;
+    /// Dispatcher threads per alive worker. Each dispatcher drains its
+    /// own worker's affinity queue and steals from the longest other
+    /// queue when idle.
+    int dispatchersPerWorker = 1;
+    /// Times one job may be re-queued after exhausting the
+    /// coordinator's per-request attempts before it is declared failed.
+    int maxRequeues = 2;
+};
+
+struct ClusterBatchOutcome {
+    int jobs = 0;
+    int ok = 0;
+    int failed = 0;
+    int skipped = 0;  ///< resumed: journal already had the row
+    int localHits = 0;
+    int peerHits = 0;
+    int workerHits = 0;  ///< executing worker's own cache hits
+    int compiles = 0;    ///< remote compiles that actually ran
+    int steals = 0;      ///< jobs executed off their owner's queue
+    int requeues = 0;
+    double wallSec = 0;
+    /// False iff some job reached the emission point twice — the
+    /// invariant the journal + done-set guard exists to enforce. (A
+    /// duplicate is counted and suppressed, never double-emitted, so
+    /// this flag is the proof obligation, not damage control.)
+    bool exactlyOnce = true;
+};
+
+/// Run a batch through the cluster with per-worker affinity queues and
+/// work stealing:
+///
+///   - every job is queued on its ring owner's queue (affinity: the
+///     owner most likely holds the warm cache entry)
+///   - one dispatcher (or more) per worker drains its own queue first,
+///     then steals from the longest other queue, passing its own
+///     worker as the preferred executor — a slow or dead worker's
+///     backlog flows to the survivors instead of stalling the batch
+///   - a job whose attempts exhaust transiently is re-queued (bounded
+///     by maxRequeues) on its CURRENT ring owner — re-owned hash
+///     ranges re-route automatically
+///   - one JSONL row per job (input order not guaranteed — rows carry
+///     names), then a summary row; rows pass through a single guarded
+///     emission point, which with the journal's done-set makes
+///     completion exactly-once even across kill -9 + --resume
+///
+/// Writes one row per job plus {"summary": true, ...} to `out`.
+ClusterBatchOutcome runClusterBatch(Coordinator& coord,
+                                    const service::BatchSpec& spec,
+                                    std::ostream& out,
+                                    const ClusterBatchOptions& opts = {});
+
+}  // namespace phpf::cluster

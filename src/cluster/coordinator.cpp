@@ -1,0 +1,351 @@
+#include "cluster/coordinator.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+#include "cluster/http_client.h"
+#include "service/fingerprint.h"
+
+namespace phpf::cluster {
+
+using service::CompileStatus;
+using service::ErrorCode;
+
+Coordinator::Coordinator(CoordinatorConfig cfg)
+    : cfg_(std::move(cfg)), ring_(cfg_.ringReplicas) {
+    const FaultInjector* inj = cfg_.faults != nullptr
+                                   ? cfg_.faults
+                                   : FaultInjector::processIfEnabled();
+    if (inj != nullptr)
+        partitionSite_ = inj->find(faultsite::kClusterPartition);
+}
+
+bool Coordinator::addWorker(const std::string& endpoint, std::string* err) {
+    ProbeResult p = probeWorker(endpoint);
+    if (!p.alive) {
+        if (err) *err = "worker " + endpoint + ": " + p.error;
+        return false;
+    }
+    return true;
+}
+
+ProbeResult Coordinator::probeWorker(const std::string& endpoint) {
+    ProbeResult p;
+    std::string host;
+    int port = 0;
+    if (!parseEndpoint(endpoint, &host, &port)) {
+        p.error = "malformed endpoint";
+        return p;
+    }
+    registry_.counter("cluster.coord.probes").add();
+    HttpResult r = httpGet(host, port, "/healthz", cfg_.probeTimeoutMs);
+    if (!r.ok || r.status != 200) {
+        p.error = r.ok ? "healthz status " + std::to_string(r.status)
+                       : r.error;
+        markDead(endpoint);
+        return p;
+    }
+    obs::Json h = obs::Json::parse(r.body);
+    p.id = h.at("worker").stringValue();
+    p.wireVersion = static_cast<int>(h.at("wire_version").intValue());
+    if (p.wireVersion != kWireVersion) {
+        // Answering probes but speaking another protocol: stale. Off
+        // the ring it goes until it comes back speaking ours.
+        p.error = "wire version " + std::to_string(p.wireVersion);
+        registry_.counter("cluster.coord.stale_workers").add();
+        markDead(endpoint);
+        return p;
+    }
+    p.alive = true;
+    markAlive(endpoint, p.id);
+    return p;
+}
+
+std::vector<std::string> Coordinator::aliveWorkers() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.nodes();
+}
+
+std::size_t Coordinator::workerCount() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.size();
+}
+
+std::string Coordinator::routingKey(const service::BatchJob& job) {
+    // Canonical wire form minus the label: two jobs differing only in
+    // their row name are the same compile and must route (and cache)
+    // identically. File jobs resolve to source first for the same
+    // reason a wire request does — routing must not depend on paths.
+    service::BatchJob canonical = job;
+    canonical.name.clear();
+    std::uint64_t h = service::fnv1a64(encodeCompileRequest(canonical));
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "r%016" PRIx64, h);
+    return buf;
+}
+
+std::string Coordinator::ownerOf(const service::BatchJob& job) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.ownerOf(routingKey(job));
+}
+
+void Coordinator::markDead(const std::string& endpoint) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = workers_.find(endpoint);
+    bool wasAlive = it != workers_.end() && it->second.alive;
+    workers_[endpoint].alive = false;
+    if (ring_.contains(endpoint)) {
+        ring_.remove(endpoint);  // hash range re-owned by survivors
+        if (wasAlive) registry_.counter("cluster.coord.workers_lost").add();
+    }
+}
+
+void Coordinator::markAlive(const std::string& endpoint,
+                            const std::string& id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    WorkerInfo& info = workers_[endpoint];
+    if (!info.id.empty() && info.id != id) {
+        // Same endpoint, new identity: a restarted worker. Its cache is
+        // gone, so drop hints pointing at it.
+        for (auto it = hints_.begin(); it != hints_.end();) {
+            if (it->second.worker == endpoint)
+                it = hints_.erase(it);
+            else
+                ++it;
+        }
+        registry_.counter("cluster.coord.workers_restarted").add();
+    }
+    info.id = id;
+    info.alive = true;
+    ring_.add(endpoint);
+}
+
+bool Coordinator::cacheGet(const std::string& rkey, WireArtifact* out) {
+    std::lock_guard<std::mutex> lk(cacheMu_);
+    auto it = cacheIndex_.find(rkey);
+    if (it == cacheIndex_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    *out = it->second->second;
+    return true;
+}
+
+void Coordinator::cachePut(const std::string& rkey, const WireArtifact& a) {
+    std::lock_guard<std::mutex> lk(cacheMu_);
+    auto it = cacheIndex_.find(rkey);
+    if (it != cacheIndex_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second->second = a;
+        return;
+    }
+    lru_.emplace_front(rkey, a);
+    cacheIndex_[rkey] = lru_.begin();
+    while (lru_.size() > cfg_.cacheCapacity) {
+        cacheIndex_.erase(lru_.back().first);
+        lru_.pop_back();
+        registry_.counter("cluster.coord.local_evictions").add();
+    }
+}
+
+ClusterOutcome Coordinator::compileJob(const service::BatchJob& job,
+                                       const std::string& preferred) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ClusterOutcome out = compileTiers(job, preferred);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    registry_.histogram("cluster.coord.request_us")
+        .record(static_cast<double>(us));
+    return out;
+}
+
+ClusterOutcome Coordinator::compileTiers(const service::BatchJob& job,
+                                         const std::string& preferred) {
+    registry_.counter("cluster.coord.requests").add();
+    const std::string rkey = routingKey(job);
+
+    // Tier 1: coordinator-local LRU.
+    ClusterOutcome out;
+    if (cacheGet(rkey, &out.artifact)) {
+        registry_.counter("cluster.coord.local_hits").add();
+        out.status = CompileStatus::Ok;
+        out.code = ErrorCode::None;
+        out.localHit = true;
+        out.hasArtifact = true;
+        return out;
+    }
+
+    // Tier 2: peer fetch from the worker that last compiled this key.
+    Hint hint;
+    bool hasHint = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = hints_.find(rkey);
+        if (it != hints_.end() && ring_.contains(it->second.worker)) {
+            hint = it->second;
+            hasHint = true;
+        }
+    }
+    if (hasHint) {
+        registry_.counter("cluster.coord.peer_fetches").add();
+        if (FaultInjector::poll(partitionSite_)) {
+            // Partitioned away: drop the fetch before any bytes move
+            // and degrade to the compute tier.
+            registry_.counter("cluster.coord.partitions").add();
+        } else {
+            std::string host;
+            int port = 0;
+            if (parseEndpoint(hint.worker, &host, &port)) {
+                HttpResult r = httpGet(host, port,
+                                       "/artifact/" + hint.artifactKey,
+                                       cfg_.peerFetchTimeoutMs);
+                WireResponse wr;
+                std::string perr;
+                if (r.ok && r.status == 200 &&
+                    parseWireResponse(r.body, &wr, &perr) && wr.ok()) {
+                    registry_.counter("cluster.coord.peer_hits").add();
+                    cachePut(rkey, wr.artifact);
+                    out.status = CompileStatus::Ok;
+                    out.code = ErrorCode::None;
+                    out.peerHit = true;
+                    out.worker = hint.worker;
+                    out.hasArtifact = true;
+                    out.artifact = std::move(wr.artifact);
+                    return out;
+                }
+                registry_.counter("cluster.coord.peer_misses").add();
+                if (!r.ok)  // transport failure, not just an evicted key
+                    probeWorker(hint.worker);
+            }
+        }
+    }
+
+    // Tier 3: compute.
+    return computeTier(job, rkey, preferred);
+}
+
+ClusterOutcome Coordinator::computeTier(const service::BatchJob& job,
+                                        const std::string& rkey,
+                                        const std::string& preferred) {
+    ClusterOutcome out;
+    const std::string body = encodeCompileRequest(job);
+    std::int64_t backoffMs = cfg_.retryBackoffMs;
+    std::string skip;  // endpoint the previous attempt failed on
+
+    for (int attempt = 0; attempt < cfg_.maxAttempts; ++attempt) {
+        // Route: the thief's own worker when alive, else the ring owner
+        // (skipping the endpoint that just failed us — its probe may
+        // not have removed it, e.g. StaleWorker keeps a live process on
+        // the ring).
+        std::string target;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!preferred.empty() && ring_.contains(preferred) &&
+                preferred != skip) {
+                target = preferred;
+            } else {
+                for (const std::string& ep : ring_.ownersOf(rkey, 2)) {
+                    if (ep != skip) {
+                        target = ep;
+                        break;
+                    }
+                }
+            }
+        }
+        if (target.empty()) {
+            out.code = ErrorCode::RemoteUnreachable;
+            out.error = "no alive worker";
+            break;
+        }
+
+        std::string host;
+        int port = 0;
+        if (!parseEndpoint(target, &host, &port)) {
+            out.code = ErrorCode::RemoteUnreachable;
+            out.error = "malformed worker endpoint " + target;
+            break;
+        }
+
+        ++out.attempts;
+        if (attempt > 0) {
+            registry_.counter("cluster.coord.retries").add();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs));
+            backoffMs *= 2;
+        }
+
+        HttpResult r =
+            httpPost(host, port, "/compile", body, cfg_.requestTimeoutMs);
+        WireResponse wr;
+        std::string perr;
+        if (!r.ok) {
+            out.code = r.code;  // RemoteUnreachable | PeerTimeout
+            out.error = target + ": " + r.error;
+        } else if (!parseWireResponse(r.body, &wr, &perr)) {
+            out.code = ErrorCode::StaleWorker;
+            out.error = target + ": unparseable response: " + perr;
+        } else {
+            // Identity check: an endpoint answering with an unknown id
+            // is a restarted (stale) worker whose cache state we
+            // mis-model — discard and re-route.
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                auto it = workers_.find(target);
+                if (wr.code != ErrorCode::StaleWorker &&
+                    it != workers_.end() && !it->second.id.empty() &&
+                    !wr.worker.empty() && wr.worker != it->second.id) {
+                    wr.status = CompileStatus::Error;
+                    wr.code = ErrorCode::StaleWorker;
+                    wr.error = "identity changed: " + wr.worker;
+                    wr.hasArtifact = false;
+                }
+            }
+            out.status = wr.status;
+            out.code = wr.code;
+            out.error = wr.error;
+            out.worker = target;
+            if (wr.ok()) {
+                registry_.counter("cluster.coord.compiles").add();
+                if (wr.cacheHit) {
+                    registry_.counter("cluster.coord.worker_hits").add();
+                    out.workerHit = true;
+                }
+                out.hasArtifact = true;
+                out.artifact = std::move(wr.artifact);
+                cachePut(rkey, out.artifact);
+                std::lock_guard<std::mutex> lk(mu_);
+                hints_[rkey] = Hint{out.artifact.key, target};
+                return out;
+            }
+        }
+
+        if (!service::isTransient(out.code)) {
+            // Permanent failure (parse error, deadline, internal):
+            // retrying elsewhere would fail identically.
+            registry_.counter("cluster.coord.permanent_failures").add();
+            return out;
+        }
+        registry_.counter("cluster.coord.transient_failures").add();
+
+        // Transient: decide whether the worker is sick or just the
+        // request. A probe that fails (or reports a skewed wire
+        // version) removes the worker from the ring — its hash range
+        // re-owned by the survivors; `skip` additionally steers this
+        // job's next attempt away even when the probe passes.
+        if (out.code == ErrorCode::RemoteUnreachable ||
+            out.code == ErrorCode::PeerTimeout ||
+            out.code == ErrorCode::StaleWorker)
+            probeWorker(target);
+        skip = target;
+        out.status = CompileStatus::Error;
+        out.hasArtifact = false;
+    }
+
+    registry_.counter("cluster.coord.exhausted").add();
+    if (out.error.empty()) out.error = "attempts exhausted";
+    out.status = CompileStatus::Error;
+    return out;
+}
+
+}  // namespace phpf::cluster

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/wire.h"
+#include "obs/metrics.h"
+#include "service/batch.h"
+#include "support/fault.h"
+
+namespace phpf::cluster {
+
+struct CoordinatorConfig {
+    /// Per-request wall budget of one POST /compile exchange. Generous:
+    /// a slow compile is not a dead worker.
+    int requestTimeoutMs = 30000;
+    /// Health-probe budget (GET /healthz). Tight: probes answer from
+    /// memory, so a slow probe IS a sick worker.
+    int probeTimeoutMs = 2000;
+    int peerFetchTimeoutMs = 5000;
+    /// Total remote attempts per job across workers (first try
+    /// included). Each transient failure re-routes to the next ring
+    /// owner after an exponentially growing backoff.
+    int maxAttempts = 4;
+    std::int64_t retryBackoffMs = 2;  ///< first backoff; doubles
+    /// Coordinator-local artifact tier. Deliberately small by default:
+    /// the workers hold the real cache, and a tight local tier is what
+    /// makes the peer-fetch path actually exercise (and show up in
+    /// metrics) instead of being shadowed.
+    std::size_t cacheCapacity = 64;
+    int ringReplicas = 64;
+    /// Fault source for cluster.partition (null = process injector).
+    const FaultInjector* faults = nullptr;
+};
+
+/// Outcome of one cluster compile as seen by the coordinator.
+struct ClusterOutcome {
+    service::CompileStatus status = service::CompileStatus::Error;
+    service::ErrorCode code = service::ErrorCode::Internal;
+    bool localHit = false;   ///< served from the coordinator tier
+    bool peerHit = false;    ///< served by GET /artifact from a peer
+    bool workerHit = false;  ///< the executing worker's own cache hit
+    int attempts = 0;        ///< remote exchanges performed
+    std::string worker;      ///< endpoint that served it (empty on local)
+    std::string error;
+    bool hasArtifact = false;
+    WireArtifact artifact;
+
+    [[nodiscard]] bool ok() const {
+        return status == service::CompileStatus::Ok && hasArtifact;
+    }
+};
+
+/// Result of probing one worker's /healthz.
+struct ProbeResult {
+    bool alive = false;
+    std::string id;
+    int wireVersion = 0;
+    std::string error;
+};
+
+/// The cluster's routing brain: owns the consistent-hash ring of live
+/// workers and a two-tier artifact cache, and turns one BatchJob into
+/// one artifact by walking the tiers:
+///
+///   1. local LRU (coordinator tier) — keyed by the job's routing key
+///   2. peer fetch — GET /artifact/<key> from the worker that last
+///      compiled it (location hints; subject to cluster.partition)
+///   3. compute — POST /compile on the preferred worker (work
+///      stealing) or the ring owner, with retry-with-backoff across
+///      ring successors on transient ErrorCodes
+///
+/// A worker that fails a request AND its follow-up health probe is
+/// declared dead: removed from the ring (its hash range re-owned by
+/// the survivors) until a later probe revives it. Thread-safe — the
+/// batch scheduler calls compileJob from many dispatcher threads.
+class Coordinator {
+public:
+    explicit Coordinator(CoordinatorConfig cfg = {});
+
+    /// Probe `endpoint` and add it to the ring. False (with *err) when
+    /// the probe fails or the worker speaks the wrong wire version.
+    bool addWorker(const std::string& endpoint, std::string* err = nullptr);
+
+    /// Probe a known worker now: revives it when it answers, declares
+    /// it dead when it does not.
+    ProbeResult probeWorker(const std::string& endpoint);
+
+    /// Alive workers' endpoints (= current ring membership).
+    [[nodiscard]] std::vector<std::string> aliveWorkers() const;
+    [[nodiscard]] std::size_t workerCount() const;
+
+    /// Routing key of a job: a stable hash of its canonical wire form.
+    /// (Not the content-addressed artifact key — that needs a parse,
+    /// which is the workers' job. Hints map routing keys to true keys.)
+    [[nodiscard]] static std::string routingKey(const service::BatchJob& job);
+
+    /// Ring owner of `job` right now ("" when no worker is alive).
+    [[nodiscard]] std::string ownerOf(const service::BatchJob& job) const;
+
+    /// Compile `job` through the tiers. `preferred` (a worker endpoint)
+    /// overrides ring routing for the compute tier when alive — the
+    /// work-stealing scheduler passes its own worker so stolen jobs
+    /// execute on the thief.
+    [[nodiscard]] ClusterOutcome compileJob(const service::BatchJob& job,
+                                            const std::string& preferred = {});
+
+    [[nodiscard]] const obs::MetricRegistry& metrics() const {
+        return registry_;
+    }
+    [[nodiscard]] obs::MetricRegistry& metricsMutable() { return registry_; }
+
+private:
+    struct WorkerInfo {
+        std::string id;  ///< worker-reported identity (probe-time)
+        bool alive = false;
+    };
+    struct Hint {
+        std::string artifactKey;
+        std::string worker;  ///< endpoint that last produced it
+    };
+
+    void markDead(const std::string& endpoint);
+    void markAlive(const std::string& endpoint, const std::string& id);
+    [[nodiscard]] ClusterOutcome compileTiers(const service::BatchJob& job,
+                                              const std::string& preferred);
+    [[nodiscard]] ClusterOutcome computeTier(const service::BatchJob& job,
+                                             const std::string& rkey,
+                                             const std::string& preferred);
+    bool cacheGet(const std::string& rkey, WireArtifact* out);
+    void cachePut(const std::string& rkey, const WireArtifact& a);
+
+    CoordinatorConfig cfg_;
+    FaultSite* partitionSite_ = nullptr;
+
+    mutable std::mutex mu_;  ///< ring, workers, hints
+    HashRing ring_;
+    std::unordered_map<std::string, WorkerInfo> workers_;  ///< by endpoint
+    std::unordered_map<std::string, Hint> hints_;  ///< routing key -> hint
+
+    std::mutex cacheMu_;
+    std::list<std::pair<std::string, WireArtifact>> lru_;  ///< front = hottest
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, WireArtifact>>::iterator>
+        cacheIndex_;
+
+    obs::MetricRegistry registry_;
+};
+
+}  // namespace phpf::cluster

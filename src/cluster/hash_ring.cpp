@@ -1,0 +1,90 @@
+#include "cluster/hash_ring.h"
+
+#include "service/fingerprint.h"
+
+namespace phpf::cluster {
+namespace {
+
+// splitmix64 finalizer. FNV-1a ends in a single multiply, so short
+// node names that differ only in the trailing character ("w1".."w4")
+// hash to points a few primes apart — tight clusters on the 64-bit
+// circle whose arc all belongs to one node. Full avalanche scatters
+// them.
+std::uint64_t mix64(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t pointOf(const std::string& node, int replica) {
+    return mix64(service::fnv1a64(node) +
+                 0x9e3779b97f4a7c15ull * (replica + 1));
+}
+
+std::uint64_t pointOfKey(const std::string& key) {
+    return mix64(service::fnv1a64(key));
+}
+
+}  // namespace
+
+HashRing::HashRing(int replicas) : replicas_(replicas < 1 ? 1 : replicas) {}
+
+void HashRing::add(const std::string& node) {
+    if (node.empty() || !nodes_.insert(node).second) return;
+    for (int r = 0; r < replicas_; ++r) {
+        // Collisions resolve to the lexically smaller node (map::emplace
+        // keeps the first insert) — deterministic either way.
+        auto [it, inserted] = ring_.emplace(pointOf(node, r), node);
+        if (!inserted && node < it->second) it->second = node;
+    }
+}
+
+void HashRing::remove(const std::string& node) {
+    if (nodes_.erase(node) == 0) return;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == node)
+            it = ring_.erase(it);
+        else
+            ++it;
+    }
+    // Re-add surviving nodes' points that a collision may have ceded to
+    // the removed node (rare; replicas are cheap to recompute).
+    for (const std::string& n : nodes_)
+        for (int r = 0; r < replicas_; ++r) ring_.emplace(pointOf(n, r), n);
+}
+
+bool HashRing::contains(const std::string& node) const {
+    return nodes_.count(node) != 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+    return {nodes_.begin(), nodes_.end()};
+}
+
+std::string HashRing::ownerOf(const std::string& key) const {
+    if (ring_.empty()) return {};
+    auto it = ring_.lower_bound(pointOfKey(key));
+    if (it == ring_.end()) it = ring_.begin();  // wrap the circle
+    return it->second;
+}
+
+std::vector<std::string> HashRing::ownersOf(const std::string& key,
+                                            std::size_t count) const {
+    std::vector<std::string> out;
+    if (ring_.empty() || count == 0) return out;
+    if (count > nodes_.size()) count = nodes_.size();
+    auto it = ring_.lower_bound(pointOfKey(key));
+    if (it == ring_.end()) it = ring_.begin();
+    std::set<std::string> seen;
+    while (out.size() < count) {
+        if (seen.insert(it->second).second) out.push_back(it->second);
+        ++it;
+        if (it == ring_.end()) it = ring_.begin();
+    }
+    return out;
+}
+
+}  // namespace phpf::cluster

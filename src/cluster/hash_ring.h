@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace phpf::cluster {
+
+/// Consistent-hash ring over named nodes (worker endpoints). Each node
+/// owns `replicas` virtual points on a 64-bit circle; a key is owned by
+/// the first virtual point at or clockwise after its hash. Adding or
+/// removing one node therefore moves only ~1/N of the key space — the
+/// property that makes worker death survivable without re-routing the
+/// whole cluster's cache.
+///
+/// Deterministic: point positions depend only on node names, so every
+/// coordinator (and every run) derives the identical ownership map.
+/// Not internally synchronized — the owner serializes access.
+class HashRing {
+public:
+    explicit HashRing(int replicas = 64);
+
+    /// Idempotent; re-adding an existing node is a no-op.
+    void add(const std::string& node);
+    /// Idempotent; removing an absent node is a no-op.
+    void remove(const std::string& node);
+
+    [[nodiscard]] bool contains(const std::string& node) const;
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] bool empty() const { return nodes_.empty(); }
+    [[nodiscard]] std::vector<std::string> nodes() const;
+
+    /// The node owning `key`, or "" when the ring is empty.
+    [[nodiscard]] std::string ownerOf(const std::string& key) const;
+
+    /// Distinct nodes in ownership order starting at `key`'s owner —
+    /// the failover sequence (try owner, then the next clockwise node,
+    /// ...). At most `count` entries.
+    [[nodiscard]] std::vector<std::string> ownersOf(const std::string& key,
+                                                    std::size_t count) const;
+
+private:
+    int replicas_;
+    std::set<std::string> nodes_;
+    std::map<std::uint64_t, std::string> ring_;  ///< point -> node
+};
+
+}  // namespace phpf::cluster

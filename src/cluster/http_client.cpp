@@ -1,0 +1,184 @@
+#include "cluster/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace phpf::cluster {
+namespace {
+
+using service::ErrorCode;
+
+void setDeadlines(int fd, int timeoutMs) {
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool sendAll(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                         MSG_NOSIGNAL
+#else
+                         0
+#endif
+        );
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+HttpResult fail(ErrorCode code, std::string detail) {
+    HttpResult r;
+    r.code = code;
+    r.error = std::move(detail);
+    return r;
+}
+
+HttpResult exchange(const std::string& host, int port,
+                    const std::string& request, int timeoutMs) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail(ErrorCode::RemoteUnreachable, "socket() failed");
+    setDeadlines(fd, timeoutMs);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close(fd);
+        return fail(ErrorCode::RemoteUnreachable, "bad address " + host);
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        // A connect that timed out is a timeout; anything else (refused,
+        // reset, unreachable) means no process is listening there.
+        ErrorCode code = (errno == EINPROGRESS || errno == ETIMEDOUT ||
+                          errno == EAGAIN || errno == EWOULDBLOCK)
+                             ? ErrorCode::PeerTimeout
+                             : ErrorCode::RemoteUnreachable;
+        std::string detail = std::string("connect: ") + std::strerror(errno);
+        close(fd);
+        return fail(code, std::move(detail));
+    }
+    if (!sendAll(fd, request)) {
+        std::string detail = std::string("send: ") + std::strerror(errno);
+        close(fd);
+        return fail(ErrorCode::RemoteUnreachable, std::move(detail));
+    }
+
+    // Read until the peer closes or we have headers + Content-Length
+    // bytes of body. The servers we talk to always send Content-Length
+    // and close per-request, so either condition completes a response.
+    std::string raw;
+    std::size_t headerEnd = std::string::npos;
+    std::size_t contentLength = std::string::npos;
+    char buf[8192];
+    for (;;) {
+        ssize_t n = recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            bool timedOut = errno == EAGAIN || errno == EWOULDBLOCK;
+            close(fd);
+            return fail(timedOut ? ErrorCode::PeerTimeout
+                                 : ErrorCode::RemoteUnreachable,
+                        std::string("recv: ") + std::strerror(errno));
+        }
+        if (n == 0) break;  // orderly close
+        raw.append(buf, static_cast<std::size_t>(n));
+        if (headerEnd == std::string::npos) {
+            headerEnd = raw.find("\r\n\r\n");
+            if (headerEnd != std::string::npos) {
+                // Scan headers for Content-Length (case-insensitive).
+                std::size_t pos = 0;
+                while (pos < headerEnd) {
+                    std::size_t eol = raw.find("\r\n", pos);
+                    if (eol == std::string::npos || eol > headerEnd) break;
+                    std::string line = raw.substr(pos, eol - pos);
+                    std::size_t colon = line.find(':');
+                    if (colon != std::string::npos) {
+                        std::string name = line.substr(0, colon);
+                        for (char& c : name)
+                            c = static_cast<char>(
+                                std::tolower(static_cast<unsigned char>(c)));
+                        if (name == "content-length")
+                            contentLength = static_cast<std::size_t>(
+                                std::strtoull(line.c_str() + colon + 1,
+                                              nullptr, 10));
+                    }
+                    pos = eol + 2;
+                }
+            }
+        }
+        if (headerEnd != std::string::npos &&
+            contentLength != std::string::npos &&
+            raw.size() >= headerEnd + 4 + contentLength)
+            break;
+    }
+    close(fd);
+
+    if (headerEnd == std::string::npos) {
+        // Connection dropped before headers completed — the abrupt-death
+        // signature (a killed worker, or closeAbruptly in tests).
+        return fail(ErrorCode::RemoteUnreachable,
+                    raw.empty() ? "connection closed without response"
+                                : "connection closed mid-headers");
+    }
+
+    HttpResult r;
+    // Status line: "HTTP/1.1 200 OK"
+    std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos || sp + 4 > headerEnd)
+        return fail(ErrorCode::RemoteUnreachable, "malformed status line");
+    r.status = static_cast<int>(std::strtol(raw.c_str() + sp + 1, nullptr, 10));
+    if (r.status < 100 || r.status > 599)
+        return fail(ErrorCode::RemoteUnreachable, "malformed status code");
+    std::size_t bodyStart = headerEnd + 4;
+    r.body = contentLength != std::string::npos
+                 ? raw.substr(bodyStart, contentLength)
+                 : raw.substr(bodyStart);
+    r.ok = true;
+    r.code = ErrorCode::None;
+    return r;
+}
+
+}  // namespace
+
+HttpResult httpGet(const std::string& host, int port, const std::string& path,
+                   int timeoutMs) {
+    std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                      "\r\nConnection: close\r\n\r\n";
+    return exchange(host, port, req, timeoutMs);
+}
+
+HttpResult httpPost(const std::string& host, int port, const std::string& path,
+                    const std::string& body, int timeoutMs) {
+    std::string req = "POST " + path + " HTTP/1.1\r\nHost: " + host +
+                      "\r\nContent-Type: application/json\r\nContent-Length: " +
+                      std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n" + body;
+    return exchange(host, port, req, timeoutMs);
+}
+
+bool parseEndpoint(const std::string& endpoint, std::string* host, int* port) {
+    std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= endpoint.size())
+        return false;
+    long p = std::strtol(endpoint.c_str() + colon + 1, nullptr, 10);
+    if (p < 1 || p > 65535) return false;
+    *host = endpoint.substr(0, colon);
+    *port = static_cast<int>(p);
+    return true;
+}
+
+}  // namespace phpf::cluster

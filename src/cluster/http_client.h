@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "service/error_code.h"
+
+namespace phpf::cluster {
+
+/// Outcome of one HTTP exchange. Transport failures map onto the
+/// remote-layer ErrorCodes — the coordinator's retry policy branches on
+/// `code`, never on errno text:
+///   RemoteUnreachable  connect/send failed outright (dead process,
+///                      refused port, reset mid-write)
+///   PeerTimeout        connected but the response never completed
+///                      within the deadline
+struct HttpResult {
+    bool ok = false;  ///< a complete HTTP response was received
+    service::ErrorCode code = service::ErrorCode::None;
+    int status = 0;  ///< HTTP status when ok
+    std::string body;
+    std::string error;  ///< human-readable transport detail
+};
+
+/// Minimal blocking HTTP/1.1 client for the cluster's loopback plane —
+/// the counterpart of MetricsHttpServer, equally dependency-free. Every
+/// socket carries send/receive deadlines, so a wedged peer costs the
+/// caller at most ~timeoutMs, never a hang.
+[[nodiscard]] HttpResult httpGet(const std::string& host, int port,
+                                 const std::string& path, int timeoutMs);
+[[nodiscard]] HttpResult httpPost(const std::string& host, int port,
+                                  const std::string& path,
+                                  const std::string& body, int timeoutMs);
+
+/// Split "HOST:PORT" (e.g. "127.0.0.1:9301"). False on a malformed
+/// endpoint or out-of-range port.
+bool parseEndpoint(const std::string& endpoint, std::string* host, int* port);
+
+}  // namespace phpf::cluster

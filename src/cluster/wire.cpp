@@ -1,0 +1,236 @@
+#include "cluster/wire.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "service/fingerprint.h"
+
+namespace phpf::cluster {
+namespace {
+
+using service::CompileStatus;
+using service::ErrorCode;
+
+std::string hex16(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
+}
+
+bool parseStatus(const std::string& s, CompileStatus* out) {
+    if (s == "ok") *out = CompileStatus::Ok;
+    else if (s == "parse-error") *out = CompileStatus::ParseError;
+    else if (s == "deadline-exceeded") *out = CompileStatus::DeadlineExceeded;
+    else if (s == "error") *out = CompileStatus::Error;
+    else return false;
+    return true;
+}
+
+bool parseCode(const std::string& s, ErrorCode* out) {
+    for (ErrorCode c : {ErrorCode::None, ErrorCode::ParseError,
+                        ErrorCode::EmptyRequest, ErrorCode::BuilderFailed,
+                        ErrorCode::DeadlineExceeded, ErrorCode::Cancelled,
+                        ErrorCode::TransientFault, ErrorCode::MemoryPressure,
+                        ErrorCode::Internal, ErrorCode::RemoteUnreachable,
+                        ErrorCode::PeerTimeout, ErrorCode::StaleWorker}) {
+        if (s == service::errorCodeName(c)) {
+            *out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string WireArtifact::contentHash() const {
+    // Chain one FNV-1a stream through every field; field separators
+    // ('\x1f') keep ("ab","c") distinct from ("a","bc").
+    std::uint64_t h = service::fnv1a64(key);
+    auto mix = [&h](const std::string& s) {
+        h = service::fnv1a64("\x1f", h);
+        h = service::fnv1a64(s, h);
+    };
+    mix(programName);
+    mix(spmdText);
+    mix(decisionReport);
+    // Doubles hash at the wire's serialization precision (obs::Json
+    // emits %.12g) so the hash survives a JSON round trip.
+    char num[128];
+    std::snprintf(num, sizeof num, "%.12g|%.12g|%lld|%.12g", computeSec,
+                  commSec, static_cast<long long>(messageEvents), commBytes);
+    mix(num);
+    return "h" + hex16(h);
+}
+
+WireArtifact WireArtifact::fromArtifact(const service::CompileArtifact& a) {
+    WireArtifact w;
+    w.key = a.key;
+    w.programName = a.programName;
+    w.spmdText = a.spmdText;
+    w.decisionReport = a.decisionReport;
+    w.computeSec = a.cost.computeSec;
+    w.commSec = a.cost.commSec;
+    w.messageEvents = a.cost.messageEvents;
+    w.commBytes = a.cost.commBytes;
+    return w;
+}
+
+obs::Json WireArtifact::toJson() const {
+    obs::Json j = obs::Json::object();
+    j.set("key", key);
+    j.set("program", programName);
+    j.set("spmd", spmdText);
+    j.set("decisions", decisionReport);
+    obs::Json cost = obs::Json::object();
+    cost.set("compute_sec", computeSec);
+    cost.set("comm_sec", commSec);
+    cost.set("message_events", messageEvents);
+    cost.set("comm_bytes", commBytes);
+    j.set("cost", std::move(cost));
+    j.set("content_hash", contentHash());
+    return j;
+}
+
+bool WireArtifact::fromJson(const obs::Json& j, WireArtifact* out,
+                            std::string* err) {
+    if (!j.isObject()) {
+        if (err) *err = "artifact: not an object";
+        return false;
+    }
+    WireArtifact w;
+    const obs::Json* f = j.find("key");
+    if (f == nullptr || !f->isString()) {
+        if (err) *err = "artifact: missing key";
+        return false;
+    }
+    w.key = f->stringValue();
+    w.programName = j.at("program").stringValue();
+    w.spmdText = j.at("spmd").stringValue();
+    w.decisionReport = j.at("decisions").stringValue();
+    const obs::Json& cost = j.at("cost");
+    w.computeSec = cost.at("compute_sec").numberValue();
+    w.commSec = cost.at("comm_sec").numberValue();
+    w.messageEvents = cost.at("message_events").intValue();
+    w.commBytes = cost.at("comm_bytes").numberValue();
+    const obs::Json* hash = j.find("content_hash");
+    if (hash == nullptr || !hash->isString() ||
+        hash->stringValue() != w.contentHash()) {
+        if (err) *err = "artifact: content hash mismatch";
+        return false;
+    }
+    *out = std::move(w);
+    return true;
+}
+
+std::string encodeCompileRequest(const service::BatchJob& job) {
+    obs::Json j = obs::Json::object();
+    j.set("v", kWireVersion);
+    j.set("job", service::batchJobToJson(job, /*resolveFiles=*/true));
+    return j.dump(-1);
+}
+
+bool parseCompileRequest(const std::string& body, service::BatchJob* out,
+                         std::string* err) {
+    std::string perr;
+    obs::Json j = obs::Json::parse(body, &perr);
+    if (!j.isObject()) {
+        if (err) *err = "malformed request JSON: " + perr;
+        return false;
+    }
+    const obs::Json* v = j.find("v");
+    if (v == nullptr || !v->isNumber() || v->intValue() != kWireVersion) {
+        if (err) *err = "wire version mismatch";
+        return false;
+    }
+    const obs::Json* job = j.find("job");
+    if (job == nullptr) {
+        if (err) *err = "missing job";
+        return false;
+    }
+    return service::parseBatchJob(*job, 0, out, err);
+}
+
+namespace {
+
+std::string encodeResponseDoc(const std::string& workerId,
+                              CompileStatus status, ErrorCode code,
+                              bool cacheHit, const std::string& error,
+                              const service::CompileArtifact* artifact) {
+    obs::Json j = obs::Json::object();
+    j.set("v", kWireVersion);
+    j.set("worker", workerId);
+    j.set("status", service::statusName(status));
+    j.set("code", service::errorCodeName(code));
+    j.set("cache_hit", cacheHit);
+    if (!error.empty()) j.set("error", error);
+    if (artifact != nullptr)
+        j.set("artifact", WireArtifact::fromArtifact(*artifact).toJson());
+    return j.dump(-1);
+}
+
+}  // namespace
+
+std::string encodeCompileResponse(const std::string& workerId,
+                                  const service::CompileResult& r) {
+    return encodeResponseDoc(workerId, r.status, r.code, r.cacheHit, r.error,
+                             r.artifact.get());
+}
+
+std::string encodeArtifactResponse(const std::string& workerId,
+                                   const service::CompileArtifact& a) {
+    return encodeResponseDoc(workerId, CompileStatus::Ok, ErrorCode::None,
+                             /*cacheHit=*/true, "", &a);
+}
+
+bool parseWireResponse(const std::string& body, WireResponse* out,
+                       std::string* err) {
+    std::string perr;
+    obs::Json j = obs::Json::parse(body, &perr);
+    if (!j.isObject()) {
+        if (err) *err = "malformed response JSON: " + perr;
+        return false;
+    }
+    WireResponse r;
+    const obs::Json* v = j.find("v");
+    r.version = (v != nullptr && v->isNumber())
+                    ? static_cast<int>(v->intValue())
+                    : 0;
+    r.worker = j.at("worker").stringValue();
+    if (r.version != kWireVersion) {
+        // A peer speaking another protocol version is a routing fact,
+        // not a parse failure: surface it as StaleWorker so the caller
+        // re-routes through the ordinary transient-retry policy.
+        r.status = CompileStatus::Error;
+        r.code = ErrorCode::StaleWorker;
+        r.error = "wire version mismatch";
+        *out = std::move(r);
+        return true;
+    }
+    if (!parseStatus(j.at("status").stringValue(), &r.status)) {
+        if (err) *err = "unknown status";
+        return false;
+    }
+    if (!parseCode(j.at("code").stringValue(), &r.code)) {
+        if (err) *err = "unknown error code";
+        return false;
+    }
+    const obs::Json* hit = j.find("cache_hit");
+    r.cacheHit = hit != nullptr && hit->kind() == obs::Json::Kind::Bool &&
+                 hit->boolValue();
+    const obs::Json* e = j.find("error");
+    if (e != nullptr && e->isString()) r.error = e->stringValue();
+    const obs::Json* art = j.find("artifact");
+    if (art != nullptr) {
+        if (!WireArtifact::fromJson(*art, &r.artifact, err)) return false;
+        r.hasArtifact = true;
+    }
+    if (r.status == CompileStatus::Ok && !r.hasArtifact) {
+        if (err) *err = "ok response without artifact";
+        return false;
+    }
+    *out = std::move(r);
+    return true;
+}
+
+}  // namespace phpf::cluster

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "service/batch.h"
+#include "service/compile_service.h"
+#include "service/error_code.h"
+
+namespace phpf::cluster {
+
+/// Versioned JSON wire protocol between a coordinator and its workers.
+///
+/// Every message carries `"v": kWireVersion`; a mismatch is answered
+/// (or treated) as ErrorCode::StaleWorker — a restarted or out-of-date
+/// peer must be discarded and the job re-routed, never half-parsed.
+///
+///   POST /compile              body: {"v":1, "job": {<jobs-file row>}}
+///   GET  /artifact/<key>       no body
+///
+/// Both answer a response document:
+///
+///   {"v":1, "worker": "<id>", "status": "ok", "code": "none",
+///    "cache_hit": true, "error": "",
+///    "artifact": {"key": ..., "program": ..., "spmd": ...,
+///                 "decisions": ..., "cost": {...},
+///                 "content_hash": "h<hex16>"}}
+///
+/// The request payload is exactly the jobs-file row schema
+/// (service::parseBatchJob / batchJobToJson with every option key
+/// explicit), so the cluster and the batch runner share one codec and
+/// a wire request can be pasted into a jobs file verbatim.
+inline constexpr int kWireVersion = 1;
+
+/// The subset of a CompileArtifact that crosses the wire: enough for
+/// batch rows, bit-identity checks, and peer-cache reuse. (Profiles and
+/// full run reports stay worker-local — a coordinator aggregating a
+/// thousand jobs wants the decisions and the cost, not megabytes of
+/// per-statement traces.)
+struct WireArtifact {
+    std::string key;          ///< content-addressed request key
+    std::string programName;
+    std::string spmdText;
+    std::string decisionReport;
+    double computeSec = 0;
+    double commSec = 0;
+    std::int64_t messageEvents = 0;
+    double commBytes = 0;
+
+    /// Stable hash over every field above ("h<hex16>"). Two workers
+    /// compiling the same request must produce the same content hash —
+    /// this is what the soak bench compares against a single-process
+    /// run to prove distributed results are bit-identical.
+    [[nodiscard]] std::string contentHash() const;
+
+    [[nodiscard]] static WireArtifact fromArtifact(
+        const service::CompileArtifact& a);
+    [[nodiscard]] obs::Json toJson() const;  ///< includes content_hash
+    /// False (with *err) on schema mismatch or a content_hash that does
+    /// not match the recomputed one (corruption or a lying peer).
+    static bool fromJson(const obs::Json& j, WireArtifact* out,
+                         std::string* err);
+};
+
+/// One parsed response document.
+struct WireResponse {
+    int version = 0;
+    std::string worker;  ///< serving worker's id
+    service::CompileStatus status = service::CompileStatus::Error;
+    service::ErrorCode code = service::ErrorCode::Internal;
+    bool cacheHit = false;
+    std::string error;
+    bool hasArtifact = false;
+    WireArtifact artifact;
+
+    [[nodiscard]] bool ok() const {
+        return status == service::CompileStatus::Ok && hasArtifact;
+    }
+};
+
+/// Build the POST /compile request body for `job`. File jobs are
+/// resolved to inline source — workers must not need the coordinator's
+/// filesystem.
+[[nodiscard]] std::string encodeCompileRequest(const service::BatchJob& job);
+
+/// Parse a POST /compile body. False with *err on malformed JSON, a
+/// version mismatch, or a job that fails jobs-file validation.
+bool parseCompileRequest(const std::string& body, service::BatchJob* out,
+                         std::string* err);
+
+/// Build a response body from a worker-local CompileResult.
+[[nodiscard]] std::string encodeCompileResponse(
+    const std::string& workerId, const service::CompileResult& r);
+
+/// Build the response body of a successful GET /artifact cache hit.
+[[nodiscard]] std::string encodeArtifactResponse(
+    const std::string& workerId, const service::CompileArtifact& a);
+
+/// Parse a response body. Returns false with *err on malformed JSON or
+/// schema violations; a version mismatch PARSES (returns true) with
+/// `out->code == StaleWorker` so callers route it through the normal
+/// transient-retry policy instead of a parse-error path.
+bool parseWireResponse(const std::string& body, WireResponse* out,
+                       std::string* err);
+
+}  // namespace phpf::cluster

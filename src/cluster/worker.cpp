@@ -1,0 +1,144 @@
+#include "cluster/worker.h"
+
+#include <unistd.h>
+
+#include "service/batch.h"
+
+namespace phpf::cluster {
+
+using service::CompileStatus;
+using service::ErrorCode;
+using service::HttpReply;
+using service::HttpRequest;
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+
+/// A response doc for failures that never reached the service.
+std::string errorDoc(const std::string& workerId, ErrorCode code,
+                     const std::string& message) {
+    service::CompileResult r;
+    r.status = code == ErrorCode::None ? CompileStatus::Ok
+                                       : CompileStatus::Error;
+    r.code = code;
+    r.error = message;
+    return encodeCompileResponse(workerId, r);
+}
+
+}  // namespace
+
+Worker::Worker(WorkerConfig cfg) : cfg_(std::move(cfg)), server_(cfg_.port) {
+    const FaultInjector* inj = cfg_.faults != nullptr
+                                   ? cfg_.faults
+                                   : FaultInjector::processIfEnabled();
+    if (inj != nullptr)
+        killSite_ = inj->find(faultsite::kClusterWorkerKill);
+    svc_ = std::make_unique<service::CompileService>(cfg_.service);
+
+    server_.setConnectionThreads(cfg_.connectionThreads);
+    server_.setLimits(cfg_.limits);
+    server_.addRegistry("phpf", &svc_->metrics());
+    server_.addRegistry("phpf", &registry_);
+    server_.setApiHandler(
+        [this](const HttpRequest& req) { return handle(req); });
+    server_.setHealthProvider([this] {
+        obs::Json h = obs::Json::object();
+        h.set("worker", cfg_.id);
+        h.set("wire_version", cfg_.wireVersion);
+        service::ServiceStats s = svc_->stats();
+        h.set("queue_depth", static_cast<std::int64_t>(s.queueDepth));
+        h.set("active_jobs", s.activeJobs);
+        h.set("cached_artifacts", static_cast<std::int64_t>(s.cache.size));
+        return h;
+    });
+    server_.setReportProvider([this] { return svc_->metricsJson(); });
+}
+
+Worker::~Worker() { stop(); }
+
+bool Worker::start(std::string* err) {
+    if (!server_.start(err)) return false;
+    if (cfg_.id.empty())
+        cfg_.id = "worker-" + std::to_string(server_.port());
+    return true;
+}
+
+void Worker::stop() { server_.stop(); }
+
+HttpReply Worker::handle(const HttpRequest& req) {
+    HttpReply reply;
+    reply.contentType = kJsonType;
+
+    if (killed_.load(std::memory_order_acquire)) {
+        // Dead workers answer nothing — not even an error document.
+        reply.closeAbruptly = true;
+        return reply;
+    }
+
+    if (req.method == "POST" && req.path == "/compile") {
+        if (FaultInjector::poll(killSite_)) {
+            registry_.counter("cluster.worker.kills").add();
+            if (cfg_.killMode == KillMode::Exit) {
+                // The deterministic stand-in for kill -9: no unwinding,
+                // no flushes, sockets reset by the kernel.
+                _exit(137);
+            }
+            killed_.store(true, std::memory_order_release);
+            // Mute EVERYTHING — health probes included. A corpse that
+            // still answered /healthz would keep getting routed to.
+            server_.setMuted(true);
+            server_.requestQuit();
+            reply.closeAbruptly = true;
+            return reply;
+        }
+        registry_.counter("cluster.worker.compile_requests").add();
+        service::BatchJob job;
+        std::string err;
+        if (!parseCompileRequest(req.body, &job, &err)) {
+            registry_.counter("cluster.worker.bad_requests").add();
+            reply.status = 400;
+            reply.body = errorDoc(cfg_.id, ErrorCode::ParseError, err);
+            return reply;
+        }
+        service::CompileRequest creq;
+        if (!service::requestOfJob(job, &creq, &err)) {
+            registry_.counter("cluster.worker.bad_requests").add();
+            reply.status = 400;
+            reply.body = errorDoc(cfg_.id, ErrorCode::ParseError, err);
+            return reply;
+        }
+        service::CompileResult result = svc_->compile(creq);
+        reply.body = encodeCompileResponse(cfg_.id, result);
+    } else if (req.method == "GET" &&
+               req.path.rfind("/artifact/", 0) == 0) {
+        registry_.counter("cluster.worker.artifact_requests").add();
+        std::string key = req.path.substr(10);
+        std::shared_ptr<const service::CompileArtifact> art =
+            svc_->cachedArtifact(key);
+        if (art == nullptr) {
+            registry_.counter("cluster.worker.artifact_misses").add();
+            reply.status = 404;
+            reply.body = errorDoc(cfg_.id, ErrorCode::Internal,
+                                  "artifact not cached: " + key);
+            return reply;
+        }
+        registry_.counter("cluster.worker.artifact_hits").add();
+        reply.body = encodeArtifactResponse(cfg_.id, *art);
+    } else {
+        reply.status = 404;
+        reply.body = errorDoc(cfg_.id, ErrorCode::Internal,
+                              "no such endpoint: " + req.path);
+        return reply;
+    }
+
+    // Test hook: fake an out-of-date peer by restamping the version.
+    if (cfg_.wireVersion != kWireVersion) {
+        obs::Json doc = obs::Json::parse(reply.body);
+        doc.set("v", cfg_.wireVersion);
+        reply.body = doc.dump(-1);
+    }
+    return reply;
+}
+
+}  // namespace phpf::cluster

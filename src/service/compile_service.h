@@ -158,6 +158,16 @@ public:
     /// starts now, so queue wait counts against it.
     [[nodiscard]] std::shared_future<CompileResult> submit(CompileRequest req);
 
+    /// Cache-only lookup by content-addressed key: the artifact when
+    /// this service has it cached, null otherwise — never compiles.
+    /// This is the peer-fetch path of the cluster (GET
+    /// /artifact/<key>): any worker can answer for any key it happens
+    /// to hold, with strictly bounded work. Counts a cache hit/miss.
+    [[nodiscard]] std::shared_ptr<const CompileArtifact> cachedArtifact(
+        const std::string& key) {
+        return cache_.get(key);
+    }
+
     /// Memory-pressure hook: drop least-recently-used cached artifacts
     /// down to `targetEntries` (default: half the current size). Wired
     /// to the svc.mem_pressure fault site and callable directly by an

@@ -10,7 +10,9 @@
 #define PHPF_HAVE_SOCKETS 1
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #else
 #define PHPF_HAVE_SOCKETS 0
@@ -22,13 +24,32 @@ namespace {
 
 #if PHPF_HAVE_SOCKETS
 
-void writeAll(int fd, const char* data, size_t n) {
+void setSocketDeadlines(int fd, const HttpLimits& limits) {
+    const auto toTv = [](int ms) {
+        timeval tv{};
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        return tv;
+    };
+    if (limits.recvTimeoutMs > 0) {
+        const timeval tv = toTv(limits.recvTimeoutMs);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (limits.sendTimeoutMs > 0) {
+        const timeval tv = toTv(limits.sendTimeoutMs);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+}
+
+/// True when all bytes were written before the send deadline cut in.
+bool writeAll(int fd, const char* data, size_t n) {
     size_t off = 0;
     while (off < n) {
-        const ssize_t w = ::send(fd, data + off, n - off, 0);
-        if (w <= 0) return;  // peer went away; nothing useful to do
+        const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+        if (w <= 0) return false;  // peer gone or send deadline hit
         off += static_cast<size_t>(w);
     }
+    return true;
 }
 
 void respond(int fd, int code, const char* reason, const char* contentType,
@@ -37,8 +58,51 @@ void respond(int fd, int code, const char* reason, const char* contentType,
                        "\r\nContent-Type: " + contentType +
                        "\r\nContent-Length: " + std::to_string(body.size()) +
                        "\r\nConnection: close\r\n\r\n";
-    writeAll(fd, head.data(), head.size());
-    writeAll(fd, body.data(), body.size());
+    if (writeAll(fd, head.data(), head.size()))
+        writeAll(fd, body.data(), body.size());
+}
+
+const char* reasonOf(int code) {
+    switch (code) {
+        case 200: return "OK";
+        case 202: return "Accepted";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 409: return "Conflict";
+        case 413: return "Payload Too Large";
+        case 422: return "Unprocessable Entity";
+        case 431: return "Request Header Fields Too Large";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "?";
+    }
+}
+
+/// Case-insensitive header lookup in the raw header block; returns the
+/// trimmed value of the first match or "".
+std::string headerValue(const std::string& head, const std::string& name) {
+    std::string lower;
+    lower.reserve(head.size());
+    for (char c : head)
+        lower.push_back(static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    std::string needle = "\r\n";
+    for (char c : name)
+        needle.push_back(static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    needle.push_back(':');
+    const size_t at = lower.find(needle);
+    if (at == std::string::npos) return "";
+    const size_t vb = at + needle.size();
+    size_t ve = head.find("\r\n", vb);
+    if (ve == std::string::npos) ve = head.size();
+    std::string v = head.substr(vb, ve - vb);
+    while (!v.empty() && (v.front() == ' ' || v.front() == '\t'))
+        v.erase(v.begin());
+    while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) v.pop_back();
+    return v;
 }
 
 #endif  // PHPF_HAVE_SOCKETS
@@ -60,6 +124,14 @@ void MetricsHttpServer::setHealthProvider(std::function<obs::Json()> provider) {
 
 void MetricsHttpServer::setReportProvider(std::function<obs::Json()> provider) {
     reportProvider_ = std::move(provider);
+}
+
+void MetricsHttpServer::setApiHandler(ApiHandler handler) {
+    apiHandler_ = std::move(handler);
+}
+
+void MetricsHttpServer::setConnectionThreads(int n) {
+    connectionThreads_ = n < 1 ? 1 : (n > 16 ? 16 : n);
 }
 
 bool MetricsHttpServer::start(std::string* err) {
@@ -88,7 +160,7 @@ bool MetricsHttpServer::start(std::string* err) {
         listenFd_ = -1;
         return false;
     }
-    if (::listen(listenFd_, 16) < 0) {
+    if (::listen(listenFd_, 64) < 0) {
         if (err != nullptr) *err = "listen(): " + std::string(strerror(errno));
         ::close(listenFd_);
         listenFd_ = -1;
@@ -104,10 +176,16 @@ bool MetricsHttpServer::start(std::string* err) {
     started_ = std::chrono::steady_clock::now();
     stopping_.store(false, std::memory_order_release);
     running_.store(true, std::memory_order_release);
-    thread_ = std::thread([this] {
-        thread_registry::setCurrentName("metrics-http");
-        serveLoop();
+    acceptThread_ = std::thread([this] {
+        thread_registry::setCurrentName("http-accept");
+        acceptLoop();
     });
+    handlers_.reserve(static_cast<size_t>(connectionThreads_));
+    for (int i = 0; i < connectionThreads_; ++i)
+        handlers_.emplace_back([this, i] {
+            thread_registry::setCurrentName("http-conn-" + std::to_string(i));
+            handlerLoop();
+        });
     return true;
 #endif
 }
@@ -121,12 +199,20 @@ void MetricsHttpServer::stop() {
     ::shutdown(listenFd_, SHUT_RDWR);
     ::close(listenFd_);
     listenFd_ = -1;
-    if (thread_.joinable()) thread_.join();
+    if (acceptThread_.joinable()) acceptThread_.join();
+    connCv_.notify_all();
+    for (std::thread& t : handlers_)
+        if (t.joinable()) t.join();
+    handlers_.clear();
+    // Close any accepted-but-unhandled connections.
+    std::lock_guard<std::mutex> lock(connMu_);
+    for (int fd : connQueue_) ::close(fd);
+    connQueue_.clear();
     running_.store(false, std::memory_order_release);
 #endif
 }
 
-void MetricsHttpServer::serveLoop() {
+void MetricsHttpServer::acceptLoop() {
 #if PHPF_HAVE_SOCKETS
     for (;;) {
         const int fd = ::accept(listenFd_, nullptr, nullptr);
@@ -134,6 +220,29 @@ void MetricsHttpServer::serveLoop() {
             if (stopping_.load(std::memory_order_acquire)) return;
             if (errno == EINTR) continue;
             return;  // listen socket gone
+        }
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            connQueue_.push_back(fd);
+        }
+        connCv_.notify_one();
+    }
+#endif
+}
+
+void MetricsHttpServer::handlerLoop() {
+#if PHPF_HAVE_SOCKETS
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(connMu_);
+            connCv_.wait(lock, [&] {
+                return !connQueue_.empty() ||
+                       stopping_.load(std::memory_order_acquire);
+            });
+            if (connQueue_.empty()) return;  // stopping
+            fd = connQueue_.front();
+            connQueue_.pop_front();
         }
         handleConnection(fd);
         ::close(fd);
@@ -161,48 +270,146 @@ std::string MetricsHttpServer::buildHealthBody() const {
 
 void MetricsHttpServer::handleConnection(int fd) {
 #if PHPF_HAVE_SOCKETS
-    // One read is enough for the GET requests this serves; anything
-    // larger than the buffer is not a request we answer.
+    if (muted_.load(std::memory_order_acquire)) {
+        // Playing dead: accept and drop without reading a byte, like a
+        // process whose kernel is resetting connections for it.
+        ::close(fd);
+        return;
+    }
+    setSocketDeadlines(fd, limits_);
+
+    // --- read the request line + headers (bounded) -------------------
+    std::string head;
+    size_t headEnd = std::string::npos;
+    std::string overflow;  ///< body bytes read past the header terminator
     char buf[4096];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-    if (n <= 0) return;
-    buf[n] = '\0';
-    const std::string head(buf);
+    while (headEnd == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            // Peer vanished or trickled past the receive deadline; a
+            // request that never arrives gets no response.
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        head.append(buf, static_cast<size_t>(n));
+        headEnd = head.find("\r\n\r\n");
+        if (headEnd == std::string::npos &&
+            head.size() > limits_.maxHeaderBytes) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            respond(fd, 431, reasonOf(431), "text/plain",
+                    "header too large\n");
+            return;
+        }
+    }
+    if (headEnd > limits_.maxHeaderBytes) {
+        // The terminator arrived, but past the bound (a fast client can
+        // deliver the whole oversized header in one read).
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 431, reasonOf(431), "text/plain", "header too large\n");
+        return;
+    }
+    overflow = head.substr(headEnd + 4);
+    head.resize(headEnd + 2);  // keep a trailing CRLF for headerValue()
+
     const size_t sp1 = head.find(' ');
     const size_t sp2 = sp1 == std::string::npos ? std::string::npos
                                                 : head.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        respond(fd, 400, "Bad Request", "text/plain", "bad request\n");
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 400, reasonOf(400), "text/plain", "bad request\n");
         return;
     }
-    const std::string method = head.substr(0, sp1);
-    const std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    if (method != "GET") {
-        respond(fd, 405, "Method Not Allowed", "text/plain",
-                "GET only\n");
-        return;
-    }
-    if (path == "/metrics") {
-        respond(fd, 200, "OK", "text/plain; version=0.0.4",
-                buildMetricsBody());
-    } else if (path == "/healthz") {
-        respond(fd, 200, "OK", "application/json", buildHealthBody());
-    } else if (path == "/report") {
-        if (!reportProvider_) {
-            respond(fd, 503, "Service Unavailable", "text/plain",
-                    "no report provider\n");
+    HttpRequest req;
+    req.method = head.substr(0, sp1);
+    req.path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    // --- read the body (Content-Length, bounded) ---------------------
+    std::size_t contentLength = 0;
+    const std::string cl = headerValue(head, "Content-Length");
+    if (!cl.empty()) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            respond(fd, 400, reasonOf(400), "text/plain",
+                    "bad Content-Length\n");
             return;
         }
-        respond(fd, 200, "OK", "application/json",
-                reportProvider_().dump());
-    } else if (path == "/quitquitquit") {
-        quit_.store(true, std::memory_order_release);
-        respond(fd, 200, "OK", "text/plain", "shutting down\n");
-    } else {
-        respond(fd, 404, "Not Found", "text/plain",
-                "try /metrics /healthz /report\n");
+        contentLength = static_cast<std::size_t>(v);
     }
+    if (contentLength > limits_.maxBodyBytes ||
+        overflow.size() > limits_.maxBodyBytes) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, 413, reasonOf(413), "text/plain", "body too large\n");
+        return;
+    }
+    req.body = std::move(overflow);
+    while (req.body.size() < contentLength) {
+        const size_t want = std::min(
+            sizeof(buf), contentLength - req.body.size());
+        const ssize_t n = ::recv(fd, buf, want, 0);
+        if (n <= 0) {
+            // Body never completed within the receive deadline.
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            respond(fd, 408, reasonOf(408), "text/plain", "body timeout\n");
+            return;
+        }
+        req.body.append(buf, static_cast<size_t>(n));
+    }
+    req.body.resize(contentLength);  // ignore pipelined extra bytes
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    // --- built-in routes ---------------------------------------------
+    if (req.method == "GET") {
+        if (req.path == "/metrics") {
+            respond(fd, 200, reasonOf(200), "text/plain; version=0.0.4",
+                    buildMetricsBody());
+            return;
+        }
+        if (req.path == "/healthz") {
+            respond(fd, 200, reasonOf(200), "application/json",
+                    buildHealthBody());
+            return;
+        }
+        if (req.path == "/report") {
+            if (!reportProvider_) {
+                respond(fd, 503, reasonOf(503), "text/plain",
+                        "no report provider\n");
+                return;
+            }
+            respond(fd, 200, reasonOf(200), "application/json",
+                    reportProvider_().dump());
+            return;
+        }
+        if (req.path == "/quitquitquit") {
+            quit_.store(true, std::memory_order_release);
+            respond(fd, 200, reasonOf(200), "text/plain", "shutting down\n");
+            return;
+        }
+    }
+
+    // --- everything else goes to the API handler ---------------------
+    if (apiHandler_) {
+        HttpReply reply;
+        try {
+            reply = apiHandler_(req);
+        } catch (const std::exception& e) {
+            reply.status = 500;
+            reply.contentType = "text/plain";
+            reply.body = std::string("handler error: ") + e.what() + "\n";
+        }
+        if (reply.closeAbruptly) return;  // simulate a dead worker
+        respond(fd, reply.status, reasonOf(reply.status),
+                reply.contentType.c_str(), reply.body);
+        return;
+    }
+    if (req.method != "GET") {
+        respond(fd, 405, reasonOf(405), "text/plain", "GET only\n");
+        return;
+    }
+    respond(fd, 404, reasonOf(404), "text/plain",
+            "try /metrics /healthz /report\n");
 #else
     (void)fd;
 #endif

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -197,6 +198,40 @@ TEST(Transport, TickBudgetTimesOutSlowNetworks) {
     } catch (const SimFault& e) {
         EXPECT_EQ(e.site(), faultsite::kNetDelay);
     }
+}
+
+TEST(Transport, BackoffDoublesPerAttemptExactly) {
+    // The bounded-exponential contract, pinned tick by tick: attempt k
+    // backs off base << (k-1), so 5 dead attempts at base 2 cost
+    // 2+4+8+16+32 simulated ticks — no more, no less.
+    FaultInjector inj;
+    ASSERT_TRUE(inj.configure("net.drop:p=1"));
+    TransportConfig cfg;
+    cfg.maxAttempts = 5;
+    cfg.baseBackoffTicks = 2;
+    cfg.timeoutTicks = 1 << 20;  // attempts exhaust first
+    ReliableTransport t(inj, cfg);
+    EXPECT_THROW(t.deliver("x"), SimFault);
+    EXPECT_EQ(t.stats().retransmits, 5);
+    EXPECT_EQ(t.stats().backoffTicks, 2 + 4 + 8 + 16 + 32);
+}
+
+TEST(Transport, BackoffShiftClampStopsExponentialGrowth) {
+    // Past attempt 31 the shift clamps at 30: backoff plateaus instead
+    // of overflowing into negative ticks. 40 dead attempts at base 1 =
+    // (2^31 - 1) for attempts 1..31, then nine more at the 2^30 cap.
+    FaultInjector inj;
+    ASSERT_TRUE(inj.configure("net.drop:p=1"));
+    TransportConfig cfg;
+    cfg.maxAttempts = 40;
+    cfg.baseBackoffTicks = 1;
+    cfg.timeoutTicks = std::numeric_limits<std::int64_t>::max();
+    ReliableTransport t(inj, cfg);
+    EXPECT_THROW(t.deliver("x"), SimFault);
+    const std::int64_t cap = std::int64_t{1} << 30;
+    EXPECT_EQ(t.stats().backoffTicks,
+              ((std::int64_t{1} << 31) - 1) + 9 * cap);
+    EXPECT_GT(t.stats().backoffTicks, 0);  // i.e. it did not overflow
 }
 
 // ---------------------------------------------------------------------

@@ -377,6 +377,57 @@ TEST(ArtifactCache, ShardCountNeverExceedsCapacity) {
     EXPECT_GE(cache.stats().capacity, 2u);
 }
 
+TEST(ArtifactCache, ShedRacesConcurrentInsertsSafely) {
+    // Memory-pressure shedding runs while service workers keep
+    // inserting (that is exactly when it runs in production). The
+    // invariants under the race: no crash, no deadlock, size never
+    // exceeds capacity, artifacts already handed out stay alive, and a
+    // final quiescent shed(0) really empties the cache.
+    ArtifactCache cache(/*capacity=*/64, /*shards=*/8);
+    auto art = [](const std::string& key) {
+        auto a = std::make_shared<CompileArtifact>();
+        a->key = key;
+        return a;
+    };
+    // A survivor handed out before the storm must outlive every shed.
+    cache.put("pinned", art("pinned"));
+    auto pinned = cache.get("pinned");
+    ASSERT_NE(pinned, nullptr);
+
+    std::atomic<bool> go{false};
+    std::atomic<std::size_t> totalShed{0};
+    std::vector<std::thread> writers;
+    writers.reserve(4);
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&cache, &go, t, &art] {
+            while (!go.load()) {
+            }
+            for (int i = 0; i < 500; ++i) {
+                const std::string key =
+                    "w" + std::to_string(t) + "-" + std::to_string(i);
+                cache.put(key, art(key));
+                if (i % 16 == 0) (void)cache.get(key);
+            }
+        });
+    std::thread shedder([&cache, &go, &totalShed] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 200; ++i) totalShed += cache.shed(8);
+    });
+    go.store(true);
+    for (std::thread& w : writers) w.join();
+    shedder.join();
+
+    EXPECT_GT(totalShed.load(), 0u);
+    const service::CacheStats mid = cache.stats();
+    EXPECT_LE(mid.size, mid.capacity);
+    EXPECT_EQ(pinned->key, "pinned");  // shared_ptr kept it alive
+
+    const std::size_t remaining = cache.stats().size;
+    EXPECT_EQ(cache.shed(0), remaining);
+    EXPECT_EQ(cache.stats().size, 0u);
+}
+
 // ---------------------------------------------------------------------
 // Stage-oriented pipeline.
 
