@@ -17,6 +17,8 @@
 //   phpfc --coordinator --batch=JOBS.json --join=HOST:PORT [--join=...]
 //         [--cluster-cache=N] [--dispatchers=N] [--journal=FILE.jsonl]
 //         [--resume] [--faults=SPEC] [--serve-metrics=PORT]
+//         [--trace=FILE.json] [--trace-sample=N]
+//         [--flight-recorder=FILE.jsonl]
 //
 // Parses the program, runs the privatization mapping pass, and prints
 // the requested stages. With no stage flags, prints everything.
@@ -63,7 +65,17 @@
 // compute), and a work-stealing dispatcher pool (`--dispatchers` per
 // worker) drains the batch with retry/re-route on transient failures.
 // `--journal` + `--resume` give exactly-once rows across coordinator
-// kills, same contract as plain batch mode.
+// kills, same contract as plain batch mode. With `--trace=FILE` the
+// coordinator stamps a W3C-style trace context onto every request,
+// workers ship their compile-stage spans back in the response, and the
+// stitcher writes ONE Chrome trace with a named process row per worker
+// (clock offsets estimated per worker, NTP-style). `--trace-sample=N`
+// traces every Nth request (default 8, which keeps the armed tracer
+// under the 2% overhead budget; 1 = every request); with
+// `--serve-metrics`
+// the coordinator also federates GET /cluster/metrics (every live
+// worker's metrics on one page, worker-labeled, with phpf_cluster_*
+// rollups) and GET /cluster/healthz.
 //
 // Profiling: `--profile` arms the per-statement profiler inside the
 // functional simulation; the run report (schema v3) gains "profile"
@@ -97,6 +109,7 @@
 #include "obs/trace.h"
 #include "cluster/cluster_batch.h"
 #include "cluster/coordinator.h"
+#include "cluster/federation.h"
 #include "cluster/worker.h"
 #include "service/batch.h"
 #include "service/compile_service.h"
@@ -109,11 +122,29 @@ using namespace phpf;
 
 namespace {
 
+/// std::stoi with CLI-grade failure: a non-numeric flag value exits 2
+/// with the offending argument instead of an uncaught std::stoi throw.
+int intFlag(const std::string& arg, std::size_t prefixLen) {
+    try {
+        return std::stoi(arg.substr(prefixLen));
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "phpfc: bad numeric value in '%s'\n",
+                     arg.c_str());
+        std::exit(2);
+    }
+}
+
 std::vector<int> parseGrid(const std::string& spec) {
     std::vector<int> grid;
     std::stringstream ss(spec);
     std::string part;
-    while (std::getline(ss, part, 'x')) grid.push_back(std::stoi(part));
+    try {
+        while (std::getline(ss, part, 'x')) grid.push_back(std::stoi(part));
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "phpfc: bad --procs grid '%s' (want e.g. 2x4)\n",
+                     spec.c_str());
+        std::exit(2);
+    }
     if (grid.empty()) grid.push_back(1);
     return grid;
 }
@@ -156,6 +187,8 @@ void usage() {
                  "[--journal=FILE.jsonl]\n"
                  "             [--resume]  (distributed batch over the "
                  "worker farm)\n"
+                 "             [--trace=FILE.json] [--trace-sample=N]  "
+                 "(one stitched cluster trace)\n"
                  "       both: [--serve-metrics=PORT]  (0 = ephemeral; "
                  "serves /metrics /healthz\n"
                  "              /report until GET /quitquitquit)\n"
@@ -265,7 +298,8 @@ int runCoordinatorMode(const std::string& jobsFile,
                        const std::vector<std::string>& joins,
                        std::size_t clusterCache, int dispatchers,
                        const std::string& journal, bool resume,
-                       int servePort) {
+                       int servePort, const std::string& traceFile,
+                       int traceSample, const std::string& flightFile) {
     if (jobsFile.empty()) {
         std::fprintf(stderr, "phpfc: --coordinator needs --batch=JOBS.json\n");
         return 2;
@@ -280,8 +314,14 @@ int runCoordinatorMode(const std::string& jobsFile,
         std::fprintf(stderr, "phpfc: %s\n", err.c_str());
         return 1;
     }
+    // The distributed trace timeline: workers ship their spans back on
+    // the wire and the stitcher lays them out as extra process rows, so
+    // one --trace file shows the whole farm.
+    obs::ConcurrentTracer ctracer(!traceFile.empty());
     cluster::CoordinatorConfig cc;
     if (clusterCache > 0) cc.cacheCapacity = clusterCache;
+    if (!traceFile.empty()) cc.tracer = &ctracer;
+    if (traceSample > 0) cc.traceSampleEvery = traceSample;
     cluster::Coordinator coord(cc);
     for (const std::string& ep : joins)
         if (!coord.addWorker(ep, &err))
@@ -294,6 +334,12 @@ int runCoordinatorMode(const std::string& jobsFile,
     service::MetricsHttpServer server(servePort);
     if (servePort >= 0) {
         server.addRegistry("phpf", &coord.metrics());
+        // Federation: GET /cluster/metrics scrapes every live worker
+        // and re-exports one page; /cluster/healthz aggregates
+        // liveness + wire versions.
+        server.setApiHandler([&coord](const service::HttpRequest& req) {
+            return cluster::handleClusterRequest(coord, req);
+        });
         std::string serr;
         if (!server.start(&serr)) {
             std::fprintf(stderr, "phpfc: --serve-metrics: %s\n", serr.c_str());
@@ -309,6 +355,26 @@ int runCoordinatorMode(const std::string& jobsFile,
     if (dispatchers > 0) opts.dispatchersPerWorker = dispatchers;
     const cluster::ClusterBatchOutcome outcome =
         cluster::runClusterBatch(coord, spec, std::cout, opts);
+
+    if (!traceFile.empty()) {
+        // Stitch worker span batches onto the coordinator timeline and
+        // export one Perfetto-openable file with a process row per
+        // worker.
+        const cluster::StitchStats st = coord.stitchTrace();
+        if (!obs::writeChromeTrace(ctracer, traceFile, "phpfc cluster")) {
+            std::fprintf(stderr, "phpfc: cannot write %s\n",
+                         traceFile.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "phpfc: cluster trace written to %s "
+                         "(%d worker(s), %zu span(s), %zu orphaned)\n",
+                         traceFile.c_str(), st.workers, st.spans, st.orphans);
+        }
+    }
+    if (!flightFile.empty() &&
+        obs::FlightRecorder::global().dumpJsonl(flightFile))
+        std::fprintf(stderr, "phpfc: flight recorder dumped to %s\n",
+                     flightFile.c_str());
     std::fprintf(stderr,
                  "phpfc: %d job(s), %d ok, %d failed, %d skipped, "
                  "%d local / %d peer / %d worker hit(s), %d compiled, "
@@ -358,6 +424,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> joins;
     std::size_t clusterCache = 0;
     int dispatchers = 0;
+    int traceSample = 0;  ///< 0 = keep the coordinator default (1 = all)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -366,24 +433,23 @@ int main(int argc, char** argv) {
         else if (arg == "--worker") workerMode = true;
         else if (startsWith(arg, "--worker=")) {
             workerMode = true;
-            workerPort = std::stoi(arg.substr(9));
+            workerPort = intFlag(arg, 9);
         } else if (startsWith(arg, "--worker-id="))
             workerId = arg.substr(12);
         else if (arg == "--coordinator") coordinatorMode = true;
         else if (startsWith(arg, "--join=")) joins.push_back(arg.substr(7));
         else if (startsWith(arg, "--cluster-cache="))
-            clusterCache = static_cast<std::size_t>(std::stoul(arg.substr(16)));
+            clusterCache = static_cast<std::size_t>(intFlag(arg, 16));
         else if (startsWith(arg, "--dispatchers="))
-            dispatchers = std::stoi(arg.substr(14));
+            dispatchers = intFlag(arg, 14);
         else if (startsWith(arg, "--builtin=")) builtinName = arg.substr(10);
         else if (arg == "--profile") profile = true;
         else if (startsWith(arg, "--profile-folded="))
             foldedFile = arg.substr(17);
         else if (startsWith(arg, "--workers="))
-            batchWorkers = std::stoi(arg.substr(10));
+            batchWorkers = intFlag(arg, 10);
         else if (startsWith(arg, "--cache-capacity="))
-            batchCacheCapacity =
-                static_cast<std::size_t>(std::stoul(arg.substr(17)));
+            batchCacheCapacity = static_cast<std::size_t>(intFlag(arg, 17));
         else if (startsWith(arg, "--faults=")) {
             std::string ferr;
             if (!FaultInjector::process().configure(arg.substr(9), &ferr)) {
@@ -392,22 +458,24 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (startsWith(arg, "--retry="))
-            retries = std::stoi(arg.substr(8));
+            retries = intFlag(arg, 8);
         else if (startsWith(arg, "--checkpoint-every="))
-            checkpointEvery = std::stoi(arg.substr(19));
+            checkpointEvery = intFlag(arg, 19);
         else if (startsWith(arg, "--journal="))
             journalFile = arg.substr(10);
         else if (startsWith(arg, "--serve-metrics="))
-            servePort = std::stoi(arg.substr(16));
+            servePort = intFlag(arg, 16);
         else if (startsWith(arg, "--flight-recorder="))
             flightFile = arg.substr(18);
         else if (arg == "--resume") resume = true;
         else if (arg == "--report") doReport = true;
         else if (startsWith(arg, "--report=")) reportFile = arg.substr(9);
         else if (startsWith(arg, "--trace=")) traceFile = arg.substr(8);
+        else if (startsWith(arg, "--trace-sample="))
+            traceSample = intFlag(arg, 15);
         else if (arg == "--no-sim") runSim = false;
         else if (startsWith(arg, "--sim-threads="))
-            simThreads = std::stoi(arg.substr(14));
+            simThreads = intFlag(arg, 14);
         else if (startsWith(arg, "--target=")) {
             if (!parseExecSelection("target", arg.substr(9), &selection)) {
                 std::fprintf(stderr, "phpfc: bad --target '%s' (want mp|shm)\n",
@@ -459,7 +527,8 @@ int main(int argc, char** argv) {
                              batchCacheCapacity, retries);
     if (coordinatorMode)
         return runCoordinatorMode(batchFile, joins, clusterCache, dispatchers,
-                                  journalFile, resume, servePort);
+                                  journalFile, resume, servePort, traceFile,
+                                  traceSample, flightFile);
     if (!batchFile.empty())
         return runBatchMode(batchFile, batchWorkers, batchCacheCapacity,
                             retries, journalFile, resume, servePort,

@@ -58,6 +58,7 @@ obs::Json rowOf(const BatchJob& job, const ClusterOutcome& o, int requeues) {
         row.set("total_sec", o.artifact.computeSec + o.artifact.commSec);
     }
     if (!o.worker.empty()) row.set("worker", o.worker);
+    if (!o.traceId.empty()) row.set("trace_id", o.traceId);
     row.set("local_hit", o.localHit);
     row.set("peer_hit", o.peerHit);
     row.set("worker_hit", o.workerHit);
@@ -268,6 +269,14 @@ ClusterBatchOutcome runClusterBatch(Coordinator& coord,
     obs::Json ws = obs::Json::array();
     for (const std::string& w : coord.aliveWorkers()) ws.push(w);
     summary.set("workers", std::move(ws));
+    // Slowest requests with their full causal chains — the batch's own
+    // "why was this slow" exemplars, no trace viewer required.
+    std::vector<RequestChain> slow = coord.slowRequests();
+    if (!slow.empty()) {
+        obs::Json sl = obs::Json::array();
+        for (const RequestChain& c : slow) sl.push(c.toJson());
+        summary.set("slow_requests", std::move(sl));
+    }
     out << summary.dump(-1) << "\n";
     out.flush();
 

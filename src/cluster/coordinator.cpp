@@ -1,17 +1,52 @@
 #include "cluster/coordinator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <thread>
 
 #include "cluster/http_client.h"
+#include "obs/flight_recorder.h"
 #include "service/fingerprint.h"
 
 namespace phpf::cluster {
 
 using service::CompileStatus;
 using service::ErrorCode;
+
+namespace {
+
+double usBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                   .count()) /
+           1000.0;
+}
+
+}  // namespace
+
+obs::Json RequestChain::toJson() const {
+    obs::Json j = obs::Json::object();
+    j.set("job", job);
+    if (!traceId.empty()) j.set("trace_id", traceId);
+    j.set("total_us", totalUs);
+    j.set("route", route);
+    if (!worker.empty()) j.set("worker", worker);
+    j.set("attempts", attempts);
+    obs::Json arr = obs::Json::array();
+    for (const RequestHop& h : hops) {
+        obs::Json e = obs::Json::object();
+        e.set("kind", h.kind);
+        if (!h.worker.empty()) e.set("worker", h.worker);
+        e.set("us", h.us);
+        e.set("code", h.code);
+        arr.push(std::move(e));
+    }
+    j.set("hops", std::move(arr));
+    return j;
+}
 
 Coordinator::Coordinator(CoordinatorConfig cfg)
     : cfg_(std::move(cfg)), ring_(cfg_.ringReplicas) {
@@ -71,6 +106,21 @@ std::vector<std::string> Coordinator::aliveWorkers() const {
 std::size_t Coordinator::workerCount() const {
     std::lock_guard<std::mutex> lk(mu_);
     return ring_.size();
+}
+
+std::vector<KnownWorker> Coordinator::knownWorkers() const {
+    std::vector<KnownWorker> out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        out.reserve(workers_.size());
+        for (const auto& [ep, info] : workers_)
+            out.push_back({ep, info.id, info.alive});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const KnownWorker& a, const KnownWorker& b) {
+                  return a.endpoint < b.endpoint;
+              });
+    return out;
 }
 
 std::string Coordinator::routingKey(const service::BatchJob& job) {
@@ -151,19 +201,55 @@ void Coordinator::cachePut(const std::string& rkey, const WireArtifact& a) {
 ClusterOutcome Coordinator::compileJob(const service::BatchJob& job,
                                        const std::string& preferred) {
     const auto t0 = std::chrono::steady_clock::now();
-    ClusterOutcome out = compileTiers(job, preferred);
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    registry_.histogram("cluster.coord.request_us")
-        .record(static_cast<double>(us));
+    ReqCtx rc;
+    rc.rkey = routingKey(job);
+    obs::ConcurrentTracer::Handle reqSpan{};
+    obs::ConcurrentTracer* tracer = cfg_.tracer;
+    if (tracer != nullptr && tracer->enabled() && cfg_.traceSampleEvery > 0) {
+        const std::uint64_t n =
+            sampleCounter_.fetch_add(1, std::memory_order_relaxed);
+        if (n % static_cast<std::uint64_t>(cfg_.traceSampleEvery) == 0) {
+            const std::string spanName =
+                "request:" + (job.name.empty() ? rc.rkey : job.name);
+            reqSpan = tracer->begin(spanName.c_str(), "cluster");
+            rc.sampled = true;
+            rc.requestSpan = reqSpan.id;
+            // Deterministic-enough trace id: the routing key identifies
+            // the compile, the instance + counter make it unique across
+            // repeats and coordinator restarts.
+            rc.base.traceIdHi = service::fnv1a64(rc.rkey);
+            rc.base.traceIdLo =
+                (tracer->instanceId() << 32) ^ n ^ 0x9e3779b97f4a7c15ULL;
+            if (!rc.base.valid()) rc.base.traceIdLo = 1;
+            rc.base.parentSpan = reqSpan.id;
+            rc.base.sampled = true;
+        }
+    }
+    ClusterOutcome out = compileTiers(job, preferred, rc);
+    if (rc.sampled) {
+        tracer->end(reqSpan);
+        out.traceId = rc.base.traceIdHex();
+    }
+    const double us = usBetween(t0, std::chrono::steady_clock::now());
+    registry_.histogram("cluster.coord.request_us").record(us);
+    // Per-tier and per-worker series: what the federation rolls up.
+    const char* tier = out.localHit   ? "local_hit"
+                       : out.peerHit ? "peer_hit"
+                                     : "compute";
+    registry_.histogram(std::string("cluster.coord.tier.") + tier + "_us")
+        .record(us);
+    if (!out.worker.empty())
+        registry_.histogram("cluster.coord.worker." + out.worker + "_us")
+            .record(us);
+    noteRequest(job, out, us, rc);
     return out;
 }
 
 ClusterOutcome Coordinator::compileTiers(const service::BatchJob& job,
-                                         const std::string& preferred) {
+                                         const std::string& preferred,
+                                         ReqCtx& rc) {
     registry_.counter("cluster.coord.requests").add();
-    const std::string rkey = routingKey(job);
+    const std::string& rkey = rc.rkey;
 
     // Tier 1: coordinator-local LRU.
     ClusterOutcome out;
@@ -173,6 +259,7 @@ ClusterOutcome Coordinator::compileTiers(const service::BatchJob& job,
         out.code = ErrorCode::None;
         out.localHit = true;
         out.hasArtifact = true;
+        rc.hops.push_back({"local-hit", "", 0.0, "none"});
         return out;
     }
 
@@ -197,13 +284,39 @@ ClusterOutcome Coordinator::compileTiers(const service::BatchJob& job,
             std::string host;
             int port = 0;
             if (parseEndpoint(hint.worker, &host, &port)) {
-                HttpResult r = httpGet(host, port,
-                                       "/artifact/" + hint.artifactKey,
-                                       cfg_.peerFetchTimeoutMs);
+                // Network span around the fetch; the context rides as a
+                // query parameter (GETs have no body).
+                obs::ConcurrentTracer::Handle net{};
+                std::string path = "/artifact/" + hint.artifactKey;
+                if (rc.sampled) {
+                    const std::string netName = "fetch:" + hint.worker;
+                    net = cfg_.tracer->begin(netName.c_str(), "net");
+                    TraceContext ctx = rc.base;
+                    if (net.id != 0) ctx.parentSpan = net.id;
+                    path += "?traceparent=" + ctx.encode();
+                }
+                const std::int64_t sendNs =
+                    rc.sampled ? cfg_.tracer->nowNs() : 0;
+                const auto h0 = std::chrono::steady_clock::now();
+                HttpResult r =
+                    httpGet(host, port, path, cfg_.peerFetchTimeoutMs);
+                const double hopUs =
+                    usBetween(h0, std::chrono::steady_clock::now());
+                const std::int64_t recvNs =
+                    rc.sampled ? cfg_.tracer->nowNs() : 0;
+                if (rc.sampled) cfg_.tracer->end(net);
                 WireResponse wr;
                 std::string perr;
-                if (r.ok && r.status == 200 &&
-                    parseWireResponse(r.body, &wr, &perr) && wr.ok()) {
+                const bool parsed =
+                    r.ok && r.status == 200 &&
+                    parseWireResponse(r.body, &wr, &perr);
+                if (parsed && rc.sampled)
+                    collectTrace(wr, sendNs, recvNs);
+                rc.hops.push_back({"peer-fetch", hint.worker, hopUs,
+                                   parsed && wr.ok() ? "none"
+                                   : r.ok            ? "miss"
+                                       : service::errorCodeName(r.code)});
+                if (parsed && wr.ok()) {
                     registry_.counter("cluster.coord.peer_hits").add();
                     cachePut(rkey, wr.artifact);
                     out.status = CompileStatus::Ok;
@@ -222,12 +335,13 @@ ClusterOutcome Coordinator::compileTiers(const service::BatchJob& job,
     }
 
     // Tier 3: compute.
-    return computeTier(job, rkey, preferred);
+    return computeTier(job, rkey, preferred, rc);
 }
 
 ClusterOutcome Coordinator::computeTier(const service::BatchJob& job,
                                         const std::string& rkey,
-                                        const std::string& preferred) {
+                                        const std::string& preferred,
+                                        ReqCtx& rc) {
     ClusterOutcome out;
     const std::string body = encodeCompileRequest(job);
     std::int64_t backoffMs = cfg_.retryBackoffMs;
@@ -275,17 +389,48 @@ ClusterOutcome Coordinator::computeTier(const service::BatchJob& job,
             backoffMs *= 2;
         }
 
-        HttpResult r =
-            httpPost(host, port, "/compile", body, cfg_.requestTimeoutMs);
+        // Network span per attempt; each attempt's context parents
+        // under its own span. The context is spliced into the
+        // already-encoded body — re-encoding the job per attempt costs
+        // more than the whole rest of the traced request handling.
+        obs::ConcurrentTracer::Handle net{};
+        std::string tracedBody;
+        const std::string* sendBody = &body;
+        if (rc.sampled) {
+            const std::string netName = "post:" + target;
+            net = cfg_.tracer->begin(netName.c_str(), "net");
+            TraceContext ctx = rc.base;
+            if (net.id != 0) ctx.parentSpan = net.id;
+            // body is a non-empty JSON object ("{\"v\":...}"); the
+            // parser finds trace_ctx by key, so leading is fine.
+            tracedBody.reserve(body.size() + 72);
+            tracedBody = "{\"trace_ctx\":\"";
+            tracedBody += ctx.encode();
+            tracedBody += "\",";
+            tracedBody.append(body, 1, std::string::npos);
+            sendBody = &tracedBody;
+        }
+        const std::int64_t sendNs = rc.sampled ? cfg_.tracer->nowNs() : 0;
+        const auto h0 = std::chrono::steady_clock::now();
+        HttpResult r = httpPost(host, port, "/compile", *sendBody,
+                                cfg_.requestTimeoutMs);
+        const double hopUs = usBetween(h0, std::chrono::steady_clock::now());
+        const std::int64_t recvNs = rc.sampled ? cfg_.tracer->nowNs() : 0;
+        if (rc.sampled) cfg_.tracer->end(net);
         WireResponse wr;
         std::string perr;
         if (!r.ok) {
             out.code = r.code;  // RemoteUnreachable | PeerTimeout
             out.error = target + ": " + r.error;
+            rc.hops.push_back(
+                {"post", target, hopUs, service::errorCodeName(out.code)});
         } else if (!parseWireResponse(r.body, &wr, &perr)) {
             out.code = ErrorCode::StaleWorker;
             out.error = target + ": unparseable response: " + perr;
+            rc.hops.push_back(
+                {"post", target, hopUs, service::errorCodeName(out.code)});
         } else {
+            if (rc.sampled) collectTrace(wr, sendNs, recvNs);
             // Identity check: an endpoint answering with an unknown id
             // is a restarted (stale) worker whose cache state we
             // mis-model — discard and re-route.
@@ -305,6 +450,8 @@ ClusterOutcome Coordinator::computeTier(const service::BatchJob& job,
             out.code = wr.code;
             out.error = wr.error;
             out.worker = target;
+            rc.hops.push_back(
+                {"post", target, hopUs, service::errorCodeName(out.code)});
             if (wr.ok()) {
                 registry_.counter("cluster.coord.compiles").add();
                 if (wr.cacheHit) {
@@ -345,6 +492,86 @@ ClusterOutcome Coordinator::computeTier(const service::BatchJob& job,
     registry_.counter("cluster.coord.exhausted").add();
     if (out.error.empty()) out.error = "attempts exhausted";
     out.status = CompileStatus::Error;
+    return out;
+}
+
+void Coordinator::collectTrace(const WireResponse& wr, std::int64_t sendNs,
+                               std::int64_t recvNs) {
+    if (!wr.trace.present || cfg_.tracer == nullptr) return;
+    registry_.counter("cluster.coord.span_batches").add();
+    const std::int64_t offset = estimateClockOffsetNs(
+        sendNs, wr.trace.recvNs, wr.trace.sendNs, recvNs);
+    // The exchange's round-trip residual bounds the offset error; the
+    // stitcher keeps the tightest exchange per worker.
+    const std::int64_t uncertainty =
+        (recvNs - sendNs) - (wr.trace.sendNs - wr.trace.recvNs);
+    const std::string who = wr.worker.empty() ? "worker" : wr.worker;
+    // Key by identity + tracer epoch: a restarted worker's span ids
+    // restart too, and must not collide with its previous life.
+    stitcher_.addBatch(who + "#" + std::to_string(wr.trace.epoch), who,
+                       offset, uncertainty, wr.trace.spans);
+}
+
+void Coordinator::noteRequest(const service::BatchJob& job,
+                              const ClusterOutcome& out, double us,
+                              ReqCtx& rc) {
+    if (cfg_.slowExemplars <= 0) return;
+    const std::size_t cap = static_cast<std::size_t>(cfg_.slowExemplars);
+    RequestChain c;
+    c.job = job.name.empty() ? rc.rkey : job.name;
+    c.traceId = out.traceId;
+    c.totalUs = us;
+    c.route = out.localHit   ? "local-hit"
+              : out.peerHit ? "peer-hit"
+              : out.ok()    ? "compute"
+                            : "failed";
+    c.worker = out.worker;
+    c.attempts = out.attempts;
+    c.hops = std::move(rc.hops);
+    char line[160];
+    std::snprintf(line, sizeof line, "%s %.1fms %s %s", c.job.c_str(),
+                  us / 1000.0, c.route.c_str(), c.worker.c_str());
+    bool kept = false;
+    {
+        std::lock_guard<std::mutex> lock(slowMu_);
+        if (slow_.size() < cap) {
+            slow_.push_back(std::move(c));
+            kept = true;
+        } else {
+            auto minIt = std::min_element(
+                slow_.begin(), slow_.end(),
+                [](const RequestChain& a, const RequestChain& b) {
+                    return a.totalUs < b.totalUs;
+                });
+            if (c.totalUs > minIt->totalUs) {
+                *minIt = std::move(c);
+                kept = true;
+            }
+        }
+    }
+    if (kept) obs::FlightRecorder::global().record("cluster.slow", line);
+}
+
+StitchStats Coordinator::stitchTrace() {
+    if (cfg_.tracer == nullptr) return {};
+    StitchStats st = stitcher_.stitchInto(*cfg_.tracer);
+    registry_.counter("cluster.coord.spans_imported")
+        .add(static_cast<std::int64_t>(st.spans));
+    registry_.counter("cluster.coord.spans_lost")
+        .add(static_cast<std::int64_t>(st.orphans + st.dropped));
+    return st;
+}
+
+std::vector<RequestChain> Coordinator::slowRequests() const {
+    std::vector<RequestChain> out;
+    {
+        std::lock_guard<std::mutex> lock(slowMu_);
+        out = slow_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RequestChain& a, const RequestChain& b) {
+                  return a.totalUs > b.totalUs;
+              });
     return out;
 }
 

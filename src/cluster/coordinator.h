@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -8,7 +9,10 @@
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "cluster/trace_stitch.h"
 #include "cluster/wire.h"
+#include "obs/concurrent_trace.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "service/batch.h"
 #include "support/fault.h"
@@ -36,6 +40,54 @@ struct CoordinatorConfig {
     int ringReplicas = 64;
     /// Fault source for cluster.partition (null = process injector).
     const FaultInjector* faults = nullptr;
+    /// Distributed tracing. When set (and enabled), sampled requests
+    /// open a coordinator span, stamp a TraceContext onto every wire
+    /// exchange, and collect the workers' span batches for stitching
+    /// (stitchTrace() at export time).
+    obs::ConcurrentTracer* tracer = nullptr;
+    /// Sample every Nth request (1 = all, 0 = none). Unsampled requests
+    /// carry no context and pay no tracing cost beyond one counter.
+    /// The default of 8 keeps the armed tracer inside the repo's 2%
+    /// telemetry overhead budget (bench_trace_propagation): a fully
+    /// traced compile ships ~40+ stage spans, which costs ~10-15% of
+    /// that one request — amortized over 8 requests it disappears into
+    /// the budget while a soak still collects hundreds of exemplar
+    /// traces. Set 1 (--trace-sample=1 in phpfc) for full-fidelity
+    /// capture of short runs.
+    int traceSampleEvery = 8;
+    /// How many slowest request chains to keep as exemplars.
+    int slowExemplars = 8;
+};
+
+/// One hop of a request's causal chain (slow-request exemplars).
+struct RequestHop {
+    std::string kind;    ///< "local-hit" | "peer-fetch" | "post"
+    std::string worker;  ///< endpoint touched ("" for local)
+    double us = 0;       ///< hop latency
+    std::string code;    ///< error code name ("none" on success)
+};
+
+/// The full causal chain of one (slow) request: route taken, retries,
+/// per-hop latencies. Dumped into the flight recorder as it happens and
+/// into the batch summary at the end.
+struct RequestChain {
+    std::string job;      ///< row name (or routing key when unnamed)
+    std::string traceId;  ///< 32-hex distributed trace id ("" unsampled)
+    double totalUs = 0;
+    std::string route;  ///< "local-hit" | "peer-hit" | "compute" | "failed"
+    std::string worker;  ///< endpoint that served it
+    int attempts = 0;
+    std::vector<RequestHop> hops;
+
+    [[nodiscard]] obs::Json toJson() const;
+};
+
+/// A worker the coordinator has ever known, dead or alive (federation
+/// reports both).
+struct KnownWorker {
+    std::string endpoint;
+    std::string id;
+    bool alive = false;
 };
 
 /// Outcome of one cluster compile as seen by the coordinator.
@@ -48,6 +100,7 @@ struct ClusterOutcome {
     int attempts = 0;        ///< remote exchanges performed
     std::string worker;      ///< endpoint that served it (empty on local)
     std::string error;
+    std::string traceId;     ///< distributed trace id ("" when unsampled)
     bool hasArtifact = false;
     WireArtifact artifact;
 
@@ -95,6 +148,9 @@ public:
     [[nodiscard]] std::vector<std::string> aliveWorkers() const;
     [[nodiscard]] std::size_t workerCount() const;
 
+    /// Every worker ever added, dead or alive, endpoint-sorted.
+    [[nodiscard]] std::vector<KnownWorker> knownWorkers() const;
+
     /// Routing key of a job: a stable hash of its canonical wire form.
     /// (Not the content-addressed artifact key — that needs a parse,
     /// which is the workers' job. Hints map routing keys to true keys.)
@@ -115,7 +171,27 @@ public:
     }
     [[nodiscard]] obs::MetricRegistry& metricsMutable() { return registry_; }
 
+    /// Merge every span batch collected so far into cfg_.tracer (one
+    /// process row per worker, cross-process parents resolved). Call
+    /// once, at trace-export time. No-op without a tracer.
+    StitchStats stitchTrace();
+
+    /// The top-N slowest request chains so far, slowest first.
+    [[nodiscard]] std::vector<RequestChain> slowRequests() const;
+
 private:
+    /// Per-request trace/exemplar state threaded through the tiers.
+    struct ReqCtx {
+        bool sampled = false;
+        TraceContext base;  ///< parentSpan rewritten per network hop
+        std::uint64_t requestSpan = 0;
+        std::vector<RequestHop> hops;
+        /// routingKey(job), computed once per request — it re-encodes
+        /// the whole job, so every extra call shows up in the overhead
+        /// bench.
+        std::string rkey;
+    };
+
     struct WorkerInfo {
         std::string id;  ///< worker-reported identity (probe-time)
         bool alive = false;
@@ -128,12 +204,20 @@ private:
     void markDead(const std::string& endpoint);
     void markAlive(const std::string& endpoint, const std::string& id);
     [[nodiscard]] ClusterOutcome compileTiers(const service::BatchJob& job,
-                                              const std::string& preferred);
+                                              const std::string& preferred,
+                                              ReqCtx& rc);
     [[nodiscard]] ClusterOutcome computeTier(const service::BatchJob& job,
                                              const std::string& rkey,
-                                             const std::string& preferred);
+                                             const std::string& preferred,
+                                             ReqCtx& rc);
     bool cacheGet(const std::string& rkey, WireArtifact* out);
     void cachePut(const std::string& rkey, const WireArtifact& a);
+    /// Fold a traced response's span batch into the stitcher.
+    void collectTrace(const WireResponse& wr, std::int64_t sendNs,
+                      std::int64_t recvNs);
+    /// Consider this request for the slow-exemplar set.
+    void noteRequest(const service::BatchJob& job, const ClusterOutcome& out,
+                     double us, ReqCtx& rc);
 
     CoordinatorConfig cfg_;
     FaultSite* partitionSite_ = nullptr;
@@ -150,6 +234,12 @@ private:
         cacheIndex_;
 
     obs::MetricRegistry registry_;
+
+    SpanStitcher stitcher_;
+    std::atomic<std::uint64_t> sampleCounter_{0};
+
+    mutable std::mutex slowMu_;
+    std::vector<RequestChain> slow_;  ///< unordered top-N by totalUs
 };
 
 }  // namespace phpf::cluster

@@ -1,0 +1,314 @@
+#include "cluster/federation.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cluster/http_client.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace phpf::cluster {
+namespace {
+
+/// (registry prefix, dotted metric name) — the identity a sample
+/// federates under.
+using MetricKey = std::pair<std::string, std::string>;
+
+struct CounterSample {
+    std::string worker;
+    std::int64_t value = 0;
+};
+
+struct GaugeSample {
+    std::string worker;
+    double value = 0;
+};
+
+struct HistSample {
+    std::string worker;
+    std::int64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<std::int64_t> buckets;
+};
+
+double numField(const obs::Json& j, const char* key) {
+    const obs::Json* f = j.find(key);
+    return f != nullptr && f->isNumber() ? f->numberValue() : 0.0;
+}
+
+void appendNum(std::ostringstream& out, double v) { out << v; }
+
+/// `name{worker="..."} ` — the labeled sample prelude.
+void labeled(std::ostringstream& out, const std::string& name,
+             const std::string& worker, const char* extra = nullptr) {
+    out << name << "{worker=\"" << obs::prometheusLabelValue(worker) << "\"";
+    if (extra != nullptr) out << "," << extra;
+    out << "} ";
+}
+
+void helpAndType(std::ostringstream& out, const std::string& dotted,
+                 const std::string& exposed, const char* type) {
+    const std::string help = obs::metricDescription(dotted);
+    if (!help.empty())
+        out << "# HELP " << exposed << " " << obs::prometheusHelpText(help)
+            << "\n";
+    out << "# TYPE " << exposed << " " << type << "\n";
+}
+
+void renderSummary(std::ostringstream& out, const std::string& name,
+                   const std::string& worker, double p50, double p90,
+                   double p99, double sum, std::int64_t count) {
+    const bool hasWorker = !worker.empty();
+    auto q = [&](const char* label, double v) {
+        if (hasWorker) {
+            labeled(out, name, worker,
+                    (std::string("quantile=\"") + label + "\"").c_str());
+        } else {
+            out << name << "{quantile=\"" << label << "\"} ";
+        }
+        appendNum(out, v);
+        out << "\n";
+    };
+    q("0.5", p50);
+    q("0.9", p90);
+    q("0.99", p99);
+    if (hasWorker) {
+        labeled(out, name + "_sum", worker);
+    } else {
+        out << name << "_sum ";
+    }
+    appendNum(out, sum);
+    out << "\n";
+    if (hasWorker) {
+        labeled(out, name + "_count", worker);
+    } else {
+        out << name << "_count ";
+    }
+    out << count << "\n";
+}
+
+}  // namespace
+
+std::string clusterMetricsText(Coordinator& coord, int timeoutMs) {
+    const std::vector<KnownWorker> workers = coord.knownWorkers();
+
+    std::map<MetricKey, std::vector<CounterSample>> counters;
+    std::map<MetricKey, std::vector<GaugeSample>> gauges;
+    std::map<MetricKey, std::vector<HistSample>> hists;
+
+    int alive = 0;
+    int scrapeErrors = 0;
+    for (const KnownWorker& w : workers) {
+        if (!w.alive) continue;
+        ++alive;
+        const std::string label = w.id.empty() ? w.endpoint : w.id;
+        std::string host;
+        int port = 0;
+        if (!parseEndpoint(w.endpoint, &host, &port)) {
+            ++scrapeErrors;
+            continue;
+        }
+        HttpResult r = httpGet(host, port, "/metrics.json", timeoutMs);
+        if (!r.ok || r.status != 200) {
+            ++scrapeErrors;
+            continue;
+        }
+        obs::Json doc = obs::Json::parse(r.body);
+        const obs::Json* regs = doc.find("registries");
+        if (regs == nullptr || !regs->isArray()) {
+            ++scrapeErrors;
+            continue;
+        }
+        for (const obs::Json& reg : regs->items()) {
+            const obs::Json* prefix = reg.find("prefix");
+            const obs::Json* metrics = reg.find("metrics");
+            if (prefix == nullptr || !prefix->isString() ||
+                metrics == nullptr || !metrics->isObject())
+                continue;
+            const std::string& p = prefix->stringValue();
+            if (const obs::Json* cs = metrics->find("counters");
+                cs != nullptr && cs->isObject()) {
+                for (const std::string& name : cs->keys())
+                    counters[{p, name}].push_back(
+                        {label, cs->at(name).intValue()});
+            }
+            if (const obs::Json* gs = metrics->find("gauges");
+                gs != nullptr && gs->isObject()) {
+                for (const std::string& name : gs->keys())
+                    gauges[{p, name}].push_back(
+                        {label, gs->at(name).numberValue()});
+            }
+            if (const obs::Json* hs = metrics->find("histograms");
+                hs != nullptr && hs->isObject()) {
+                for (const std::string& name : hs->keys()) {
+                    const obs::Json& h = hs->at(name);
+                    if (!h.isObject()) continue;
+                    HistSample s;
+                    s.worker = label;
+                    s.count = static_cast<std::int64_t>(numField(h, "count"));
+                    s.sum = numField(h, "sum");
+                    s.min = numField(h, "min");
+                    s.max = numField(h, "max");
+                    s.p50 = numField(h, "p50");
+                    s.p90 = numField(h, "p90");
+                    s.p99 = numField(h, "p99");
+                    if (const obs::Json* b = h.find("log2_buckets");
+                        b != nullptr && b->isArray()) {
+                        for (const obs::Json& v : b->items())
+                            s.buckets.push_back(v.intValue());
+                    }
+                    hists[{p, name}].push_back(std::move(s));
+                }
+            }
+        }
+    }
+
+    std::ostringstream out;
+
+    // Counters: per-worker samples grouped under one TYPE, then the
+    // cluster rollup (sum of exactly the values printed above — the
+    // page is self-consistent by construction).
+    for (const auto& [key, samples] : counters) {
+        const std::string base = obs::prometheusName(key.first) + "_" +
+                                 obs::prometheusName(key.second);
+        const std::string n = base + "_total";
+        helpAndType(out, key.second, n, "counter");
+        std::int64_t total = 0;
+        for (const CounterSample& s : samples) {
+            labeled(out, n, s.worker);
+            out << s.value << "\n";
+            total += s.value;
+        }
+        const std::string roll = obs::prometheusName(key.first) +
+                                 "_cluster_" +
+                                 obs::prometheusName(key.second) + "_total";
+        helpAndType(out, key.second, roll, "counter");
+        out << roll << " " << total << "\n";
+    }
+
+    // Gauges: per-worker samples only (summing last-value metrics
+    // across workers rarely means anything).
+    for (const auto& [key, samples] : gauges) {
+        const std::string n = obs::prometheusName(key.first) + "_" +
+                              obs::prometheusName(key.second);
+        helpAndType(out, key.second, n, "gauge");
+        for (const GaugeSample& s : samples) {
+            labeled(out, n, s.worker);
+            appendNum(out, s.value);
+            out << "\n";
+        }
+    }
+
+    // Histograms: per-worker summaries, then a bucket-wise merged
+    // cluster rollup with re-derived quantiles.
+    for (const auto& [key, samples] : hists) {
+        const std::string n = obs::prometheusName(key.first) + "_" +
+                              obs::prometheusName(key.second);
+        helpAndType(out, key.second, n, "summary");
+        obs::Histogram merged;
+        for (const HistSample& s : samples) {
+            renderSummary(out, n, s.worker, s.p50, s.p90, s.p99, s.sum,
+                          s.count);
+            merged.restore(s.count, s.sum, s.min, s.max, s.buckets);
+        }
+        const std::string roll = obs::prometheusName(key.first) +
+                                 "_cluster_" +
+                                 obs::prometheusName(key.second);
+        helpAndType(out, key.second, roll, "summary");
+        renderSummary(out, roll, "", merged.p50(), merged.p90(),
+                      merged.p99(), merged.sum(), merged.count());
+    }
+
+    // The scrape itself.
+    const std::string pre = "phpf";
+    out << "# TYPE " << pre << "_cluster_workers_alive gauge\n"
+        << pre << "_cluster_workers_alive " << alive << "\n";
+    out << "# TYPE " << pre << "_cluster_workers_known gauge\n"
+        << pre << "_cluster_workers_known " << workers.size() << "\n";
+    out << "# TYPE " << pre << "_cluster_scrape_errors gauge\n"
+        << pre << "_cluster_scrape_errors " << scrapeErrors << "\n";
+
+    return out.str();
+}
+
+obs::Json clusterHealthJson(Coordinator& coord, int timeoutMs) {
+    const std::vector<KnownWorker> workers = coord.knownWorkers();
+    obs::Json doc = obs::Json::object();
+    obs::Json arr = obs::Json::array();
+    int alive = 0;
+    bool degraded = false;
+    for (const KnownWorker& w : workers) {
+        obs::Json e = obs::Json::object();
+        e.set("endpoint", w.endpoint);
+        e.set("id", w.id);
+        e.set("alive", w.alive);
+        if (!w.alive) {
+            e.set("status", "dead");
+            degraded = true;
+            arr.push(std::move(e));
+            continue;
+        }
+        std::string host;
+        int port = 0;
+        HttpResult r;
+        if (parseEndpoint(w.endpoint, &host, &port))
+            r = httpGet(host, port, "/healthz", timeoutMs);
+        if (!r.ok || r.status != 200) {
+            e.set("status", "unreachable");
+            degraded = true;
+            arr.push(std::move(e));
+            continue;
+        }
+        obs::Json h = obs::Json::parse(r.body);
+        const obs::Json* wv = h.find("wire_version");
+        const int version =
+            wv != nullptr && wv->isNumber() ? static_cast<int>(wv->intValue())
+                                            : 0;
+        e.set("wire_version", version);
+        if (const obs::Json* qd = h.find("queue_depth");
+            qd != nullptr && qd->isNumber())
+            e.set("queue_depth", qd->intValue());
+        if (version != kWireVersion) {
+            e.set("status", "wire-mismatch");
+            degraded = true;
+        } else {
+            e.set("status", "ok");
+            ++alive;
+        }
+        arr.push(std::move(e));
+    }
+    doc.set("status", alive == 0          ? "down"
+                      : degraded         ? "degraded"
+                                          : "ok");
+    doc.set("wire_version", kWireVersion);
+    doc.set("workers_alive", alive);
+    doc.set("workers_known", static_cast<std::int64_t>(workers.size()));
+    doc.set("workers", std::move(arr));
+    return doc;
+}
+
+service::HttpReply handleClusterRequest(Coordinator& coord,
+                                        const service::HttpRequest& req,
+                                        int timeoutMs) {
+    service::HttpReply reply;
+    if (req.method == "GET" && req.path == "/cluster/metrics") {
+        reply.contentType = "text/plain; version=0.0.4";
+        reply.body = clusterMetricsText(coord, timeoutMs);
+        return reply;
+    }
+    if (req.method == "GET" && req.path == "/cluster/healthz") {
+        reply.contentType = "application/json";
+        reply.body = clusterHealthJson(coord, timeoutMs).dump();
+        return reply;
+    }
+    reply.status = 404;
+    reply.contentType = "text/plain";
+    reply.body = "try /cluster/metrics /cluster/healthz\n";
+    return reply;
+}
+
+}  // namespace phpf::cluster

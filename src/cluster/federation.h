@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "cluster/coordinator.h"
+#include "obs/json.h"
+#include "service/http_exposition.h"
+
+namespace phpf::cluster {
+
+/// Cluster-wide telemetry federation: the coordinator scrapes every
+/// live worker's structured `/metrics.json` and re-exports ONE
+/// Prometheus page:
+///
+///   - every worker metric appears with a `worker="<id>"` label,
+///     grouped under a single `# TYPE` line per metric name;
+///   - cluster rollups ride under `<prefix>_cluster_*` names: counters
+///     summed across workers, histograms merged bucket-wise
+///     (Histogram::mergeFrom), so the rollup of a counter EXACTLY
+///     equals the sum of its per-worker samples on the same page;
+///   - `<prefix>_cluster_workers_alive` / `_known` and
+///     `<prefix>_cluster_scrape_errors` describe the scrape itself.
+///
+/// `timeoutMs` bounds each worker scrape; a worker that cannot be
+/// scraped contributes nothing but a scrape error (federation must not
+/// hang on a dying worker).
+[[nodiscard]] std::string clusterMetricsText(Coordinator& coord,
+                                             int timeoutMs = 2000);
+
+/// Aggregated cluster health: per-worker liveness and wire version
+/// (live workers are probed via /healthz; dead ones reported as such),
+/// plus an overall status — "ok" when every known worker is alive and
+/// speaks our wire version, "degraded" otherwise, "down" with no
+/// alive workers.
+[[nodiscard]] obs::Json clusterHealthJson(Coordinator& coord,
+                                          int timeoutMs = 2000);
+
+/// Route a coordinator-side federation request:
+///   GET /cluster/metrics   -> clusterMetricsText
+///   GET /cluster/healthz   -> clusterHealthJson
+/// Everything else answers 404. Hang it off the coordinator server's
+/// ApiHandler.
+[[nodiscard]] service::HttpReply handleClusterRequest(
+    Coordinator& coord, const service::HttpRequest& req, int timeoutMs = 2000);
+
+}  // namespace phpf::cluster

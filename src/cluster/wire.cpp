@@ -1,6 +1,8 @@
 #include "cluster/wire.h"
 
 #include <cinttypes>
+#include <cstring>
+#include <cstdlib>
 #include <cstdio>
 
 #include "service/fingerprint.h"
@@ -41,7 +43,118 @@ bool parseCode(const std::string& s, ErrorCode* out) {
     return false;
 }
 
+/// Parse exactly `n` lowercase/uppercase hex chars; false on anything
+/// else (traceparent fields are fixed-width).
+bool parseHexField(const std::string& s, std::size_t pos, std::size_t n,
+                   std::uint64_t* out) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = s[pos + i];
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return false;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    *out = v;
+    return true;
+}
+
 }  // namespace
+
+std::string TraceContext::traceIdHex() const {
+    return hex16(traceIdHi) + hex16(traceIdLo);
+}
+
+std::string TraceContext::encode() const {
+    return "00-" + traceIdHex() + "-" + hex16(parentSpan) + "-" +
+           (sampled ? "01" : "00");
+}
+
+bool TraceContext::decode(const std::string& s, TraceContext* out) {
+    // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex = 55 chars.
+    if (s.size() != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' ||
+        s[35] != '-' || s[52] != '-')
+        return false;
+    TraceContext c;
+    std::uint64_t flags = 0;
+    if (!parseHexField(s, 3, 16, &c.traceIdHi) ||
+        !parseHexField(s, 19, 16, &c.traceIdLo) ||
+        !parseHexField(s, 36, 16, &c.parentSpan) ||
+        !parseHexField(s, 53, 2, &flags))
+        return false;
+    c.sampled = (flags & 1) != 0;
+    if (!c.valid()) return false;
+    *out = c;
+    return true;
+}
+
+obs::Json WireTrace::toJson() const {
+    obs::Json j = obs::Json::object();
+    j.set("recv_ns", recvNs);
+    j.set("send_ns", sendNs);
+    j.set("epoch", static_cast<std::int64_t>(epoch));
+    obs::Json arr = obs::Json::array();
+    for (const WireSpan& s : spans) {
+        obs::Json e = obs::Json::object();
+        e.set("n", s.name);
+        e.set("c", s.category);
+        if (!s.threadName.empty()) e.set("tn", s.threadName);
+        e.set("s", s.startNs);
+        e.set("d", s.durNs);
+        e.set("id", static_cast<std::int64_t>(s.id));
+        if (s.parent != 0) e.set("p", static_cast<std::int64_t>(s.parent));
+        if (s.ctx != 0) e.set("ctx", static_cast<std::int64_t>(s.ctx));
+        e.set("tid", s.tid);
+        arr.push(std::move(e));
+    }
+    j.set("spans", std::move(arr));
+    return j;
+}
+
+void WireTrace::fromJson(const obs::Json* j, WireTrace* out) {
+    *out = WireTrace{};
+    if (j == nullptr || !j->isObject()) return;
+    const obs::Json* recv = j->find("recv_ns");
+    const obs::Json* send = j->find("send_ns");
+    const obs::Json* spans = j->find("spans");
+    if (recv == nullptr || !recv->isNumber() || send == nullptr ||
+        !send->isNumber() || spans == nullptr || !spans->isArray())
+        return;
+    WireTrace t;
+    t.recvNs = recv->intValue();
+    t.sendNs = send->intValue();
+    const obs::Json* epoch = j->find("epoch");
+    if (epoch != nullptr && epoch->isNumber())
+        t.epoch = static_cast<std::uint64_t>(epoch->intValue());
+    for (const obs::Json& e : spans->items()) {
+        if (!e.isObject()) return;
+        const obs::Json* id = e.find("id");
+        if (id == nullptr || !id->isNumber()) return;
+        WireSpan s;
+        s.id = static_cast<std::uint64_t>(id->intValue());
+        if (const obs::Json* f = e.find("n"); f && f->isString())
+            s.name = f->stringValue();
+        if (const obs::Json* f = e.find("c"); f && f->isString())
+            s.category = f->stringValue();
+        if (const obs::Json* f = e.find("tn"); f && f->isString())
+            s.threadName = f->stringValue();
+        if (const obs::Json* f = e.find("s"); f && f->isNumber())
+            s.startNs = f->intValue();
+        if (const obs::Json* f = e.find("d"); f && f->isNumber())
+            s.durNs = f->intValue();
+        if (const obs::Json* f = e.find("p"); f && f->isNumber())
+            s.parent = static_cast<std::uint64_t>(f->intValue());
+        if (const obs::Json* f = e.find("ctx"); f && f->isNumber())
+            s.ctx = static_cast<std::uint64_t>(f->intValue());
+        if (const obs::Json* f = e.find("tid"); f && f->isNumber())
+            s.tid = static_cast<int>(f->intValue());
+        t.spans.push_back(std::move(s));
+    }
+    t.present = true;
+    *out = std::move(t);
+}
 
 std::string WireArtifact::contentHash() const {
     // Chain one FNV-1a stream through every field; field separators
@@ -123,15 +236,18 @@ bool WireArtifact::fromJson(const obs::Json& j, WireArtifact* out,
     return true;
 }
 
-std::string encodeCompileRequest(const service::BatchJob& job) {
+std::string encodeCompileRequest(const service::BatchJob& job,
+                                 const TraceContext* ctx) {
     obs::Json j = obs::Json::object();
     j.set("v", kWireVersion);
+    if (ctx != nullptr && ctx->valid()) j.set("trace_ctx", ctx->encode());
     j.set("job", service::batchJobToJson(job, /*resolveFiles=*/true));
     return j.dump(-1);
 }
 
 bool parseCompileRequest(const std::string& body, service::BatchJob* out,
-                         std::string* err) {
+                         TraceContext* ctx, std::string* err) {
+    if (ctx != nullptr) *ctx = TraceContext{};
     std::string perr;
     obs::Json j = obs::Json::parse(body, &perr);
     if (!j.isObject()) {
@@ -143,6 +259,15 @@ bool parseCompileRequest(const std::string& body, service::BatchJob* out,
         if (err) *err = "wire version mismatch";
         return false;
     }
+    if (ctx != nullptr) {
+        const obs::Json* t = j.find("trace_ctx");
+        if (t != nullptr && t->isString()) {
+            // Best-effort: an unparsable context means "untraced", never
+            // a rejected compile.
+            TraceContext c;
+            if (TraceContext::decode(t->stringValue(), &c)) *ctx = c;
+        }
+    }
     const obs::Json* job = j.find("job");
     if (job == nullptr) {
         if (err) *err = "missing job";
@@ -151,12 +276,63 @@ bool parseCompileRequest(const std::string& body, service::BatchJob* out,
     return service::parseBatchJob(*job, 0, out, err);
 }
 
+bool parseCompileRequest(const std::string& body, service::BatchJob* out,
+                         std::string* err) {
+    return parseCompileRequest(body, out, nullptr, err);
+}
+
 namespace {
+
+/// Serialize the span batch by direct string append. This sits on the
+/// per-request hot path of every traced response; building an
+/// obs::Json tree here costs ~10x what the rest of the traced request
+/// handling does, which is what the <2% overhead gate measures.
+void appendTraceJson(const WireTrace& t, std::string& out) {
+    out += "\"trace\":{\"recv_ns\":";
+    out += std::to_string(t.recvNs);
+    out += ",\"send_ns\":";
+    out += std::to_string(t.sendNs);
+    out += ",\"epoch\":";
+    out += std::to_string(t.epoch);
+    out += ",\"spans\":[";
+    bool first = true;
+    for (const WireSpan& s : t.spans) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"n\":\"";
+        out += obs::jsonEscape(s.name);
+        out += "\",\"c\":\"";
+        out += obs::jsonEscape(s.category);
+        if (!s.threadName.empty()) {
+            out += "\",\"tn\":\"";
+            out += obs::jsonEscape(s.threadName);
+        }
+        out += "\",\"s\":";
+        out += std::to_string(s.startNs);
+        out += ",\"d\":";
+        out += std::to_string(s.durNs);
+        out += ",\"id\":";
+        out += std::to_string(s.id);
+        if (s.parent != 0) {
+            out += ",\"p\":";
+            out += std::to_string(s.parent);
+        }
+        if (s.ctx != 0) {
+            out += ",\"ctx\":";
+            out += std::to_string(s.ctx);
+        }
+        out += ",\"tid\":";
+        out += std::to_string(s.tid);
+        out += '}';
+    }
+    out += "]}";
+}
 
 std::string encodeResponseDoc(const std::string& workerId,
                               CompileStatus status, ErrorCode code,
                               bool cacheHit, const std::string& error,
-                              const service::CompileArtifact* artifact) {
+                              const service::CompileArtifact* artifact,
+                              const WireTrace* trace) {
     obs::Json j = obs::Json::object();
     j.set("v", kWireVersion);
     j.set("worker", workerId);
@@ -166,27 +342,144 @@ std::string encodeResponseDoc(const std::string& workerId,
     if (!error.empty()) j.set("error", error);
     if (artifact != nullptr)
         j.set("artifact", WireArtifact::fromArtifact(*artifact).toJson());
-    return j.dump(-1);
+    std::string out = j.dump(-1);
+    // The span batch is a sibling of the artifact: the content hash
+    // covers artifact fields only, so traced and untraced responses
+    // carry bit-identical artifacts. Spliced in after the dump so the
+    // hot path skips the obs::Json tree for it.
+    if (trace != nullptr && trace->present) {
+        std::string tj;
+        tj.reserve(96 + 96 * trace->spans.size());
+        tj += ',';
+        appendTraceJson(*trace, tj);
+        out.insert(out.size() - 1, tj);
+    }
+    return out;
+}
+
+/// Fast scanner for the trace block appendTraceJson() emits. The
+/// general obs::Json parser costs a few microseconds per NODE, and a
+/// span batch is dozens of tiny nodes — on the traced request path
+/// that dwarfed every other cost. This scanner handles exactly the
+/// shapes our own encoder produces (flat keys, escape-free strings)
+/// and reports failure on anything else so the caller can fall back
+/// to the tree parser. `pos` points at the opening '"' of "trace";
+/// on success `*end` is one past the object's closing '}'.
+bool scanTraceBlock(const std::string& body, std::size_t pos, WireTrace* out,
+                    std::size_t* end) {
+    const char* p = body.c_str() + pos;
+    const char* const last = body.c_str() + body.size();
+    auto lit = [&](const char* s) {
+        const std::size_t n = std::strlen(s);
+        if (static_cast<std::size_t>(last - p) < n ||
+            std::memcmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    };
+    auto num = [&](std::int64_t* v) {
+        char* q = nullptr;
+        *v = std::strtoll(p, &q, 10);
+        if (q == p || q > last) return false;
+        p = q;
+        return true;
+    };
+    auto unum = [&](std::uint64_t* v) {
+        char* q = nullptr;
+        *v = std::strtoull(p, &q, 10);
+        if (q == p || q > last) return false;
+        p = q;
+        return true;
+    };
+    // A raw string run: no escapes (our encoder only emits them for
+    // exotic span names; those take the fallback path).
+    auto str = [&](std::string* v) {
+        if (p >= last || *p != '"') return false;
+        const char* q = p + 1;
+        while (q < last && *q != '"' && *q != '\\') ++q;
+        if (q >= last || *q != '"') return false;
+        v->assign(p + 1, q);
+        p = q + 1;
+        return true;
+    };
+
+    WireTrace t;
+    std::int64_t sv = 0;
+    std::uint64_t uv = 0;
+    if (!lit("\"trace\":{\"recv_ns\":") || !num(&t.recvNs)) return false;
+    if (!lit(",\"send_ns\":") || !num(&t.sendNs)) return false;
+    if (!lit(",\"epoch\":") || !unum(&t.epoch)) return false;
+    if (!lit(",\"spans\":[")) return false;
+    if (p < last && *p == ']') {
+        ++p;
+    } else {
+        for (;;) {
+            WireSpan s;
+            if (!lit("{\"n\":") || !str(&s.name)) return false;
+            if (!lit(",\"c\":") || !str(&s.category)) return false;
+            if (lit(",\"tn\":") && !str(&s.threadName)) return false;
+            if (!lit(",\"s\":") || !num(&s.startNs)) return false;
+            if (!lit(",\"d\":") || !num(&s.durNs)) return false;
+            if (!lit(",\"id\":") || !unum(&s.id)) return false;
+            if (lit(",\"p\":") && !unum(&s.parent)) return false;
+            if (lit(",\"ctx\":") && !unum(&s.ctx)) return false;
+            if (!lit(",\"tid\":") || !num(&sv)) return false;
+            s.tid = static_cast<int>(sv);
+            if (!lit("}")) return false;
+            t.spans.push_back(std::move(s));
+            if (lit(",")) continue;
+            if (!lit("]")) return false;
+            break;
+        }
+    }
+    if (!lit("}")) return false;
+    (void)uv;
+    t.present = true;
+    *out = std::move(t);
+    *end = static_cast<std::size_t>(p - body.c_str());
+    return true;
 }
 
 }  // namespace
 
 std::string encodeCompileResponse(const std::string& workerId,
-                                  const service::CompileResult& r) {
+                                  const service::CompileResult& r,
+                                  const WireTrace* trace) {
     return encodeResponseDoc(workerId, r.status, r.code, r.cacheHit, r.error,
-                             r.artifact.get());
+                             r.artifact.get(), trace);
 }
 
 std::string encodeArtifactResponse(const std::string& workerId,
-                                   const service::CompileArtifact& a) {
+                                   const service::CompileArtifact& a,
+                                   const WireTrace* trace) {
     return encodeResponseDoc(workerId, CompileStatus::Ok, ErrorCode::None,
-                             /*cacheHit=*/true, "", &a);
+                             /*cacheHit=*/true, "", &a, trace);
 }
 
 bool parseWireResponse(const std::string& body, WireResponse* out,
                        std::string* err) {
+    // Peel the span batch off the tail before the tree parse: our own
+    // encoder splices it there, and scanning it directly keeps the
+    // traced request path within the overhead budget. Any mismatch
+    // (foreign encoder, escaped name) leaves the block in place for
+    // WireTrace::fromJson below.
+    WireTrace fastTrace;
+    std::string stripped;
+    const std::string* doc = &body;
+    const std::size_t tpos = body.rfind(",\"trace\":{");
+    if (tpos != std::string::npos && !body.empty() && body.back() == '}') {
+        std::size_t tend = 0;
+        const bool sOK = scanTraceBlock(body, tpos + 1, &fastTrace, &tend);
+        if (sOK && tend == body.size() - 1) {
+            stripped.assign(body, 0, tpos);
+            stripped += '}';
+            doc = &stripped;
+        } else {
+            fastTrace = WireTrace{};
+        }
+    }
     std::string perr;
-    obs::Json j = obs::Json::parse(body, &perr);
+    obs::Json j = obs::Json::parse(*doc, &perr);
     if (!j.isObject()) {
         if (err) *err = "malformed response JSON: " + perr;
         return false;
@@ -225,6 +518,10 @@ bool parseWireResponse(const std::string& body, WireResponse* out,
         if (!WireArtifact::fromJson(*art, &r.artifact, err)) return false;
         r.hasArtifact = true;
     }
+    if (fastTrace.present)
+        r.trace = std::move(fastTrace);
+    else
+        WireTrace::fromJson(j.find("trace"), &r.trace);
     if (r.status == CompileStatus::Ok && !r.hasArtifact) {
         if (err) *err = "ok response without artifact";
         return false;

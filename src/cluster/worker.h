@@ -1,10 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "cluster/wire.h"
+#include "obs/concurrent_trace.h"
 #include "obs/metrics.h"
 #include "service/compile_service.h"
 #include "service/http_exposition.h"
@@ -40,6 +44,9 @@ struct WorkerConfig {
     /// to fake an out-of-date peer and exercise the StaleWorker path;
     /// leave it alone otherwise.
     int wireVersion = kWireVersion;
+    /// Cap on the span batch a single traced response carries back.
+    /// Spans past the cap stay buffered for the next traced response.
+    std::size_t maxSpanBatch = 256;
 };
 
 /// One compile worker: a CompileService (sharded artifact cache,
@@ -87,14 +94,33 @@ public:
     [[nodiscard]] const obs::MetricRegistry& metrics() const {
         return registry_;
     }
+    /// The worker's request tracer (disabled until the first sampled
+    /// request arrives; sticky after that).
+    [[nodiscard]] obs::ConcurrentTracer& tracer() { return tracer_; }
 
 private:
     [[nodiscard]] service::HttpReply handle(const service::HttpRequest& req);
+    /// Remember the coordinator parent span propagated with a request
+    /// whose local root span is `spanId`; consumed at harvest time.
+    void noteRootContext(std::uint64_t spanId, std::uint64_t ctx);
+    /// Drain up to maxSpanBatch closed spans into a wire batch,
+    /// annotating request roots with their coordinator context.
+    [[nodiscard]] WireTrace harvestTrace(std::int64_t recvNs);
 
     WorkerConfig cfg_;
     std::unique_ptr<service::CompileService> svc_;
     service::MetricsHttpServer server_;
     obs::MetricRegistry registry_;  ///< worker-plane counters
+    /// Spans recorded while handling traced requests. Starts disabled
+    /// (untraced requests pay one branch); the first sampled request
+    /// arms it for the rest of the worker's life.
+    obs::ConcurrentTracer tracer_{false};
+    /// Local root span id -> coordinator parent span id, bridged into
+    /// the span batch at harvest. Bounded: entries are erased when
+    /// their span ships; a runaway map (tracing stopped mid-flight) is
+    /// dropped wholesale.
+    std::mutex traceMu_;
+    std::unordered_map<std::uint64_t, std::uint64_t> rootCtx_;
     FaultSite* killSite_ = nullptr;
     std::atomic<bool> killed_{false};
 };

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -103,6 +105,47 @@ public:
     [[nodiscard]] double p50() const { return quantile(0.50); }
     [[nodiscard]] double p90() const { return quantile(0.90); }
     [[nodiscard]] double p99() const { return quantile(0.99); }
+
+    /// Fold another histogram's samples into this one: counts and sums
+    /// add, min/max widen, buckets merge index-wise (both sides use the
+    /// same fixed power-of-two bucket bounds, so the merge is exact at
+    /// bucket granularity). This is how the cluster federation rolls N
+    /// workers' latency series into one distribution without ever
+    /// seeing the raw samples. Not atomic as a whole: concurrent
+    /// writers to either side land in one histogram or the other, never
+    /// lost.
+    void mergeFrom(const Histogram& o) {
+        const std::int64_t c = o.count();
+        if (c == 0) return;
+        count_.fetch_add(c, std::memory_order_relaxed);
+        addToDouble(sum_, o.sum());
+        updateMin(o.min());
+        updateMax(o.max());
+        for (int i = 0; i < kBuckets; ++i) {
+            const std::int64_t b = o.bucket(i);
+            if (b != 0)
+                buckets_[static_cast<size_t>(i)].fetch_add(
+                    b, std::memory_order_relaxed);
+        }
+    }
+
+    /// Rebuild an exported histogram (count/sum/min/max + leading log2
+    /// buckets, the MetricRegistry::toJson shape) so a federation scrape
+    /// can be re-merged with mergeFrom(). Adds on top of current state.
+    void restore(std::int64_t count, double sum, double mn, double mx,
+                 const std::vector<std::int64_t>& buckets) {
+        if (count <= 0) return;
+        count_.fetch_add(count, std::memory_order_relaxed);
+        addToDouble(sum_, sum);
+        updateMin(mn);
+        updateMax(mx);
+        const int n = std::min(kBuckets, static_cast<int>(buckets.size()));
+        for (int i = 0; i < n; ++i)
+            if (buckets[static_cast<size_t>(i)] != 0)
+                buckets_[static_cast<size_t>(i)].fetch_add(
+                    buckets[static_cast<size_t>(i)],
+                    std::memory_order_relaxed);
+    }
 
 private:
     static void addToDouble(std::atomic<double>& a, double d) {

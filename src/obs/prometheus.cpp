@@ -1,7 +1,9 @@
 #include "obs/prometheus.h"
 
 #include <cctype>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace phpf::obs {
 
@@ -11,6 +13,131 @@ void appendValue(std::ostringstream& out, double v) {
     // Prometheus accepts Go-style floats; default ostream formatting of
     // doubles is compatible (no locale grouping, '.' decimal point).
     out << v;
+}
+
+/// Descriptions keyed by the dotted registry name. Seeded with the
+/// metrics the service/cluster layers export so scrapes are
+/// self-documenting out of the box; describeMetric() extends it.
+class DescriptionRegistry {
+public:
+    static DescriptionRegistry& instance() {
+        static DescriptionRegistry r;
+        return r;
+    }
+
+    void set(const std::string& name, const std::string& help) {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_[name] = help;
+    }
+
+    std::string get(const std::string& name) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(name);
+        return it == map_.end() ? std::string() : it->second;
+    }
+
+private:
+    DescriptionRegistry() {
+        static const struct {
+            const char* name;
+            const char* help;
+        } kBuiltin[] = {
+            {"service.requests", "Compile requests accepted by the service"},
+            {"service.compiles", "Requests that ran the full compile pipeline"},
+            {"service.cache.hits", "Requests served from the artifact cache"},
+            {"service.cache.shed", "Cache evictions forced by memory pressure"},
+            {"service.cache.shed_entries",
+             "Artifact entries dropped by pressure shedding"},
+            {"service.coalesced_joins",
+             "Requests coalesced onto an identical in-flight compile"},
+            {"service.errors", "Requests that failed with a permanent error"},
+            {"service.parse_errors", "Requests rejected at the parse stage"},
+            {"service.retries", "Transient-error retries inside the service"},
+            {"service.transient_faults",
+             "Injected or real transient faults observed"},
+            {"service.deadline_exceeded",
+             "Requests abandoned past their deadline"},
+            {"service.queue.depth", "Jobs waiting for a service worker thread"},
+            {"service.compile_us", "Compile-pipeline latency per request"},
+            {"service.parse_us", "Parse-stage latency per request"},
+            {"service.total_us", "End-to-end service latency per request"},
+            {"service.queue_wait_us", "Queue wait before a worker picked up"},
+            {"cluster.coord.requests", "Jobs routed by the coordinator"},
+            {"cluster.coord.compiles",
+             "Jobs that reached the compute tier on a worker"},
+            {"cluster.coord.local_hits",
+             "Jobs served from the coordinator's local artifact LRU"},
+            {"cluster.coord.local_evictions",
+             "Coordinator local-LRU evictions"},
+            {"cluster.coord.peer_fetches",
+             "Hinted peer artifact fetch attempts"},
+            {"cluster.coord.peer_hits", "Peer fetches that returned the artifact"},
+            {"cluster.coord.peer_misses", "Peer fetches that missed"},
+            {"cluster.coord.worker_hits",
+             "Compute-tier requests served from a worker's cache"},
+            {"cluster.coord.retries", "Compute-tier retries across the ring"},
+            {"cluster.coord.probes", "Liveness probes sent to workers"},
+            {"cluster.coord.partitions",
+             "Peer fetches abandoned on a partitioned link"},
+            {"cluster.coord.stale_workers",
+             "Responses rejected for wire-version or identity mismatch"},
+            {"cluster.coord.workers_lost", "Workers marked dead"},
+            {"cluster.coord.workers_restarted",
+             "Workers that came back under a new identity"},
+            {"cluster.coord.transient_failures",
+             "Transient failures seen while routing"},
+            {"cluster.coord.permanent_failures",
+             "Jobs that failed permanently after all retries"},
+            {"cluster.coord.exhausted",
+             "Jobs that exhausted every routing attempt"},
+            {"cluster.coord.request_us",
+             "End-to-end coordinator request latency"},
+            {"cluster.coord.tier.local_hit_us",
+             "Latency of requests served by the coordinator's local LRU"},
+            {"cluster.coord.tier.peer_hit_us",
+             "Latency of requests served by a hinted peer fetch"},
+            {"cluster.coord.tier.compute_us",
+             "Latency of requests that reached the compute tier"},
+            {"cluster.coord.span_batches",
+             "Worker span batches merged by the coordinator"},
+            {"cluster.coord.spans_imported",
+             "Worker spans merged into the coordinator trace"},
+            {"cluster.coord.spans_lost",
+             "Spans orphaned by worker death or batch truncation"},
+            {"cluster.worker.compile_requests", "Compile requests handled"},
+            {"cluster.worker.artifact_requests", "Artifact GETs handled"},
+            {"cluster.worker.artifact_hits", "Artifact GETs served from cache"},
+            {"cluster.worker.artifact_misses", "Artifact GETs that missed"},
+            {"cluster.worker.bad_requests", "Malformed requests rejected"},
+            {"cluster.worker.kills", "Fault-injected kills taken"},
+            {"sim.phase.eval_us", "Simulator eval-phase latency per step"},
+            {"sim.phase.merge_us", "Simulator merge-phase latency per step"},
+            {"sim.checkpoint_us", "Simulator checkpoint write latency"},
+            {"stmt_self_time.us", "Per-statement self time from the profiler"},
+            {"model_error.row_err_pct",
+             "Per-row cost-model error against measurement"},
+            {"model_error.mape_sec_pct",
+             "Mean absolute percentage error of modeled seconds"},
+            {"model_error.mape_events_pct",
+             "Mean absolute percentage error of modeled event counts"},
+            {"model_error.mape_bytes_pct",
+             "Mean absolute percentage error of modeled bytes"},
+            {"model_error.rows_joined",
+             "Measurement rows joined against the cost model"},
+        };
+        for (const auto& e : kBuiltin) map_[e.name] = e.help;
+    }
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::string> map_;
+};
+
+void appendHelp(std::ostringstream& out, const std::string& dottedName,
+                const std::string& exposedName) {
+    const std::string help = metricDescription(dottedName);
+    if (!help.empty())
+        out << "# HELP " << exposedName << " " << prometheusHelpText(help)
+            << "\n";
 }
 
 }  // namespace
@@ -29,6 +156,41 @@ std::string prometheusName(const std::string& name) {
     return out;
 }
 
+std::string prometheusLabelValue(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string prometheusHelpText(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void describeMetric(const std::string& name, const std::string& help) {
+    DescriptionRegistry::instance().set(name, help);
+}
+
+std::string metricDescription(const std::string& name) {
+    return DescriptionRegistry::instance().get(name);
+}
+
 std::string renderPrometheus(const MetricRegistry& reg,
                              const std::string& prefix) {
     std::ostringstream out;
@@ -36,12 +198,14 @@ std::string renderPrometheus(const MetricRegistry& reg,
 
     reg.forEachCounter([&](const std::string& name, const Counter& c) {
         const std::string n = p + prometheusName(name) + "_total";
+        appendHelp(out, name, n);
         out << "# TYPE " << n << " counter\n";
         out << n << " " << c.value() << "\n";
     });
 
     reg.forEachGauge([&](const std::string& name, const Gauge& g) {
         const std::string n = p + prometheusName(name);
+        appendHelp(out, name, n);
         out << "# TYPE " << n << " gauge\n";
         out << n << " ";
         appendValue(out, g.value());
@@ -50,6 +214,7 @@ std::string renderPrometheus(const MetricRegistry& reg,
 
     reg.forEachHistogram([&](const std::string& name, const Histogram& h) {
         const std::string n = p + prometheusName(name);
+        appendHelp(out, name, n);
         out << "# TYPE " << n << " summary\n";
         static constexpr double kQs[] = {0.5, 0.9, 0.99};
         static constexpr const char* kQLabels[] = {"0.5", "0.9", "0.99"};

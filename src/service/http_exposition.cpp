@@ -257,6 +257,19 @@ std::string MetricsHttpServer::buildMetricsBody() const {
     return body;
 }
 
+std::string MetricsHttpServer::buildMetricsJsonBody() const {
+    obs::Json doc = obs::Json::object();
+    obs::Json regs = obs::Json::array();
+    for (const auto& [prefix, reg] : registries_) {
+        obs::Json r = obs::Json::object();
+        r.set("prefix", prefix);
+        r.set("metrics", reg->toJson());
+        regs.push(std::move(r));
+    }
+    doc.set("registries", std::move(regs));
+    return doc.dump();
+}
+
 std::string MetricsHttpServer::buildHealthBody() const {
     obs::Json health =
         healthProvider_ ? healthProvider_() : obs::Json::object();
@@ -365,6 +378,11 @@ void MetricsHttpServer::handleConnection(int fd) {
         if (req.path == "/metrics") {
             respond(fd, 200, reasonOf(200), "text/plain; version=0.0.4",
                     buildMetricsBody());
+            return;
+        }
+        if (req.path == "/metrics.json") {
+            respond(fd, 200, reasonOf(200), "application/json",
+                    buildMetricsJsonBody());
             return;
         }
         if (req.path == "/healthz") {

@@ -62,6 +62,11 @@ struct HttpLimits {
 ///   GET /metrics      Prometheus text exposition of every attached
 ///                     registry (counters as *_total, histograms as
 ///                     summaries with p50/p90/p99 quantile samples)
+///   GET /metrics.json Structured JSON form of the same registries,
+///                     histograms with raw log2 buckets — what the
+///                     cluster federation scrapes so it can merge
+///                     distributions bucket-wise
+
 ///   GET /healthz      JSON liveness: status, uptime, and whatever the
 ///                     health provider adds (queue depth, workers)
 ///   GET /report       JSON from the report provider (a run report);
@@ -154,6 +159,12 @@ public:
     }
 
     [[nodiscard]] std::string buildMetricsBody() const;
+    /// Structured form of /metrics (the `GET /metrics.json` body):
+    /// {"registries":[{"prefix":..., "metrics": <registry toJson>}]}.
+    /// Histograms keep their log2 buckets here, which is what makes
+    /// bucket-wise federation merges possible (the text exposition only
+    /// carries quantile estimates).
+    [[nodiscard]] std::string buildMetricsJsonBody() const;
 
 private:
     void acceptLoop();

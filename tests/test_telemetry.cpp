@@ -211,6 +211,115 @@ TEST(TelemetryPrometheus, EmptyRegistryRendersEmpty) {
     EXPECT_TRUE(obs::renderPrometheus(reg).empty());
 }
 
+TEST(TelemetryPrometheus, HelpLinesComeFromTheDescriptionRegistry) {
+    MetricRegistry reg;
+    reg.counter("service.cache.hits").add(1);
+    const std::string text = obs::renderPrometheus(reg, "phpf");
+    // A described metric gets its # HELP line right before its # TYPE.
+    const std::string help = obs::metricDescription("service.cache.hits");
+    ASSERT_FALSE(help.empty());
+    const size_t helpAt =
+        text.find("# HELP phpf_service_cache_hits_total " + help);
+    const size_t typeAt =
+        text.find("# TYPE phpf_service_cache_hits_total counter");
+    ASSERT_NE(helpAt, std::string::npos) << text;
+    ASSERT_NE(typeAt, std::string::npos);
+    EXPECT_LT(helpAt, typeAt);
+
+    // An undescribed metric renders without a HELP line, never a bogus
+    // one.
+    MetricRegistry other;
+    other.counter("totally.made.up").add(1);
+    EXPECT_EQ(obs::renderPrometheus(other, "phpf").find("# HELP"),
+              std::string::npos);
+
+    // describeMetric extends the registry at runtime.
+    obs::describeMetric("totally.made.up", "a test metric");
+    EXPECT_NE(obs::renderPrometheus(other, "phpf")
+                  .find("# HELP phpf_totally_made_up_total a test metric"),
+              std::string::npos);
+}
+
+TEST(TelemetryPrometheus, HelpAndLabelEscaping) {
+    // HELP text escapes backslash and newline (the format's two
+    // specials for comment lines).
+    EXPECT_EQ(obs::prometheusHelpText("a\\b\nc"), "a\\\\b\\nc");
+    // Label values additionally escape the double quote.
+    EXPECT_EQ(obs::prometheusLabelValue("w\"1\"\\x\ny"),
+              "w\\\"1\\\"\\\\x\\ny");
+    EXPECT_EQ(obs::prometheusLabelValue("plain-worker:8042"),
+              "plain-worker:8042");
+}
+
+// ---------------------------------------------------------------------
+// Histogram merge / restore (the federation primitives)
+// ---------------------------------------------------------------------
+
+TEST(TelemetryHistogram, MergeFromIsExactOnCountSumMinMax) {
+    Histogram a, b;
+    for (int v = 1; v <= 100; ++v) a.record(v);
+    for (int v = 500; v <= 600; ++v) b.record(v);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.count(), 201);
+    EXPECT_DOUBLE_EQ(a.sum(), 5050.0 + 55550.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 600.0);
+    // The merged distribution's median sits between the two bodies.
+    EXPECT_GT(a.p50(), 50.0);
+    EXPECT_LT(a.p50(), 600.0);
+    // Merging an empty histogram changes nothing (min/max unpolluted).
+    Histogram empty;
+    const double beforeMin = a.min();
+    a.mergeFrom(empty);
+    EXPECT_EQ(a.count(), 201);
+    EXPECT_DOUBLE_EQ(a.min(), beforeMin);
+}
+
+TEST(TelemetryHistogram, RestoreFromJsonShapeMatchesOriginal) {
+    // restore() consumes exactly what toJson emits (count/sum/min/max +
+    // trimmed log2 buckets): a scrape-restore round trip must preserve
+    // the distribution, including quantile estimates.
+    MetricRegistry reg;
+    Histogram& orig = reg.histogram("trip.us");
+    for (int v = 1; v <= 1000; ++v) orig.record(v);
+    const Json doc = reg.toJson();
+    const Json& h = doc.at("histograms").at("trip.us");
+    std::vector<std::int64_t> buckets;
+    for (const Json& b : h.at("log2_buckets").items())
+        buckets.push_back(b.intValue());
+
+    Histogram back;
+    back.restore(h.at("count").intValue(), h.at("sum").numberValue(),
+                 h.at("min").numberValue(), h.at("max").numberValue(),
+                 buckets);
+    EXPECT_EQ(back.count(), orig.count());
+    EXPECT_DOUBLE_EQ(back.sum(), orig.sum());
+    EXPECT_DOUBLE_EQ(back.min(), orig.min());
+    EXPECT_DOUBLE_EQ(back.max(), orig.max());
+    EXPECT_DOUBLE_EQ(back.p50(), orig.p50());
+    EXPECT_DOUBLE_EQ(back.p99(), orig.p99());
+}
+
+TEST(TelemetryTracer, DrainClosedKeepsOpenSpansAndTheirHandles) {
+    ConcurrentTracer t;
+    auto open = t.begin("still-running", "x");
+    for (int i = 0; i < 5; ++i) t.end(t.begin("done", "x"));
+
+    auto drained = t.drainClosed(3);  // bounded batch
+    EXPECT_EQ(drained.size(), 3u);
+    for (const ConcurrentSpan& s : drained) EXPECT_TRUE(s.closed());
+    drained = t.drainClosed(100);
+    EXPECT_EQ(drained.size(), 2u);
+
+    // The open span survived compaction and its handle still closes it.
+    EXPECT_EQ(t.spanCount(), 1u);
+    t.end(open);
+    drained = t.drainClosed(100);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].name, "still-running");
+    EXPECT_TRUE(drained[0].closed());
+}
+
 // ---------------------------------------------------------------------
 // ConcurrentTracer
 // ---------------------------------------------------------------------
